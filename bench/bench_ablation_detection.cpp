@@ -1,0 +1,166 @@
+// Ablation: which parts of the verdict pipeline actually buy accuracy?
+//
+// Compares full RoVista classification against degraded variants on the
+// same (vVP, tNode) experiments, scoring each against data-plane ground
+// truth (which the real system never sees — this is exactly what a
+// simulator substrate is for):
+//   full        — timing-based burst/echo classification with the
+//                 magnitude guard and Bonferroni-guarded echo scan,
+//   no-magnitude — any significant late z-exceedance counts as the echo,
+//   naive-count  — the spike-cluster count alone decides (0/1/2+),
+// and, independently, AS-level scoring with and without the §6.2
+// unanimity rule.
+#include <map>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace rovista;
+
+core::FilteringVerdict classify_no_magnitude(
+    const core::ExperimentResult& r) {
+  if (!r.analysis.has_value()) return core::FilteringVerdict::kInconclusive;
+  bool late = false;
+  for (std::size_t k = 2; k < r.analysis->spike_at.size(); ++k) {
+    if (r.analysis->spike_at[k]) late = true;
+  }
+  if (late) return core::FilteringVerdict::kOutboundFiltering;
+  if (r.analysis->spike_at[0]) return core::FilteringVerdict::kNoFiltering;
+  return core::FilteringVerdict::kInboundFiltering;
+}
+
+core::FilteringVerdict classify_naive_count(
+    const core::ExperimentResult& r) {
+  if (!r.analysis.has_value()) return core::FilteringVerdict::kInconclusive;
+  if (r.spike_clusters >= 2) return core::FilteringVerdict::kOutboundFiltering;
+  if (r.spike_clusters == 1) return core::FilteringVerdict::kNoFiltering;
+  return core::FilteringVerdict::kInboundFiltering;
+}
+
+struct Tally {
+  std::size_t ok = 0;
+  std::size_t wrong = 0;
+  double accuracy() const {
+    return ok + wrong == 0
+               ? 0.0
+               : static_cast<double>(ok) / static_cast<double>(ok + wrong);
+  }
+};
+
+void score(Tally& tally, core::FilteringVerdict verdict, bool truth_reach) {
+  if (verdict == core::FilteringVerdict::kInconclusive ||
+      verdict == core::FilteringVerdict::kInboundFiltering) {
+    return;
+  }
+  const bool said_reach = verdict == core::FilteringVerdict::kNoFiltering;
+  (said_reach == truth_reach ? tally.ok : tally.wrong)++;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation — verdict pipeline components",
+                      "design-choice ablation (DESIGN.md)");
+
+  bench::World world;
+  world.scenario->advance_to(world.scenario->start() + 150);
+  const auto view = world.scenario->collector().snapshot(
+      world.scenario->routing());
+  const auto tnodes = world.rovista->acquire_tnodes(
+      view, world.scenario->current_vrps(),
+      world.scenario->rov_reference_ases(world.scenario->current(), 10),
+      world.scenario->non_rov_reference_ases(world.scenario->current(), 10));
+  const auto vvps = world.rovista->acquire_vvps(
+      world.scenario->vvp_candidates());
+
+  Tally full;
+  Tally no_magnitude;
+  Tally naive;
+  std::vector<core::PairObservation> full_obs;
+  std::vector<core::PairObservation> per_vvp_obs;  // for unanimity ablation
+
+  for (const auto& vvp : vvps) {
+    for (const auto& tnode : tnodes) {
+      const auto result = world.rovista->measure_pair(vvp, tnode);
+      const bool truth =
+          world.scenario->plane().compute_path(vvp.asn, tnode.address)
+              .delivered;
+      score(full, result.verdict, truth);
+      score(no_magnitude, classify_no_magnitude(result), truth);
+      score(naive, classify_naive_count(result), truth);
+
+      core::PairObservation obs;
+      obs.vvp_as = vvp.asn;
+      obs.vvp = vvp.address;
+      obs.tnode = tnode.address;
+      obs.verdict = result.verdict;
+      full_obs.push_back(obs);
+    }
+  }
+
+  util::Table table({"variant", "per-pair accuracy", "pairs judged"});
+  table.add_row({"full (timing + magnitude + Bonferroni)",
+                 util::fmt_double(100.0 * full.accuracy(), 1) + "%",
+                 std::to_string(full.ok + full.wrong)});
+  table.add_row({"no magnitude guard",
+                 util::fmt_double(100.0 * no_magnitude.accuracy(), 1) + "%",
+                 std::to_string(no_magnitude.ok + no_magnitude.wrong)});
+  table.add_row({"naive cluster count",
+                 util::fmt_double(100.0 * naive.accuracy(), 1) + "%",
+                 std::to_string(naive.ok + naive.wrong)});
+  std::printf("%s\n", table.to_text().c_str());
+
+  // Unanimity ablation: per-AS score error with and without discarding
+  // disagreeing tNodes (without = majority vote per (AS, tNode)).
+  const auto scores_unanimous =
+      core::aggregate_scores(full_obs, {2, 3});
+  std::map<topology::Asn, std::map<std::uint32_t, std::pair<int, int>>> votes;
+  for (const auto& obs : full_obs) {
+    if (obs.verdict == core::FilteringVerdict::kOutboundFiltering) {
+      ++votes[obs.vvp_as][obs.tnode.value()].first;
+    } else if (obs.verdict == core::FilteringVerdict::kNoFiltering) {
+      ++votes[obs.vvp_as][obs.tnode.value()].second;
+    }
+  }
+  double err_unanimous = 0.0;
+  double err_majority = 0.0;
+  std::size_t compared = 0;
+  for (const auto& sc : scores_unanimous) {
+    // Ground truth protection for this AS.
+    std::size_t unreachable = 0;
+    for (const auto& tnode : tnodes) {
+      if (!world.scenario->plane().compute_path(sc.asn, tnode.address)
+               .delivered) {
+        ++unreachable;
+      }
+    }
+    const double truth = 100.0 * static_cast<double>(unreachable) /
+                         static_cast<double>(tnodes.size());
+    err_unanimous += std::abs(sc.score - truth);
+    // Majority-vote variant.
+    int outbound = 0;
+    int usable = 0;
+    for (const auto& [tnode, vote] : votes[sc.asn]) {
+      if (vote.first + vote.second == 0) continue;
+      ++usable;
+      if (vote.first >= vote.second) ++outbound;
+    }
+    const double majority_score =
+        usable == 0 ? 0.0 : 100.0 * outbound / usable;
+    err_majority += std::abs(majority_score - truth);
+    ++compared;
+  }
+  std::printf("per-AS mean |score - truth| over %zu ASes:\n", compared);
+  std::printf("  with unanimity rule : %.2f points\n",
+              err_unanimous / static_cast<double>(compared));
+  std::printf("  majority vote       : %.2f points\n",
+              err_majority / static_cast<double>(compared));
+  std::printf(
+      "\nexpected: the magnitude guard suppresses heavy-tail false echoes\n"
+      "(several accuracy points). Unanimity vs majority is a robustness\n"
+      "trade: on this benign substrate majority keeps more signal and can\n"
+      "edge ahead, but unanimity (the paper's rule) is immune to a single\n"
+      "systematically broken vVP polluting an AS's score.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation: how much protection does each ROV *mode* actually deliver?
+//
+// The paper's §7.6 shows deployment style matters as much as deployment:
+// AT&T's customer exemption, prefer-valid configurations and partial
+// equipment support all leak. This bench takes the same world and
+// re-runs it with every deployer forced to one mode, reporting the
+// protection distribution each policy buys.
+#include "bench/common.h"
+
+namespace {
+
+using namespace rovista;
+
+struct Outcome {
+  double mean_score = 0.0;
+  double pct_full = 0.0;
+  double pct_zero = 0.0;
+  std::size_t ases = 0;
+};
+
+Outcome run_with_mode(std::uint64_t seed, bgp::RovMode mode,
+                      double coverage) {
+  bench::World world(bench::bench_params(seed));
+  auto& s = *world.scenario;
+  s.advance_to(s.end());
+
+  // Force every true deployer to the requested mode/coverage.
+  for (const auto& deployment : s.deployments()) {
+    if (deployment.enabled > s.current()) continue;
+    bgp::AsPolicy policy;
+    policy.rov = mode;
+    policy.session_coverage = coverage;
+    s.routing().set_policy(deployment.asn, policy);
+  }
+
+  const auto view = s.collector().snapshot(s.routing());
+  // The scenario's reference-AS ground truth describes the *original*
+  // policies, which this ablation just overrode — run tNode acquisition
+  // without the reference filter so every variant sees the same tNodes.
+  const std::vector<topology::Asn> no_refs;
+  const auto tnodes = world.rovista->acquire_tnodes(
+      view, s.current_vrps(), no_refs, no_refs);
+  const auto vvps = world.rovista->acquire_vvps(s.vvp_candidates());
+  const auto round = world.rovista->run_round(vvps, tnodes);
+
+  Outcome out;
+  out.ases = round.scores.size();
+  std::size_t full = 0;
+  std::size_t zero = 0;
+  for (const auto& score : round.scores) {
+    out.mean_score += score.score;
+    if (score.fully_protected()) ++full;
+    if (score.unprotected()) ++zero;
+  }
+  if (out.ases != 0) {
+    out.mean_score /= static_cast<double>(out.ases);
+    out.pct_full = 100.0 * static_cast<double>(full) /
+                   static_cast<double>(out.ases);
+    out.pct_zero = 100.0 * static_cast<double>(zero) /
+                   static_cast<double>(out.ases);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  rovista::bench::print_header(
+      "Ablation — protection delivered by each ROV mode",
+      "IMC'23 RoVista, §7.6 deployment-style effects");
+
+  const struct {
+    const char* label;
+    rovista::bgp::RovMode mode;
+    double coverage;
+  } variants[] = {
+      {"full drop-invalid", rovista::bgp::RovMode::kFull, 1.0},
+      {"full, 90% session coverage (NTT)", rovista::bgp::RovMode::kFull,
+       0.9},
+      {"exempt customers (AT&T)", rovista::bgp::RovMode::kExemptCustomers,
+       1.0},
+      {"prefer-valid only", rovista::bgp::RovMode::kPreferValid, 1.0},
+      {"no ROV anywhere", rovista::bgp::RovMode::kNone, 1.0},
+  };
+
+  rovista::util::Table table({"deployer mode", "mean score", "% at 100",
+                              "% at 0", "ASes"});
+  for (const auto& variant : variants) {
+    const Outcome out = run_with_mode(42, variant.mode, variant.coverage);
+    table.add_row({variant.label, rovista::util::fmt_double(out.mean_score, 1),
+                   rovista::util::fmt_double(out.pct_full, 1) + "%",
+                   rovista::util::fmt_double(out.pct_zero, 1) + "%",
+                   std::to_string(out.ases)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "expected ordering: full > 90%%-coverage full > exempt-customers >\n"
+      "prefer-valid ≈ none. Prefer-valid keeps the invalid route usable\n"
+      "whenever no competing valid route exists — for exclusively-invalid\n"
+      "prefixes (RoVista's tNodes) it protects nothing, which is why the\n"
+      "paper treats it as a data-plane no-op.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: ROV++ vs plain ROV on the collateral-damage hole (§7.4).
+//
+// The paper's related work cites ROV++ (Morillo et al., NDSS'21) as an
+// improved deployable defense. Its v1 behaviour — blackhole traffic for
+// a filtered more-specific rather than forwarding it along a covering
+// route — closes exactly the Fig. 9 hole. This bench replays the TDC
+// case study under both policies and then counts collateral-damage
+// victims across the whole measured population.
+#include "bench/common.h"
+
+#include "dataplane/traceroute.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header("Ablation — ROV++ closes the collateral-damage hole",
+                      "extension of §7.4 (cited defense, NDSS'21 ROV++)");
+
+  bench::World world;
+  auto& s = *world.scenario;
+  s.advance_to(s.start() + 120);
+  const auto& cs = s.cases();
+  const net::Ipv4Address tnode_addr(cs.cd_invalid_prefix.address().value() +
+                                    10);
+
+  // TDC under plain full ROV: reached (Fig. 9).
+  const auto before = dataplane::tcp_traceroute(s.plane(), cs.cd_rov_as,
+                                                tnode_addr, 80);
+  std::printf("TDC-like with plain ROV : %s\n",
+              before.reached ? "REACHES the invalid origin (Fig. 9)"
+                             : "blocked");
+
+  // Flip TDC to ROV++.
+  bgp::AsPolicy rovpp;
+  rovpp.rov = bgp::RovMode::kRovPlusPlus;
+  s.routing().set_policy(cs.cd_rov_as, rovpp);
+  const auto after = dataplane::tcp_traceroute(s.plane(), cs.cd_rov_as,
+                                               tnode_addr, 80);
+  std::printf("TDC-like with ROV++     : %s (%s)\n",
+              after.reached ? "still reaches" : "blackholed",
+              dataplane::drop_reason_name(after.stop_reason));
+
+  // Population-level count: ASes that deploy filtering yet still reach
+  // >= 1 tNode through a covering route, under each policy.
+  std::size_t damaged_plain = 0;
+  std::size_t damaged_rovpp = 0;
+  std::size_t deployers = 0;
+  for (const auto& deployment : s.deployments()) {
+    if (deployment.enabled > s.current()) continue;
+    if (deployment.mode != bgp::RovMode::kFull) continue;
+    ++deployers;
+    const auto count_reachable = [&] {
+      std::size_t reachable = 0;
+      for (const auto& [prefix, origin] : s.tnode_prefixes()) {
+        const net::Ipv4Address target(prefix.address().value() + 10);
+        if (s.plane().compute_path(deployment.asn, target).delivered) {
+          ++reachable;
+        }
+      }
+      return reachable;
+    };
+    if (count_reachable() > 0) ++damaged_plain;
+
+    bgp::AsPolicy upgraded;
+    upgraded.rov = bgp::RovMode::kRovPlusPlus;
+    s.routing().set_policy(deployment.asn, upgraded);
+    if (count_reachable() > 0) ++damaged_rovpp;
+    bgp::AsPolicy restore;
+    restore.rov = deployment.mode;
+    restore.session_coverage = deployment.session_coverage;
+    s.routing().set_policy(deployment.asn, restore);
+  }
+
+  util::Table table({"policy", "full-ROV deployers", "still reach a tNode"});
+  table.add_row({"plain ROV", std::to_string(deployers),
+                 std::to_string(damaged_plain)});
+  table.add_row({"ROV++ (v1 blackholing)", std::to_string(deployers),
+                 std::to_string(damaged_rovpp)});
+  std::printf("\n%s\n", table.to_text().c_str());
+  std::printf(
+      "expected: under plain ROV a handful of deployers leak via covering\n"
+      "routes through non-validating providers (the paper found 6 such\n"
+      "ASes); under ROV++ the local blackhole removes every self-\n"
+      "inflicted leak (leaks through *remote* non-validating hops remain\n"
+      "— ROV++ can only fix what the deployer itself forwards).\n");
+  return 0;
+}

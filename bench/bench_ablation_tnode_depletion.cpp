@@ -1,0 +1,74 @@
+// Ablation for the paper's §6.4 limitation: "as ROV deployment becomes
+// more widespread, the number of observable tNodes is likely to
+// decrease" — RoVista consumes the very signal it measures. We sweep the
+// ROV adoption level of the synthetic Internet and report how many test
+// prefixes remain visible, how many tNodes qualify, and how many ASes
+// stay measurable.
+#include "bench/common.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header(
+      "Ablation — tNode depletion as ROV adoption grows (§6.4)",
+      "IMC'23 RoVista, §6.4 limitation 3");
+
+  util::Table table({"tier2/tier3/stub ROV", "visible test prefixes",
+                     "qualified tNodes", "ASes scored", "mean score",
+                     "% at 100"});
+
+  const struct {
+    const char* label;
+    double t2, t3, stub;
+  } levels[] = {
+      {"0.05 / 0.02 / 0.01", 0.05, 0.02, 0.01},
+      {"0.22 / 0.08 / 0.03 (default)", 0.22, 0.08, 0.03},
+      {"0.50 / 0.25 / 0.10", 0.50, 0.25, 0.10},
+      {"0.80 / 0.60 / 0.40", 0.80, 0.60, 0.40},
+      {"0.95 / 0.90 / 0.80", 0.95, 0.90, 0.80},
+  };
+
+  for (const auto& level : levels) {
+    scenario::ScenarioParams params = bench::bench_params(4242);
+    params.rov_end_tier2 = level.t2;
+    params.rov_end_tier3 = level.t3;
+    params.rov_end_stub = level.stub;
+    bench::World world(std::move(params));
+    world.scenario->advance_to(world.scenario->end());
+
+    const auto view =
+        world.scenario->collector().snapshot(world.scenario->routing());
+    const auto test_prefixes = scan::select_test_prefixes(
+        view, world.scenario->current_vrps());
+    const auto tnodes = world.rovista->acquire_tnodes(
+        view, world.scenario->current_vrps(),
+        world.scenario->rov_reference_ases(world.scenario->current(), 10),
+        world.scenario->non_rov_reference_ases(world.scenario->current(),
+                                               10));
+    const auto vvps =
+        world.rovista->acquire_vvps(world.scenario->vvp_candidates());
+    const auto round = world.rovista->run_round(vvps, tnodes);
+
+    double mean = 0.0;
+    std::size_t full = 0;
+    for (const auto& sc : round.scores) {
+      mean += sc.score;
+      if (sc.fully_protected()) ++full;
+    }
+    const double n = std::max<std::size_t>(1, round.scores.size());
+    (void)vvps;
+    table.add_row({level.label, std::to_string(test_prefixes.size()),
+                   std::to_string(tnodes.size()),
+                   std::to_string(round.scores.size()),
+                   util::fmt_double(mean / n, 1),
+                   util::fmt_double(100.0 * full / n, 0) + "%"});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "expected: as adoption grows the substrate shrinks and the signal\n"
+      "saturates — fewer invalid prefixes stay visible, and nearly every\n"
+      "measured AS converges to 100%%, leaving nothing to distinguish.\n"
+      "This is the paper's §6.4 limitation: RoVista consumes the very\n"
+      "signal it measures, so it calls for complementary techniques\n"
+      "long-term.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Appendix A: operating characteristics of the ARMA/ARIMA spike
+// detector — empirical false-positive and false-negative rates across
+// background rates, traffic shapes and significance levels, plus the
+// FN-screening boundary that justifies the ≤10 pkt/s vVP cutoff.
+#include "bench/common.h"
+
+#include "stats/spike.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista;
+
+std::vector<double> rates(double rate, std::size_t n, double interval_s,
+                          dataplane::TrafficModel::Kind kind,
+                          util::Rng& rng, double t0 = 0.0) {
+  dataplane::TrafficModel model;
+  model.kind = kind;
+  model.base_rate = rate;
+  model.trend_per_sec = rate * 0.05;
+  model.season_amplitude = rate * 0.4;
+  model.season_period_s = 12.0;
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = t0 + static_cast<double>(i) * interval_s;
+    const double lambda = model.expected_packets(a, a + interval_s);
+    out[i] = static_cast<double>(rng.poisson(lambda)) / interval_s;
+  }
+  return out;
+}
+
+struct Operating {
+  double fp = 0.0;     // spike claimed under null (any index)
+  double fn = 0.0;     // burst at index 0 missed
+  double usable = 0.0; // fraction of runs the detector accepted
+};
+
+Operating characterize(double rate, dataplane::TrafficModel::Kind kind,
+                       double alpha, util::Rng& rng) {
+  stats::SpikeDetectorConfig config;
+  config.alpha = alpha;
+  const stats::SpikeDetector detector(config);
+  const int reps = 150;
+  int usable = 0;
+  int fp = 0;
+  int fn = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto background = rates(rate, 9, 0.5, kind, rng);
+    // Null window.
+    {
+      const auto observed = rates(rate, 8, 0.5, kind, rng, 4.5);
+      const auto res = detector.analyze(background, observed);
+      if (res.has_value() && res->usable) {
+        ++usable;
+        if (res->spike_count > 0) ++fp;
+      }
+    }
+    // Burst window: +10 packets over the first (1 s) interval.
+    {
+      auto observed = rates(rate, 8, 0.5, kind, rng, 4.5);
+      observed[0] += 10.0;
+      const auto res = detector.analyze(background, observed);
+      if (res.has_value() && res->usable && !res->spike_at[0]) ++fn;
+    }
+  }
+  Operating op;
+  op.usable = static_cast<double>(usable) / reps;
+  op.fp = usable ? static_cast<double>(fp) / usable : 0.0;
+  op.fn = usable ? static_cast<double>(fn) / usable : 0.0;
+  return op;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Appendix A — spike detector operating characteristics",
+                      "IMC'23 RoVista, Appendix A");
+
+  util::Rng rng(99);
+  util::Table table({"traffic", "rate (pkt/s)", "alpha", "usable",
+                     "empirical FP", "empirical FN (burst)"});
+  const struct {
+    const char* name;
+    dataplane::TrafficModel::Kind kind;
+  } kinds[] = {
+      {"constant", dataplane::TrafficModel::Kind::kConstant},
+      {"trend", dataplane::TrafficModel::Kind::kTrend},
+      {"seasonal", dataplane::TrafficModel::Kind::kSeasonal},
+  };
+  for (const auto& kind : kinds) {
+    for (const double rate : {1.0, 3.0, 6.0, 10.0, 20.0, 50.0}) {
+      for (const double alpha : {0.05}) {
+        const Operating op = characterize(rate, kind.kind, alpha, rng);
+        table.add_row({kind.name, util::fmt_double(rate, 0),
+                       util::fmt_double(alpha, 2),
+                       util::fmt_double(op.usable, 2),
+                       util::fmt_double(op.fp, 3),
+                       util::fmt_double(op.fn, 3)});
+      }
+    }
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "paper shape: FP stays near the chosen alpha while the background is\n"
+      "quiet; FN grows with the background rate; the usable fraction\n"
+      "collapses beyond ~10 pkt/s — which is exactly why RoVista only\n"
+      "keeps vVPs at or below 10 pkt/s (Appendix A screening).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// §7.5: joining BGPStream-style hijack reports with ROV protection
+// scores — which attacks ROV would have stopped, which slipped through
+// customer exemptions, and which a ROA would have prevented.
+#include "bench/common.h"
+
+#include "bgpstream/analysis.h"
+#include "bgpstream/hijack.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header("§7.5 — hijack reports vs ROV protection scores",
+                      "IMC'23 RoVista, §7.5 (BGPStream case study)");
+
+  bench::World world;
+  world.run_snapshot(world.scenario->end() - 30);
+
+  util::Rng rng(777);
+  const auto events = bgpstream::generate_hijacks(*world.scenario, 120, rng);
+
+  // Stage all hijacks against the converged world and collect reports.
+  for (const auto& ev : events) bgpstream::apply_hijack(world.scenario->routing(), ev);
+  const auto reports = bgpstream::detect_hijacks(
+      world.scenario->collector(), world.scenario->routing(),
+      world.scenario->current_vrps(), events, world.scenario->current());
+
+  std::vector<bgpstream::ReportAnalysis> analyses;
+  analyses.reserve(reports.size());
+  for (const auto& r : reports) {
+    analyses.push_back(bgpstream::analyze_report(
+        r, world.scenario->collector(), world.scenario->routing(),
+        world.store));
+  }
+  for (const auto& ev : events) {
+    bgpstream::withdraw_hijack(world.scenario->routing(), ev);
+  }
+
+  const auto sum = bgpstream::summarize(analyses);
+  util::Table table({"bucket", "count"});
+  table.add_row({"hijack events staged", std::to_string(events.size())});
+  table.add_row({"reports (visible at collector)",
+                 std::to_string(sum.total_reports)});
+  table.add_row({"RPKI-covered reports", std::to_string(sum.rpki_covered)});
+  table.add_row({"covered, some AS on path scored",
+                 std::to_string(sum.covered_with_any_score)});
+  table.add_row({"covered, full path scored",
+                 std::to_string(sum.covered_fully_scored)});
+  table.add_row({"covered, >90%-score AS on path",
+                 std::to_string(sum.covered_high_score_on_path)});
+  table.add_row({"covered, all zero scores",
+                 std::to_string(sum.covered_all_zero)});
+  table.add_row({"uncovered, full path scored",
+                 std::to_string(sum.uncovered_fully_scored)});
+  table.add_row({"uncovered, >90%-score AS on path (ROA would have helped)",
+                 std::to_string(sum.uncovered_high_score_on_path)});
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "paper shape: 14%% of 1,277 reports were RPKI-covered; among fully\n"
+      "scored covered paths only 4%% crossed a >90%%-score AS (all via\n"
+      "customer routes); 23.1%% of uncovered hijacks crossed a protected\n"
+      "AS — a ROA would have stopped them.\n");
+  return 0;
+}

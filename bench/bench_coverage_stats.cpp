@@ -1,0 +1,57 @@
+// §6.1 coverage statistics: vVP population and filtering, per-AS vVP
+// floors, tNode counts and their RIR distribution, plus the §6.2
+// consistency rate (paper: 95.1%).
+#include <map>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header("§6.1/§6.2 — measurement coverage statistics",
+                      "IMC'23 RoVista, §6.1 and §6.2");
+
+  bench::World world;
+  const auto snap = world.run_snapshot(world.scenario->start() + 60);
+
+  std::map<topology::Asn, int> vvps_per_as;
+  for (const auto& v : snap.vvps) ++vvps_per_as[v.asn];
+
+  std::printf("vVP candidates scanned : %zu\n",
+              world.scenario->vvp_candidates().size());
+  std::printf("qualified vVPs (<=10/s): %zu across %zu ASes\n",
+              snap.vvps.size(), vvps_per_as.size());
+  std::printf("tNodes                 : %zu\n", snap.tnodes.size());
+
+  // tNode distribution across RIR trust anchors (via the ROA that
+  // invalidates each test prefix — i.e. the victim's RIR).
+  std::map<std::string, int> by_rir;
+  for (const auto& t : snap.tnodes) {
+    // The victim's RIR: look up who holds a covering VRP.
+    const auto covering = world.scenario->current_vrps().covering(t.prefix);
+    std::string rir = "?";
+    if (!covering.empty()) {
+      const auto* info = world.scenario->graph().info(covering.front().asn);
+      if (info != nullptr) rir = topology::rir_name(info->rir);
+    }
+    ++by_rir[rir];
+  }
+  std::printf("tNodes by RIR          :");
+  for (const auto& [rir, n] : by_rir) {
+    std::printf(" %s=%d", rir.c_str(), n);
+  }
+  std::printf("\n");
+
+  std::printf("experiments run        : %zu (inconclusive %zu = %.1f%%)\n",
+              snap.round.experiments_run, snap.round.inconclusive,
+              100.0 * static_cast<double>(snap.round.inconclusive) /
+                  static_cast<double>(snap.round.experiments_run));
+  std::printf("ASes scored            : %zu\n", snap.round.scores.size());
+  std::printf("consistency rate       : %.1f%% of (AS, tNode) pairs "
+              "unanimous across vVPs\n",
+              100.0 * core::consistency_rate(snap.round.observations));
+  std::printf(
+      "\npaper shape: only 3.2%% of raw vVPs pass the <=10 pkt/s cutoff;\n"
+      "a minimum of ~10 tNodes per round; tNodes spread across all five\n"
+      "RIRs; 95.1%% of tNodes show consistent reachability per AS.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 10 + §8: single-RPKI-invalid-prefix measurement (the
+// isbgpsafeyet.com model) versus RoVista. When the Cloudflare-like
+// network becomes a customer of the AT&T-like tier-1 (which exempts
+// customer routes from ROV), the single test prefix becomes reachable
+// through AT&T and the single-prefix method's false negatives jump —
+// while RoVista's multi-prefix score barely moves.
+#include "bench/common.h"
+
+#include "validation/single_prefix.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header(
+      "Figure 10 — single-prefix FP/FN and the AT&T score over time",
+      "IMC'23 RoVista, Fig. 10 (§8)");
+
+  bench::World world;
+  const auto& cs = world.scenario->cases();
+
+  // The single test host inside the Cloudflare-like invalid prefix.
+  const net::Ipv4Address test_addr(
+      cs.cloudflare_test_prefix.address().value() + 10);
+
+  util::Table table({"date", "FP rate", "FN rate", "ATT-like score",
+                     "cf test prefix"});
+  const util::Date flip = cs.cloudflare_becomes_customer;
+  for (util::Date date :
+       {flip - 60, flip - 20, flip + 10, flip + 60, flip + 150}) {
+    if (date < world.scenario->start()) date = world.scenario->start();
+    const auto snap = world.run_snapshot(date);
+    const auto labels = validation::single_prefix_measurement(
+        world.scenario->plane(), world.scenario->measured_ases(), test_addr);
+    const auto cmp =
+        validation::compare_with_rovista(labels, snap.round.scores);
+    const auto att_score = world.store.score_on(cs.att, date);
+    table.add_row(
+        {date.to_string(), util::fmt_double(100.0 * cmp.fp_rate(), 1) + "%",
+         util::fmt_double(100.0 * cmp.fn_rate(), 1) + "%",
+         att_score ? util::fmt_double(*att_score, 1) : "-",
+         date < flip ? "peer of ATT (filtered)" : "ATT customer (exempt)"});
+  }
+  std::printf("relationship flip date: %s\n\n", flip.to_string().c_str());
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "paper shape: FP ~2.5%% / FN ~3.8%% on average, with the FN rate\n"
+      "jumping after 2022-03-14 when Cloudflare became an AT&T customer\n"
+      "and AT&T (customer-exempt ROV) stopped filtering the test prefix;\n"
+      "AT&T's own RoVista score dips only slightly (100%% -> 97.8%%).\n");
+  return 0;
+}

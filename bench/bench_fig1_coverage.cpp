@@ -1,0 +1,38 @@
+// Figure 1: ROA coverage of announced prefixes (top) and the share of
+// RPKI-invalid / exclusively-invalid routable prefixes (bottom) over the
+// measurement window, as seen from the RouteViews-like collector —
+// including the mid-2022 surge of leaked invalid /24s.
+#include "bench/common.h"
+
+#include "bgp/collector.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header("Figure 1 — ROA coverage and invalid prefixes over time",
+                      "IMC'23 RoVista, Fig. 1 (§3.2)");
+
+  bench::World world;
+  util::Table table({"date", "% covered by ROA", "% invalid",
+                     "% exclusively invalid", "prefixes seen"});
+
+  for (const util::Date date : world.monthly_dates()) {
+    world.scenario->advance_to(date);
+    const auto snap =
+        world.scenario->collector().snapshot(world.scenario->routing());
+    const auto stats =
+        bgp::classify_snapshot(snap, world.scenario->current_vrps());
+    const double total = static_cast<double>(stats.total_prefixes);
+    table.add_row({date.to_string(),
+                   util::fmt_double(100.0 * stats.covered_prefixes / total, 1),
+                   util::fmt_double(100.0 * stats.invalid_prefixes / total, 2),
+                   util::fmt_double(
+                       100.0 * stats.exclusively_invalid / total, 2),
+                   std::to_string(stats.total_prefixes)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "paper shape: coverage grows steadily (~40%% -> 48.2%%); invalids stay\n"
+      "below ~1%% except the 2022-05-27..2022-08-03 surge; exclusively-\n"
+      "invalid prefixes are a strict subset of invalids.\n");
+  return 0;
+}

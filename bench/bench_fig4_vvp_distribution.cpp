@@ -1,0 +1,57 @@
+// Figure 4: how many ASes become measurable at different background-
+// traffic cutoffs (≤10 / ≤30 / ≤100 pkt/s). The paper keeps only vVPs at
+// ≤10 pkt/s; relaxing the cutoff would add ASes at the cost of more
+// spoofed traffic.
+#include <map>
+#include <set>
+
+#include "bench/common.h"
+#include "scan/vvp_discovery.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header(
+      "Figure 4 — vVPs and covered ASes by background-traffic cutoff",
+      "IMC'23 RoVista, Fig. 4 (§6.1)");
+
+  bench::World world;
+  world.scenario->advance_to(world.scenario->start() + 30);
+
+  // Qualify every responsive candidate with no rate cutoff at all, then
+  // bucket by estimated background rate.
+  const auto responsive = scan::synack_scan(
+      world.scenario->plane(), world.client_a->asn(),
+      world.client_a->address(), world.scenario->vvp_candidates());
+  const auto vvps = scan::discover_vvps(world.scenario->plane(),
+                                        *world.client_a, responsive);
+
+  const double cutoffs[] = {10.0, 30.0, 100.0, 1e9};
+  util::Table table({"cutoff (pkt/s)", "vVPs", "ASes covered",
+                     "ASes with >=2 vVPs"});
+  for (const double cutoff : cutoffs) {
+    std::size_t count = 0;
+    std::map<topology::Asn, int> per_as;
+    for (const auto& v : vvps) {
+      if (v.est_background_rate > cutoff) continue;
+      ++count;
+      ++per_as[v.asn];
+    }
+    std::size_t robust = 0;
+    for (const auto& [asn, n] : per_as) {
+      if (n >= 2) ++robust;
+    }
+    table.add_row({cutoff > 1e8 ? "unlimited" : util::fmt_double(cutoff, 0),
+                   std::to_string(count), std::to_string(per_as.size()),
+                   std::to_string(robust)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "candidates scanned: %zu, responsive: %zu, global-counter vVPs: %zu\n",
+      world.scenario->vvp_candidates().size(), responsive.size(),
+      vvps.size());
+  std::printf(
+      "paper shape: raising the cutoff monotonically adds ASes (the paper\n"
+      "gains +14,052 ASes at 30 pkt/s and +18,639 at 100 pkt/s) but RoVista\n"
+      "stays at 10 pkt/s to keep spike detection reliable.\n");
+  return 0;
+}

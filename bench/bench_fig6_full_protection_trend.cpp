@@ -1,0 +1,45 @@
+// Figure 6: the fraction of ASes with a 100% ROV protection score over
+// the measurement window (the paper: 6.3% in Dec 2021 → 12.3% in Sep
+// 2023, roughly doubling).
+#include "bench/common.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header(
+      "Figure 6 — %% of ASes fully protected (score == 100) over time",
+      "IMC'23 RoVista, Fig. 6 (§7.1)");
+
+  bench::World world;
+  util::Table table({"date", "% ASes at 100", "% ASes at 0", "ASes scored"});
+
+  double first = -1.0;
+  double last = 0.0;
+  for (const util::Date date : world.monthly_dates(45)) {
+    const auto snap = world.run_snapshot(date);
+    std::size_t full = 0;
+    std::size_t zero = 0;
+    for (const auto& s : snap.round.scores) {
+      if (s.fully_protected()) ++full;
+      if (s.unprotected()) ++zero;
+    }
+    const double pct_full =
+        snap.round.scores.empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(full) / snap.round.scores.size();
+    const double pct_zero =
+        snap.round.scores.empty()
+            ? 0.0
+            : 100.0 * static_cast<double>(zero) / snap.round.scores.size();
+    if (first < 0.0) first = pct_full;
+    last = pct_full;
+    table.add_row({date.to_string(), util::fmt_double(pct_full, 1),
+                   util::fmt_double(pct_zero, 1),
+                   std::to_string(snap.round.scores.size())});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf("trend: %.1f%% -> %.1f%% fully protected\n", first, last);
+  std::printf(
+      "paper shape: the fully-protected fraction roughly doubles across\n"
+      "the 20-month window (6.3%% -> 12.3%%) as ROV deployment spreads.\n");
+  return 0;
+}

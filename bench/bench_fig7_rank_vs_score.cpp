@@ -1,0 +1,69 @@
+// Figure 7: ROV score bands by AS rank (customer-cone size). The paper
+// shows higher-ranked (bigger) ASes skewing toward high scores.
+#include <map>
+
+#include "bench/common.h"
+#include "topology/cone.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header("Figure 7 — score bands by AS rank",
+                      "IMC'23 RoVista, Fig. 7 (§7.2)");
+
+  bench::World world;
+  world.run_snapshot(world.scenario->end());
+
+  const auto& cones = world.scenario->cones();
+  const auto ranked =
+      topology::rank_by_cone(world.scenario->graph(), cones);
+  const auto ranks = topology::rank_map(ranked);
+  const std::size_t total = ranked.size();
+
+  // Rank terciles instead of the paper's bins of 1,000 (our AS count is
+  // scenario-scale); band definitions match the paper.
+  struct Band {
+    const char* label;
+    int lo, hi;
+  };
+  const Band bands[] = {{"80-100%", 80, 100},
+                        {"60-80%", 60, 80},
+                        {"40-60%", 40, 60},
+                        {"20-40%", 20, 40},
+                        {"0-20%", 0, 20}};
+
+  std::map<int, std::map<const char*, int>> counts;  // tercile → band → n
+  std::map<int, int> tercile_totals;
+  for (const auto asn : world.store.ases()) {
+    const auto score = world.store.latest_score(asn);
+    if (!score.has_value()) continue;
+    const std::size_t rank = ranks.at(asn);
+    const int tercile = static_cast<int>(3 * (rank - 1) / total);
+    ++tercile_totals[tercile];
+    for (const Band& band : bands) {
+      if (*score >= band.lo && (*score < band.hi || band.hi == 100)) {
+        ++counts[tercile][band.label];
+        break;
+      }
+    }
+  }
+
+  util::Table table({"rank tercile", "80-100%", "60-80%", "40-60%",
+                     "20-40%", "0-20%", "ASes"});
+  const char* tercile_names[] = {"top (biggest cones)", "middle", "bottom"};
+  for (int t = 0; t < 3; ++t) {
+    std::vector<std::string> row{tercile_names[t]};
+    const double n = std::max(1, tercile_totals[t]);
+    for (const Band& band : bands) {
+      row.push_back(util::fmt_double(100.0 * counts[t][band.label] / n, 0) +
+                    "%");
+    }
+    row.push_back(std::to_string(tercile_totals[t]));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "paper shape: the top-ranked bin has the largest 80-100%% share\n"
+      "(25%% of the top 1,000 filter >80%% of tNodes) and the low-score\n"
+      "share grows as rank decreases.\n");
+  return 0;
+}

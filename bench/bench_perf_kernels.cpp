@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark) of the hot kernels: FIB lookups,
+// per-prefix route convergence, ARMA fitting, the full §4.3 experiment,
+// and relying-party validation. These are the costs that bound how far
+// the simulated measurement scales.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "net/prefix_trie.h"
+#include "rpki/relying_party.h"
+#include "scenario/scenario.h"
+#include "stats/arma.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista;
+
+void BM_PrefixTrieLongestMatch(benchmark::State& state) {
+  util::Rng rng(1);
+  net::PrefixTrie<int> trie;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    trie.insert(net::Ipv4Prefix(
+                    net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                    static_cast<std::uint8_t>(rng.uniform_u64(8, 24))),
+                i);
+  }
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto m = trie.longest_match(
+        net::Ipv4Address(static_cast<std::uint32_t>(rng())));
+    hits += m.has_value();
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_PrefixTrieLongestMatch)->Arg(1000)->Arg(10000);
+
+void BM_ArmaFitAuto(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<double> x(static_cast<std::size_t>(state.range(0)));
+  for (double& v : x) v = static_cast<double>(rng.poisson(3.0));
+  for (auto _ : state) {
+    auto model = stats::fit_arma_auto(x, 2, 1);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ArmaFitAuto)->Arg(9)->Arg(50);
+
+struct ScenarioState {
+  std::unique_ptr<scenario::Scenario> s;
+  std::unique_ptr<scan::MeasurementClient> client;
+  scan::Vvp vvp;
+  scan::Tnode tnode;
+
+  ScenarioState() {
+    scenario::ScenarioParams params;
+    params.seed = 3;
+    params.topology.tier1_count = 6;
+    params.topology.tier2_count = 20;
+    params.topology.tier3_count = 50;
+    params.topology.stub_count = 200;
+    params.tnode_prefix_count = 5;
+    params.measured_as_count = 20;
+    params.hosts_per_measured_as = 4;
+    s = std::make_unique<scenario::Scenario>(std::move(params));
+    s->advance_to(s->start() + 100);
+    client = std::make_unique<scan::MeasurementClient>(
+        s->plane(), s->client_as_a(), s->client_addr_a());
+
+    // One reliable vVP + one tNode, built directly.
+    dataplane::HostConfig vvp_config;
+    vvp_config.address = net::Ipv4Address(
+        s->as_prefix(s->measured_ases().front()).address().value() + 0x900);
+    vvp_config.ipid_policy = dataplane::IpIdPolicy::kGlobal;
+    vvp_config.background.base_rate = 3.0;
+    vvp_config.seed = 42;
+    s->plane().add_host(s->measured_ases().front(), vvp_config);
+    vvp = {vvp_config.address, s->measured_ases().front(), 3.0};
+
+    const auto& [prefix, origin] = s->tnode_prefixes().front();
+    tnode = {net::Ipv4Address(prefix.address().value() + 10), 80, prefix,
+             origin};
+  }
+};
+
+void BM_RouteConvergencePerPrefix(benchmark::State& state) {
+  ScenarioState ss;
+  auto& routing = ss.s->routing();
+  const auto prefixes = routing.all_prefixes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& prefix = prefixes[i++ % prefixes.size()];
+    routing.invalidate_prefix(prefix);
+    benchmark::DoNotOptimize(routing.routes_for(prefix).size());
+  }
+}
+BENCHMARK(BM_RouteConvergencePerPrefix);
+
+void BM_FullExperiment(benchmark::State& state) {
+  ScenarioState ss;
+  for (auto _ : state) {
+    const auto result =
+        core::run_experiment(ss.s->plane(), *ss.client, ss.vvp, ss.tnode);
+    benchmark::DoNotOptimize(result.verdict);
+  }
+}
+BENCHMARK(BM_FullExperiment);
+
+void BM_RelyingPartyRun(benchmark::State& state) {
+  ScenarioState ss;
+  for (auto _ : state) {
+    const auto run = rpki::run_relying_party(ss.s->repositories(),
+                                             ss.s->current());
+    benchmark::DoNotOptimize(run.vrps.size());
+  }
+}
+BENCHMARK(BM_RelyingPartyRun);
+
+void BM_DataPlanePathEvaluation(benchmark::State& state) {
+  ScenarioState ss;
+  const auto from = ss.s->client_as_a();
+  for (auto _ : state) {
+    const auto path = ss.s->plane().compute_path(from, ss.tnode.address);
+    benchmark::DoNotOptimize(path.delivered);
+  }
+}
+BENCHMARK(BM_DataPlanePathEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

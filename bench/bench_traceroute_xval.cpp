@@ -1,0 +1,35 @@
+// §6.3.1: validating the IP-ID side channel against RIPE-Atlas-style
+// TCP traceroutes — the paper's 167,392 tuples matched perfectly.
+#include "bench/common.h"
+
+#include "validation/traceroute_xval.h"
+
+int main() {
+  using namespace rovista;
+  bench::print_header("§6.3.1 — traceroute cross-validation of the IP-ID model",
+                      "IMC'23 RoVista, §6.3.1");
+
+  bench::World world;
+  const auto snap = world.run_snapshot(world.scenario->start() + 90);
+
+  // Probes live in every AS RoVista measured.
+  std::vector<topology::Asn> probe_ases;
+  for (const auto& score : snap.round.scores) probe_ases.push_back(score.asn);
+
+  const auto tuples = validation::atlas_traceroutes(
+      world.scenario->plane(), probe_ases, snap.tnodes);
+  const auto result =
+      validation::compare_with_verdicts(tuples, snap.round.observations);
+
+  std::printf("traceroute measurements: %zu (%zu probes x %zu tNodes)\n",
+              tuples.size(), probe_ases.size(), snap.tnodes.size());
+  std::printf("compared with side-channel verdicts: %zu\n", result.compared);
+  std::printf("matched: %zu, mismatched: %zu -> match rate %.2f%%\n",
+              result.matched, result.mismatched,
+              100.0 * result.match_rate());
+  std::printf(
+      "\npaper shape: a (near-)perfect match between the control/data-plane\n"
+      "traceroute view and the IP-ID inference (the paper reports 100%%\n"
+      "over 167,392 reliable tuples).\n");
+  return 0;
+}

@@ -1,0 +1,296 @@
+#include "bgp/mrt.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rovista::bgp::mrt {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) { b.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Bounded big-endian reader.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::uint8_t u8() { return ok_ && need(1) ? data_[pos_++] : fail(); }
+
+  std::uint16_t u16() {
+    if (!ok_ || !need(2)) return fail();
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!ok_ || !need(4)) return fail();
+    const std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                            (std::uint32_t{data_[pos_ + 1]} << 16) |
+                            (std::uint32_t{data_[pos_ + 2]} << 8) |
+                            std::uint32_t{data_[pos_ + 3]};
+    pos_ += 4;
+    return v;
+  }
+
+  bool skip(std::size_t n) {
+    if (!ok_ || !need(n)) {
+      fail();
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!ok_ || !need(n)) {
+      fail();
+      return {};
+    }
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  bool need(std::size_t n) const noexcept { return remaining() >= n; }
+  std::uint8_t fail() {
+    ok_ = false;
+    return 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// BGP path attribute constants.
+constexpr std::uint8_t kAttrFlagsTransitive = 0x40;
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAsPathSequence = 2;
+
+std::vector<std::uint8_t> encode_attributes(const std::vector<Asn>& path) {
+  std::vector<std::uint8_t> attrs;
+  // ORIGIN = IGP.
+  put_u8(attrs, kAttrFlagsTransitive);
+  put_u8(attrs, kAttrOrigin);
+  put_u8(attrs, 1);  // length
+  put_u8(attrs, 0);  // IGP
+  // AS_PATH: one AS_SEQUENCE segment, 4-octet ASNs (RIB entries in
+  // TABLE_DUMP_V2 always use AS4 encoding).
+  put_u8(attrs, kAttrFlagsTransitive);
+  put_u8(attrs, kAttrAsPath);
+  put_u8(attrs, static_cast<std::uint8_t>(2 + 4 * path.size()));
+  put_u8(attrs, kAsPathSequence);
+  put_u8(attrs, static_cast<std::uint8_t>(path.size()));
+  for (const Asn asn : path) put_u32(attrs, asn);
+  return attrs;
+}
+
+std::optional<std::vector<Asn>> decode_as_path(
+    std::span<const std::uint8_t> attrs) {
+  Reader r(attrs);
+  while (r.ok() && r.remaining() > 0) {
+    const std::uint8_t flags = r.u8();
+    const std::uint8_t type = r.u8();
+    const std::uint16_t length =
+        (flags & 0x10) ? r.u16() : r.u8();  // extended-length bit
+    if (!r.ok()) return std::nullopt;
+    if (type != kAttrAsPath) {
+      if (!r.skip(length)) return std::nullopt;
+      continue;
+    }
+    Reader seg(r.bytes(length));
+    if (!r.ok()) return std::nullopt;
+    const std::uint8_t seg_type = seg.u8();
+    const std::uint8_t seg_len = seg.u8();
+    if (!seg.ok() || seg_type != kAsPathSequence) return std::nullopt;
+    std::vector<Asn> path;
+    for (std::uint8_t i = 0; i < seg_len; ++i) path.push_back(seg.u32());
+    if (!seg.ok()) return std::nullopt;
+    return path;
+  }
+  return std::nullopt;  // mandatory AS_PATH missing
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Record::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, timestamp);
+  put_u16(out, type);
+  put_u16(out, subtype);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<std::pair<Record, std::size_t>> Record::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 12) return std::nullopt;
+  Reader r(bytes);
+  Record rec;
+  rec.timestamp = r.u32();
+  rec.type = r.u16();
+  rec.subtype = r.u16();
+  const std::uint32_t length = r.u32();
+  if (!r.ok() || bytes.size() < 12 + static_cast<std::size_t>(length)) {
+    return std::nullopt;
+  }
+  const auto body = r.bytes(length);
+  rec.body.assign(body.begin(), body.end());
+  return std::make_pair(std::move(rec), 12 + static_cast<std::size_t>(length));
+}
+
+std::vector<std::uint8_t> export_table_dump(const CollectorSnapshot& snapshot,
+                                            std::uint32_t timestamp) {
+  // Peer table: distinct feed ASes, in first-seen order.
+  std::vector<Asn> peers;
+  for (const CollectorEntry& entry : snapshot.entries) {
+    if (std::find(peers.begin(), peers.end(), entry.peer) == peers.end()) {
+      peers.push_back(entry.peer);
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+
+  // PEER_INDEX_TABLE: collector BGP id, empty view name, peer entries.
+  {
+    Record rec;
+    rec.timestamp = timestamp;
+    rec.subtype = kSubtypePeerIndexTable;
+    put_u32(rec.body, 0x0A000001);  // collector BGP identifier
+    put_u16(rec.body, 0);           // view name length
+    put_u16(rec.body, static_cast<std::uint16_t>(peers.size()));
+    for (const Asn peer : peers) {
+      put_u8(rec.body, 0x02);        // peer type: AS4, IPv4 address
+      put_u32(rec.body, 0);          // peer BGP id
+      put_u32(rec.body, 0x0A000000 + peer);  // synthetic peer address
+      put_u32(rec.body, peer);       // peer AS (4 octets)
+    }
+    const auto bytes = rec.serialize();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+
+  // One RIB_IPV4_UNICAST record per distinct prefix.
+  std::uint32_t sequence = 0;
+  for (const net::Ipv4Prefix& prefix : snapshot.prefixes()) {
+    Record rec;
+    rec.timestamp = timestamp;
+    rec.subtype = kSubtypeRibIpv4Unicast;
+    put_u32(rec.body, sequence++);
+    // NLRI: prefix length then the minimal number of address bytes.
+    put_u8(rec.body, prefix.length());
+    const std::uint32_t addr = prefix.address().value();
+    const int nlri_bytes = (prefix.length() + 7) / 8;
+    for (int i = 0; i < nlri_bytes; ++i) {
+      put_u8(rec.body, static_cast<std::uint8_t>(addr >> (24 - 8 * i)));
+    }
+    // RIB entries.
+    std::vector<const CollectorEntry*> rows;
+    for (const CollectorEntry& entry : snapshot.entries) {
+      if (entry.prefix == prefix) rows.push_back(&entry);
+    }
+    put_u16(rec.body, static_cast<std::uint16_t>(rows.size()));
+    for (const CollectorEntry* entry : rows) {
+      const auto peer_it =
+          std::find(peers.begin(), peers.end(), entry->peer);
+      put_u16(rec.body,
+              static_cast<std::uint16_t>(peer_it - peers.begin()));
+      put_u32(rec.body, timestamp);  // originated time
+      const auto attrs = encode_attributes(entry->as_path);
+      put_u16(rec.body, static_cast<std::uint16_t>(attrs.size()));
+      rec.body.insert(rec.body.end(), attrs.begin(), attrs.end());
+    }
+    const auto bytes = rec.serialize();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+std::optional<CollectorSnapshot> import_table_dump(
+    std::span<const std::uint8_t> bytes) {
+  CollectorSnapshot snapshot;
+  std::vector<Asn> peers;
+  bool have_index = false;
+
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const auto parsed = Record::parse(bytes.subspan(offset));
+    if (!parsed.has_value()) return std::nullopt;
+    const Record& rec = parsed->first;
+    offset += parsed->second;
+    if (rec.type != kTypeTableDumpV2) continue;  // readers skip unknowns
+
+    Reader r(rec.body);
+    if (rec.subtype == kSubtypePeerIndexTable) {
+      r.u32();  // collector id
+      const std::uint16_t view_len = r.u16();
+      if (!r.skip(view_len)) return std::nullopt;
+      const std::uint16_t count = r.u16();
+      peers.clear();
+      for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+        const std::uint8_t peer_type = r.u8();
+        r.u32();  // peer BGP id
+        // Address size depends on the IPv6 bit (0x01).
+        if (!r.skip((peer_type & 0x01) ? 16 : 4)) return std::nullopt;
+        // AS size depends on the AS4 bit (0x02).
+        const Asn peer_as = (peer_type & 0x02)
+                                ? r.u32()
+                                : static_cast<Asn>(r.u16());
+        peers.push_back(peer_as);
+      }
+      if (!r.ok()) return std::nullopt;
+      have_index = true;
+      continue;
+    }
+    if (rec.subtype != kSubtypeRibIpv4Unicast) continue;
+    if (!have_index) return std::nullopt;  // RIB before the peer table
+
+    r.u32();  // sequence
+    const std::uint8_t prefix_len = r.u8();
+    if (prefix_len > 32) return std::nullopt;
+    std::uint32_t addr = 0;
+    const int nlri_bytes = (prefix_len + 7) / 8;
+    for (int i = 0; i < nlri_bytes; ++i) {
+      addr |= std::uint32_t{r.u8()} << (24 - 8 * i);
+    }
+    const net::Ipv4Prefix prefix(net::Ipv4Address(addr), prefix_len);
+    const std::uint16_t entry_count = r.u16();
+    for (std::uint16_t i = 0; i < entry_count && r.ok(); ++i) {
+      const std::uint16_t peer_index = r.u16();
+      r.u32();  // originated time
+      const std::uint16_t attr_len = r.u16();
+      const auto attrs = r.bytes(attr_len);
+      if (!r.ok() || peer_index >= peers.size()) return std::nullopt;
+      const auto path = decode_as_path(attrs);
+      if (!path.has_value()) return std::nullopt;
+      CollectorEntry entry;
+      entry.prefix = prefix;
+      entry.peer = peers[peer_index];
+      entry.as_path = *path;
+      snapshot.entries.push_back(std::move(entry));
+    }
+    if (!r.ok()) return std::nullopt;
+  }
+  return snapshot;
+}
+
+}  // namespace rovista::bgp::mrt

@@ -1,0 +1,56 @@
+// MRT (RFC 6396) TABLE_DUMP_V2 export/import for collector snapshots.
+//
+// RouteViews publishes its tables as MRT dumps; the real RoVista's
+// tNode-selection pipeline consumes exactly these files every 4 hours.
+// The collector here can round-trip its snapshots through the same wire
+// format: a PEER_INDEX_TABLE record followed by one RIB_IPV4_UNICAST
+// record per prefix, each carrying per-peer RIB entries with ORIGIN and
+// four-octet AS_PATH attributes.
+//
+// Scope: the subset RouteViews consumers rely on — TABLE_DUMP_V2 with
+// IPv4 unicast RIBs. Timestamps are supplied by the caller (simulation
+// dates), never read from a clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgp/collector.h"
+
+namespace rovista::bgp::mrt {
+
+// MRT header constants (RFC 6396 §4).
+constexpr std::uint16_t kTypeTableDumpV2 = 13;
+constexpr std::uint16_t kSubtypePeerIndexTable = 1;
+constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
+
+/// One record's worth of raw MRT framing.
+struct Record {
+  std::uint32_t timestamp = 0;
+  std::uint16_t type = kTypeTableDumpV2;
+  std::uint16_t subtype = 0;
+  std::vector<std::uint8_t> body;
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parse one record from the front of `bytes`; returns the record and
+  /// its total encoded length.
+  static std::optional<std::pair<Record, std::size_t>> parse(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Serialize a collector snapshot as a TABLE_DUMP_V2 byte stream
+/// (PEER_INDEX_TABLE + RIB records). `timestamp` is seconds since the
+/// Unix epoch of the snapshot date.
+std::vector<std::uint8_t> export_table_dump(const CollectorSnapshot& snapshot,
+                                            std::uint32_t timestamp);
+
+/// Parse a TABLE_DUMP_V2 stream back into a snapshot. Returns nullopt on
+/// malformed input (bad framing, truncated attributes, unknown mandatory
+/// structure). Unknown record types are skipped, as MRT readers must.
+std::optional<CollectorSnapshot> import_table_dump(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace rovista::bgp::mrt

@@ -1,0 +1,101 @@
+#include "bgp/policy.h"
+
+namespace rovista::bgp {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 29;
+  return x;
+}
+
+int local_pref(topology::NeighborKind kind) noexcept {
+  switch (kind) {
+    case topology::NeighborKind::kCustomer:
+      return 3;
+    case topology::NeighborKind::kPeer:
+      return 2;
+    case topology::NeighborKind::kProvider:
+      return 1;
+  }
+  return 0;
+}
+
+int validity_rank(rpki::RouteValidity v) noexcept {
+  switch (v) {
+    case rpki::RouteValidity::kValid:
+      return 2;
+    case rpki::RouteValidity::kUnknown:
+      return 1;
+    case rpki::RouteValidity::kInvalid:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool session_is_rov_capable(Asn asn, Asn neighbor,
+                            const net::Ipv4Prefix& prefix,
+                            double coverage) noexcept {
+  if (coverage >= 1.0) return true;
+  if (coverage <= 0.0) return false;
+  // Deterministic "hash bucket" per (session, prefix), stable across runs.
+  const std::uint64_t h =
+      mix(mix(asn, neighbor),
+          (std::uint64_t{prefix.address().value()} << 8) | prefix.length());
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  return u < coverage;
+}
+
+bool rov_accepts(const AsPolicy& policy, Asn asn, Asn neighbor,
+                 const net::Ipv4Prefix& prefix,
+                 topology::NeighborKind relationship,
+                 rpki::RouteValidity validity) noexcept {
+  if (validity != rpki::RouteValidity::kInvalid) return true;
+  switch (policy.rov) {
+    case RovMode::kNone:
+    case RovMode::kPreferValid:
+      return true;
+    case RovMode::kExemptCustomers:
+      if (relationship == topology::NeighborKind::kCustomer) return true;
+      return !session_is_rov_capable(asn, neighbor, prefix,
+                                     policy.session_coverage);
+    case RovMode::kFull:
+    case RovMode::kRovPlusPlus:
+      return !session_is_rov_capable(asn, neighbor, prefix,
+                                     policy.session_coverage);
+  }
+  return true;
+}
+
+bool exports_to(topology::NeighborKind learned_from,
+                topology::NeighborKind to) noexcept {
+  // Routes from customers (or self-originated, which the engine treats as
+  // customer-learned) export to everyone; peer/provider routes only to
+  // customers.
+  if (learned_from == topology::NeighborKind::kCustomer) return true;
+  return to == topology::NeighborKind::kCustomer;
+}
+
+bool prefer_route(const AsPolicy& policy, const Route& challenger,
+                  const Route& incumbent) noexcept {
+  if (policy.rov == RovMode::kPreferValid) {
+    const int vc = validity_rank(challenger.validity);
+    const int vi = validity_rank(incumbent.validity);
+    if (vc != vi) return vc > vi;
+  }
+  const int lc = local_pref(challenger.learned_from);
+  const int li = local_pref(incumbent.learned_from);
+  if (lc != li) return lc > li;
+  if (challenger.as_path.size() != incumbent.as_path.size()) {
+    return challenger.as_path.size() < incumbent.as_path.size();
+  }
+  return challenger.next_hop() < incumbent.next_hop();
+}
+
+}  // namespace rovista::bgp

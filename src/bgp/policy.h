@@ -1,0 +1,105 @@
+// Per-AS routing policy: Gao–Rexford rules plus ROV configuration.
+//
+// ROV is not a boolean (paper §7.6): operators exempt customer routes
+// (AT&T), run partial deployments where some routers lack ROV support
+// (NTT's equipment issues), use SLURM exceptions, or prefer-valid instead
+// of dropping. The policy object captures all of these.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bgp/route.h"
+#include "rpki/slurm.h"
+#include "topology/as_graph.h"
+
+namespace rovista::bgp {
+
+/// How an AS applies Route Origin Validation.
+enum class RovMode {
+  kNone,             // accept everything
+  kFull,             // drop invalid from all neighbors
+  kExemptCustomers,  // drop invalid from peers/providers, accept from customers
+  kPreferValid,      // accept invalid but rank valid routes first
+  kRovPlusPlus,      // ROV++ v1 (Morillo et al., NDSS'21): drop invalid
+                     // like kFull, and additionally *blackhole* traffic
+                     // for a filtered more-specific instead of forwarding
+                     // it along a covering route — closes the collateral-
+                     // damage hole of Fig. 9
+};
+
+constexpr const char* rov_mode_name(RovMode mode) noexcept {
+  switch (mode) {
+    case RovMode::kNone:
+      return "none";
+    case RovMode::kFull:
+      return "full";
+    case RovMode::kExemptCustomers:
+      return "exempt-customers";
+    case RovMode::kPreferValid:
+      return "prefer-valid";
+    case RovMode::kRovPlusPlus:
+      return "rov++";
+  }
+  return "?";
+}
+
+/// Complete routing configuration of one AS.
+struct AsPolicy {
+  RovMode rov = RovMode::kNone;
+
+  /// Fraction of eBGP sessions on ROV-capable routers. 1.0 = all sessions
+  /// filter; 0.9 ≈ NTT's situation where some router vendors lacked ROV
+  /// support and invalids still leak through a subset of sessions. The
+  /// affected sessions are chosen by a deterministic hash of the neighbor.
+  double session_coverage = 1.0;
+
+  /// SLURM local exceptions (applied to the VRP view this AS validates
+  /// against). Engaged only when `slurm` is non-empty.
+  rpki::SlurmFile slurm;
+
+  /// Data-plane default route: traffic with no FIB match is handed to
+  /// this neighbor (§7.6 "default route" misconfiguration). When
+  /// `default_route_scope` is set, only destinations inside that prefix
+  /// use it (Swisscom's on-ramp DDoS tunnels applied to a slice of the
+  /// space, which is why their score stayed above 90%).
+  std::optional<Asn> default_route;
+  std::optional<net::Ipv4Prefix> default_route_scope;
+
+  bool has_slurm() const noexcept {
+    return !slurm.filters.empty() || !slurm.assertions.empty();
+  }
+};
+
+/// Deterministic choice of whether the announcement of `prefix` arriving
+/// on the session (asn → neighbor) hits an ROV-capable router, given
+/// `coverage` in [0,1]. Large networks terminate a neighbor on many
+/// routers and announcements spread across them, so partial equipment
+/// support leaks a *fraction of prefixes* (the NTT situation, §7.6) —
+/// hence the hash covers the prefix too.
+bool session_is_rov_capable(Asn asn, Asn neighbor,
+                            const net::Ipv4Prefix& prefix,
+                            double coverage) noexcept;
+
+/// Gao–Rexford import decision: should `asn` (with `policy`) accept a
+/// route for `prefix` of `validity` learned over a `relationship`
+/// session from `neighbor`? (Loop checking is done by the engine.)
+bool rov_accepts(const AsPolicy& policy, Asn asn, Asn neighbor,
+                 const net::Ipv4Prefix& prefix,
+                 topology::NeighborKind relationship,
+                 rpki::RouteValidity validity) noexcept;
+
+/// Gao–Rexford export decision: may a route learned via `learned_from` be
+/// exported to a neighbor of kind `to`? (Customer routes go everywhere;
+/// peer/provider routes go only to customers.)
+bool exports_to(topology::NeighborKind learned_from,
+                topology::NeighborKind to) noexcept;
+
+/// Route preference comparison for `policy`'s owner; returns true when
+/// `challenger` is strictly preferred over `incumbent`.
+/// Order: (prefer-valid rank when enabled) → local pref by relationship
+/// (customer > peer > provider) → shortest AS path → lowest next hop.
+bool prefer_route(const AsPolicy& policy, const Route& challenger,
+                  const Route& incumbent) noexcept;
+
+}  // namespace rovista::bgp

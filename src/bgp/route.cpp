@@ -1,0 +1,14 @@
+#include "bgp/route.h"
+
+namespace rovista::bgp {
+
+std::string Route::path_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < as_path.size(); ++i) {
+    if (i) s += ' ';
+    s += "AS" + std::to_string(as_path[i]);
+  }
+  return s;
+}
+
+}  // namespace rovista::bgp

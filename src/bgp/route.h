@@ -1,0 +1,44 @@
+// BGP route and announcement types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "rpki/validation.h"
+#include "topology/as_graph.h"
+
+namespace rovista::bgp {
+
+using Asn = topology::Asn;
+using topology::NeighborKind;
+
+/// A route as installed in an AS's Loc-RIB. The AS path includes the
+/// owning AS at the front (as it would appear once announced onward):
+/// self-originated routes have as_path == {owner}; a route learned from
+/// neighbor N has as_path == {owner, N, ..., origin}.
+struct Route {
+  net::Ipv4Prefix prefix;
+  std::vector<Asn> as_path;  // front = owner, back = origin
+  NeighborKind learned_from = NeighborKind::kCustomer;  // relationship class
+  rpki::RouteValidity validity = rpki::RouteValidity::kUnknown;
+
+  Asn origin() const noexcept { return as_path.empty() ? 0 : as_path.back(); }
+  Asn next_hop() const noexcept {
+    return as_path.size() >= 2 ? as_path[1] : 0;
+  }
+  bool originated_here() const noexcept { return as_path.size() == 1; }
+
+  std::string path_string() const;
+};
+
+/// A prefix origination: `origin` announces `prefix` to its neighbors.
+struct OriginAnnouncement {
+  net::Ipv4Prefix prefix;
+  Asn origin = 0;
+
+  auto operator<=>(const OriginAnnouncement&) const noexcept = default;
+};
+
+}  // namespace rovista::bgp

@@ -1,0 +1,295 @@
+#include "bgp/routing_system.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rovista::bgp {
+
+namespace {
+
+topology::NeighborKind invert(topology::NeighborKind kind) noexcept {
+  switch (kind) {
+    case topology::NeighborKind::kProvider:
+      return topology::NeighborKind::kCustomer;
+    case topology::NeighborKind::kCustomer:
+      return topology::NeighborKind::kProvider;
+    case topology::NeighborKind::kPeer:
+      return topology::NeighborKind::kPeer;
+  }
+  return topology::NeighborKind::kPeer;
+}
+
+}  // namespace
+
+RoutingSystem::RoutingSystem(const topology::AsGraph& graph) : graph_(graph) {}
+
+void RoutingSystem::set_policy(Asn asn, AsPolicy policy) {
+  policies_[asn] = std::move(policy);
+  slurm_views_.erase(asn);
+  // ROV (and prefer-valid / SLURM) can only change route propagation for
+  // prefixes whose announcements are not uniformly Valid; drop those.
+  std::vector<net::Ipv4Prefix> drop;
+  drop.reserve(cache_.size());
+  for (const auto& [prefix, routes] : cache_) {
+    if (rov_sensitive(prefix)) drop.push_back(prefix);
+  }
+  for (const auto& p : drop) cache_.erase(p);
+}
+
+const AsPolicy& RoutingSystem::policy(Asn asn) const noexcept {
+  const auto it = policies_.find(asn);
+  return it != policies_.end() ? it->second : default_policy_;
+}
+
+void RoutingSystem::set_vrps(rpki::VrpSet vrps) {
+  base_vrps_ = std::move(vrps);
+  slurm_views_.clear();
+  invalidate_all();
+}
+
+rpki::RouteValidity RoutingSystem::base_validity(const net::Ipv4Prefix& prefix,
+                                                 Asn origin) const {
+  return base_vrps_.validate(prefix, origin);
+}
+
+rpki::RouteValidity RoutingSystem::validity_for(Asn asn,
+                                                const net::Ipv4Prefix& prefix,
+                                                Asn origin) const {
+  const AsPolicy& pol = policy(asn);
+  if (!pol.has_slurm()) return base_validity(prefix, origin);
+  auto it = slurm_views_.find(asn);
+  if (it == slurm_views_.end()) {
+    it = slurm_views_.emplace(asn, pol.slurm.apply(base_vrps_)).first;
+  }
+  return it->second.validate(prefix, origin);
+}
+
+void RoutingSystem::announce(const OriginAnnouncement& a) {
+  std::vector<Asn>* origins = announcements_.find(a.prefix);
+  if (origins == nullptr) {
+    announcements_.insert(a.prefix, {a.origin});
+  } else if (std::find(origins->begin(), origins->end(), a.origin) ==
+             origins->end()) {
+    origins->push_back(a.origin);
+  }
+  invalidate_prefix(a.prefix);
+}
+
+bool RoutingSystem::withdraw(const OriginAnnouncement& a) {
+  std::vector<Asn>* origins = announcements_.find(a.prefix);
+  if (origins == nullptr) return false;
+  const auto it = std::find(origins->begin(), origins->end(), a.origin);
+  if (it == origins->end()) return false;
+  origins->erase(it);
+  if (origins->empty()) announcements_.erase(a.prefix);
+  invalidate_prefix(a.prefix);
+  return true;
+}
+
+std::vector<Asn> RoutingSystem::origins_of(
+    const net::Ipv4Prefix& prefix) const {
+  const std::vector<Asn>* origins = nullptr;
+  // PrefixTrie::find is non-const only; use covering and exact-match.
+  for (const auto& [p, vec] : announcements_.covering(prefix)) {
+    if (p == prefix) origins = vec;
+  }
+  return origins != nullptr ? *origins : std::vector<Asn>{};
+}
+
+std::vector<net::Ipv4Prefix> RoutingSystem::candidate_prefixes(
+    net::Ipv4Address addr) const {
+  auto matches = announcements_.all_matches(addr);
+  std::vector<net::Ipv4Prefix> out;
+  out.reserve(matches.size());
+  for (const auto& [prefix, origins] : matches) out.push_back(prefix);
+  std::reverse(out.begin(), out.end());  // most specific first
+  return out;
+}
+
+std::vector<net::Ipv4Prefix> RoutingSystem::all_prefixes() const {
+  std::vector<net::Ipv4Prefix> out;
+  out.reserve(announcements_.size());
+  announcements_.for_each(
+      [&](const net::Ipv4Prefix& p, const std::vector<Asn>&) {
+        out.push_back(p);
+      });
+  return out;
+}
+
+bool RoutingSystem::rov_sensitive(const net::Ipv4Prefix& prefix) const {
+  for (Asn origin : origins_of(prefix)) {
+    if (base_validity(prefix, origin) != rpki::RouteValidity::kValid) {
+      // Unknown-only prefixes are insensitive unless some AS runs SLURM
+      // (which could flip them); be conservative only about Invalid.
+      if (base_validity(prefix, origin) == rpki::RouteValidity::kInvalid) {
+        return true;
+      }
+    }
+  }
+  // MOAS with mixed validity is prefer-valid-sensitive.
+  const std::vector<Asn> origins = origins_of(prefix);
+  if (origins.size() > 1) {
+    const auto v0 = base_validity(prefix, origins.front());
+    for (Asn o : origins) {
+      if (base_validity(prefix, o) != v0) return true;
+    }
+  }
+  return !slurm_views_.empty();
+}
+
+const RouteMap& RoutingSystem::routes_for(const net::Ipv4Prefix& prefix) {
+  const auto it = cache_.find(prefix);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(prefix, compute_routes(prefix)).first->second;
+}
+
+const RouteEntry* RoutingSystem::route_at(Asn asn,
+                                          const net::Ipv4Prefix& prefix) {
+  const RouteMap& routes = routes_for(prefix);
+  const auto it = routes.find(asn);
+  return it != routes.end() ? &it->second : nullptr;
+}
+
+std::vector<Asn> RoutingSystem::as_path(Asn asn,
+                                        const net::Ipv4Prefix& prefix) {
+  std::vector<Asn> path;
+  const RouteMap& routes = routes_for(prefix);
+  Asn cur = asn;
+  for (std::size_t guard = 0; guard < 64; ++guard) {
+    const auto it = routes.find(cur);
+    if (it == routes.end()) return {};
+    path.push_back(cur);
+    if (it->second.next_hop == 0) return path;  // reached the origin
+    cur = it->second.next_hop;
+  }
+  return {};  // should be unreachable: next hops form a tree to the origin
+}
+
+void RoutingSystem::invalidate_prefix(const net::Ipv4Prefix& prefix) {
+  cache_.erase(prefix);
+}
+
+void RoutingSystem::invalidate_all() { cache_.clear(); }
+
+RouteMap RoutingSystem::compute_routes(const net::Ipv4Prefix& prefix) const {
+  // Full Adj-RIB-In fixed point. State is per-AS: the routes each
+  // neighbor currently offers, plus the selected best.
+  struct AsState {
+    std::unordered_map<Asn, Route> adj_in;  // neighbor → offered route
+    std::optional<Route> best;
+    bool originates = false;
+  };
+  std::unordered_map<Asn, AsState> state;
+
+  const std::vector<Asn> origins = origins_of(prefix);
+  if (origins.empty()) return {};
+
+  std::deque<Asn> queue;
+  for (Asn origin : origins) {
+    if (!graph_.contains(origin)) continue;
+    AsState& s = state[origin];
+    s.originates = true;
+    Route self;
+    self.prefix = prefix;
+    self.as_path = {origin};
+    self.learned_from = topology::NeighborKind::kCustomer;
+    self.validity = validity_for(origin, prefix, origin);
+    s.best = std::move(self);
+    queue.push_back(origin);
+  }
+
+  // Select best at `asn` from self-origination and adj-in.
+  const auto select_best = [&](Asn asn, AsState& s) -> std::optional<Route> {
+    std::optional<Route> best;
+    if (s.originates) {
+      Route self;
+      self.prefix = prefix;
+      self.as_path = {asn};
+      self.learned_from = topology::NeighborKind::kCustomer;
+      self.validity = validity_for(asn, prefix, asn);
+      return self;  // self-originated always wins
+    }
+    const AsPolicy& pol = policy(asn);
+    for (const auto& [neighbor, route] : s.adj_in) {
+      if (!best || prefer_route(pol, route, *best)) best = route;
+    }
+    return best;
+  };
+
+  std::size_t iterations = 0;
+  const std::size_t max_iterations = graph_.size() * 64 + 1024;
+  while (!queue.empty() && ++iterations < max_iterations) {
+    const Asn asn = queue.front();
+    queue.pop_front();
+    const AsState& s = state[asn];
+
+    for (const topology::Neighbor& nb : graph_.neighbors(asn)) {
+      AsState& ns = state[nb.asn];
+      const topology::NeighborKind from_neighbor_view = invert(nb.kind);
+
+      // What does `asn` offer this neighbor now?
+      std::optional<Route> offered;
+      if (s.best.has_value() &&
+          exports_to(s.best->learned_from, nb.kind)) {
+        // Loop prevention: neighbor already on the path.
+        const auto& path = s.best->as_path;
+        if (std::find(path.begin(), path.end(), nb.asn) == path.end()) {
+          Route r;
+          r.prefix = prefix;
+          r.as_path.reserve(path.size() + 1);
+          r.as_path.push_back(nb.asn);
+          r.as_path.insert(r.as_path.end(), path.begin(), path.end());
+          r.learned_from = from_neighbor_view;
+          r.validity = validity_for(nb.asn, prefix, r.origin());
+          if (rov_accepts(policy(nb.asn), nb.asn, asn, prefix,
+                          from_neighbor_view, r.validity)) {
+            offered = std::move(r);
+          }
+        }
+      }
+
+      // Update the neighbor's adj-in and reselect.
+      bool changed = false;
+      const auto existing = ns.adj_in.find(asn);
+      if (offered.has_value()) {
+        if (existing == ns.adj_in.end() ||
+            existing->second.as_path != offered->as_path ||
+            existing->second.validity != offered->validity) {
+          ns.adj_in[asn] = *offered;
+          changed = true;
+        }
+      } else if (existing != ns.adj_in.end()) {
+        ns.adj_in.erase(existing);
+        changed = true;
+      }
+      if (!changed) continue;
+
+      std::optional<Route> new_best = select_best(nb.asn, ns);
+      const bool best_changed =
+          new_best.has_value() != ns.best.has_value() ||
+          (new_best.has_value() &&
+           (new_best->as_path != ns.best->as_path ||
+            new_best->learned_from != ns.best->learned_from));
+      if (best_changed) {
+        ns.best = std::move(new_best);
+        queue.push_back(nb.asn);
+      }
+    }
+  }
+
+  RouteMap out;
+  out.reserve(state.size());
+  for (const auto& [asn, s] : state) {
+    if (!s.best.has_value()) continue;
+    RouteEntry e;
+    e.next_hop = s.best->next_hop();
+    e.origin = s.best->origin();
+    e.learned_from = s.best->learned_from;
+    e.validity = s.best->validity;
+    e.path_len = static_cast<std::uint16_t>(s.best->as_path.size());
+    out.emplace(asn, e);
+  }
+  return out;
+}
+
+}  // namespace rovista::bgp

@@ -1,0 +1,123 @@
+// The interdomain routing engine.
+//
+// Computes, per prefix, the converged Loc-RIB of every AS under
+// Gao–Rexford policies with per-AS ROV configuration. Computation is
+// demand-driven and cached: RoVista only ever needs routes toward tNode
+// prefixes and toward the prefixes hosting vVPs/measurement clients, so
+// the engine never materializes the full N×P routing state.
+//
+// The per-prefix fixed point keeps full Adj-RIB-In state during
+// computation (so withdrawals/replacements are handled exactly, not
+// monotonically) and then compacts the result into 16-byte entries;
+// AS paths are reconstructed on demand by walking next hops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/policy.h"
+#include "bgp/route.h"
+#include "net/prefix_trie.h"
+#include "rpki/validation.h"
+#include "topology/as_graph.h"
+
+namespace rovista::bgp {
+
+/// Compact converged-route entry for one AS (see routes_for()).
+struct RouteEntry {
+  Asn next_hop = 0;  // 0 => self-originated
+  Asn origin = 0;
+  NeighborKind learned_from = NeighborKind::kCustomer;
+  rpki::RouteValidity validity = rpki::RouteValidity::kUnknown;
+  std::uint16_t path_len = 0;  // number of ASes incl. the owner
+};
+
+using RouteMap = std::unordered_map<Asn, RouteEntry>;
+
+class RoutingSystem {
+ public:
+  explicit RoutingSystem(const topology::AsGraph& graph);
+
+  const topology::AsGraph& graph() const noexcept { return graph_; }
+
+  // -- Policy ---------------------------------------------------------
+
+  /// Install a policy (invalidates cached routes that ROV can affect).
+  void set_policy(Asn asn, AsPolicy policy);
+  const AsPolicy& policy(Asn asn) const noexcept;
+
+  // -- RPKI -----------------------------------------------------------
+
+  /// Set the relying-party VRP output all ASes validate against
+  /// (per-AS SLURM still applies on top). Invalidates the cache.
+  void set_vrps(rpki::VrpSet vrps);
+  const rpki::VrpSet& vrps() const noexcept { return base_vrps_; }
+
+  /// Validity of (prefix, origin) from `asn`'s point of view (applies
+  /// that AS's SLURM file if it has one).
+  rpki::RouteValidity validity_for(Asn asn, const net::Ipv4Prefix& prefix,
+                                   Asn origin) const;
+
+  /// Validity against the plain relying-party output (no SLURM).
+  rpki::RouteValidity base_validity(const net::Ipv4Prefix& prefix,
+                                    Asn origin) const;
+
+  // -- Announcements ---------------------------------------------------
+
+  /// Originate `prefix` from `origin`; multiple origins per prefix are
+  /// allowed (MOAS / hijacks).
+  void announce(const OriginAnnouncement& a);
+
+  /// Withdraw an origination; returns false if it was not announced.
+  bool withdraw(const OriginAnnouncement& a);
+
+  /// Origins currently announcing `prefix` (exact match).
+  std::vector<Asn> origins_of(const net::Ipv4Prefix& prefix) const;
+
+  /// All announced prefixes covering `addr`, most specific first.
+  std::vector<net::Ipv4Prefix> candidate_prefixes(net::Ipv4Address addr) const;
+
+  /// Every announced prefix (exact set, unordered).
+  std::vector<net::Ipv4Prefix> all_prefixes() const;
+
+  // -- Routes -----------------------------------------------------------
+
+  /// Converged routes for a prefix: AS → best route. Computed on first
+  /// use and cached until invalidated.
+  const RouteMap& routes_for(const net::Ipv4Prefix& prefix);
+
+  /// The route entry at `asn` for `prefix`, or nullptr if none.
+  const RouteEntry* route_at(Asn asn, const net::Ipv4Prefix& prefix);
+
+  /// Reconstruct the full AS path (owner first, origin last) by walking
+  /// next hops; empty if `asn` has no route.
+  std::vector<Asn> as_path(Asn asn, const net::Ipv4Prefix& prefix);
+
+  // -- Cache control ----------------------------------------------------
+
+  void invalidate_prefix(const net::Ipv4Prefix& prefix);
+  void invalidate_all();
+  std::size_t cached_prefixes() const noexcept { return cache_.size(); }
+
+ private:
+  RouteMap compute_routes(const net::Ipv4Prefix& prefix) const;
+
+  /// Does any origin of `prefix` make some AS's validity non-Valid?
+  /// (Only those prefixes' routes depend on ROV policy.)
+  bool rov_sensitive(const net::Ipv4Prefix& prefix) const;
+
+  const topology::AsGraph& graph_;
+  std::unordered_map<Asn, AsPolicy> policies_;
+  AsPolicy default_policy_;
+  rpki::VrpSet base_vrps_;
+
+  // SLURM-adjusted VRP views, built lazily per AS that has a SLURM file.
+  mutable std::unordered_map<Asn, rpki::VrpSet> slurm_views_;
+
+  net::PrefixTrie<std::vector<Asn>> announcements_;
+  std::unordered_map<net::Ipv4Prefix, RouteMap> cache_;
+};
+
+}  // namespace rovista::bgp

@@ -1,0 +1,64 @@
+#include "bgpstream/analysis.h"
+
+namespace rovista::bgpstream {
+
+ReportAnalysis analyze_report(const HijackReport& report,
+                              bgp::Collector& collector,
+                              bgp::RoutingSystem& routing,
+                              const core::LongitudinalStore& store) {
+  ReportAnalysis out;
+  out.report = report;
+
+  // AS path from the first collector peer that sees the attacker origin.
+  for (const Asn peer : collector.peers()) {
+    const std::vector<Asn> path = routing.as_path(peer, report.prefix);
+    if (!path.empty() && path.back() == report.attacker) {
+      out.as_path = path;
+      break;
+    }
+  }
+  if (out.as_path.empty()) return out;
+
+  out.all_scored = true;
+  out.all_zero_score = true;
+  for (const Asn asn : out.as_path) {
+    const auto score = store.latest_score(asn);
+    out.path_scores.push_back(score);
+    if (!score.has_value()) {
+      out.all_scored = false;
+      continue;
+    }
+    if (*score > 90.0) out.any_high_score = true;
+    if (*score > 0.0) out.all_zero_score = false;
+  }
+  return out;
+}
+
+AnalysisSummary summarize(const std::vector<ReportAnalysis>& analyses) {
+  AnalysisSummary sum;
+  for (const ReportAnalysis& a : analyses) {
+    ++sum.total_reports;
+    const bool any_scored = std::any_of(
+        a.path_scores.begin(), a.path_scores.end(),
+        [](const std::optional<double>& s) { return s.has_value(); });
+    if (a.report.rpki_covered) {
+      ++sum.rpki_covered;
+      if (any_scored) ++sum.covered_with_any_score;
+      if (a.all_scored && !a.as_path.empty()) {
+        ++sum.covered_fully_scored;
+        if (a.any_high_score) {
+          ++sum.covered_high_score_on_path;
+        }
+        if (a.all_zero_score) ++sum.covered_all_zero;
+      }
+    } else {
+      if (a.all_scored && !a.as_path.empty()) {
+        ++sum.uncovered_fully_scored;
+        if (a.any_high_score) ++sum.uncovered_high_score_on_path;
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace rovista::bgpstream

@@ -1,0 +1,49 @@
+// §7.5 analysis: joining hijack reports with ROV protection scores.
+//
+// For every report, recover the AS path toward the attacker from the
+// collector feeds, then look up the RoVista score of each AS on the
+// path. The paper's buckets:
+//   RPKI-covered reports whose paths contain only score-0 ASes — the
+//   attacks ROV would have stopped; covered reports that crossed a
+//   >90%-score AS — invariably customer-route exemptions; and uncovered
+//   reports crossing protected ASes — preventable had the victim
+//   registered a ROA.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgpstream/hijack.h"
+#include "core/longitudinal.h"
+
+namespace rovista::bgpstream {
+
+struct ReportAnalysis {
+  HijackReport report;
+  std::vector<Asn> as_path;             // observed path to the attacker
+  std::vector<std::optional<double>> path_scores;  // aligned with as_path
+  bool all_scored = false;
+  bool any_high_score = false;   // some AS on path with score > 90
+  bool all_zero_score = false;   // every scored AS at 0
+};
+
+struct AnalysisSummary {
+  std::size_t total_reports = 0;
+  std::size_t rpki_covered = 0;
+  std::size_t covered_with_any_score = 0;
+  std::size_t covered_fully_scored = 0;
+  std::size_t covered_high_score_on_path = 0;  // paper: 5/124 (4.0%)
+  std::size_t covered_all_zero = 0;            // paper: 119
+  std::size_t uncovered_fully_scored = 0;
+  std::size_t uncovered_high_score_on_path = 0;  // paper: 204 (23.1%)
+};
+
+/// Analyze one report against a collector snapshot and the score store.
+ReportAnalysis analyze_report(const HijackReport& report,
+                              bgp::Collector& collector,
+                              bgp::RoutingSystem& routing,
+                              const core::LongitudinalStore& store);
+
+AnalysisSummary summarize(const std::vector<ReportAnalysis>& analyses);
+
+}  // namespace rovista::bgpstream

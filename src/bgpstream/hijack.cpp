@@ -1,0 +1,86 @@
+#include "bgpstream/hijack.h"
+
+#include <algorithm>
+
+namespace rovista::bgpstream {
+
+std::vector<HijackEvent> generate_hijacks(const scenario::Scenario& s,
+                                          std::size_t count,
+                                          util::Rng& rng) {
+  std::vector<HijackEvent> events;
+  const std::vector<Asn> all = s.graph().all_asns();
+  const std::int64_t window = s.end() - s.start();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    HijackEvent ev;
+    ev.victim = all[rng.index(all.size())];
+    do {
+      ev.attacker = all[rng.index(all.size())];
+    } while (ev.attacker == ev.victim);
+
+    const net::Ipv4Prefix victim_block = s.as_prefix(ev.victim);
+    if (rng.bernoulli(0.5)) {
+      ev.kind = HijackKind::kExactPrefix;
+      ev.prefix = victim_block;
+    } else {
+      ev.kind = HijackKind::kSubPrefix;
+      const std::uint32_t block =
+          static_cast<std::uint32_t>(rng.uniform_u64(0, 255));
+      ev.prefix = net::Ipv4Prefix(
+          net::Ipv4Address(victim_block.address().value() | (block << 8)),
+          24);
+    }
+    const std::int64_t offset = static_cast<std::int64_t>(
+        rng.uniform_u64(1, static_cast<std::uint64_t>(
+                               window > 2 ? window - 2 : 1)));
+    ev.start = s.start() + offset;
+    ev.end = ev.start + static_cast<std::int64_t>(rng.uniform_u64(1, 14));
+    events.push_back(ev);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const HijackEvent& a, const HijackEvent& b) {
+              return a.start < b.start;
+            });
+  return events;
+}
+
+void apply_hijack(bgp::RoutingSystem& routing, const HijackEvent& event) {
+  routing.announce({event.prefix, event.attacker});
+}
+
+void withdraw_hijack(bgp::RoutingSystem& routing, const HijackEvent& event) {
+  routing.withdraw({event.prefix, event.attacker});
+}
+
+std::vector<HijackReport> detect_hijacks(
+    bgp::Collector& collector, bgp::RoutingSystem& routing,
+    const rpki::VrpSet& vrps, const std::vector<HijackEvent>& active,
+    Date today) {
+  std::vector<HijackReport> reports;
+  if (active.empty()) return reports;
+
+  std::vector<net::Ipv4Prefix> watch;
+  watch.reserve(active.size());
+  for (const HijackEvent& ev : active) watch.push_back(ev.prefix);
+  const bgp::CollectorSnapshot snap = collector.snapshot(routing, watch);
+
+  for (const HijackEvent& ev : active) {
+    // The monitor flags an origin that is neither the victim nor any
+    // historically seen origin for the prefix (here: the victim).
+    const std::vector<Asn> origins = snap.origins_of(ev.prefix);
+    const bool seen_attacker =
+        std::find(origins.begin(), origins.end(), ev.attacker) !=
+        origins.end();
+    if (!seen_attacker) continue;  // filtered everywhere visible: no alarm
+    HijackReport report;
+    report.detected = today;
+    report.prefix = ev.prefix;
+    report.expected_origin = ev.victim;
+    report.attacker = ev.attacker;
+    report.rpki_covered = vrps.is_covered(ev.prefix);
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+}  // namespace rovista::bgpstream

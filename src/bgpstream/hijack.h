@@ -1,0 +1,59 @@
+// BGPStream-style hijack detection feed (paper §7.5).
+//
+// A hijack injector stages prefix-origin hijacks on the routing system
+// (exact-prefix MOAS or more-specific sub-prefix); a monitor watching the
+// collector emits reports with the fields the paper uses: detection time,
+// hijacked prefix, expected origin, attacker origin.
+#pragma once
+
+#include <vector>
+
+#include "bgp/collector.h"
+#include "bgp/routing_system.h"
+#include "scenario/scenario.h"
+#include "util/date.h"
+#include "util/rng.h"
+
+namespace rovista::bgpstream {
+
+using Asn = topology::Asn;
+using util::Date;
+
+enum class HijackKind { kExactPrefix, kSubPrefix };
+
+struct HijackEvent {
+  Date start;
+  Date end;                 // withdrawal date
+  net::Ipv4Prefix prefix;   // the announced (hijacking) prefix
+  Asn victim = 0;           // legitimate holder
+  Asn attacker = 0;
+  HijackKind kind = HijackKind::kExactPrefix;
+};
+
+struct HijackReport {
+  Date detected;
+  net::Ipv4Prefix prefix;
+  Asn expected_origin = 0;
+  Asn attacker = 0;
+  bool rpki_covered = false;  // prefix covered by >= 1 VRP at detection
+};
+
+/// Generate a deterministic batch of hijack events against scenario ASes
+/// (victims with and without ROAs, mixed kinds), spread over the window.
+std::vector<HijackEvent> generate_hijacks(const scenario::Scenario& s,
+                                          std::size_t count,
+                                          util::Rng& rng);
+
+/// Install a hijack's announcement into the routing system (and remove
+/// it again). The caller drives timing.
+void apply_hijack(bgp::RoutingSystem& routing, const HijackEvent& event);
+void withdraw_hijack(bgp::RoutingSystem& routing, const HijackEvent& event);
+
+/// The monitor: detect a staged hijack from the collector's view (MOAS /
+/// more-specific with unexpected origin) and emit the report.
+std::vector<HijackReport> detect_hijacks(
+    bgp::Collector& collector, bgp::RoutingSystem& routing,
+    const rpki::VrpSet& vrps, const std::vector<HijackEvent>& active,
+    Date today);
+
+}  // namespace rovista::bgpstream

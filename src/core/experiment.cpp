@@ -1,0 +1,145 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+namespace rovista::core {
+
+std::vector<double> samples_to_rates(const std::vector<scan::IpIdSample>& s) {
+  std::vector<double> rates;
+  if (s.size() < 2) return rates;
+  rates.reserve(s.size() - 1);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const std::uint16_t delta =
+        static_cast<std::uint16_t>(s[i].ip_id - s[i - 1].ip_id);
+    const double dt = dataplane::to_seconds(s[i].time - s[i - 1].time);
+    rates.push_back(dt > 0.0 ? static_cast<double>(delta) / dt : 0.0);
+  }
+  return rates;
+}
+
+ExperimentResult run_experiment(dataplane::DataPlane& plane,
+                                scan::MeasurementClient& client,
+                                const scan::Vvp& vvp,
+                                const scan::Tnode& tnode,
+                                const ExperimentConfig& config) {
+  ExperimentResult result;
+  client.clear();
+
+  const TimeUs interval = dataplane::microseconds(config.probe_interval_s);
+  const TimeUs t0 = plane.sim().now() + 1000;
+  std::uint16_t src_port = 42001;
+
+  // Phase (a): background probes at t0, t0+0.5, ..., covering 5 s.
+  for (int i = 0; i < config.background_probes; ++i) {
+    client.probe_at(t0 + static_cast<TimeUs>(i) * interval, vvp.address,
+                    config.vvp_port, src_port++);
+  }
+  const TimeUs last_bg_probe =
+      t0 + static_cast<TimeUs>(config.background_probes - 1) * interval;
+
+  // Phase (b): the spoofed burst fires 0.25 s after the last background
+  // probe — after that probe's RST has returned, so the background/
+  // observation split is unambiguous — with all packets within ε
+  // (0.5 ms spacing).
+  const TimeUs burst_time = last_bg_probe + 250000;
+  for (int i = 0; i < config.spoof_count; ++i) {
+    client.spoofed_syn_at(burst_time + static_cast<TimeUs>(i) * 500,
+                          vvp.address, tnode.address, tnode.port,
+                          static_cast<std::uint16_t>(52001 + i));
+  }
+
+  // Phase (c): resume probing `wait_after_burst_s` after the last
+  // background probe (the paper's "wait for one second").
+  const TimeUs phase_c =
+      last_bg_probe + dataplane::microseconds(config.wait_after_burst_s);
+  for (int i = 0; i < config.observe_probes; ++i) {
+    client.probe_at(phase_c + static_cast<TimeUs>(i) * interval, vvp.address,
+                    config.vvp_port, src_port++);
+  }
+  const TimeUs end = phase_c +
+                     static_cast<TimeUs>(config.observe_probes) * interval +
+                     dataplane::microseconds(config.tail_wait_s);
+  plane.sim().run_until(end);
+
+  // Collect RST samples and split them at the burst time.
+  const std::vector<scan::IpIdSample> samples = client.rst_samples(vvp.address);
+  result.rst_samples = static_cast<int>(samples.size());
+  if (samples.size() <
+      static_cast<std::size_t>(config.background_probes / 2 + 2)) {
+    return result;  // vVP unreachable or too lossy: inconclusive
+  }
+
+  // Rates over consecutive samples; index k spans (sample k, sample k+1).
+  const std::vector<double> rates = samples_to_rates(samples);
+
+  // The background window is every rate fully before the burst.
+  std::size_t split = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].time <= burst_time) split = i;
+  }
+  if (split < 4 || split >= rates.size()) return result;
+
+  result.background_rates.assign(rates.begin(),
+                                 rates.begin() + static_cast<long>(split));
+  result.observed_rates.assign(rates.begin() + static_cast<long>(split),
+                               rates.end());
+
+  const stats::SpikeDetector detector(config.detector);
+  const auto analysis =
+      detector.analyze(result.background_rates, result.observed_rates);
+  if (!analysis.has_value() || !analysis->usable) return result;
+  result.analysis = analysis;
+
+  // Count maximal runs of consecutive spiking intervals (diagnostic).
+  int clusters = 0;
+  bool in_cluster = false;
+  for (const bool spike : analysis->spike_at) {
+    if (spike && !in_cluster) {
+      ++clusters;
+      in_cluster = true;
+    } else if (!spike) {
+      in_cluster = false;
+    }
+  }
+  result.spike_clusters = clusters;
+
+  // Classification uses the *known timing* of the schedule: the spoofed
+  // burst lands in the first observed interval; a Retransmission-Timeout
+  // echo can only appear >= 2 intervals later (RTO is 1–3 s, intervals
+  // 0.5 s). A spike only counts as burst/echo if its excess converts to
+  // roughly the burst size in *packets* — this rejects heavy-tailed
+  // background flukes that clear the z-threshold but are far smaller
+  // than 10 packets.
+  const double min_excess_packets = 0.5 * static_cast<double>(
+      config.spoof_count);
+  const auto excess_packets = [&](std::size_t k) {
+    // Interval k spans samples (split + k, split + k + 1).
+    const double duration = dataplane::to_seconds(
+        samples[split + k + 1].time - samples[split + k].time);
+    return (result.observed_rates[k] - analysis->forecast[k]) * duration;
+  };
+
+  const bool burst_seen =
+      analysis->spike_at[0] && excess_packets(0) >= min_excess_packets;
+  bool echo_seen = false;
+  for (std::size_t k = 2; k < analysis->spike_at.size(); ++k) {
+    if (analysis->spike_at[k] && excess_packets(k) >= min_excess_packets) {
+      echo_seen = true;
+      break;
+    }
+  }
+
+  if (echo_seen) {
+    // The vVP answered the tNode's SYN/ACKs, but its RSTs never arrived:
+    // outbound filtering — even if the initial burst fell below the
+    // detection threshold, the echo implies it happened.
+    result.verdict = FilteringVerdict::kOutboundFiltering;
+  } else if (burst_seen) {
+    result.verdict = FilteringVerdict::kNoFiltering;
+  } else {
+    result.verdict = FilteringVerdict::kInboundFiltering;
+  }
+  return result;
+}
+
+}  // namespace rovista::core

@@ -1,0 +1,84 @@
+// The RoVista measurement experiment (paper §4.3, Fig. 3).
+//
+// For one (vVP, tNode) pair:
+//   (a) SYN/ACK-probe the vVP every 0.5 s for 5 s — its RST IP-IDs give
+//       the background growth rate,
+//   (b) fire 10 spoofed SYNs (source = vVP) at the tNode within ε,
+//   (c) wait one second, probe again.
+// The IP-ID rate series is then classified:
+//   one spike cluster  → no filtering (the burst's RSTs reached us once),
+//   two spike clusters → outbound filtering (the vVP's RSTs never reached
+//                        the tNode, whose RTO retransmission produced a
+//                        second burst),
+//   no spike           → inbound filtering (the SYN/ACKs never reached
+//                        the vVP at all).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "scan/measurement_client.h"
+#include "scan/tnode_discovery.h"
+#include "scan/vvp_discovery.h"
+#include "stats/spike.h"
+
+namespace rovista::core {
+
+using dataplane::TimeUs;
+
+enum class FilteringVerdict {
+  kNoFiltering,
+  kInboundFiltering,
+  kOutboundFiltering,
+  kInconclusive,
+};
+
+constexpr const char* verdict_name(FilteringVerdict v) noexcept {
+  switch (v) {
+    case FilteringVerdict::kNoFiltering:
+      return "no-filtering";
+    case FilteringVerdict::kInboundFiltering:
+      return "inbound-filtering";
+    case FilteringVerdict::kOutboundFiltering:
+      return "outbound-filtering";
+    case FilteringVerdict::kInconclusive:
+      return "inconclusive";
+  }
+  return "?";
+}
+
+struct ExperimentConfig {
+  double probe_interval_s = 0.5;
+  int background_probes = 10;     // phase (a): 10 probes over 5 s
+  int spoof_count = 10;           // phase (b)
+  double wait_after_burst_s = 1.0;
+  int observe_probes = 8;         // phase (c): probes over 4 s
+  double tail_wait_s = 1.0;       // settle time before reading captures
+  std::uint16_t vvp_port = 80;
+  stats::SpikeDetectorConfig detector;
+};
+
+struct ExperimentResult {
+  FilteringVerdict verdict = FilteringVerdict::kInconclusive;
+  std::vector<double> background_rates;  // IP-ID growth per second, phase a
+  std::vector<double> observed_rates;    // phase c (first spans the burst)
+  std::optional<stats::SpikeAnalysis> analysis;
+  int rst_samples = 0;
+  int spike_clusters = 0;
+};
+
+/// Run one experiment. Advances the shared simulator; the client's
+/// capture buffer is cleared first.
+ExperimentResult run_experiment(dataplane::DataPlane& plane,
+                                scan::MeasurementClient& client,
+                                const scan::Vvp& vvp,
+                                const scan::Tnode& tnode,
+                                const ExperimentConfig& config = {});
+
+/// Convert RST IP-ID samples into growth *rates* (unwrapped IP-ID delta
+/// divided by the sampling gap). Exposed for tests and for Appendix A
+/// benchmarking against synthetic series.
+std::vector<double> samples_to_rates(const std::vector<scan::IpIdSample>& s);
+
+}  // namespace rovista::core

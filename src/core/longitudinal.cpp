@@ -1,0 +1,91 @@
+#include "core/longitudinal.h"
+
+#include <algorithm>
+
+namespace rovista::core {
+
+void LongitudinalStore::record(Date date, std::span<const AsScore> scores) {
+  for (const AsScore& s : scores) {
+    by_as_[s.asn][date] = s.score;
+    by_date_[date].push_back(s.asn);
+  }
+}
+
+std::vector<Date> LongitudinalStore::dates() const {
+  std::vector<Date> out;
+  out.reserve(by_date_.size());
+  for (const auto& [date, ases] : by_date_) out.push_back(date);
+  return out;
+}
+
+std::vector<Asn> LongitudinalStore::ases() const {
+  std::vector<Asn> out;
+  out.reserve(by_as_.size());
+  for (const auto& [asn, series] : by_as_) out.push_back(asn);
+  return out;
+}
+
+std::optional<double> LongitudinalStore::latest_score(Asn asn) const {
+  const auto it = by_as_.find(asn);
+  if (it == by_as_.end() || it->second.empty()) return std::nullopt;
+  return it->second.rbegin()->second;
+}
+
+std::optional<double> LongitudinalStore::score_on(Asn asn, Date date) const {
+  const auto it = by_as_.find(asn);
+  if (it == by_as_.end()) return std::nullopt;
+  const auto dit = it->second.find(date);
+  if (dit == it->second.end()) return std::nullopt;
+  return dit->second;
+}
+
+std::vector<std::pair<Date, double>> LongitudinalStore::series(
+    Asn asn) const {
+  std::vector<std::pair<Date, double>> out;
+  const auto it = by_as_.find(asn);
+  if (it == by_as_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+std::vector<double> LongitudinalStore::latest_scores() const {
+  std::vector<double> out;
+  out.reserve(by_as_.size());
+  for (const auto& [asn, series] : by_as_) {
+    if (!series.empty()) out.push_back(series.rbegin()->second);
+  }
+  return out;
+}
+
+double LongitudinalStore::fraction_at_least(Date date,
+                                            double threshold) const {
+  std::size_t total = 0;
+  std::size_t hit = 0;
+  for (const auto& [asn, series] : by_as_) {
+    const auto it = series.find(date);
+    if (it == series.end()) continue;
+    ++total;
+    if (it->second >= threshold) ++hit;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+std::vector<std::pair<Asn, Date>> LongitudinalStore::score_jumps(
+    double low, double high) const {
+  std::vector<std::pair<Asn, Date>> out;
+  for (const auto& [asn, series] : by_as_) {
+    double prev = -1.0;
+    bool have_prev = false;
+    for (const auto& [date, score] : series) {
+      if (have_prev && prev <= low && score >= high) {
+        out.emplace_back(asn, date);
+      }
+      prev = score;
+      have_prev = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace rovista::core

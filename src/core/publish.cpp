@@ -1,0 +1,109 @@
+#include "core/publish.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace rovista::core {
+
+namespace fs = std::filesystem;
+
+std::optional<std::size_t> publish_scores(const LongitudinalStore& store,
+                                          const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return std::nullopt;
+
+  util::Table index({"date", "ases_scored"});
+  std::size_t written = 0;
+
+  for (const util::Date date : store.dates()) {
+    util::Table table(
+        {"asn", "score", "vvp_count", "tnodes_consistent", "tnodes_outbound"});
+    std::size_t rows = 0;
+    for (const Asn asn : store.ases()) {
+      const auto score = store.score_on(asn, date);
+      if (!score.has_value()) continue;
+      // vvp/tnode counters are not retained per-date by the store; the
+      // published format reserves the columns (zero when unknown) so the
+      // schema matches what a live deployment would emit.
+      table.add_row({std::to_string(asn), util::fmt_double(*score, 2), "0",
+                     "0", "0"});
+      ++rows;
+    }
+    const std::string filename = "scores-" + date.to_string() + ".csv";
+    if (!table.write_csv((fs::path(directory) / filename).string())) {
+      return std::nullopt;
+    }
+    index.add_row({date.to_string(), std::to_string(rows)});
+    ++written;
+  }
+
+  if (!index.write_csv((fs::path(directory) / "index.csv").string())) {
+    return std::nullopt;
+  }
+  return written;
+}
+
+namespace {
+
+std::optional<std::vector<std::vector<std::string>>> read_csv(
+    const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    // The published files contain no quoted fields; a plain split works.
+    for (const auto part : util::split(line, ',')) {
+      fields.emplace_back(part);
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty()) return std::nullopt;
+  return rows;
+}
+
+}  // namespace
+
+std::optional<LongitudinalStore> load_scores(const std::string& directory) {
+  const auto index = read_csv((fs::path(directory) / "index.csv").string());
+  if (!index.has_value()) return std::nullopt;
+
+  LongitudinalStore store;
+  for (std::size_t i = 1; i < index->size(); ++i) {  // skip header
+    const auto& row = (*index)[i];
+    if (row.empty()) return std::nullopt;
+    util::Date date;
+    if (!util::Date::parse(row[0], date)) return std::nullopt;
+
+    const std::string filename = "scores-" + row[0] + ".csv";
+    const auto rows = read_csv((fs::path(directory) / filename).string());
+    if (!rows.has_value()) return std::nullopt;
+
+    std::vector<AsScore> scores;
+    for (std::size_t r = 1; r < rows->size(); ++r) {
+      const auto& fields = (*rows)[r];
+      if (fields.size() < 2) return std::nullopt;
+      std::uint64_t asn = 0;
+      double score = 0.0;
+      if (!util::parse_u64(fields[0], asn) ||
+          !util::parse_double(fields[1], score)) {
+        return std::nullopt;
+      }
+      AsScore s;
+      s.asn = static_cast<Asn>(asn);
+      s.score = score;
+      scores.push_back(s);
+    }
+    store.record(date, scores);
+  }
+  return store;
+}
+
+}  // namespace rovista::core

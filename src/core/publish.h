@@ -1,0 +1,31 @@
+// Score publication — the rovista.netsecurelab.org role.
+//
+// The paper publishes per-AS ROV scores daily so operators can audit
+// themselves (several did, §6.3.2). This module serializes a
+// LongitudinalStore to a directory of dated CSV files plus an index, and
+// loads it back — the interchange format downstream users consume.
+//
+// Layout:
+//   <dir>/index.csv              date,ases_scored
+//   <dir>/scores-YYYY-MM-DD.csv  asn,score,vvp_count,tnodes_consistent,
+//                                tnodes_outbound
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/longitudinal.h"
+
+namespace rovista::core {
+
+/// Write every snapshot in `store` under `directory` (created if
+/// needed). Returns the number of snapshot files written, or nullopt on
+/// I/O failure.
+std::optional<std::size_t> publish_scores(const LongitudinalStore& store,
+                                          const std::string& directory);
+
+/// Load a published directory back into a store. Returns nullopt if the
+/// index is missing or any referenced snapshot is malformed.
+std::optional<LongitudinalStore> load_scores(const std::string& directory);
+
+}  // namespace rovista::core

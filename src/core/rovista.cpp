@@ -1,0 +1,116 @@
+#include "core/rovista.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rovista::core {
+
+Rovista::Rovista(dataplane::DataPlane& plane,
+                 scan::MeasurementClient& client_a,
+                 scan::MeasurementClient& client_b, RovistaConfig config)
+    : plane_(plane),
+      client_a_(client_a),
+      client_b_(client_b),
+      config_(std::move(config)) {}
+
+std::vector<scan::Tnode> Rovista::acquire_tnodes(
+    const bgp::CollectorSnapshot& snapshot, const rpki::VrpSet& vrps,
+    std::span<const topology::Asn> rov_refs,
+    std::span<const topology::Asn> non_rov_refs) {
+  // Step 1: exclusively-invalid test prefixes.
+  const std::vector<net::Ipv4Prefix> test_prefixes =
+      scan::select_test_prefixes(snapshot, vrps);
+
+  // Step 2: ZMap the test prefixes for live hosts on popular ports.
+  // Candidate addresses: every registered host inside a test prefix.
+  std::vector<scan::Tnode> tnodes;
+  for (const net::Ipv4Prefix& prefix : test_prefixes) {
+    std::vector<net::Ipv4Address> addresses;
+    // Scan the (small) test prefix address space as ZMap does: in a
+    // full-cycle pseudorandom permutation so no subnet sees a burst (§5).
+    const std::uint64_t span = std::min<std::uint64_t>(prefix.size(), 4096);
+    scan::CyclicPermutation perm(span, prefix.address().value());
+    while (const auto index = perm.next()) {
+      addresses.push_back(net::Ipv4Address(
+          prefix.address().value() + static_cast<std::uint32_t>(*index)));
+    }
+    const auto hits =
+        scan::syn_scan(plane_, client_a_.asn(), client_a_.address(),
+                       addresses, scan::kPopularPorts);
+
+    // Step 3: behavioural qualification.
+    const auto origins = plane_.routing().origins_of(prefix);
+    for (const scan::SynScanHit& hit : hits) {
+      const scan::TnodeBehaviour behaviour =
+          scan::qualify_tnode(plane_, client_a_, client_b_, hit.address, hit.port,
+                        config_.tnode_protocol);
+      if (!behaviour.qualified()) continue;
+      scan::Tnode tnode;
+      tnode.address = hit.address;
+      tnode.port = hit.port;
+      tnode.prefix = prefix;
+      tnode.origin = origins.empty() ? 0 : origins.front();
+      tnodes.push_back(tnode);
+    }
+  }
+
+  // Step 4: remove false tNodes using the reference ASes.
+  return scan::filter_false_tnodes(plane_, std::move(tnodes), rov_refs,
+                                   non_rov_refs,
+                                   config_.tnode_reference_threshold);
+}
+
+std::vector<scan::Vvp> Rovista::acquire_vvps(
+    std::span<const net::Ipv4Address> candidates) {
+  // SYN/ACK responsiveness scan first (cheap), then the IP-ID protocol.
+  const std::vector<net::Ipv4Address> responsive = scan::synack_scan(
+      plane_, client_a_.asn(), client_a_.address(), candidates);
+
+  std::vector<scan::Vvp> qualified =
+      scan::discover_vvps(plane_, client_a_, responsive, config_.vvp_protocol);
+
+  // Background-rate cutoff (§6.1): keep only quiet hosts.
+  std::erase_if(qualified, [&](const scan::Vvp& v) {
+    return v.est_background_rate > config_.max_background_rate;
+  });
+
+  // Per-AS cap: measuring more vVPs than needed just adds traffic.
+  std::map<topology::Asn, int> per_as;
+  std::vector<scan::Vvp> out;
+  for (const scan::Vvp& v : qualified) {
+    if (per_as[v.asn] >= config_.max_vvps_per_as) continue;
+    ++per_as[v.asn];
+    out.push_back(v);
+  }
+  return out;
+}
+
+ExperimentResult Rovista::measure_pair(const scan::Vvp& vvp,
+                                       const scan::Tnode& tnode) {
+  return run_experiment(plane_, client_a_, vvp, tnode, config_.experiment);
+}
+
+MeasurementRound Rovista::run_round(std::span<const scan::Vvp> vvps,
+                                    std::span<const scan::Tnode> tnodes) {
+  MeasurementRound round;
+  round.observations.reserve(vvps.size() * tnodes.size());
+  for (const scan::Vvp& vvp : vvps) {
+    for (const scan::Tnode& tnode : tnodes) {
+      const ExperimentResult result = measure_pair(vvp, tnode);
+      ++round.experiments_run;
+      if (result.verdict == FilteringVerdict::kInconclusive) {
+        ++round.inconclusive;
+      }
+      PairObservation obs;
+      obs.vvp_as = vvp.asn;
+      obs.vvp = vvp.address;
+      obs.tnode = tnode.address;
+      obs.verdict = result.verdict;
+      round.observations.push_back(obs);
+    }
+  }
+  round.scores = aggregate_scores(round.observations, config_.scoring);
+  return round;
+}
+
+}  // namespace rovista::core

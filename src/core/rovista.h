@@ -1,0 +1,87 @@
+// RoVista: the end-to-end measurement framework.
+//
+// Wires the pipeline of §4 together against a data plane:
+//   1. tNode acquisition — collector snapshot → exclusively-invalid test
+//      prefixes → ZMap SYN scan → behavioural qualification with two
+//      clients → false-tNode removal against reference ASes,
+//   2. vVP acquisition — SYN/ACK scan → §4.2 IP-ID qualification →
+//      background-rate cutoff (≤ 10 pkt/s) → per-AS cap,
+//   3. a measurement round — the §4.3 experiment for every (vVP, tNode)
+//      pair, spike detection, AS-level unanimity aggregation → per-AS
+//      ROV protection scores.
+// The framework never reads simulator ground truth: every verdict comes
+// from packets the clients captured.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bgp/collector.h"
+#include "core/experiment.h"
+#include "core/scoring.h"
+#include "scan/measurement_client.h"
+#include "scan/permutation.h"
+#include "scan/scanner.h"
+#include "scan/tnode_discovery.h"
+#include "scan/vvp_discovery.h"
+
+namespace rovista::core {
+
+struct RovistaConfig {
+  ExperimentConfig experiment;
+  scan::VvpProtocolConfig vvp_protocol;
+  scan::TnodeProtocolConfig tnode_protocol;
+  ScoringConfig scoring;
+  double max_background_rate = 10.0;  // pkt/s vVP cutoff (§6.1)
+  int max_vvps_per_as = 10;           // measurement budget per AS
+  double tnode_reference_threshold = 0.9;
+};
+
+/// The outcome of one measurement round.
+struct MeasurementRound {
+  std::vector<PairObservation> observations;
+  std::vector<AsScore> scores;
+  std::size_t experiments_run = 0;
+  std::size_t inconclusive = 0;
+};
+
+class Rovista {
+ public:
+  /// `client_a` and `client_b` must live in different (non-ROV,
+  /// non-SAV) ASes — client_a runs probes and spoofing, client_b is the
+  /// second vantage for tNode qualification.
+  Rovista(dataplane::DataPlane& plane, scan::MeasurementClient& client_a,
+          scan::MeasurementClient& client_b, RovistaConfig config = {});
+
+  const RovistaConfig& config() const noexcept { return config_; }
+
+  /// Pipeline step 1: tNodes from a collector snapshot.
+  /// `rov_refs` / `non_rov_refs` are the operator-confirmed reference
+  /// ASes used to remove false tNodes (§4.1).
+  std::vector<scan::Tnode> acquire_tnodes(
+      const bgp::CollectorSnapshot& snapshot, const rpki::VrpSet& vrps,
+      std::span<const topology::Asn> rov_refs,
+      std::span<const topology::Asn> non_rov_refs);
+
+  /// Pipeline step 2: vVPs from a candidate address list. Applies the
+  /// background-rate cutoff and the per-AS cap.
+  std::vector<scan::Vvp> acquire_vvps(
+      std::span<const net::Ipv4Address> candidates);
+
+  /// Pipeline step 3: run the full measurement round.
+  MeasurementRound run_round(std::span<const scan::Vvp> vvps,
+                             std::span<const scan::Tnode> tnodes);
+
+  /// Convenience: one experiment (exposed for case-study benches).
+  ExperimentResult measure_pair(const scan::Vvp& vvp,
+                                const scan::Tnode& tnode);
+
+ private:
+  dataplane::DataPlane& plane_;
+  scan::MeasurementClient& client_a_;
+  scan::MeasurementClient& client_b_;
+  RovistaConfig config_;
+};
+
+}  // namespace rovista::core

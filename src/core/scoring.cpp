@@ -1,0 +1,99 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rovista::core {
+
+namespace {
+
+struct TnodeTally {
+  int outbound = 0;
+  int no_filtering = 0;
+  int inbound = 0;
+
+  int usable() const noexcept { return outbound + no_filtering; }
+  bool unanimous() const noexcept {
+    int kinds = 0;
+    if (outbound > 0) ++kinds;
+    if (no_filtering > 0) ++kinds;
+    if (inbound > 0) ++kinds;
+    return kinds <= 1;
+  }
+};
+
+}  // namespace
+
+std::vector<AsScore> aggregate_scores(std::span<const PairObservation> obs,
+                                      const ScoringConfig& config) {
+  // (AS → tNode → tally), plus the set of contributing vVPs per AS.
+  std::map<Asn, std::map<std::uint32_t, TnodeTally>> tallies;
+  std::map<Asn, std::set<std::uint32_t>> vvps;
+
+  for (const PairObservation& o : obs) {
+    if (o.verdict == FilteringVerdict::kInconclusive) continue;
+    TnodeTally& t = tallies[o.vvp_as][o.tnode.value()];
+    switch (o.verdict) {
+      case FilteringVerdict::kOutboundFiltering:
+        ++t.outbound;
+        break;
+      case FilteringVerdict::kNoFiltering:
+        ++t.no_filtering;
+        break;
+      case FilteringVerdict::kInboundFiltering:
+        ++t.inbound;
+        break;
+      case FilteringVerdict::kInconclusive:
+        break;
+    }
+    vvps[o.vvp_as].insert(o.vvp.value());
+  }
+
+  std::vector<AsScore> out;
+  for (const auto& [asn, tnode_map] : tallies) {
+    AsScore score;
+    score.asn = asn;
+    score.vvp_count = static_cast<int>(vvps[asn].size());
+    if (score.vvp_count < config.min_vvps_per_as) continue;
+
+    for (const auto& [tnode, tally] : tnode_map) {
+      if (!tally.unanimous()) {
+        ++score.tnodes_inconsistent;
+        continue;
+      }
+      if (tally.usable() == 0) continue;  // inbound-only: no ROV signal
+      ++score.tnodes_consistent;
+      if (tally.outbound > 0) ++score.tnodes_outbound;
+    }
+    if (score.tnodes_consistent < config.min_tnodes) continue;
+    score.score = 100.0 * static_cast<double>(score.tnodes_outbound) /
+                  static_cast<double>(score.tnodes_consistent);
+    out.push_back(score);
+  }
+  return out;
+}
+
+double consistency_rate(std::span<const PairObservation> obs) {
+  std::map<Asn, std::map<std::uint32_t, TnodeTally>> tallies;
+  for (const PairObservation& o : obs) {
+    if (o.verdict == FilteringVerdict::kInconclusive) continue;
+    TnodeTally& t = tallies[o.vvp_as][o.tnode.value()];
+    if (o.verdict == FilteringVerdict::kOutboundFiltering) ++t.outbound;
+    if (o.verdict == FilteringVerdict::kNoFiltering) ++t.no_filtering;
+    if (o.verdict == FilteringVerdict::kInboundFiltering) ++t.inbound;
+  }
+  std::size_t total = 0;
+  std::size_t consistent = 0;
+  for (const auto& [asn, tnode_map] : tallies) {
+    for (const auto& [tnode, tally] : tnode_map) {
+      ++total;
+      if (tally.unanimous()) ++consistent;
+    }
+  }
+  return total == 0
+             ? 1.0
+             : static_cast<double>(consistent) / static_cast<double>(total);
+}
+
+}  // namespace rovista::core

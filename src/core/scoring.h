@@ -1,0 +1,54 @@
+// AS-level aggregation and the ROV protection score (paper §6.2).
+//
+// Per (AS, tNode), all vVPs in the AS must agree (ROV is an AS-level
+// policy, so disagreement indicates client-side noise and the tNode is
+// discarded for that AS). The ROV protection score is the percentage of
+// consistently classified tNodes that are outbound-filtered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace rovista::core {
+
+using Asn = topology::Asn;
+
+/// One (vVP, tNode) measurement outcome.
+struct PairObservation {
+  Asn vvp_as = 0;
+  net::Ipv4Address vvp;
+  net::Ipv4Address tnode;
+  FilteringVerdict verdict = FilteringVerdict::kInconclusive;
+};
+
+/// The per-AS result.
+struct AsScore {
+  Asn asn = 0;
+  double score = 0.0;          // 0..100: % of tNodes outbound-filtered
+  int vvp_count = 0;           // distinct vVPs that produced verdicts
+  int tnodes_consistent = 0;   // tNodes with unanimous usable verdicts
+  int tnodes_outbound = 0;     // of those, outbound-filtered
+  int tnodes_inconsistent = 0; // discarded for disagreement
+
+  bool fully_protected() const noexcept { return score >= 100.0; }
+  bool unprotected() const noexcept { return score <= 0.0; }
+};
+
+struct ScoringConfig {
+  int min_vvps_per_as = 3;   // paper uses 10; scenario scale may lower it
+  int min_tnodes = 3;        // minimum consistent tNodes to emit a score
+};
+
+/// Aggregate observations into per-AS scores.
+std::vector<AsScore> aggregate_scores(std::span<const PairObservation> obs,
+                                      const ScoringConfig& config = {});
+
+/// Fraction of consistent tNodes across all ASes (paper reports 95.1%).
+double consistency_rate(std::span<const PairObservation> obs);
+
+}  // namespace rovista::core

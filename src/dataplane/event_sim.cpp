@@ -1,0 +1,42 @@
+#include "dataplane/event_sim.h"
+
+#include <cassert>
+
+namespace rovista::dataplane {
+
+void Simulator::at(TimeUs t, std::function<void()> fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(TimeUs dt, std::function<void()> fn) {
+  at(now_ + dt, std::move(fn));
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // The queue element is const; copy the callable out before popping.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(TimeUs t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace rovista::dataplane

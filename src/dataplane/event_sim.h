@@ -1,0 +1,62 @@
+// Discrete-event simulation core.
+//
+// Time is microseconds from scenario start. Events fire in (time,
+// insertion-sequence) order, so simultaneous events are deterministic.
+// The engine is single-threaded by design: determinism beats parallelism
+// for a measurement-reproduction substrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rovista::dataplane {
+
+using TimeUs = std::uint64_t;
+
+constexpr TimeUs microseconds(double seconds) noexcept {
+  return static_cast<TimeUs>(seconds * 1e6);
+}
+
+constexpr double to_seconds(TimeUs t) noexcept {
+  return static_cast<double>(t) * 1e-6;
+}
+
+class Simulator {
+ public:
+  TimeUs now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  void at(TimeUs t, std::function<void()> fn);
+
+  /// Schedule `fn` at now() + dt.
+  void after(TimeUs dt, std::function<void()> fn);
+
+  /// Run every event; returns the number of events processed.
+  std::size_t run();
+
+  /// Run events with time <= t, then set now() = t.
+  std::size_t run_until(TimeUs t);
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeUs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rovista::dataplane

@@ -1,0 +1,118 @@
+#include "dataplane/host.h"
+
+#include <algorithm>
+
+namespace rovista::dataplane {
+
+Host::Host(HostConfig config, EmitFn emit, ScheduleFn schedule,
+           std::function<TimeUs()> now)
+    : config_(std::move(config)),
+      emit_(std::move(emit)),
+      schedule_(std::move(schedule)),
+      now_(std::move(now)),
+      ipid_(config_.ipid_policy, config_.initial_ipid, config_.seed),
+      background_(config_.background, config_.seed ^ 0xbad5eedULL) {}
+
+bool Host::port_open(std::uint16_t port) const noexcept {
+  return std::find(config_.open_ports.begin(), config_.open_ports.end(),
+                   port) != config_.open_ports.end();
+}
+
+Host::ConnKey Host::key(net::Ipv4Address peer, std::uint16_t peer_port,
+                        std::uint16_t local_port) noexcept {
+  return (std::uint64_t{peer.value()} << 32) |
+         (std::uint64_t{peer_port} << 16) | local_port;
+}
+
+void Host::sync_background() {
+  const TimeUs now = now_();
+  if (now > background_synced_at_) {
+    ipid_.advance(background_.packets_between(background_synced_at_, now));
+    background_synced_at_ = now;
+  }
+}
+
+void Host::send_tcp(net::Ipv4Address dst, std::uint16_t src_port,
+                    std::uint16_t dst_port, std::uint8_t flags) {
+  sync_background();
+  const net::Packet p = net::Packet::make_tcp(
+      config_.address, dst, src_port, dst_port, flags, ipid_.next(dst));
+  emit_(p);
+}
+
+void Host::send_raw(net::Packet packet) {
+  sync_background();
+  packet.ip.identification = ipid_.next(packet.ip.destination);
+  emit_(packet);
+}
+
+void Host::arm_rto(ConnKey k, double delay_s) {
+  const std::uint64_t generation = half_open_.at(k).generation;
+  schedule_(microseconds(delay_s), [this, k, generation, delay_s] {
+    const auto it = half_open_.find(k);
+    if (it == half_open_.end() || it->second.generation != generation) return;
+    HalfOpen& conn = it->second;
+    if (conn.retransmits_left <= 0) {
+      half_open_.erase(it);
+      return;
+    }
+    --conn.retransmits_left;
+    send_tcp(conn.peer, conn.local_port, conn.peer_port,
+             net::TcpFlags::kSyn | net::TcpFlags::kAck);
+    arm_rto(k, delay_s * 2.0);  // exponential backoff per RFC 6298
+  });
+}
+
+void Host::receive(const net::Packet& packet) {
+  sync_background();
+  if (config_.capture) {
+    captured_.emplace_back(now_(), packet);
+    return;
+  }
+
+  const net::Ipv4Address peer = packet.ip.source;
+  const std::uint16_t peer_port = packet.tcp.source_port;
+  const std::uint16_t local_port = packet.tcp.destination_port;
+
+  if (packet.is_syn()) {
+    if (port_open(local_port)) {
+      const ConnKey k = key(peer, peer_port, local_port);
+      HalfOpen conn;
+      conn.peer = peer;
+      conn.peer_port = peer_port;
+      conn.local_port = local_port;
+      conn.retransmits_left = config_.max_retransmits;
+      conn.generation = next_generation_++;
+      half_open_[k] = conn;
+      send_tcp(peer, local_port, peer_port,
+               net::TcpFlags::kSyn | net::TcpFlags::kAck);
+      if (config_.implements_rto) arm_rto(k, config_.rto_seconds);
+    } else {
+      send_tcp(peer, local_port, peer_port,
+               net::TcpFlags::kRst | net::TcpFlags::kAck);
+    }
+    return;
+  }
+
+  if (packet.is_syn_ack()) {
+    // We never initiate connections, so any SYN/ACK is unsolicited:
+    // respond with RST (the vVP behaviour the side channel observes).
+    send_tcp(peer, local_port, peer_port, net::TcpFlags::kRst);
+    return;
+  }
+
+  if (packet.is_rst()) {
+    if (!config_.retransmit_after_rst) {
+      half_open_.erase(key(peer, peer_port, local_port));
+    }
+    return;
+  }
+
+  // Plain ACK completing a handshake: connection established, state kept
+  // no longer needed for our purposes.
+  if (packet.tcp.has(net::TcpFlags::kAck)) {
+    half_open_.erase(key(peer, peer_port, local_port));
+  }
+}
+
+}  // namespace rovista::dataplane

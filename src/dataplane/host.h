@@ -1,0 +1,111 @@
+// End-host model: the TCP behaviours RoVista's side channel relies on.
+//
+// A host answers
+//   SYN to an open port      → SYN/ACK, half-open state + RTO retransmit
+//   SYN to a closed port     → RST
+//   unsolicited SYN/ACK      → RST (this is what vVPs do to probes)
+//   RST for a half-open conn → drop the state, cancel retransmission
+// Every packet the host emits consumes an IP-ID from its generator, and
+// background traffic keeps consuming ids between events. Deviant
+// behaviours needed by tNode qualification (§4.1) are configurable:
+// hosts that never retransmit, retransmit too late, or keep
+// retransmitting after a RST.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dataplane/event_sim.h"
+#include "dataplane/ipid.h"
+#include "dataplane/traffic.h"
+#include "net/packet.h"
+
+namespace rovista::dataplane {
+
+struct HostConfig {
+  net::Ipv4Address address;
+  std::vector<std::uint16_t> open_ports;
+  IpIdPolicy ipid_policy = IpIdPolicy::kGlobal;
+  std::uint16_t initial_ipid = 0;
+  TrafficModel background;
+  double rto_seconds = 3.0;     // RFC 6298-style initial RTO
+  int max_retransmits = 1;      // SYN/ACK retransmission budget
+  bool implements_rto = true;   // false → never retransmits (§4.1 (b) fail)
+  bool retransmit_after_rst = false;  // true → §4.1 (c) fail
+  bool capture = false;         // record received packets, don't respond
+  std::uint64_t seed = 1;
+};
+
+/// A packet the host wants sent, plus who to send it to.
+struct Emission {
+  net::Packet packet;
+};
+
+class Host {
+ public:
+  /// `emit` delivers packets to the forwarding plane; `schedule` arranges
+  /// timed callbacks (RTO); `now` reads simulation time.
+  using EmitFn = std::function<void(const net::Packet&)>;
+  using ScheduleFn = std::function<void(TimeUs delay, std::function<void()>)>;
+
+  Host(HostConfig config, EmitFn emit, ScheduleFn schedule,
+       std::function<TimeUs()> now);
+
+  const HostConfig& config() const noexcept { return config_; }
+  net::Ipv4Address address() const noexcept { return config_.address; }
+
+  bool port_open(std::uint16_t port) const noexcept;
+
+  /// Handle an arriving packet.
+  void receive(const net::Packet& packet);
+
+  /// Packet log (capture hosts only): (arrival time, packet).
+  const std::vector<std::pair<TimeUs, net::Packet>>& captured() const noexcept {
+    return captured_;
+  }
+  void clear_captured() { captured_.clear(); }
+
+  /// Send an arbitrary packet from this host (measurement clients use
+  /// this to emit probes and spoofed SYNs). The source address in
+  /// `packet` is preserved — spoofing is the caller's choice.
+  void send_raw(net::Packet packet);
+
+  /// Advance background traffic to the current time (normally done
+  /// automatically before any send).
+  void sync_background();
+
+  /// Current global IP-ID counter (diagnostics/tests).
+  std::uint16_t current_ipid() const noexcept { return ipid_.current(); }
+
+ private:
+  struct HalfOpen {
+    net::Ipv4Address peer;
+    std::uint16_t peer_port;
+    std::uint16_t local_port;
+    int retransmits_left;
+    std::uint64_t generation;  // invalidates stale RTO callbacks
+  };
+  using ConnKey = std::uint64_t;
+
+  static ConnKey key(net::Ipv4Address peer, std::uint16_t peer_port,
+                     std::uint16_t local_port) noexcept;
+
+  void send_tcp(net::Ipv4Address dst, std::uint16_t src_port,
+                std::uint16_t dst_port, std::uint8_t flags);
+  void arm_rto(ConnKey k, double delay_s);
+
+  HostConfig config_;
+  EmitFn emit_;
+  ScheduleFn schedule_;
+  std::function<TimeUs()> now_;
+  IpIdGenerator ipid_;
+  BackgroundProcess background_;
+  TimeUs background_synced_at_ = 0;
+  std::map<ConnKey, HalfOpen> half_open_;
+  std::uint64_t next_generation_ = 1;
+  std::vector<std::pair<TimeUs, net::Packet>> captured_;
+};
+
+}  // namespace rovista::dataplane

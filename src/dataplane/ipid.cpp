@@ -1,0 +1,33 @@
+#include "dataplane/ipid.h"
+
+namespace rovista::dataplane {
+
+IpIdGenerator::IpIdGenerator(IpIdPolicy policy, std::uint16_t initial,
+                             std::uint64_t seed)
+    : policy_(policy), counter_(initial), rng_(seed) {}
+
+std::uint16_t IpIdGenerator::next(net::Ipv4Address dst) {
+  switch (policy_) {
+    case IpIdPolicy::kGlobal:
+      return counter_++;
+    case IpIdPolicy::kPerDestination: {
+      auto [it, inserted] = per_dest_.try_emplace(
+          dst.value(), static_cast<std::uint16_t>(
+                           rng_.uniform_u64(0, 0xffff)));
+      return it->second++;
+    }
+    case IpIdPolicy::kRandom:
+      return static_cast<std::uint16_t>(rng_.uniform_u64(0, 0xffff));
+    case IpIdPolicy::kZero:
+      return 0;
+  }
+  return 0;
+}
+
+void IpIdGenerator::advance(std::uint64_t n) noexcept {
+  if (policy_ == IpIdPolicy::kGlobal) {
+    counter_ = static_cast<std::uint16_t>(counter_ + n);
+  }
+}
+
+}  // namespace rovista::dataplane

@@ -1,0 +1,65 @@
+// IP-ID assignment policies (the side channel itself).
+//
+// RoVista's observable is how a host assigns the 16-bit IPv4
+// Identification field. Hosts with a *global* counter (one counter for
+// all destinations — early Windows, FreeBSD) leak their total send rate
+// and become virtual vantage points; per-destination ("local") counters,
+// random assignment, and constant-zero hosts must be told apart during
+// vVP qualification (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace rovista::dataplane {
+
+enum class IpIdPolicy {
+  kGlobal,          // one counter, +1 per packet to any destination
+  kPerDestination,  // independent counter per destination address
+  kRandom,          // uniform random per packet
+  kZero,            // always 0 (DF-setting stacks)
+};
+
+constexpr const char* ipid_policy_name(IpIdPolicy p) noexcept {
+  switch (p) {
+    case IpIdPolicy::kGlobal:
+      return "global";
+    case IpIdPolicy::kPerDestination:
+      return "per-destination";
+    case IpIdPolicy::kRandom:
+      return "random";
+    case IpIdPolicy::kZero:
+      return "zero";
+  }
+  return "?";
+}
+
+/// Stateful IP-ID generator implementing one policy.
+class IpIdGenerator {
+ public:
+  IpIdGenerator(IpIdPolicy policy, std::uint16_t initial, std::uint64_t seed);
+
+  /// The IP-ID for the next packet sent to `dst` (advances state).
+  std::uint16_t next(net::Ipv4Address dst);
+
+  /// Consume `n` ids for traffic to unspecified other destinations
+  /// (background load). Only meaningful for the global policy; other
+  /// policies are unaffected, which is exactly why they leak nothing.
+  void advance(std::uint64_t n) noexcept;
+
+  IpIdPolicy policy() const noexcept { return policy_; }
+
+  /// Current global counter value (test/diagnostic use).
+  std::uint16_t current() const noexcept { return counter_; }
+
+ private:
+  IpIdPolicy policy_;
+  std::uint16_t counter_;
+  std::unordered_map<std::uint32_t, std::uint16_t> per_dest_;
+  util::Rng rng_;
+};
+
+}  // namespace rovista::dataplane

@@ -1,0 +1,27 @@
+#include "dataplane/traceroute.h"
+
+namespace rovista::dataplane {
+
+TracerouteResult tcp_traceroute(DataPlane& plane, Asn from_as,
+                                net::Ipv4Address dst, std::uint16_t port) {
+  TracerouteResult out;
+
+  // The traceroute probe is an ordinary (non-spoofed) TCP SYN, so SAV
+  // and source filters cannot drop it; the control-plane path decides.
+  PathResult path = plane.compute_path(from_as, dst);
+  out.hops = path.hops;
+  out.stop_reason = path.reason;
+  if (!path.delivered) return out;
+
+  // Final hop must answer on the probed port.
+  const Host* h = plane.host(dst);
+  if (h == nullptr || !h->port_open(port)) {
+    out.reached = false;
+    out.stop_reason = DropReason::kNoHost;
+    return out;
+  }
+  out.reached = true;
+  return out;
+}
+
+}  // namespace rovista::dataplane

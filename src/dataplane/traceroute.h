@@ -1,0 +1,28 @@
+// TCP traceroute over the simulated data plane.
+//
+// Reproduces the RIPE-Atlas-based cross-validation channel (§6.3.1): a
+// probe in some AS runs a TCP traceroute toward a tNode on the tNode's
+// open port; the hop list is the AS-level forwarding path, and the probe
+// "reached" the target iff the last hop is the tNode itself.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/dataplane.h"
+
+namespace rovista::dataplane {
+
+struct TracerouteResult {
+  std::vector<Asn> hops;    // AS-level hops, starting at the probe's AS
+  bool reached = false;     // last hop answered from the target address
+  DropReason stop_reason = DropReason::kNone;  // why it fell short
+};
+
+/// Run a traceroute from an AS toward a destination address. `port` is
+/// carried for fidelity with the paper's method (the tNode must answer on
+/// the same port RoVista used); delivery additionally requires the
+/// destination host to have that port open.
+TracerouteResult tcp_traceroute(DataPlane& plane, Asn from_as,
+                                net::Ipv4Address dst, std::uint16_t port);
+
+}  // namespace rovista::dataplane

@@ -1,0 +1,57 @@
+#include "dataplane/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rovista::dataplane {
+
+double TrafficModel::rate_at(double t_sec) const noexcept {
+  double r = base_rate;
+  switch (kind) {
+    case Kind::kConstant:
+      break;
+    case Kind::kTrend:
+      r += trend_per_sec * t_sec;
+      break;
+    case Kind::kSeasonal:
+      r += season_amplitude *
+           std::sin(2.0 * 3.141592653589793 * t_sec / season_period_s);
+      break;
+  }
+  return std::max(0.0, r);
+}
+
+double TrafficModel::expected_packets(double a_sec,
+                                      double b_sec) const noexcept {
+  if (b_sec <= a_sec) return 0.0;
+  switch (kind) {
+    case Kind::kConstant:
+      return base_rate * (b_sec - a_sec);
+    case Kind::kTrend: {
+      // ∫ (base + slope·t) dt, clamped at zero rate.
+      const double fa = rate_at(a_sec);
+      const double fb = rate_at(b_sec);
+      return 0.5 * (fa + fb) * (b_sec - a_sec);  // trapezoid is exact here
+    }
+    case Kind::kSeasonal: {
+      const double w = 2.0 * 3.141592653589793 / season_period_s;
+      const double base_part = base_rate * (b_sec - a_sec);
+      const double season_part =
+          -season_amplitude / w * (std::cos(w * b_sec) - std::cos(w * a_sec));
+      return std::max(0.0, base_part + season_part);
+    }
+  }
+  return 0.0;
+}
+
+BackgroundProcess::BackgroundProcess(TrafficModel model, std::uint64_t seed)
+    : model_(model), rng_(seed) {}
+
+std::uint64_t BackgroundProcess::packets_between(TimeUs from, TimeUs to) {
+  if (to <= from) return 0;
+  const double lambda =
+      model_.expected_packets(to_seconds(from), to_seconds(to));
+  return rng_.poisson(lambda);
+}
+
+}  // namespace rovista::dataplane

@@ -1,0 +1,47 @@
+// Background traffic processes for vVP hosts.
+//
+// A vVP's IP-ID grows with everything the host sends. The spike detector
+// must recover a 10-packet burst against this noise, so the simulation
+// offers the traffic shapes Appendix A distinguishes: constant-rate
+// (stationary → ARMA), linear trend and diurnal seasonality
+// (nonstationary → ARIMA after ADF).
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/event_sim.h"
+#include "util/rng.h"
+
+namespace rovista::dataplane {
+
+struct TrafficModel {
+  enum class Kind { kConstant, kTrend, kSeasonal } kind = Kind::kConstant;
+  double base_rate = 1.0;        // packets/second
+  double trend_per_sec = 0.0;    // rate slope (kTrend)
+  double season_amplitude = 0.0; // peak deviation from base (kSeasonal)
+  double season_period_s = 60.0; // seasonality period
+
+  /// Instantaneous rate at time t (>= 0, clamped).
+  double rate_at(double t_sec) const noexcept;
+
+  /// Integral of the rate over [a, b] seconds (expected packet count).
+  double expected_packets(double a_sec, double b_sec) const noexcept;
+};
+
+/// Generates Poisson packet counts over successive intervals,
+/// deterministic in (model, seed, query sequence).
+class BackgroundProcess {
+ public:
+  BackgroundProcess(TrafficModel model, std::uint64_t seed);
+
+  /// Packets sent during [from, to) — advances internal randomness.
+  std::uint64_t packets_between(TimeUs from, TimeUs to);
+
+  const TrafficModel& model() const noexcept { return model_; }
+
+ private:
+  TrafficModel model_;
+  util::Rng rng_;
+};
+
+}  // namespace rovista::dataplane

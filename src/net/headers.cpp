@@ -1,0 +1,142 @@
+#include "net/headers.h"
+
+namespace rovista::net {
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+// Sum bytes as 16-bit big-endian words into a 32-bit accumulator.
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i] << 8);
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) noexcept {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return checksum_finish(checksum_accumulate(data, 0));
+}
+
+std::array<std::uint8_t, Ipv4Header::kSize> Ipv4Header::serialize()
+    const noexcept {
+  std::array<std::uint8_t, kSize> b{};
+  b[0] = static_cast<std::uint8_t>((version << 4) | (ihl & 0x0f));
+  b[1] = dscp_ecn;
+  put_u16(&b[2], total_length);
+  put_u16(&b[4], identification);
+  put_u16(&b[6], flags_fragment);
+  b[8] = ttl;
+  b[9] = protocol;
+  put_u16(&b[10], 0);  // checksum computed below
+  put_u32(&b[12], source.value());
+  put_u32(&b[16], destination.value());
+  put_u16(&b[10], internet_checksum(b));
+  return b;
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSize) return std::nullopt;
+  if ((bytes[0] >> 4) != 4) return std::nullopt;
+  if (internet_checksum(bytes.first(kSize)) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.version = bytes[0] >> 4;
+  h.ihl = bytes[0] & 0x0f;
+  h.dscp_ecn = bytes[1];
+  h.total_length = get_u16(&bytes[2]);
+  h.identification = get_u16(&bytes[4]);
+  h.flags_fragment = get_u16(&bytes[6]);
+  h.ttl = bytes[8];
+  h.protocol = bytes[9];
+  h.header_checksum = get_u16(&bytes[10]);
+  h.source = Ipv4Address(get_u32(&bytes[12]));
+  h.destination = Ipv4Address(get_u32(&bytes[16]));
+  return h;
+}
+
+namespace {
+
+// RFC 793 pseudo-header contribution to the TCP checksum.
+std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                std::uint16_t tcp_length) noexcept {
+  std::uint32_t acc = 0;
+  acc += src.value() >> 16;
+  acc += src.value() & 0xffff;
+  acc += dst.value() >> 16;
+  acc += dst.value() & 0xffff;
+  acc += 6;  // protocol
+  acc += tcp_length;
+  return acc;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, TcpHeader::kSize> TcpHeader::serialize(
+    Ipv4Address src, Ipv4Address dst) const noexcept {
+  std::array<std::uint8_t, kSize> b{};
+  put_u16(&b[0], source_port);
+  put_u16(&b[2], destination_port);
+  put_u32(&b[4], sequence);
+  put_u32(&b[8], acknowledgment);
+  b[12] = static_cast<std::uint8_t>(data_offset << 4);
+  b[13] = flags;
+  put_u16(&b[14], window);
+  put_u16(&b[16], 0);  // checksum below
+  put_u16(&b[18], urgent_pointer);
+  const std::uint32_t acc = checksum_accumulate(
+      b, pseudo_header_sum(src, dst, static_cast<std::uint16_t>(kSize)));
+  put_u16(&b[16], checksum_finish(acc));
+  return b;
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> bytes,
+                                          Ipv4Address src, Ipv4Address dst) {
+  if (bytes.size() < kSize) return std::nullopt;
+  const std::uint32_t acc = checksum_accumulate(
+      bytes.first(kSize),
+      pseudo_header_sum(src, dst, static_cast<std::uint16_t>(kSize)));
+  if (checksum_finish(acc) != 0) return std::nullopt;
+  TcpHeader h;
+  h.source_port = get_u16(&bytes[0]);
+  h.destination_port = get_u16(&bytes[2]);
+  h.sequence = get_u32(&bytes[4]);
+  h.acknowledgment = get_u32(&bytes[8]);
+  h.data_offset = bytes[12] >> 4;
+  h.flags = bytes[13];
+  h.window = get_u16(&bytes[14]);
+  h.checksum = get_u16(&bytes[16]);
+  h.urgent_pointer = get_u16(&bytes[18]);
+  return h;
+}
+
+}  // namespace rovista::net

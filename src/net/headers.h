@@ -1,0 +1,80 @@
+// Wire-format IPv4 and TCP headers.
+//
+// The simulator moves packets as structured values, but the headers here
+// can be serialized to and parsed from the exact on-the-wire byte layout
+// (RFC 791 / RFC 793), with real one's-complement checksums — the same code
+// a libpcap/raw-socket deployment of RoVista would use to craft its probe
+// and spoofed packets.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rovista::net {
+
+/// RFC 1071 Internet checksum over a byte span (pads odd length with zero).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// TCP flag bits (RFC 793 control bits).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+/// IPv4 header (fixed 20-byte form; the simulator never emits options).
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;            // 32-bit words
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  // header + payload bytes
+  std::uint16_t identification = 0;  // the IP-ID side channel lives here
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;  // TCP
+  std::uint16_t header_checksum = 0;
+  Ipv4Address source;
+  Ipv4Address destination;
+
+  /// Serialize to wire format with a freshly computed checksum.
+  std::array<std::uint8_t, kSize> serialize() const noexcept;
+
+  /// Parse from wire bytes; verifies length, version and checksum.
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// TCP header (fixed 20-byte form, no options).
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t acknowledgment = 0;
+  std::uint8_t data_offset = 5;  // 32-bit words
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent_pointer = 0;
+
+  bool has(std::uint8_t flag) const noexcept { return (flags & flag) != 0; }
+
+  /// Serialize with checksum over the RFC 793 pseudo-header.
+  std::array<std::uint8_t, kSize> serialize(Ipv4Address src,
+                                            Ipv4Address dst) const noexcept;
+
+  /// Parse from wire bytes; verifies the pseudo-header checksum.
+  static std::optional<TcpHeader> parse(std::span<const std::uint8_t> bytes,
+                                        Ipv4Address src, Ipv4Address dst);
+};
+
+}  // namespace rovista::net

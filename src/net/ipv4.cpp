@@ -1,0 +1,55 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace rovista::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    std::uint64_t octet;
+    if (!util::parse_u64(p, octet) || octet > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Address(v);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Address addr, std::uint8_t length) noexcept
+    : addr_(addr.value() & mask_for(length)), length_(length) {}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::uint64_t len;
+  if (!util::parse_u64(s.substr(slash + 1), len) || len > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+bool Ipv4Prefix::contains(Ipv4Address addr) const noexcept {
+  return (addr.value() & mask()) == addr_.value();
+}
+
+bool Ipv4Prefix::covers(const Ipv4Prefix& other) const noexcept {
+  return other.length_ >= length_ && contains(other.addr_);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace rovista::net

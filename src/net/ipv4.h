@@ -1,0 +1,109 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// Addresses are stored host-byte-order as uint32_t; prefixes are
+// (address, length) pairs normalized so that host bits are zero. These are
+// small value types used pervasively in routing tables, RPKI objects and
+// the data plane.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rovista::net {
+
+/// An IPv4 address (host byte order internally).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept : value_(0) {}
+  constexpr explicit Ipv4Address(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parse dotted-quad notation ("192.0.2.1").
+  static std::optional<Ipv4Address> parse(std::string_view s);
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t value_;
+};
+
+/// A CIDR prefix. Invariant: host bits below the mask are zero.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept : addr_(), length_(0) {}
+
+  /// Construct, masking off host bits.
+  Ipv4Prefix(Ipv4Address addr, std::uint8_t length) noexcept;
+
+  /// Parse "a.b.c.d/len".
+  static std::optional<Ipv4Prefix> parse(std::string_view s);
+
+  constexpr Ipv4Address address() const noexcept { return addr_; }
+  constexpr std::uint8_t length() const noexcept { return length_; }
+
+  /// Network mask for this prefix length.
+  constexpr std::uint32_t mask() const noexcept { return mask_for(length_); }
+
+  static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  /// True if `addr` falls inside this prefix.
+  bool contains(Ipv4Address addr) const noexcept;
+
+  /// True if `other` is equal to or a subnet of this prefix.
+  bool covers(const Ipv4Prefix& other) const noexcept;
+
+  /// First address of the prefix (== address()).
+  Ipv4Address first() const noexcept { return addr_; }
+
+  /// Last address of the prefix.
+  Ipv4Address last() const noexcept {
+    return Ipv4Address(addr_.value() | ~mask());
+  }
+
+  /// Number of addresses covered (2^(32-len)), as uint64.
+  std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const noexcept = default;
+
+ private:
+  Ipv4Address addr_;
+  std::uint8_t length_;
+};
+
+}  // namespace rovista::net
+
+template <>
+struct std::hash<rovista::net::Ipv4Address> {
+  std::size_t operator()(const rovista::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<rovista::net::Ipv4Prefix> {
+  std::size_t operator()(const rovista::net::Ipv4Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().value()} << 8) | p.length());
+  }
+};

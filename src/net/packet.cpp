@@ -1,0 +1,57 @@
+#include "net/packet.h"
+
+#include "util/strings.h"
+
+namespace rovista::net {
+
+Packet Packet::make_tcp(Ipv4Address src, Ipv4Address dst,
+                        std::uint16_t src_port, std::uint16_t dst_port,
+                        std::uint8_t flags, std::uint16_t ip_id) noexcept {
+  Packet p;
+  p.ip.source = src;
+  p.ip.destination = dst;
+  p.ip.identification = ip_id;
+  p.ip.total_length =
+      static_cast<std::uint16_t>(Ipv4Header::kSize + TcpHeader::kSize);
+  p.tcp.source_port = src_port;
+  p.tcp.destination_port = dst_port;
+  p.tcp.flags = flags;
+  return p;
+}
+
+std::vector<std::uint8_t> Packet::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(Ipv4Header::kSize + TcpHeader::kSize);
+  const auto ip_bytes = ip.serialize();
+  out.insert(out.end(), ip_bytes.begin(), ip_bytes.end());
+  const auto tcp_bytes = tcp.serialize(ip.source, ip.destination);
+  out.insert(out.end(), tcp_bytes.begin(), tcp_bytes.end());
+  return out;
+}
+
+std::optional<Packet> Packet::from_bytes(std::span<const std::uint8_t> bytes) {
+  const auto ip = Ipv4Header::parse(bytes);
+  if (!ip) return std::nullopt;
+  const std::size_t ip_len = std::size_t{ip->ihl} * 4;
+  if (bytes.size() < ip_len + TcpHeader::kSize) return std::nullopt;
+  const auto tcp =
+      TcpHeader::parse(bytes.subspan(ip_len), ip->source, ip->destination);
+  if (!tcp) return std::nullopt;
+  Packet p;
+  p.ip = *ip;
+  p.tcp = *tcp;
+  return p;
+}
+
+std::string Packet::summary() const {
+  const char* kind = "TCP";
+  if (is_syn()) kind = "SYN";
+  if (is_syn_ack()) kind = "SYN/ACK";
+  if (is_rst()) kind = "RST";
+  return util::format("%s %s:%u -> %s:%u id=%u", kind,
+                      ip.source.to_string().c_str(), tcp.source_port,
+                      ip.destination.to_string().c_str(), tcp.destination_port,
+                      ip.identification);
+}
+
+}  // namespace rovista::net

@@ -1,0 +1,46 @@
+// The packet value type moved through the simulated data plane.
+//
+// A Packet is a parsed IPv4+TCP datagram plus simulator bookkeeping
+// (the AS currently holding it and a hop trace for traceroute support).
+// `to_bytes`/`from_bytes` round-trip the exact wire format so tests can
+// assert that the probe packets RoVista crafts are well-formed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/ipv4.h"
+
+namespace rovista::net {
+
+struct Packet {
+  Ipv4Header ip;
+  TcpHeader tcp;
+
+  /// Build a TCP packet with consistent lengths.
+  static Packet make_tcp(Ipv4Address src, Ipv4Address dst,
+                         std::uint16_t src_port, std::uint16_t dst_port,
+                         std::uint8_t flags, std::uint16_t ip_id) noexcept;
+
+  bool is_syn() const noexcept {
+    return tcp.has(TcpFlags::kSyn) && !tcp.has(TcpFlags::kAck);
+  }
+  bool is_syn_ack() const noexcept {
+    return tcp.has(TcpFlags::kSyn) && tcp.has(TcpFlags::kAck);
+  }
+  bool is_rst() const noexcept { return tcp.has(TcpFlags::kRst); }
+
+  /// Full wire serialization (IPv4 header + TCP header).
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Parse a full datagram; returns nullopt on malformed/corrupt bytes.
+  static std::optional<Packet> from_bytes(
+      std::span<const std::uint8_t> bytes);
+
+  std::string summary() const;
+};
+
+}  // namespace rovista::net

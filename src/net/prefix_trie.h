@@ -1,0 +1,197 @@
+// Binary (Patricia-style, one bit per level) trie keyed by IPv4 prefixes.
+//
+// Used for FIB longest-prefix-match lookups and for RPKI VRP coverage
+// queries. The structure stores at most one value per exact prefix; LPM
+// walks the address bits and remembers the deepest populated node.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rovista::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  PrefixTrie(const PrefixTrie& other)
+      : root_(clone(other.root_.get())), size_(other.size_) {}
+  PrefixTrie& operator=(const PrefixTrie& other) {
+    if (this != &other) {
+      root_ = clone(other.root_.get());
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  PrefixTrie(PrefixTrie&&) noexcept = default;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept = default;
+
+  /// Insert or overwrite the value at an exact prefix.
+  void insert(const Ipv4Prefix& prefix, T value) {
+    Node* node = descend(prefix, /*create=*/true);
+    node->value = std::move(value);
+    if (!node->occupied) {
+      node->occupied = true;
+      ++size_;
+    }
+  }
+
+  /// Remove the value at an exact prefix; returns true if it was present.
+  bool erase(const Ipv4Prefix& prefix) {
+    Node* node = descend(prefix, /*create=*/false);
+    if (node == nullptr || !node->occupied) return false;
+    node->occupied = false;
+    node->value = T{};
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  const T* find(const Ipv4Prefix& prefix) const {
+    const Node* node = descend(prefix, nullptr);
+    return (node != nullptr && node->occupied) ? &node->value : nullptr;
+  }
+
+  T* find(const Ipv4Prefix& prefix) {
+    Node* node = descend(prefix, /*create=*/false);
+    return (node != nullptr && node->occupied) ? &node->value : nullptr;
+  }
+
+  /// Longest-prefix match for an address; returns the matched prefix and
+  /// value, or nullopt if nothing covers the address.
+  std::optional<std::pair<Ipv4Prefix, const T*>> longest_match(
+      Ipv4Address addr) const {
+    const Node* best = nullptr;
+    std::uint8_t best_len = 0;
+    const Node* node = root_.get();
+    std::uint8_t depth = 0;
+    while (node != nullptr) {
+      if (node->occupied) {
+        best = node;
+        best_len = depth;
+      }
+      if (depth == 32) break;
+      const std::uint32_t bit = (addr.value() >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+      ++depth;
+    }
+    if (best == nullptr) return std::nullopt;
+    const Ipv4Prefix matched(addr, best_len);
+    return std::make_pair(matched, &best->value);
+  }
+
+  /// All (prefix, value) entries whose prefix covers `addr`, shortest first.
+  std::vector<std::pair<Ipv4Prefix, const T*>> all_matches(
+      Ipv4Address addr) const {
+    std::vector<std::pair<Ipv4Prefix, const T*>> out;
+    const Node* node = root_.get();
+    std::uint8_t depth = 0;
+    while (node != nullptr) {
+      if (node->occupied) out.emplace_back(Ipv4Prefix(addr, depth), &node->value);
+      if (depth == 32) break;
+      const std::uint32_t bit = (addr.value() >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+      ++depth;
+    }
+    return out;
+  }
+
+  /// All entries whose prefix covers the given prefix (i.e. are equal to or
+  /// less specific than it), shortest first.
+  std::vector<std::pair<Ipv4Prefix, const T*>> covering(
+      const Ipv4Prefix& prefix) const {
+    std::vector<std::pair<Ipv4Prefix, const T*>> out;
+    const Node* node = root_.get();
+    std::uint8_t depth = 0;
+    while (node != nullptr && depth <= prefix.length()) {
+      if (node->occupied) {
+        out.emplace_back(Ipv4Prefix(prefix.address(), depth), &node->value);
+      }
+      if (depth == prefix.length()) break;
+      const std::uint32_t bit = (prefix.address().value() >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+      ++depth;
+    }
+    return out;
+  }
+
+  /// Visit every populated entry in prefix order (pre-order DFS).
+  template <typename F>
+  void for_each(F&& f) const {
+    walk(root_.get(), 0, 0, f);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    T value{};
+    bool occupied = false;
+  };
+
+  static std::unique_ptr<Node> clone(const Node* node) {
+    if (node == nullptr) return nullptr;
+    auto copy = std::make_unique<Node>();
+    copy->value = node->value;
+    copy->occupied = node->occupied;
+    copy->child[0] = clone(node->child[0].get());
+    copy->child[1] = clone(node->child[1].get());
+    return copy;
+  }
+
+  Node* descend(const Ipv4Prefix& prefix, bool create) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t bit =
+          (prefix.address().value() >> (31 - depth)) & 1u;
+      if (!node->child[bit]) {
+        if (!create) return nullptr;
+        node->child[bit] = std::make_unique<Node>();
+      }
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  const Node* descend(const Ipv4Prefix& prefix, std::nullptr_t) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t bit =
+          (prefix.address().value() >> (31 - depth)) & 1u;
+      node = node->child[bit].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  template <typename F>
+  static void walk(const Node* node, std::uint32_t bits, std::uint8_t depth,
+                   F& f) {
+    if (node == nullptr) return;
+    if (node->occupied) {
+      f(Ipv4Prefix(Ipv4Address(depth == 0 ? 0 : bits << (32 - depth)), depth),
+        node->value);
+    }
+    if (depth == 32) return;
+    walk(node->child[0].get(), bits << 1, depth + 1, f);
+    walk(node->child[1].get(), (bits << 1) | 1u, depth + 1, f);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rovista::net

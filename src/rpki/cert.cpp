@@ -1,0 +1,79 @@
+#include "rpki/cert.h"
+
+#include <algorithm>
+
+namespace rovista::rpki {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t KeyPair::sign(std::uint64_t digest) const noexcept {
+  return mix(digest, secret);
+}
+
+KeyPair SimulatedCrypto::derive(std::uint64_t seed) noexcept {
+  KeyPair kp;
+  kp.secret = mix(seed, 0x5ca1ab1e5ca1ab1eULL);
+  kp.key_id = mix(kp.secret, 0x7e57ab1e7e57ab1eULL);
+  return kp;
+}
+
+void SimulatedCrypto::register_key(const KeyPair& key) {
+  const auto it =
+      std::find_if(keys_.begin(), keys_.end(),
+                   [&](const KeyPair& k) { return k.key_id == key.key_id; });
+  if (it == keys_.end()) keys_.push_back(key);
+}
+
+bool SimulatedCrypto::verify(std::uint64_t key_id, std::uint64_t digest,
+                             std::uint64_t signature) const noexcept {
+  const auto it =
+      std::find_if(keys_.begin(), keys_.end(),
+                   [&](const KeyPair& k) { return k.key_id == key_id; });
+  if (it == keys_.end()) return false;
+  return it->sign(digest) == signature;
+}
+
+bool ResourceSet::contains_prefix(const net::Ipv4Prefix& p) const noexcept {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const net::Ipv4Prefix& own) { return own.covers(p); });
+}
+
+bool ResourceSet::contains_asn(Asn asn) const noexcept {
+  return std::find(asns.begin(), asns.end(), asn) != asns.end();
+}
+
+bool ResourceSet::contains(const ResourceSet& other) const noexcept {
+  const bool prefixes_ok =
+      std::all_of(other.prefixes.begin(), other.prefixes.end(),
+                  [&](const net::Ipv4Prefix& p) { return contains_prefix(p); });
+  const bool asns_ok =
+      std::all_of(other.asns.begin(), other.asns.end(),
+                  [&](Asn a) { return contains_asn(a); });
+  return prefixes_ok && asns_ok;
+}
+
+std::uint64_t Certificate::payload_digest() const noexcept {
+  std::uint64_t acc = mix(serial, key_id);
+  for (const auto& p : resources.prefixes) {
+    acc = mix(acc, (std::uint64_t{p.address().value()} << 8) | p.length());
+  }
+  for (Asn a : resources.asns) acc = mix(acc, a);
+  acc = mix(acc, static_cast<std::uint64_t>(not_before.days_since_epoch()));
+  acc = mix(acc, static_cast<std::uint64_t>(not_after.days_since_epoch()));
+  acc = mix(acc, issuer_key_id);
+  return acc;
+}
+
+}  // namespace rovista::rpki

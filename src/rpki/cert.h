@@ -1,0 +1,79 @@
+// RPKI resource certificates (simulated cryptography, real semantics).
+//
+// A resource certificate binds Internet Number Resources (IP prefixes and
+// ASNs) to a key. Signatures here are a keyed digest rather than real
+// asymmetric crypto — DESIGN.md records this substitution — but the chain
+// rules are enforced for real: a certificate is valid only if its issuer's
+// resources contain its own (RFC 6487 resource containment), its validity
+// window covers the validation date, and its signature verifies against
+// the issuer key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "topology/as_graph.h"
+#include "util/date.h"
+
+namespace rovista::rpki {
+
+using Asn = topology::Asn;
+
+/// A key pair in the simulated crypto system. The "private" half signs;
+/// the "public" half (its id) verifies.
+struct KeyPair {
+  std::uint64_t key_id = 0;   // public identity
+  std::uint64_t secret = 0;   // signing secret
+
+  /// Sign a digest: keyed mix of (digest, secret).
+  std::uint64_t sign(std::uint64_t digest) const noexcept;
+};
+
+/// Verify a signature produced by the key with `key_id` whose secret is
+/// `secret` — the repository stores (key_id → secret) as the simulated
+/// public-key registry (see SimulatedCrypto below).
+class SimulatedCrypto {
+ public:
+  /// Deterministically derive a key pair from a seed.
+  static KeyPair derive(std::uint64_t seed) noexcept;
+
+  /// Register a key so signatures can be verified by key id.
+  void register_key(const KeyPair& key);
+
+  bool verify(std::uint64_t key_id, std::uint64_t digest,
+              std::uint64_t signature) const noexcept;
+
+ private:
+  std::vector<KeyPair> keys_;
+};
+
+/// The Internet Number Resources carried by a certificate.
+struct ResourceSet {
+  std::vector<net::Ipv4Prefix> prefixes;
+  std::vector<Asn> asns;
+
+  /// True if every resource in `other` is covered by this set.
+  bool contains(const ResourceSet& other) const noexcept;
+  bool contains_prefix(const net::Ipv4Prefix& p) const noexcept;
+  bool contains_asn(Asn asn) const noexcept;
+};
+
+/// A CA certificate in the RPKI hierarchy.
+struct Certificate {
+  std::uint64_t serial = 0;
+  std::string subject;
+  ResourceSet resources;
+  std::uint64_t key_id = 0;         // this certificate's key
+  std::uint64_t issuer_key_id = 0;  // signer (== key_id for trust anchors)
+  util::Date not_before;
+  util::Date not_after;
+  std::uint64_t signature = 0;
+  bool is_trust_anchor = false;
+
+  std::uint64_t payload_digest() const noexcept;
+};
+
+}  // namespace rovista::rpki

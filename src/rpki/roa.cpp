@@ -1,0 +1,49 @@
+#include "rpki/roa.h"
+
+#include "util/strings.h"
+
+namespace rovista::rpki {
+
+namespace {
+
+// FNV-1a accumulation: stands in for a real digest. The object model and
+// validation pipeline treat it exactly like a cryptographic hash.
+std::uint64_t fnv1a(std::uint64_t acc, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    acc ^= (v >> (8 * i)) & 0xff;
+    acc *= 1099511628211ULL;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t Roa::payload_digest() const noexcept {
+  std::uint64_t acc = 14695981039346656037ULL;
+  acc = fnv1a(acc, asn);
+  for (const RoaPrefix& p : prefixes) {
+    acc = fnv1a(acc, p.prefix.address().value());
+    acc = fnv1a(acc, p.prefix.length());
+    acc = fnv1a(acc, p.effective_max_length());
+  }
+  acc = fnv1a(acc, static_cast<std::uint64_t>(not_before.days_since_epoch()));
+  acc = fnv1a(acc, static_cast<std::uint64_t>(not_after.days_since_epoch()));
+  return acc;
+}
+
+std::string Roa::to_string() const {
+  std::string s = util::format("ROA(AS%u:", asn);
+  for (const RoaPrefix& p : prefixes) {
+    s += " " + p.prefix.to_string() +
+         util::format("-%u", p.effective_max_length());
+  }
+  s += ")";
+  return s;
+}
+
+std::string Vrp::to_string() const {
+  return util::format("VRP(%s-%u, AS%u)", prefix.to_string().c_str(),
+                      max_length, asn);
+}
+
+}  // namespace rovista::rpki

@@ -1,0 +1,57 @@
+// Route Origin Authorizations and Validated ROA Payloads.
+//
+// A ROA authorizes one origin ASN to announce a set of prefixes, each
+// with an optional maxLength. After cryptographic validation the relying
+// party flattens ROAs into VRPs — (prefix, max_length, asn) tuples — which
+// routers consume for Route Origin Validation (RFC 6811).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "topology/as_graph.h"
+#include "util/date.h"
+
+namespace rovista::rpki {
+
+using Asn = topology::Asn;
+
+/// One prefix entry inside a ROA.
+struct RoaPrefix {
+  net::Ipv4Prefix prefix;
+  std::uint8_t max_length = 0;  // 0 => defaults to prefix length
+
+  std::uint8_t effective_max_length() const noexcept {
+    return max_length == 0 ? prefix.length() : max_length;
+  }
+};
+
+/// A Route Origin Authorization object (pre-validation).
+struct Roa {
+  Asn asn = 0;                      // authorized origin
+  std::vector<RoaPrefix> prefixes;  // authorized prefixes
+  util::Date not_before;
+  util::Date not_after;
+  std::uint64_t signing_cert = 0;   // id of the CA certificate that signed it
+  std::uint64_t signature = 0;      // toy signature over the payload
+
+  /// Deterministic digest of the payload (what gets signed).
+  std::uint64_t payload_digest() const noexcept;
+
+  std::string to_string() const;
+};
+
+/// A Validated ROA Payload.
+struct Vrp {
+  net::Ipv4Prefix prefix;
+  std::uint8_t max_length = 0;
+  Asn asn = 0;
+
+  auto operator<=>(const Vrp&) const noexcept = default;
+
+  std::string to_string() const;
+};
+
+}  // namespace rovista::rpki

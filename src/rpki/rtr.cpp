@@ -1,0 +1,371 @@
+#include "rpki/rtr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rovista::rpki::rtr {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Pdu::serialize() const {
+  std::vector<std::uint8_t> b;
+  b.push_back(kProtocolVersion);
+  b.push_back(static_cast<std::uint8_t>(type));
+  put_u16(b, session_id);
+  put_u32(b, 0);  // length placeholder (bytes 4..7), patched below
+
+  switch (type) {
+    case PduType::kSerialNotify:
+    case PduType::kSerialQuery:
+    case PduType::kEndOfData:
+      put_u32(b, serial);
+      if (type == PduType::kEndOfData) {
+        put_u32(b, refresh_interval);
+        put_u32(b, retry_interval);
+        put_u32(b, expire_interval);
+      }
+      break;
+    case PduType::kResetQuery:
+    case PduType::kCacheResponse:
+    case PduType::kCacheReset:
+      break;
+    case PduType::kIpv4Prefix: {
+      b.push_back(announce ? 1 : 0);
+      b.push_back(prefix_length);
+      b.push_back(max_length);
+      b.push_back(0);  // zero
+      put_u32(b, prefix.value());
+      put_u32(b, asn);
+      break;
+    }
+    case PduType::kErrorReport: {
+      // Error code travels in the session_id field (already written).
+      put_u32(b, 0);  // length of encapsulated PDU (none)
+      put_u32(b, static_cast<std::uint32_t>(error_text.size()));
+      b.insert(b.end(), error_text.begin(), error_text.end());
+      break;
+    }
+  }
+
+  const std::uint32_t length = static_cast<std::uint32_t>(b.size());
+  b[4] = static_cast<std::uint8_t>(length >> 24);
+  b[5] = static_cast<std::uint8_t>(length >> 16);
+  b[6] = static_cast<std::uint8_t>(length >> 8);
+  b[7] = static_cast<std::uint8_t>(length);
+  return b;
+}
+
+std::optional<std::pair<Pdu, std::size_t>> Pdu::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) return std::nullopt;
+  if (bytes[0] != kProtocolVersion) return std::nullopt;
+  const std::uint32_t length = get_u32(bytes, 4);
+  if (length < 8 || bytes.size() < length) return std::nullopt;
+
+  Pdu pdu;
+  pdu.type = static_cast<PduType>(bytes[1]);
+  pdu.session_id = get_u16(bytes, 2);
+
+  switch (pdu.type) {
+    case PduType::kSerialNotify:
+    case PduType::kSerialQuery:
+      if (length != 12) return std::nullopt;
+      pdu.serial = get_u32(bytes, 8);
+      break;
+    case PduType::kResetQuery:
+    case PduType::kCacheResponse:
+    case PduType::kCacheReset:
+      if (length != 8) return std::nullopt;
+      break;
+    case PduType::kIpv4Prefix:
+      if (length != 20) return std::nullopt;
+      pdu.announce = (bytes[8] & 1) != 0;
+      pdu.prefix_length = bytes[9];
+      pdu.max_length = bytes[10];
+      if (pdu.prefix_length > 32 || pdu.max_length > 32 ||
+          pdu.max_length < pdu.prefix_length) {
+        return std::nullopt;
+      }
+      pdu.prefix = net::Ipv4Address(get_u32(bytes, 12));
+      pdu.asn = get_u32(bytes, 16);
+      break;
+    case PduType::kEndOfData:
+      if (length != 24) return std::nullopt;
+      pdu.serial = get_u32(bytes, 8);
+      pdu.refresh_interval = get_u32(bytes, 12);
+      pdu.retry_interval = get_u32(bytes, 16);
+      pdu.expire_interval = get_u32(bytes, 20);
+      break;
+    case PduType::kErrorReport: {
+      if (length < 16) return std::nullopt;
+      pdu.error_code = static_cast<ErrorCode>(pdu.session_id);
+      const std::uint32_t enc_len = get_u32(bytes, 8);
+      const std::size_t text_len_off = 12 + enc_len;
+      if (length < text_len_off + 4) return std::nullopt;
+      const std::uint32_t text_len = get_u32(bytes, text_len_off);
+      if (length != text_len_off + 4 + text_len) return std::nullopt;
+      pdu.error_text.assign(
+          bytes.begin() + static_cast<long>(text_len_off + 4),
+          bytes.begin() + static_cast<long>(text_len_off + 4 + text_len));
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return std::make_pair(pdu, static_cast<std::size_t>(length));
+}
+
+Pdu make_serial_notify(std::uint16_t session, std::uint32_t serial) {
+  Pdu p;
+  p.type = PduType::kSerialNotify;
+  p.session_id = session;
+  p.serial = serial;
+  return p;
+}
+
+Pdu make_serial_query(std::uint16_t session, std::uint32_t serial) {
+  Pdu p;
+  p.type = PduType::kSerialQuery;
+  p.session_id = session;
+  p.serial = serial;
+  return p;
+}
+
+Pdu make_reset_query() {
+  Pdu p;
+  p.type = PduType::kResetQuery;
+  return p;
+}
+
+Pdu make_cache_response(std::uint16_t session) {
+  Pdu p;
+  p.type = PduType::kCacheResponse;
+  p.session_id = session;
+  return p;
+}
+
+Pdu make_ipv4_prefix(bool announce, const Vrp& vrp) {
+  Pdu p;
+  p.type = PduType::kIpv4Prefix;
+  p.announce = announce;
+  p.prefix = vrp.prefix.address();
+  p.prefix_length = vrp.prefix.length();
+  p.max_length = vrp.max_length;
+  p.asn = vrp.asn;
+  return p;
+}
+
+Pdu make_end_of_data(std::uint16_t session, std::uint32_t serial) {
+  Pdu p;
+  p.type = PduType::kEndOfData;
+  p.session_id = session;
+  p.serial = serial;
+  return p;
+}
+
+Pdu make_cache_reset() {
+  Pdu p;
+  p.type = PduType::kCacheReset;
+  return p;
+}
+
+Pdu make_error(ErrorCode code, std::string text) {
+  Pdu p;
+  p.type = PduType::kErrorReport;
+  p.session_id = static_cast<std::uint16_t>(code);
+  p.error_code = code;
+  p.error_text = std::move(text);
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Cache
+
+Cache::Cache(std::uint16_t session_id, std::size_t history_limit)
+    : session_id_(session_id), history_limit_(history_limit) {}
+
+std::uint32_t Cache::publish(const VrpSet& vrps) {
+  std::vector<Vrp> next;
+  next.reserve(vrps.size());
+  vrps.for_each([&](const Vrp& v) { next.push_back(v); });
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+
+  Diff diff;
+  diff.serial = ++serial_;
+  std::set_difference(next.begin(), next.end(), snapshot_.begin(),
+                      snapshot_.end(), std::back_inserter(diff.announced));
+  std::set_difference(snapshot_.begin(), snapshot_.end(), next.begin(),
+                      next.end(), std::back_inserter(diff.withdrawn));
+  history_.push_back(std::move(diff));
+  while (history_.size() > history_limit_) history_.pop_front();
+
+  snapshot_ = std::move(next);
+  return serial_;
+}
+
+void Cache::respond_full(std::vector<Pdu>& out) const {
+  out.push_back(make_cache_response(session_id_));
+  for (const Vrp& vrp : snapshot_) {
+    out.push_back(make_ipv4_prefix(true, vrp));
+  }
+  out.push_back(make_end_of_data(session_id_, serial_));
+}
+
+void Cache::handle(const Pdu& query, std::vector<Pdu>& out) const {
+  switch (query.type) {
+    case PduType::kResetQuery:
+      respond_full(out);
+      return;
+    case PduType::kSerialQuery: {
+      if (query.session_id != session_id_) {
+        // Session mismatch: the router must restart from scratch.
+        out.push_back(make_cache_reset());
+        return;
+      }
+      if (query.serial == serial_) {
+        // Nothing new: empty delta.
+        out.push_back(make_cache_response(session_id_));
+        out.push_back(make_end_of_data(session_id_, serial_));
+        return;
+      }
+      // Collect diffs (query.serial, serial_]; if the history no longer
+      // reaches back that far, force a reset.
+      std::vector<const Diff*> needed;
+      for (const Diff& diff : history_) {
+        if (diff.serial > query.serial) needed.push_back(&diff);
+      }
+      const bool have_all =
+          !needed.empty() && needed.front()->serial == query.serial + 1;
+      if (!have_all) {
+        out.push_back(make_cache_reset());
+        return;
+      }
+      out.push_back(make_cache_response(session_id_));
+      for (const Diff* diff : needed) {
+        for (const Vrp& vrp : diff->withdrawn) {
+          out.push_back(make_ipv4_prefix(false, vrp));
+        }
+        for (const Vrp& vrp : diff->announced) {
+          out.push_back(make_ipv4_prefix(true, vrp));
+        }
+      }
+      out.push_back(make_end_of_data(session_id_, serial_));
+      return;
+    }
+    default:
+      out.push_back(make_error(ErrorCode::kInvalidRequest,
+                               "unexpected query PDU"));
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// RouterSession
+
+Pdu RouterSession::next_query() const {
+  if (!synchronized_ || pending_reset_) return make_reset_query();
+  return make_serial_query(session_id_, serial_);
+}
+
+bool RouterSession::consume(const Pdu& pdu) {
+  switch (pdu.type) {
+    case PduType::kSerialNotify:
+      // Just a poke; the router will query on its next cycle.
+      return true;
+    case PduType::kCacheResponse:
+      if (in_response_) {
+        last_error_ = "nested cache response";
+        return false;
+      }
+      in_response_ = true;
+      if (pending_reset_ || !synchronized_) {
+        // Full resync: forget everything.
+        vrps_.clear();
+        pending_reset_ = false;
+      }
+      session_id_ = pdu.session_id;
+      return true;
+    case PduType::kIpv4Prefix: {
+      if (!in_response_) {
+        last_error_ = "prefix PDU outside a response";
+        return false;
+      }
+      Vrp vrp{net::Ipv4Prefix(pdu.prefix, pdu.prefix_length), pdu.max_length,
+              pdu.asn};
+      const auto it = std::lower_bound(vrps_.begin(), vrps_.end(), vrp);
+      if (pdu.announce) {
+        if (it == vrps_.end() || *it != vrp) vrps_.insert(it, vrp);
+      } else {
+        if (it != vrps_.end() && *it == vrp) vrps_.erase(it);
+      }
+      return true;
+    }
+    case PduType::kEndOfData:
+      if (!in_response_) {
+        last_error_ = "end of data outside a response";
+        return false;
+      }
+      in_response_ = false;
+      synchronized_ = true;
+      serial_ = pdu.serial;
+      return true;
+    case PduType::kCacheReset:
+      // The cache cannot serve our serial: restart with a Reset Query.
+      pending_reset_ = true;
+      in_response_ = false;
+      return true;
+    case PduType::kErrorReport:
+      last_error_ = pdu.error_text;
+      in_response_ = false;
+      return false;
+    default:
+      last_error_ = "unsupported PDU";
+      return false;
+  }
+}
+
+bool RouterSession::consume_stream(std::span<const std::uint8_t> bytes) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const auto parsed = Pdu::parse(bytes.subspan(offset));
+    if (!parsed.has_value()) {
+      last_error_ = "malformed PDU stream";
+      return false;
+    }
+    if (!consume(parsed->first)) return false;
+    offset += parsed->second;
+  }
+  return true;
+}
+
+VrpSet RouterSession::vrps() const {
+  VrpSet out;
+  for (const Vrp& vrp : vrps_) out.add(vrp);
+  return out;
+}
+
+}  // namespace rovista::rpki::rtr

@@ -1,0 +1,160 @@
+// The RPKI-to-Router (RTR) protocol, RFC 8210 — the paper's §2.2 cites
+// it as the channel over which relying-party output (VRPs) reaches
+// routers.
+//
+// Implemented for real at the wire level: 8-byte PDU headers, IPv4
+// Prefix PDUs with announce/withdraw flags, the serial-number handshake
+// (Serial Query → Cache Response → Prefix PDUs → End of Data), Cache
+// Reset when the cache cannot serve a diff, and Error Report PDUs.
+// A Cache holds versioned VRP snapshots and serves incremental diffs; a
+// RouterSession consumes PDU streams and maintains the router's VRP set.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rpki/validation.h"
+
+namespace rovista::rpki::rtr {
+
+/// PDU types (RFC 8210 §5).
+enum class PduType : std::uint8_t {
+  kSerialNotify = 0,
+  kSerialQuery = 1,
+  kResetQuery = 2,
+  kCacheResponse = 3,
+  kIpv4Prefix = 4,
+  kEndOfData = 7,
+  kCacheReset = 8,
+  kErrorReport = 10,
+};
+
+constexpr std::uint8_t kProtocolVersion = 1;  // RFC 8210
+
+/// Error codes (RFC 8210 §5.10).
+enum class ErrorCode : std::uint16_t {
+  kCorruptData = 0,
+  kInternalError = 1,
+  kNoDataAvailable = 2,
+  kInvalidRequest = 3,
+  kUnsupportedVersion = 4,
+  kUnsupportedPduType = 5,
+};
+
+/// A parsed PDU. Fields are populated per type; unused ones stay zero.
+struct Pdu {
+  PduType type = PduType::kResetQuery;
+  std::uint16_t session_id = 0;   // session_id or flags/error code field
+  std::uint32_t serial = 0;       // serial number (notify/query/eod)
+  // IPv4 Prefix PDU payload:
+  bool announce = false;          // flags bit 0
+  std::uint8_t prefix_length = 0;
+  std::uint8_t max_length = 0;
+  net::Ipv4Address prefix;
+  std::uint32_t asn = 0;
+  // End of Data timers:
+  std::uint32_t refresh_interval = 3600;
+  std::uint32_t retry_interval = 600;
+  std::uint32_t expire_interval = 7200;
+  // Error report:
+  ErrorCode error_code = ErrorCode::kCorruptData;
+  std::string error_text;
+
+  /// Serialize to the RFC 8210 wire format.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parse one PDU from the front of `bytes`; returns the PDU and its
+  /// encoded length, or nullopt on malformed/truncated input.
+  static std::optional<std::pair<Pdu, std::size_t>> parse(
+      std::span<const std::uint8_t> bytes);
+};
+
+// Convenience constructors.
+Pdu make_serial_notify(std::uint16_t session, std::uint32_t serial);
+Pdu make_serial_query(std::uint16_t session, std::uint32_t serial);
+Pdu make_reset_query();
+Pdu make_cache_response(std::uint16_t session);
+Pdu make_ipv4_prefix(bool announce, const Vrp& vrp);
+Pdu make_end_of_data(std::uint16_t session, std::uint32_t serial);
+Pdu make_cache_reset();
+Pdu make_error(ErrorCode code, std::string text);
+
+/// The cache side (runs next to the relying party). Every `publish`
+/// bumps the serial; the cache keeps a bounded history of diffs so it
+/// can serve incremental updates, and answers with Cache Reset when a
+/// router's serial predates the history window.
+class Cache {
+ public:
+  explicit Cache(std::uint16_t session_id, std::size_t history_limit = 16);
+
+  std::uint16_t session_id() const noexcept { return session_id_; }
+  std::uint32_t serial() const noexcept { return serial_; }
+
+  /// Install a new VRP snapshot (relying-party output); returns the new
+  /// serial. Computes the diff against the previous snapshot.
+  std::uint32_t publish(const VrpSet& vrps);
+
+  /// Handle one query PDU, appending response PDUs to `out`.
+  void handle(const Pdu& query, std::vector<Pdu>& out) const;
+
+  /// The Serial Notify the cache would push after a publish.
+  Pdu notify() const { return make_serial_notify(session_id_, serial_); }
+
+  const std::vector<Vrp>& current() const noexcept { return snapshot_; }
+
+ private:
+  struct Diff {
+    std::uint32_t serial;  // serial after applying this diff
+    std::vector<Vrp> announced;
+    std::vector<Vrp> withdrawn;
+  };
+
+  void respond_full(std::vector<Pdu>& out) const;
+
+  std::uint16_t session_id_;
+  std::uint32_t serial_ = 0;
+  std::vector<Vrp> snapshot_;  // sorted
+  std::deque<Diff> history_;
+  std::size_t history_limit_;
+};
+
+/// The router side. Feed it the cache's response PDUs (as wire bytes or
+/// parsed) and it maintains the validated set routers filter against.
+class RouterSession {
+ public:
+  /// Build the query the router should send next: Reset Query before the
+  /// first sync, Serial Query afterwards.
+  Pdu next_query() const;
+
+  /// Consume one response PDU. Returns false on protocol error (the
+  /// session then needs a reset).
+  bool consume(const Pdu& pdu);
+
+  /// Consume a whole wire-format byte stream.
+  bool consume_stream(std::span<const std::uint8_t> bytes);
+
+  bool synchronized() const noexcept { return synchronized_; }
+  std::uint32_t serial() const noexcept { return serial_; }
+  std::uint16_t session_id() const noexcept { return session_id_; }
+
+  /// The router's current VRP set (rebuilt on demand).
+  VrpSet vrps() const;
+  std::size_t vrp_count() const noexcept { return vrps_.size(); }
+
+  const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  bool synchronized_ = false;
+  bool in_response_ = false;
+  bool pending_reset_ = false;
+  std::uint16_t session_id_ = 0;
+  std::uint32_t serial_ = 0;
+  std::vector<Vrp> vrps_;  // sorted unique
+  std::string last_error_;
+};
+
+}  // namespace rovista::rpki::rtr

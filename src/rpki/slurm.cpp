@@ -1,0 +1,27 @@
+#include "rpki/slurm.h"
+
+#include <algorithm>
+
+namespace rovista::rpki {
+
+bool SlurmPrefixFilter::matches(const Vrp& vrp) const noexcept {
+  if (prefix.has_value() && !prefix->covers(vrp.prefix)) return false;
+  if (asn.has_value() && *asn != vrp.asn) return false;
+  return prefix.has_value() || asn.has_value();  // empty filter matches none
+}
+
+VrpSet SlurmFile::apply(const VrpSet& input) const {
+  VrpSet out;
+  input.for_each([&](const Vrp& vrp) {
+    const bool filtered = std::any_of(
+        filters.begin(), filters.end(),
+        [&](const SlurmPrefixFilter& f) { return f.matches(vrp); });
+    if (!filtered) out.add(vrp);
+  });
+  for (const SlurmPrefixAssertion& a : assertions) {
+    out.add(Vrp{a.prefix, a.max_length.value_or(a.prefix.length()), a.asn});
+  }
+  return out;
+}
+
+}  // namespace rovista::rpki

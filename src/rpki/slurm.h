@@ -1,0 +1,41 @@
+// SLURM — Simplified Local Internet Number Resource Management (RFC 8416).
+//
+// Operators locally override relying-party output: prefix filters remove
+// VRPs (so a locally known-good announcement stops being invalid) and
+// assertions add locally trusted VRPs. The paper (§7.1) cites SLURM as one
+// reason ROV-deploying ASes still accept specific RPKI-invalid routes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rpki/validation.h"
+
+namespace rovista::rpki {
+
+/// A validation-output filter: matches VRPs by prefix and/or ASN.
+/// A VRP matches if every present field matches (RFC 8416 §3.3.1).
+struct SlurmPrefixFilter {
+  std::optional<net::Ipv4Prefix> prefix;  // matches VRPs covered by this
+  std::optional<Asn> asn;
+
+  bool matches(const Vrp& vrp) const noexcept;
+};
+
+/// A locally added VRP (RFC 8416 §3.4.2).
+struct SlurmPrefixAssertion {
+  net::Ipv4Prefix prefix;
+  std::optional<std::uint8_t> max_length;
+  Asn asn = 0;
+};
+
+/// One operator's local exception file.
+struct SlurmFile {
+  std::vector<SlurmPrefixFilter> filters;
+  std::vector<SlurmPrefixAssertion> assertions;
+
+  /// Apply to relying-party output: drop filtered VRPs, add assertions.
+  VrpSet apply(const VrpSet& input) const;
+};
+
+}  // namespace rovista::rpki

@@ -1,0 +1,46 @@
+#include "rpki/validation.h"
+
+namespace rovista::rpki {
+
+VrpSet::VrpSet(const std::vector<Vrp>& vrps) {
+  for (const Vrp& v : vrps) add(v);
+}
+
+void VrpSet::add(const Vrp& vrp) {
+  std::vector<Vrp>* slot = trie_.find(vrp.prefix);
+  if (slot == nullptr) {
+    trie_.insert(vrp.prefix, {vrp});
+  } else {
+    slot->push_back(vrp);
+  }
+  ++count_;
+}
+
+std::vector<Vrp> VrpSet::covering(const net::Ipv4Prefix& prefix) const {
+  std::vector<Vrp> out;
+  for (const auto& [p, vec] : trie_.covering(prefix)) {
+    out.insert(out.end(), vec->begin(), vec->end());
+  }
+  return out;
+}
+
+RouteValidity VrpSet::validate(const net::Ipv4Prefix& prefix,
+                               Asn origin) const {
+  bool covered = false;
+  for (const auto& [p, vec] : trie_.covering(prefix)) {
+    for (const Vrp& vrp : *vec) {
+      covered = true;
+      if (vrp.asn == origin && vrp.asn != 0 &&
+          vrp.max_length >= prefix.length()) {
+        return RouteValidity::kValid;
+      }
+    }
+  }
+  return covered ? RouteValidity::kInvalid : RouteValidity::kUnknown;
+}
+
+bool VrpSet::is_covered(const net::Ipv4Prefix& prefix) const {
+  return !trie_.covering(prefix).empty();
+}
+
+}  // namespace rovista::rpki

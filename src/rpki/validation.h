@@ -1,0 +1,68 @@
+// RFC 6811 Route Origin Validation over a VRP set.
+//
+// A BGP announcement (prefix, origin) is:
+//   Valid    — some VRP covers the prefix, matches the origin ASN, and has
+//              max_length >= the announced prefix length;
+//   Invalid  — at least one VRP covers the prefix but none matches;
+//   Unknown  — no VRP covers the prefix at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+#include "rpki/roa.h"
+#include "topology/as_graph.h"
+
+namespace rovista::rpki {
+
+enum class RouteValidity { kValid, kInvalid, kUnknown };
+
+constexpr const char* validity_name(RouteValidity v) noexcept {
+  switch (v) {
+    case RouteValidity::kValid:
+      return "valid";
+    case RouteValidity::kInvalid:
+      return "invalid";
+    case RouteValidity::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+/// An indexed set of VRPs supporting coverage queries.
+class VrpSet {
+ public:
+  VrpSet() = default;
+  explicit VrpSet(const std::vector<Vrp>& vrps);
+
+  void add(const Vrp& vrp);
+
+  /// All VRPs whose prefix covers `prefix` (equal or less specific).
+  std::vector<Vrp> covering(const net::Ipv4Prefix& prefix) const;
+
+  /// RFC 6811 validation of an announcement.
+  RouteValidity validate(const net::Ipv4Prefix& prefix, Asn origin) const;
+
+  /// True if any VRP covers `prefix` (i.e. validation cannot be Unknown).
+  bool is_covered(const net::Ipv4Prefix& prefix) const;
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Visit every VRP.
+  template <typename F>
+  void for_each(F&& f) const {
+    trie_.for_each([&](const net::Ipv4Prefix&, const std::vector<Vrp>& vs) {
+      for (const Vrp& v : vs) f(v);
+    });
+  }
+
+ private:
+  net::PrefixTrie<std::vector<Vrp>> trie_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace rovista::rpki

@@ -1,0 +1,74 @@
+#include "scan/measurement_client.h"
+
+#include <cassert>
+
+namespace rovista::scan {
+
+MeasurementClient::MeasurementClient(dataplane::DataPlane& plane,
+                                     topology::Asn asn,
+                                     net::Ipv4Address address)
+    : plane_(plane), asn_(asn), address_(address) {
+  dataplane::HostConfig config;
+  config.address = address;
+  config.capture = true;
+  config.ipid_policy = dataplane::IpIdPolicy::kRandom;
+  config.background = {};  // the client generates no background traffic
+  config.seed = address.value() ^ 0xc11e47ULL;
+  host_ = plane.add_host(asn, std::move(config));
+  assert(host_ != nullptr && "client address collision");
+}
+
+void MeasurementClient::probe_at(TimeUs t, net::Ipv4Address target,
+                                 std::uint16_t port, std::uint16_t src_port) {
+  plane_.sim().at(t, [this, target, port, src_port] {
+    host_->send_raw(net::Packet::make_tcp(
+        address_, target, src_port, port,
+        net::TcpFlags::kSyn | net::TcpFlags::kAck, 0));
+  });
+}
+
+void MeasurementClient::spoofed_syn_at(TimeUs t, net::Ipv4Address spoof_src,
+                                       net::Ipv4Address target,
+                                       std::uint16_t port,
+                                       std::uint16_t src_port) {
+  plane_.sim().at(t, [this, spoof_src, target, port, src_port] {
+    host_->send_raw(net::Packet::make_tcp(spoof_src, target, src_port, port,
+                                          net::TcpFlags::kSyn, 0));
+  });
+}
+
+void MeasurementClient::send_at(TimeUs t, net::Packet packet) {
+  plane_.sim().at(t, [this, packet] { host_->send_raw(packet); });
+}
+
+std::vector<IpIdSample> MeasurementClient::rst_samples(
+    net::Ipv4Address from) const {
+  std::vector<IpIdSample> out;
+  for (const auto& [time, packet] : host_->captured()) {
+    if (packet.is_rst() && packet.ip.source == from) {
+      out.push_back({time, packet.ip.identification});
+    }
+  }
+  return out;
+}
+
+std::vector<TimeUs> MeasurementClient::syn_ack_times(
+    net::Ipv4Address from, std::uint16_t dst_port) const {
+  std::vector<TimeUs> out;
+  for (const auto& [time, packet] : host_->captured()) {
+    if (packet.is_syn_ack() && packet.ip.source == from &&
+        (dst_port == 0 || packet.tcp.destination_port == dst_port)) {
+      out.push_back(time);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::pair<TimeUs, net::Packet>>&
+MeasurementClient::captured() const {
+  return host_->captured();
+}
+
+void MeasurementClient::clear() { host_->clear_captured(); }
+
+}  // namespace rovista::scan

@@ -1,0 +1,71 @@
+// The measurement client: a capture host that crafts probe packets.
+//
+// RoVista's client does three things with raw sockets: send SYN/ACK
+// probes to vVPs (eliciting RSTs whose IP-IDs it records), send TCP SYNs
+// with *spoofed* sources to tNodes, and record everything that comes
+// back. The client host is registered in capture mode so the stack never
+// auto-responds and every arriving packet is logged with its timestamp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/dataplane.h"
+
+namespace rovista::scan {
+
+using dataplane::TimeUs;
+
+/// One recorded IP-ID observation.
+struct IpIdSample {
+  TimeUs time = 0;
+  std::uint16_t ip_id = 0;
+};
+
+class MeasurementClient {
+ public:
+  /// Registers a capture host at `address` inside `asn`.
+  MeasurementClient(dataplane::DataPlane& plane, topology::Asn asn,
+                    net::Ipv4Address address);
+
+  topology::Asn asn() const noexcept { return asn_; }
+  net::Ipv4Address address() const noexcept { return address_; }
+
+  /// Schedule a SYN/ACK probe to target:port at absolute time `t`;
+  /// `src_port` distinguishes probes.
+  void probe_at(TimeUs t, net::Ipv4Address target, std::uint16_t port,
+                std::uint16_t src_port);
+
+  /// Schedule a spoofed SYN (source forged to `spoof_src`) to
+  /// target:port at absolute time `t`.
+  void spoofed_syn_at(TimeUs t, net::Ipv4Address spoof_src,
+                      net::Ipv4Address target, std::uint16_t port,
+                      std::uint16_t src_port);
+
+  /// Schedule an arbitrary packet (e.g. a deliberate RST during tNode
+  /// qualification).
+  void send_at(TimeUs t, net::Packet packet);
+
+  /// IP-ID samples of RST packets received from `from`.
+  std::vector<IpIdSample> rst_samples(net::Ipv4Address from) const;
+
+  /// Arrival times of SYN/ACK packets received from `from`. When
+  /// `dst_port` is nonzero, only packets for that local port count —
+  /// i.e. replies to the specific spoofed SYN that used it as its
+  /// source port (distinguishes concurrent qualification phases).
+  std::vector<TimeUs> syn_ack_times(net::Ipv4Address from,
+                                    std::uint16_t dst_port = 0) const;
+
+  /// Raw capture access.
+  const std::vector<std::pair<TimeUs, net::Packet>>& captured() const;
+
+  void clear();
+
+ private:
+  dataplane::DataPlane& plane_;
+  topology::Asn asn_;
+  net::Ipv4Address address_;
+  dataplane::Host* host_;
+};
+
+}  // namespace rovista::scan

@@ -1,0 +1,91 @@
+#include "scan/permutation.h"
+
+namespace rovista::scan {
+
+namespace {
+
+// Deterministic Miller–Rabin for 64-bit integers (the standard witness
+// set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is exact below 3.3e24).
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a :
+       {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+        31ULL, 37ULL}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 1; i < r; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_3mod4(std::uint64_t n) {
+  if (n < 3) return 3;
+  std::uint64_t candidate = n + ((3 + 4 - (n % 4)) % 4);
+  if (candidate < n) candidate = n;  // overflow guard (never hit: n << 2^63)
+  while (candidate % 4 != 3) ++candidate;
+  while (!is_prime(candidate)) candidate += 4;
+  return candidate;
+}
+
+}  // namespace
+
+CyclicPermutation::CyclicPermutation(std::uint64_t n, std::uint64_t seed)
+    // The walk covers [1, p) i.e. n values require p >= n + 1.
+    : n_(n), p_(next_prime_3mod4(n + 1 < 3 ? 3 : n + 1)) {
+  first_ = 1 + (seed % (p_ - 1));
+  reset();
+}
+
+void CyclicPermutation::reset() {
+  produced_ = 0;
+  negate_phase_ = false;
+}
+
+std::optional<std::uint64_t> CyclicPermutation::next() {
+  while (produced_ < p_ - 1) {
+    const std::uint64_t half = (p_ - 1) / 2;
+    negate_phase_ = produced_ >= half;
+    const std::uint64_t k =
+        1 + ((first_ + (negate_phase_ ? produced_ - half : produced_)) % half);
+    const std::uint64_t qr = powmod(k, 2, p_);
+    const std::uint64_t value = (negate_phase_ ? p_ - qr : qr) - 1;
+    ++produced_;
+    if (value < n_) return value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rovista::scan

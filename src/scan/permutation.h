@@ -1,0 +1,40 @@
+// Cyclic address permutation for scanning (the ZMap technique).
+//
+// The paper's ethics section (§5) spreads probes "according to a random
+// permutation of each pair of IP address and port" so no host or network
+// sees a burst. ZMap achieves this without state proportional to the
+// space: iterate x -> x^2 mod p over a prime p ≡ 3 (mod 4), where the
+// quadratic residues generate half the group; combined with negation
+// this walks every element of [1, p) exactly once. Values >= n are
+// skipped (cycle-walking), yielding a uniform-looking full permutation
+// of [0, n).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace rovista::scan {
+
+/// A full-cycle permutation of [0, n). Deterministic in (n, seed).
+class CyclicPermutation {
+ public:
+  /// `n` must be >= 1.
+  CyclicPermutation(std::uint64_t n, std::uint64_t seed);
+
+  /// Next element, or nullopt once all n elements were produced.
+  std::optional<std::uint64_t> next();
+
+  /// Restart from the beginning (same order).
+  void reset();
+
+  std::uint64_t size() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t p_;        // prime >= max(n, 3), p ≡ 3 (mod 4)
+  std::uint64_t first_;    // rotation of the half-system (from the seed)
+  std::uint64_t produced_ = 0;
+  bool negate_phase_ = false;
+};
+
+}  // namespace rovista::scan

@@ -1,0 +1,62 @@
+#include "scan/scanner.h"
+
+namespace rovista::scan {
+
+namespace {
+
+/// Both directions deliverable between the scanner and `target`?
+bool bidirectional(dataplane::DataPlane& plane, topology::Asn scanner_as,
+                   net::Ipv4Address scanner_addr, net::Ipv4Address target) {
+  const topology::Asn target_as = plane.as_of(target);
+  if (target_as == 0) return false;
+
+  const net::Packet out = net::Packet::make_tcp(
+      scanner_addr, target, 54321, 80, net::TcpFlags::kSyn, 0);
+  if (!plane.evaluate(scanner_as, out).delivered) return false;
+
+  const net::Packet back = net::Packet::make_tcp(
+      target, scanner_addr, 80, 54321,
+      net::TcpFlags::kSyn | net::TcpFlags::kAck, 0);
+  return plane.evaluate(target_as, back).delivered;
+}
+
+}  // namespace
+
+std::vector<SynScanHit> syn_scan(dataplane::DataPlane& plane,
+                                 topology::Asn scanner_as,
+                                 net::Ipv4Address scanner_addr,
+                                 std::span<const net::Ipv4Address> addresses,
+                                 std::span<const std::uint16_t> ports) {
+  std::vector<SynScanHit> hits;
+  for (const net::Ipv4Address addr : addresses) {
+    const dataplane::Host* h = plane.host(addr);
+    if (h == nullptr || h->config().capture) continue;
+    if (!bidirectional(plane, scanner_as, scanner_addr, addr)) continue;
+    for (const std::uint16_t port : ports) {
+      if (h->port_open(port)) {
+        hits.push_back({addr, port});
+        break;  // one open popular port is enough to become a candidate
+      }
+    }
+  }
+  return hits;
+}
+
+std::vector<net::Ipv4Address> synack_scan(
+    dataplane::DataPlane& plane, topology::Asn scanner_as,
+    net::Ipv4Address scanner_addr,
+    std::span<const net::Ipv4Address> addresses) {
+  std::vector<net::Ipv4Address> hits;
+  for (const net::Ipv4Address addr : addresses) {
+    const dataplane::Host* h = plane.host(addr);
+    if (h == nullptr || h->config().capture) continue;
+    // Any non-capture host RSTs an unsolicited SYN/ACK; the question is
+    // purely whether packets flow both ways.
+    if (bidirectional(plane, scanner_as, scanner_addr, addr)) {
+      hits.push_back(addr);
+    }
+  }
+  return hits;
+}
+
+}  // namespace rovista::scan

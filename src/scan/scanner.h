@@ -1,0 +1,45 @@
+// ZMap-style Internet scanning.
+//
+// The scanner answers "which of these addresses respond from here": SYN
+// scans find hosts with open TCP ports (tNode candidates), SYN/ACK scans
+// find hosts that answer unsolicited SYN/ACKs with a RST (vVP
+// candidates). Like ZMap it is stateless and fast — implemented as
+// bidirectional path evaluation rather than per-probe events, which is
+// behaviourally identical for responsiveness and keeps Internet-wide
+// sweeps cheap. (The *qualification* protocols that follow a scan use
+// real packet exchanges.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataplane/dataplane.h"
+
+namespace rovista::scan {
+
+/// The "popular TCP ports" list RoVista scans for tNodes (§4.1 cites the
+/// Rapid7 port study; this is the usual top slice).
+inline constexpr std::uint16_t kPopularPorts[] = {80, 443, 22, 21, 25, 8080};
+
+struct SynScanHit {
+  net::Ipv4Address address;
+  std::uint16_t port = 0;
+};
+
+/// SYN-scan `addresses` on `ports` from a client in `scanner_as` at
+/// `scanner_addr`: a hit requires the SYN to be deliverable, the port to
+/// be open, and the SYN/ACK to be deliverable back.
+std::vector<SynScanHit> syn_scan(dataplane::DataPlane& plane,
+                                 topology::Asn scanner_as,
+                                 net::Ipv4Address scanner_addr,
+                                 std::span<const net::Ipv4Address> addresses,
+                                 std::span<const std::uint16_t> ports);
+
+/// SYN/ACK-scan: addresses that would return a RST to our probe.
+std::vector<net::Ipv4Address> synack_scan(
+    dataplane::DataPlane& plane, topology::Asn scanner_as,
+    net::Ipv4Address scanner_addr,
+    std::span<const net::Ipv4Address> addresses);
+
+}  // namespace rovista::scan

@@ -1,0 +1,72 @@
+// Test-node (tNode) acquisition (paper §4.1 + §3.2).
+//
+// tNodes are live hosts inside *exclusively* RPKI-invalid prefixes —
+// prefixes every observed origin of which is invalid, so an ROV AS has
+// no alternate legitimate route to them. Selection:
+//   1. validate a collector snapshot against the VRPs and keep prefixes
+//      announced only by wrong origins ("test prefixes"),
+//   2. ZMap the test prefixes for hosts with popular open ports,
+//   3. qualify each host's TCP behaviour with two clients in different
+//      ASes: (a) answers spoofed SYNs with SYN/ACKs, (b) retransmits on
+//      RTO within 1–3 s, (c) stops retransmitting after a RST,
+//   4. drop "false tNodes" that ROV-confirmed reference ASes can still
+//      reach (or non-ROV reference ASes cannot).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/collector.h"
+#include "scan/measurement_client.h"
+
+namespace rovista::scan {
+
+/// Step 1 — test prefixes: exclusively-invalid prefixes in a snapshot.
+std::vector<net::Ipv4Prefix> select_test_prefixes(
+    const bgp::CollectorSnapshot& snapshot, const rpki::VrpSet& vrps);
+
+struct TnodeBehaviour {
+  bool responds_to_spoof = false;   // condition (a)
+  bool implements_rto = false;      // condition (b)
+  bool stops_after_rst = false;     // condition (c)
+
+  bool qualified() const noexcept {
+    return responds_to_spoof && implements_rto && stops_after_rst;
+  }
+};
+
+struct TnodeProtocolConfig {
+  double rto_min_s = 0.8;   // acceptance window for the retransmission gap
+  double rto_max_s = 3.5;
+  double observe_s = 8.0;   // how long each phase watches for SYN/ACKs
+};
+
+/// Steps 3 — behavioural qualification of one candidate using two
+/// clients in different ASes (A spoofs B; B observes and RSTs).
+TnodeBehaviour qualify_tnode(dataplane::DataPlane& plane,
+                             MeasurementClient& client_a,
+                             MeasurementClient& client_b,
+                             net::Ipv4Address target, std::uint16_t port,
+                             const TnodeProtocolConfig& config = {});
+
+/// A qualified tNode.
+struct Tnode {
+  net::Ipv4Address address;
+  std::uint16_t port = 0;
+  net::Ipv4Prefix prefix;   // the exclusively-invalid test prefix
+  topology::Asn origin = 0; // the (wrong) AS announcing it
+};
+
+/// Step 4 — remove false tNodes: each tNode must be unreachable from at
+/// least `threshold` of the reference ROV ASes and reachable from at
+/// least `threshold` of the reference non-ROV ASes (reachability via
+/// control-plane path evaluation, as the RIPE Atlas check does with
+/// traceroute).
+std::vector<Tnode> filter_false_tnodes(
+    dataplane::DataPlane& plane, std::vector<Tnode> tnodes,
+    std::span<const topology::Asn> rov_reference_ases,
+    std::span<const topology::Asn> non_rov_reference_ases,
+    double threshold = 0.9);
+
+}  // namespace rovista::scan

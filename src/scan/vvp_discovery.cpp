@@ -1,0 +1,106 @@
+#include "scan/vvp_discovery.h"
+
+#include <algorithm>
+
+namespace rovista::scan {
+
+namespace {
+
+// Reserved/unroutable block used as spoofed burst sources; the target's
+// RSTs toward these go nowhere, but a global counter still advances.
+net::Ipv4Address burst_source(int i) noexcept {
+  return net::Ipv4Address::from_octets(240, 0, 0,
+                                       static_cast<std::uint8_t>(1 + i));
+}
+
+}  // namespace
+
+VvpVerdict run_vvp_qualification(dataplane::DataPlane& plane,
+                                 MeasurementClient& client,
+                                 net::Ipv4Address target, TimeUs start,
+                                 const VvpProtocolConfig& config) {
+  client.clear();
+
+  const TimeUs interval = dataplane::microseconds(config.probe_interval_s);
+  TimeUs t = start;
+  std::uint16_t src_port = 40001;
+
+  // Phase 1: paced probes.
+  for (int i = 0; i < config.probes_per_phase; ++i) {
+    client.probe_at(t, target, config.target_port, src_port++);
+    t += interval;
+  }
+  // Phase 2: bursty spoofed-source SYN/ACKs (sent back-to-back).
+  for (int i = 0; i < config.burst_count; ++i) {
+    const TimeUs when = t + static_cast<TimeUs>(i) * 1000;  // 1 ms apart
+    // A SYN/ACK probe whose *source* is forged: build manually.
+    net::Packet p = net::Packet::make_tcp(
+        burst_source(i), target, static_cast<std::uint16_t>(41001 + i),
+        config.target_port, net::TcpFlags::kSyn | net::TcpFlags::kAck, 0);
+    client.send_at(when, p);
+  }
+  t += interval;
+  // Phase 3: paced probes again.
+  for (int i = 0; i < config.probes_per_phase; ++i) {
+    client.probe_at(t, target, config.target_port, src_port++);
+    t += interval;
+  }
+
+  plane.sim().run_until(t + dataplane::microseconds(config.tail_wait_s));
+
+  VvpVerdict verdict;
+  verdict.ip_ids = client.rst_samples(target);
+  verdict.samples = static_cast<int>(verdict.ip_ids.size());
+  if (verdict.samples < 2 * config.probes_per_phase) {
+    return verdict;  // lost probes: cannot certify, reject
+  }
+
+  // Wraparound-aware growth: each consecutive modular difference must be
+  // positive and "forward" (< 2^15), and the total must cover everything
+  // we induced: the probe RSTs we saw plus the burst RSTs in between.
+  verdict.monotone = true;
+  std::uint32_t total = 0;
+  for (std::size_t i = 1; i < verdict.ip_ids.size(); ++i) {
+    const std::uint16_t delta = static_cast<std::uint16_t>(
+        verdict.ip_ids[i].ip_id - verdict.ip_ids[i - 1].ip_id);
+    if (delta == 0 || delta >= 0x8000) {
+      verdict.monotone = false;
+      break;
+    }
+    total += delta;
+  }
+  verdict.growth = total;
+  const std::uint32_t required = static_cast<std::uint32_t>(
+      verdict.samples - 1 + config.burst_count);
+  verdict.is_vvp = verdict.monotone && total >= required;
+
+  // Background-rate estimate: growth beyond our induced packets over the
+  // observation span (used for the paper's ≤10 pkt/s vVP cutoff, Fig. 4).
+  if (verdict.monotone && verdict.samples >= 2) {
+    const double span_s = dataplane::to_seconds(
+        verdict.ip_ids.back().time - verdict.ip_ids.front().time);
+    if (span_s > 0.0 && total >= required) {
+      verdict.est_background_rate =
+          static_cast<double>(total - required) / span_s;
+    }
+  }
+  return verdict;
+}
+
+std::vector<Vvp> discover_vvps(dataplane::DataPlane& plane,
+                               MeasurementClient& client,
+                               std::span<const net::Ipv4Address> candidates,
+                               const VvpProtocolConfig& config) {
+  std::vector<Vvp> out;
+  for (const net::Ipv4Address addr : candidates) {
+    const TimeUs start = plane.sim().now() + 1000;
+    const VvpVerdict verdict =
+        run_vvp_qualification(plane, client, addr, start, config);
+    if (verdict.is_vvp) {
+      out.push_back({addr, plane.as_of(addr), verdict.est_background_rate});
+    }
+  }
+  return out;
+}
+
+}  // namespace rovista::scan

@@ -1,0 +1,61 @@
+// Virtual vantage point qualification (paper §4.2).
+//
+// A vVP must use a *global* IP-ID counter. The qualification protocol
+// distinguishes global from per-destination counters by making the host
+// emit RSTs toward third parties mid-measurement:
+//   (1) five SYN/ACK probes, one second apart (RST IP-IDs recorded),
+//   (2) five bursty SYN/ACKs with distinct spoofed sources (the host
+//       RSTs toward those sources — only a global counter advances in a
+//       way we can see),
+//   (3) five more probes.
+// The host qualifies when the observed IP-IDs grow monotonically
+// (wraparound-aware) by at least the total number of packets we induced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scan/measurement_client.h"
+
+namespace rovista::scan {
+
+struct VvpProtocolConfig {
+  int probes_per_phase = 5;
+  double probe_interval_s = 1.0;
+  int burst_count = 5;
+  std::uint16_t target_port = 80;  // destination port for SYN/ACK probes
+  double tail_wait_s = 2.0;        // settle time after the last probe
+};
+
+struct VvpVerdict {
+  bool is_vvp = false;
+  bool monotone = false;      // IP-IDs strictly increased (mod 2^16)
+  std::uint32_t growth = 0;   // total unwrapped growth first→last
+  int samples = 0;            // RSTs received (out of 2 * probes_per_phase)
+  double est_background_rate = 0.0;  // pkt/s beyond what we induced
+  std::vector<IpIdSample> ip_ids;
+};
+
+/// Run the full qualification against `target`, starting at `start` sim
+/// time. Runs the simulator to completion of the protocol. The client's
+/// capture buffer is cleared first.
+VvpVerdict run_vvp_qualification(dataplane::DataPlane& plane,
+                                 MeasurementClient& client,
+                                 net::Ipv4Address target, TimeUs start,
+                                 const VvpProtocolConfig& config = {});
+
+/// A qualified vVP.
+struct Vvp {
+  net::Ipv4Address address;
+  topology::Asn asn = 0;
+  double est_background_rate = 0.0;  // pkt/s estimated during qualification
+};
+
+/// Qualify every candidate sequentially; returns those passing.
+std::vector<Vvp> discover_vvps(dataplane::DataPlane& plane,
+                               MeasurementClient& client,
+                               std::span<const net::Ipv4Address> candidates,
+                               const VvpProtocolConfig& config = {});
+
+}  // namespace rovista::scan

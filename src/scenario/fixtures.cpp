@@ -1,0 +1,282 @@
+// Case-study fixtures reproducing the paper's §7.3–§7.6 and Fig. 8–10.
+//
+// Each fixture is built from fresh ASes so the randomized timeline can
+// never contradict it; fixture ASes are added to the measured set with
+// guaranteed-measurable hosts.
+#include "scenario/scenario.h"
+
+#include "util/strings.h"
+
+namespace rovista::scenario {
+
+namespace {
+
+bgp::AsPolicy full_rov() {
+  bgp::AsPolicy p;
+  p.rov = bgp::RovMode::kFull;
+  return p;
+}
+
+}  // namespace
+
+void install_case_studies(Scenario& s, util::Rng& rng) {
+  util::Rng fx_rng = rng.split(0xf1c);
+  CaseStudies& cs = s.cases_;
+  const Date start = s.params_.start;
+  const Date end = s.params_.end;
+
+  // Original tier-1s: pin them all to full ROV from before the window so
+  // Table 1 reads like the paper's (the one exception is added below).
+  std::vector<Asn> tier1s;
+  for (const Asn asn : s.graph_.all_asns()) {
+    if (s.graph_.info(asn)->tier == 1) tier1s.push_back(asn);
+  }
+  for (const Asn asn : tier1s) {
+    if (s.true_mode(asn, end) == bgp::RovMode::kNone) {
+      const Date enabled = start - 200;
+      s.policy_events_.push_back({enabled, asn, full_rov()});
+      s.deployments_.push_back({asn, enabled, bgp::RovMode::kFull, 1.0});
+    }
+    // Every tier-1 is measured (Table 1 reports the whole clique).
+    s.measured_ases_.push_back(asn);
+    s.fixture_reliable_.push_back(asn);
+  }
+
+  // ---- Collateral damage (Fig. 9): TDC / Deutsche Telekom ----------
+  // cd_nonrov_provider is a new tier-1 that never validates (DTAG).
+  cs.cd_nonrov_provider = s.allocate_as("DTAG-like", 1,
+                                        topology::Rir::kRipeNcc);
+  for (const Asn t1 : tier1s) s.graph_.add_p2p(cs.cd_nonrov_provider, t1);
+  // A real tier-1 transits huge customer cones and hears the leaked
+  // invalid routes from below — that is why DTAG scores 0 in Table 1.
+  for (const Asn gray : s.gray_transits_) {
+    s.graph_.add_p2c(cs.cd_nonrov_provider, gray);
+  }
+  s.register_as_resources(cs.cd_nonrov_provider, start - 500);
+  s.claims_.push_back({cs.cd_nonrov_provider, false, false,
+                       "official-announcement (Twitter)"});
+
+  // The valid /20 origin (Orange-like) and the invalid /24 origin.
+  cs.cd_valid_origin = s.allocate_as("Orange-like", 2,
+                                     topology::Rir::kRipeNcc);
+  s.graph_.add_p2c(cs.cd_nonrov_provider, cs.cd_valid_origin);
+  s.graph_.add_p2c(tier1s[0], cs.cd_valid_origin);
+  // Orange validates (Table 2 lists it at 100%): traffic for the unused
+  // /24 that reaches the legitimate origin blackholes there instead of
+  // bouncing to the hijacker — only paths diverted earlier (through
+  // DTAG's cone) suffer the collateral damage.
+  s.policy_events_.push_back({start - 350, cs.cd_valid_origin, full_rov()});
+  s.deployments_.push_back(
+      {cs.cd_valid_origin, start - 350, bgp::RovMode::kFull, 1.0});
+  // Certificate + ROA covering the /20 at maxLength 20.
+  {
+    s.register_as_resources(cs.cd_valid_origin, std::nullopt);
+    const net::Ipv4Prefix block = s.as_prefix(cs.cd_valid_origin);
+    cs.cd_valid_prefix = net::Ipv4Prefix(block.address(), 20);
+    rpki::Repository& repo = s.repos_->repository(topology::Rir::kRipeNcc);
+    repo.publish_roa(s.cert_serial_.at(cs.cd_valid_origin),
+                     cs.cd_valid_origin, {{cs.cd_valid_prefix, 20}},
+                     start - 500, end + 3650);
+    s.routing_->announce({cs.cd_valid_prefix, cs.cd_valid_origin});
+  }
+
+  // An intermediary (AS6762-like) peering with DTAG carries the invalid
+  // /24 announced by the wrong origin (AS36947-like).
+  const Asn intermediary = s.allocate_as("mediator", 2,
+                                         topology::Rir::kAfrinic);
+  s.graph_.add_p2p(cs.cd_nonrov_provider, intermediary);
+  s.graph_.add_p2c(tier1s[1 % tier1s.size()], intermediary);
+  s.register_as_resources(intermediary, std::nullopt);
+
+  // The invalid origin hangs ONLY under the intermediary: the /24 then
+  // lives in {intermediary, DTAG (peer), DTAG's customer cone} and
+  // nowhere else — collateral damage stays the rare phenomenon it is in
+  // the paper (6 ASes), while the clients still reach the tNode via
+  // their gray transits, which are DTAG customers.
+  cs.cd_invalid_origin = s.allocate_as("AS36947-like", 4,
+                                       topology::Rir::kAfrinic);
+  s.graph_.add_p2c(intermediary, cs.cd_invalid_origin);
+  s.register_as_resources(cs.cd_invalid_origin, std::nullopt);
+  cs.cd_invalid_prefix =
+      net::Ipv4Prefix(cs.cd_valid_prefix.address(), 24);
+  s.announce_events_.push_back(
+      {start - 1, true, {cs.cd_invalid_prefix, cs.cd_invalid_origin}});
+  s.tnode_prefixes_.push_back({cs.cd_invalid_prefix, cs.cd_invalid_origin});
+
+  // TDC: full ROV from before the window, single provider = DTAG. Its
+  // route to the tNode /24 is the valid /20 through DTAG, where LPM
+  // prefers the invalid /24 — collateral damage.
+  cs.cd_rov_as = s.allocate_as("TDC-like", 3, topology::Rir::kRipeNcc);
+  s.graph_.add_p2c(cs.cd_nonrov_provider, cs.cd_rov_as);
+  s.register_as_resources(cs.cd_rov_as, start - 400);
+  s.policy_events_.push_back({start - 300, cs.cd_rov_as, full_rov()});
+  s.deployments_.push_back(
+      {cs.cd_rov_as, start - 300, bgp::RovMode::kFull, 1.0});
+  s.claims_.push_back(
+      {cs.cd_rov_as, true, false, "github.com/cloudflare pull request"});
+
+  // ---- Collateral benefit (Fig. 8): KPN and customers ---------------
+  cs.kpn = s.allocate_as("KPN-like", 2, topology::Rir::kRipeNcc);
+  s.graph_.add_p2c(tier1s[0], cs.kpn);
+  s.graph_.add_p2c(tier1s[1 % tier1s.size()], cs.kpn);
+  // A large ISP peers widely: the gray-transit peerings are what carry
+  // the invalid routes to KPN before it deploys ROV (without them the
+  // Fig. 8 "before" state would already be fully protected).
+  for (const Asn gray : s.gray_transits_) s.graph_.add_p2p(cs.kpn, gray);
+  s.register_as_resources(cs.kpn, start - 100);
+  cs.kpn_rov_date = Date::from_ymd(2022, 3, 14);
+  if (cs.kpn_rov_date <= start) cs.kpn_rov_date = start + 30;
+  s.policy_events_.push_back({cs.kpn_rov_date, cs.kpn, full_rov()});
+  s.deployments_.push_back(
+      {cs.kpn, cs.kpn_rov_date, bgp::RovMode::kFull, 1.0});
+  s.claims_.push_back({cs.kpn, true, false, "rpki.exposed"});
+
+  for (int i = 0; i < 4; ++i) {
+    const Asn stub = s.allocate_as(util::format("KPN-stub-%d", i), 4,
+                                   topology::Rir::kRipeNcc);
+    s.graph_.add_p2c(cs.kpn, stub);
+    s.register_as_resources(stub, std::nullopt);
+    cs.kpn_stub_customers.push_back(stub);
+  }
+  // AS3573-like: many providers, several of them never-ROV.
+  cs.kpn_multihomed_a = s.allocate_as("KPN-multi-a", 3,
+                                      topology::Rir::kRipeNcc);
+  s.graph_.add_p2c(cs.kpn, cs.kpn_multihomed_a);
+  for (const Asn gray : s.gray_transits_) {
+    s.graph_.add_p2c(gray, cs.kpn_multihomed_a);
+  }
+  s.register_as_resources(cs.kpn_multihomed_a, std::nullopt);
+  // AS15466-like: one extra provider that never validates.
+  cs.kpn_multihomed_b = s.allocate_as("KPN-multi-b", 4,
+                                      topology::Rir::kRipeNcc);
+  s.graph_.add_p2c(cs.kpn, cs.kpn_multihomed_b);
+  s.graph_.add_p2c(s.gray_transits_[0], cs.kpn_multihomed_b);
+  s.register_as_resources(cs.kpn_multihomed_b, std::nullopt);
+
+  // ---- Customer exemption + single-prefix FP/FN (Fig. 10): AT&T -----
+  cs.att = s.allocate_as("ATT-like", 1, topology::Rir::kArin);
+  for (const Asn t1 : tier1s) s.graph_.add_p2p(cs.att, t1);
+  s.graph_.add_p2p(cs.att, cs.cd_nonrov_provider);
+  s.register_as_resources(cs.att, start - 500);
+  {
+    bgp::AsPolicy att_policy;
+    att_policy.rov = bgp::RovMode::kExemptCustomers;
+    s.policy_events_.push_back({start - 400, cs.att, att_policy});
+    s.deployments_.push_back(
+        {cs.att, start - 400, bgp::RovMode::kExemptCustomers, 1.0});
+    s.claims_.push_back({cs.att, true, false, "NANOG mailing list"});
+  }
+
+  // Cloudflare-like: starts as a *peer* of AT&T (so AT&T filters its
+  // RPKI-invalid test prefix), becomes an AT&T *customer* mid-window.
+  cs.cloudflare = s.allocate_as("Cloudflare-like", 3, topology::Rir::kArin);
+  s.graph_.add_p2p(cs.att, cs.cloudflare);
+  s.graph_.add_p2c(s.gray_transits_[1 % s.gray_transits_.size()],
+                   cs.cloudflare);
+  s.register_as_resources(cs.cloudflare, start - 300);
+  cs.cloudflare_becomes_customer = Date::from_ymd(2022, 3, 14);
+  if (cs.cloudflare_becomes_customer <= start) {
+    cs.cloudflare_becomes_customer = start + 45;
+  }
+  s.relationship_events_.push_back({cs.cloudflare_becomes_customer, cs.att,
+                                    cs.cloudflare,
+                                    topology::NeighborKind::kCustomer});
+  // The test prefix: a /24 carved from a ROA-covered victim, announced
+  // by Cloudflare-like (so it is exclusively invalid) — this mirrors
+  // 103.21.244.0/24 on isbgpsafeyet.com.
+  {
+    Asn victim = 0;
+    for (const auto& [asn, date] : s.roa_date_) {
+      if (date <= start && asn != cs.cloudflare) {
+        victim = asn;
+        break;
+      }
+    }
+    const std::uint32_t block =
+        static_cast<std::uint32_t>(fx_rng.uniform_u64(16, 255));
+    cs.cloudflare_test_prefix = net::Ipv4Prefix(
+        net::Ipv4Address(s.as_dark_prefix(victim).address().value() |
+                         (block << 8)),
+        24);
+    s.announce_events_.push_back(
+        {start - 1, true, {cs.cloudflare_test_prefix, cs.cloudflare}});
+    s.tnode_prefixes_.push_back(
+        {cs.cloudflare_test_prefix, cs.cloudflare});
+  }
+
+  // ---- Default-route misconfiguration (§7.6, Swisscom-like) ---------
+  cs.default_route_as = s.allocate_as("Swisscom-like", 3,
+                                      topology::Rir::kRipeNcc);
+  cs.default_route_target = cs.cd_nonrov_provider;
+  s.graph_.add_p2c(cs.cd_nonrov_provider, cs.default_route_as);
+  s.graph_.add_p2c(tier1s[2 % tier1s.size()], cs.default_route_as);
+  s.register_as_resources(cs.default_route_as, start - 200);
+  {
+    bgp::AsPolicy p = full_rov();
+    p.default_route = cs.default_route_target;
+    // The on-ramp tunnel covers only the slice of space holding the
+    // Cloudflare-like test prefix, so the score stays above 90%.
+    p.default_route_scope =
+        net::Ipv4Prefix(cs.cloudflare_test_prefix.address(), 16);
+    s.policy_events_.push_back({start - 150, cs.default_route_as, p});
+    s.deployments_.push_back(
+        {cs.default_route_as, start - 150, bgp::RovMode::kFull, 1.0});
+    s.claims_.push_back(
+        {cs.default_route_as, true, false, "Twitter (swisscom_csirt)"});
+  }
+
+  // ---- Partial session coverage (§7.6, NTT-like) --------------------
+  cs.partial_as = s.allocate_as("NTT-like", 2, topology::Rir::kApnic);
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    s.graph_.add_p2c(tier1s[i], cs.partial_as);
+  }
+  for (const Asn gray : s.gray_transits_) {
+    s.graph_.add_p2p(gray, cs.partial_as);
+  }
+  s.register_as_resources(cs.partial_as, start - 250);
+  {
+    bgp::AsPolicy p = full_rov();
+    p.session_coverage = 0.9;  // some router vendors lack ROV support
+    s.policy_events_.push_back({start - 200, cs.partial_as, p});
+    s.deployments_.push_back(
+        {cs.partial_as, start - 200, bgp::RovMode::kFull, 0.9});
+    s.claims_.push_back({cs.partial_as, true, false, "routing registry"});
+  }
+
+  // ---- Stale operator claims (BIT-like retraction) -------------------
+  cs.stale_claim_as = s.allocate_as("BIT-like", 4, topology::Rir::kRipeNcc);
+  s.graph_.add_p2c(s.gray_transits_[0], cs.stale_claim_as);
+  s.register_as_resources(cs.stale_claim_as, std::nullopt);
+  s.claims_.push_back(
+      {cs.stale_claim_as, true, true, "2018 blog post (since retracted)"});
+  std::vector<Asn> extra_stale;
+  for (int i = 0; i < 2; ++i) {
+    const Asn stale = s.allocate_as(util::format("stale-claim-%d", i), 4,
+                                    topology::Rir::kApnic);
+    s.graph_.add_p2c(s.gray_transits_[i % s.gray_transits_.size()], stale);
+    s.register_as_resources(stale, std::nullopt);
+    s.claims_.push_back({stale, true, true, "outdated tweet"});
+    extra_stale.push_back(stale);
+  }
+
+  // Every fixture AS participates in measurement with reliable hosts.
+  const std::vector<Asn> fixture_ases = {
+      cs.cd_nonrov_provider, cs.cd_valid_origin, cs.cd_rov_as,
+      cs.kpn,           cs.kpn_multihomed_a,   cs.kpn_multihomed_b,
+      cs.att,           cs.default_route_as,   cs.partial_as,
+      cs.stale_claim_as};
+  for (const Asn asn : fixture_ases) {
+    s.measured_ases_.push_back(asn);
+    s.fixture_reliable_.push_back(asn);
+  }
+  for (const Asn stub : cs.kpn_stub_customers) {
+    s.measured_ases_.push_back(stub);
+    s.fixture_reliable_.push_back(stub);
+  }
+  for (const Asn stale : extra_stale) {
+    s.measured_ases_.push_back(stale);
+    s.fixture_reliable_.push_back(stale);
+  }
+}
+
+}  // namespace rovista::scenario

@@ -1,0 +1,82 @@
+#include "stats/adf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/ols.h"
+#include "stats/timeseries.h"
+
+namespace rovista::stats {
+
+double adf_critical_value(double alpha, std::size_t n) noexcept {
+  // MacKinnon (2010) response-surface coefficients, constant, no trend:
+  // CV(n) = b_inf + b1/n + b2/n^2.
+  struct Row {
+    double alpha, b_inf, b1, b2;
+  };
+  static constexpr Row kTable[] = {
+      {0.01, -3.43035, -6.5393, -16.786},
+      {0.05, -2.86154, -2.8903, -4.234},
+      {0.10, -2.56677, -1.5384, -2.809},
+  };
+  const Row* best = &kTable[1];
+  double best_diff = 1e9;
+  for (const Row& row : kTable) {
+    const double diff = std::abs(row.alpha - alpha);
+    if (diff < best_diff) {
+      best_diff = diff;
+      best = &row;
+    }
+  }
+  const double dn = n == 0 ? 1.0 : static_cast<double>(n);
+  return best->b_inf + best->b1 / dn + best->b2 / (dn * dn);
+}
+
+std::optional<AdfResult> adf_test(const std::vector<double>& x, int max_lags,
+                                  double alpha) {
+  const std::size_t n = x.size();
+  if (n < 8) return std::nullopt;
+
+  int k = max_lags;
+  if (k < 0) {
+    k = static_cast<int>(
+        12.0 * std::pow(static_cast<double>(n) / 100.0, 0.25));
+  }
+  // Ensure enough rows remain: rows = n - 1 - k must exceed cols = k + 2.
+  while (k > 0 && n < static_cast<std::size_t>(2 * k + 6)) --k;
+
+  const std::vector<double> dx = difference(x);
+
+  for (; k >= 0; --k) {
+    const std::size_t rows = dx.size() - static_cast<std::size_t>(k);
+    const std::size_t cols = static_cast<std::size_t>(k) + 2;
+    if (rows <= cols) continue;
+
+    std::vector<double> design(rows * cols);
+    std::vector<double> y(rows);
+    for (std::size_t t = 0; t < rows; ++t) {
+      const std::size_t ti = t + static_cast<std::size_t>(k);  // index in dx
+      y[t] = dx[ti];
+      double* row = &design[t * cols];
+      row[0] = 1.0;       // constant
+      row[1] = x[ti];     // lagged level x_{t-1}
+      for (int i = 1; i <= k; ++i) {
+        row[1 + static_cast<std::size_t>(i)] =
+            dx[ti - static_cast<std::size_t>(i)];
+      }
+    }
+
+    const auto fit = ols_fit(design, cols, y);
+    if (!fit) continue;  // singular (e.g. constant series); drop a lag
+
+    AdfResult res;
+    res.statistic = fit->t_stat[1];
+    res.lags_used = k;
+    res.critical_value = adf_critical_value(alpha, rows);
+    res.reject_unit_root = res.statistic < res.critical_value;
+    return res;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rovista::stats

@@ -1,0 +1,33 @@
+// Augmented Dickey–Fuller unit-root test.
+//
+// RoVista (Appendix A) applies the ADF test to each vVP's background IP-ID
+// series to decide between ARMA (stationary) and ARIMA (nonstationary)
+// modelling. This implementation runs the constant-only regression
+//   Δx_t = c + γ x_{t-1} + Σ_{i=1..k} δ_i Δx_{t-i} + e_t
+// and compares the t-statistic of γ to MacKinnon critical values.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace rovista::stats {
+
+struct AdfResult {
+  double statistic = 0.0;   // t-stat on the lagged level
+  int lags_used = 0;
+  bool reject_unit_root = false;  // true => series looks stationary
+  double critical_value = 0.0;    // at the requested significance level
+};
+
+/// Run the ADF test. `max_lags < 0` selects lags by the Schwert rule
+/// 12*(n/100)^{1/4}, reduced until the regression is estimable.
+/// `alpha` must be one of 0.01, 0.05, 0.10 (MacKinnon constant-only table).
+/// Returns nullopt when the series is too short to regress.
+std::optional<AdfResult> adf_test(const std::vector<double>& x,
+                                  int max_lags = -1, double alpha = 0.05);
+
+/// MacKinnon asymptotic critical value for the constant-only case,
+/// finite-sample adjusted for `n` observations.
+double adf_critical_value(double alpha, std::size_t n) noexcept;
+
+}  // namespace rovista::stats

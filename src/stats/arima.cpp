@@ -1,0 +1,76 @@
+#include "stats/arima.h"
+
+#include <cmath>
+
+#include "stats/adf.h"
+#include "stats/timeseries.h"
+
+namespace rovista::stats {
+
+std::optional<ArimaModel> fit_arima(const std::vector<double>& x, int p, int d,
+                                    int q) {
+  if (d < 0) return std::nullopt;
+  const std::vector<double> dx = difference(x, d);
+  const auto arma = fit_arma(dx, p, q);
+  if (!arma) return std::nullopt;
+  return ArimaModel{d, *arma};
+}
+
+std::optional<ArimaModel> fit_arima_auto(const std::vector<double>& x,
+                                         int max_p, int max_q, double alpha) {
+  int d = 0;
+  std::vector<double> work = x;
+  for (; d <= 2; ++d) {
+    const auto adf = adf_test(work, -1, alpha);
+    // Treat an inconclusive test (too-short series) as stationary — with
+    // so little data differencing further would only destroy information.
+    if (!adf || adf->reject_unit_root) break;
+    work = difference(work);
+  }
+  if (d > 2) d = 2;
+
+  const auto arma = fit_arma_auto(difference(x, d), max_p, max_q);
+  if (!arma) return std::nullopt;
+  return ArimaModel{d, *arma};
+}
+
+ArmaForecast forecast_arima(const ArimaModel& model,
+                            const std::vector<double>& x, std::size_t h) {
+  if (model.d == 0) return forecast_arma(model.arma, x, h);
+
+  const std::vector<double> dx = difference(x, model.d);
+  const ArmaForecast inner = forecast_arma(model.arma, dx, h);
+
+  // Re-integrate point forecasts d times.
+  std::vector<double> level = inner.mean;
+  std::vector<double> lasts;  // last value at each differencing depth
+  std::vector<double> cur = x;
+  for (int i = 0; i < model.d; ++i) {
+    lasts.push_back(cur.back());
+    cur = difference(cur);
+  }
+  for (int i = model.d - 1; i >= 0; --i) {
+    level = integrate(level, lasts[static_cast<std::size_t>(i)]);
+  }
+
+  // Forecast variance: ψ-weights of the ARIMA process are cumulative sums
+  // of the ARMA ψ-weights, once per integration order.
+  std::vector<double> psi = model.arma.psi_weights(h);
+  for (int i = 0; i < model.d; ++i) {
+    double run = 0.0;
+    for (double& w : psi) {
+      run += w;
+      w = run;
+    }
+  }
+  ArmaForecast fc;
+  fc.mean = std::move(level);
+  double acc = 0.0;
+  for (std::size_t step = 0; step < h; ++step) {
+    acc += psi[step] * psi[step];
+    fc.stddev.push_back(std::sqrt(model.arma.sigma2 * acc));
+  }
+  return fc;
+}
+
+}  // namespace rovista::stats

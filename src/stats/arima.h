@@ -1,0 +1,34 @@
+// ARIMA(p, d, q): ARMA on the d-times differenced series.
+//
+// Per Appendix A, RoVista fits ARIMA when the ADF test fails to reject a
+// unit root in the background IP-ID rate series (trend/seasonal traffic).
+// Forecasts are produced on the differenced scale and re-integrated; the
+// forecast variance uses the ψ-weights of the *integrated* process.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stats/arma.h"
+
+namespace rovista::stats {
+
+struct ArimaModel {
+  int d = 0;
+  ArmaModel arma;  // model of the d-differenced series
+};
+
+/// Fit ARIMA(p, d, q).
+std::optional<ArimaModel> fit_arima(const std::vector<double>& x, int p, int d,
+                                    int q);
+
+/// Choose d by repeated ADF testing (max 2), then (p, q) by AIC.
+std::optional<ArimaModel> fit_arima_auto(const std::vector<double>& x,
+                                         int max_p = 2, int max_q = 2,
+                                         double alpha = 0.05);
+
+/// h-step forecast on the original (undifferenced) scale.
+ArmaForecast forecast_arima(const ArimaModel& model,
+                            const std::vector<double>& x, std::size_t h);
+
+}  // namespace rovista::stats

@@ -1,0 +1,57 @@
+// ARMA(p, q) modelling by conditional sum of squares.
+//
+// This is the stationary-series model of the paper's Appendix A:
+//   x_t = c + Σ_{i=1..p} φ_i x_{t-i} + w_t + Σ_{j=1..q} θ_j w_{t-j}.
+// Fitting minimizes the conditional sum of squared innovations with
+// Nelder–Mead, seeded by Yule–Walker estimates. Forecasts carry their
+// variance via the ψ-weight expansion so the spike detector can form
+// z-scores.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace rovista::stats {
+
+struct ArmaModel {
+  int p = 0;
+  int q = 0;
+  double c = 0.0;                // intercept
+  std::vector<double> phi;       // AR coefficients (size p)
+  std::vector<double> theta;     // MA coefficients (size q)
+  double sigma2 = 1.0;           // innovation variance
+  double css = 0.0;              // conditional sum of squares at optimum
+  double aic = 0.0;              // AICc, actually (small-sample corrected)
+  double dof = 1.0;              // residual degrees of freedom
+
+  /// Mean of the stationary process implied by (c, phi).
+  double process_mean() const noexcept;
+
+  /// In-sample innovations for a series under this model.
+  std::vector<double> innovations(const std::vector<double>& x) const;
+
+  /// ψ-weights ψ_0..ψ_{h-1} of the MA(∞) representation.
+  std::vector<double> psi_weights(std::size_t h) const;
+};
+
+struct ArmaForecast {
+  std::vector<double> mean;    // point forecasts x̂_{t+1..t+h}
+  std::vector<double> stddev;  // forecast standard errors σ̂_{t+1..t+h}
+};
+
+/// Fit ARMA(p, q) to `x`. Returns nullopt when the series is too short
+/// (needs > p + q + 2 observations) or degenerate.
+std::optional<ArmaModel> fit_arma(const std::vector<double>& x, int p, int q);
+
+/// Grid-search (p, q) in [0, max_p] x [0, max_q] by AIC; at least one of
+/// p, q is forced positive so a pure-noise fallback is ARMA(0,0) with
+/// nonzero intercept only when nothing else fits.
+std::optional<ArmaModel> fit_arma_auto(const std::vector<double>& x,
+                                       int max_p = 2, int max_q = 2);
+
+/// h-step-ahead forecast from the end of `x`.
+ArmaForecast forecast_arma(const ArmaModel& model,
+                           const std::vector<double>& x, std::size_t h);
+
+}  // namespace rovista::stats

@@ -1,0 +1,48 @@
+#include "stats/diagnostics.h"
+
+#include <algorithm>
+
+#include "stats/distributions.h"
+#include "stats/timeseries.h"
+
+namespace rovista::stats {
+
+std::optional<LjungBoxResult> ljung_box_test(const std::vector<double>& x,
+                                             int lags, int fitted,
+                                             double alpha) {
+  const std::size_t n = x.size();
+  if (lags < 1 || n < static_cast<std::size_t>(lags) + 2) {
+    return std::nullopt;
+  }
+  const int dof = lags - fitted;
+  if (dof < 1) return std::nullopt;
+
+  double q = 0.0;
+  const double dn = static_cast<double>(n);
+  for (int k = 1; k <= lags; ++k) {
+    const double rho = autocorrelation(x, static_cast<std::size_t>(k));
+    q += rho * rho / (dn - static_cast<double>(k));
+  }
+  q *= dn * (dn + 2.0);
+
+  LjungBoxResult res;
+  res.statistic = q;
+  res.lags = lags;
+  res.p_value = 1.0 - chi_squared_cdf(q, static_cast<double>(dof));
+  res.reject_whiteness = res.p_value < alpha;
+  return res;
+}
+
+std::optional<LjungBoxResult> residual_whiteness(
+    const ArmaModel& model, const std::vector<double>& x, int lags,
+    double alpha) {
+  std::vector<double> residuals = model.innovations(x);
+  // Drop the conditioning prefix (zeros that are not real innovations).
+  const std::size_t skip = static_cast<std::size_t>(std::max(model.p, 1));
+  if (residuals.size() <= skip) return std::nullopt;
+  residuals.erase(residuals.begin(),
+                  residuals.begin() + static_cast<long>(skip));
+  return ljung_box_test(residuals, lags, model.p + model.q, alpha);
+}
+
+}  // namespace rovista::stats

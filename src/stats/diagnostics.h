@@ -1,0 +1,37 @@
+// Model diagnostics: the Ljung–Box portmanteau test.
+//
+// Box–Jenkins practice checks a fitted ARMA model by testing its
+// residuals for remaining autocorrelation; RoVista's Appendix A pipeline
+// can use it to flag vVPs whose background traffic the model family
+// simply cannot represent (another exclusion criterion alongside the
+// FP/FN screen).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stats/arma.h"
+
+namespace rovista::stats {
+
+struct LjungBoxResult {
+  double statistic = 0.0;  // Q = n(n+2) Σ ρ_k²/(n−k)
+  double p_value = 1.0;    // against χ²(lags − fitted_params)
+  int lags = 0;
+  bool reject_whiteness = false;  // p < alpha → residuals not white
+};
+
+/// Ljung–Box test on a series (typically model residuals). `fitted`
+/// reduces the χ² degrees of freedom by the number of ARMA parameters
+/// estimated. Returns nullopt when the series is too short or lags
+/// leave no degrees of freedom.
+std::optional<LjungBoxResult> ljung_box_test(const std::vector<double>& x,
+                                             int lags, int fitted = 0,
+                                             double alpha = 0.05);
+
+/// Convenience: test a fitted model's in-sample innovations.
+std::optional<LjungBoxResult> residual_whiteness(
+    const ArmaModel& model, const std::vector<double>& x, int lags,
+    double alpha = 0.05);
+
+}  // namespace rovista::stats

@@ -1,0 +1,142 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rovista::stats {
+
+double normal_pdf(double x) noexcept {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) noexcept {
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  static const double p_low = 0.02425;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step.
+  const double e = normal_cdf(x) - p;
+  const double u = e / normal_pdf(x);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double upper_tail_critical(double alpha) noexcept {
+  return normal_quantile(1.0 - alpha);
+}
+
+double student_t_quantile(double p, double dof) noexcept {
+  const double z = normal_quantile(p);
+  if (dof <= 0.0) return z;
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  return z + (z3 + z) / (4.0 * dof) +
+         (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * dof * dof);
+}
+
+double upper_tail_critical_t(double alpha, double dof) noexcept {
+  return student_t_quantile(1.0 - alpha, dof);
+}
+
+namespace {
+
+// ln Γ(x) via the Lanczos approximation (g = 7, n = 9).
+double lgamma_lanczos(double x) noexcept {
+  static const double kCoef[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6,
+      1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(3.141592653589793 /
+                    std::sin(3.141592653589793 * x)) -
+           lgamma_lanczos(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (x + static_cast<double>(i));
+  return 0.918938533204672742 /* ln sqrt(2π) */ + (x + 0.5) * std::log(t) -
+         t + std::log(a);
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) noexcept {
+  if (a <= 0.0 || x < 0.0) return 0.0;
+  if (x == 0.0) return 0.0;
+  const double lg = lgamma_lanczos(a);
+  if (x < a + 1.0) {
+    // Series expansion.
+    double sum = 1.0 / a;
+    double term = sum;
+    for (int n = 1; n < 500; ++n) {
+      term *= x / (a + static_cast<double>(n));
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - lg);
+  }
+  // Continued fraction for Q(a, x), then P = 1 - Q (Lentz's algorithm).
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - lg) * h;
+  return 1.0 - q;
+}
+
+double chi_squared_cdf(double x, double k) noexcept {
+  if (x <= 0.0 || k <= 0.0) return 0.0;
+  return regularized_gamma_p(k / 2.0, x / 2.0);
+}
+
+}  // namespace rovista::stats

@@ -1,0 +1,33 @@
+// Probability distribution utilities for hypothesis testing.
+#pragma once
+
+namespace rovista::stats {
+
+/// Standard normal probability density.
+double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution (erf-based, ~1e-15 accurate).
+double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined
+/// with one Halley step; ~1e-12 accurate on (0, 1)).
+double normal_quantile(double p) noexcept;
+
+/// Upper-tail critical value t_alpha with P(Z > t_alpha) = alpha.
+double upper_tail_critical(double alpha) noexcept;
+
+/// Student-t quantile via the Cornish–Fisher expansion around the normal
+/// quantile (adequate for dof >= 3, the detector's operating range).
+double student_t_quantile(double p, double dof) noexcept;
+
+/// Upper-tail Student-t critical value with `dof` degrees of freedom.
+double upper_tail_critical_t(double alpha, double dof) noexcept;
+
+/// Regularized lower incomplete gamma P(a, x) (series + continued
+/// fraction, Numerical-Recipes style). Domain: a > 0, x >= 0.
+double regularized_gamma_p(double a, double x) noexcept;
+
+/// Chi-squared CDF with k degrees of freedom.
+double chi_squared_cdf(double x, double k) noexcept;
+
+}  // namespace rovista::stats

@@ -1,0 +1,121 @@
+#include "stats/ols.h"
+
+#include <cmath>
+
+namespace rovista::stats {
+
+namespace {
+
+// Solve A z = b for symmetric positive-definite A (n x n, row-major) via
+// Cholesky; returns false if A is not (numerically) SPD. On success also
+// leaves the Cholesky factor in `a` for reuse when inverting.
+bool cholesky_solve(std::vector<double>& a, std::size_t n,
+                    std::vector<double>& b) {
+  // Decompose A = L L^T in place (lower triangle).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (sum <= 1e-12) return false;
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  // Forward substitution L w = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Back substitution L^T z = w.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[k * n + i] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  return true;
+}
+
+// Invert SPD matrix given its in-place Cholesky factor L (lower triangle
+// of `a`); returns (L L^T)^-1 row-major.
+std::vector<double> cholesky_invert(const std::vector<double>& a,
+                                    std::size_t n) {
+  std::vector<double> inv(n * n, 0.0);
+  // Solve for each unit vector.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::vector<double> b(n, 0.0);
+    b[col] = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = b[i];
+      for (std::size_t k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+      b[i] = sum / a[i * n + i];
+    }
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      double sum = b[i];
+      for (std::size_t k = i + 1; k < n; ++k) sum -= a[k * n + i] * b[k];
+      b[i] = sum / a[i * n + i];
+    }
+    for (std::size_t i = 0; i < n; ++i) inv[i * n + col] = b[i];
+  }
+  return inv;
+}
+
+}  // namespace
+
+std::optional<OlsResult> ols_fit(const std::vector<double>& x,
+                                 std::size_t ncol,
+                                 const std::vector<double>& y) {
+  if (ncol == 0 || y.empty()) return std::nullopt;
+  const std::size_t n = y.size();
+  if (x.size() != n * ncol || n <= ncol) return std::nullopt;
+
+  // Normal equations: (X'X) beta = X'y.
+  std::vector<double> xtx(ncol * ncol, 0.0);
+  std::vector<double> xty(ncol, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = &x[r * ncol];
+    for (std::size_t i = 0; i < ncol; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = 0; j <= i; ++j) xtx[i * ncol + j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < ncol; ++i) {
+    for (std::size_t j = i + 1; j < ncol; ++j) {
+      xtx[i * ncol + j] = xtx[j * ncol + i];
+    }
+  }
+
+  std::vector<double> factor = xtx;
+  std::vector<double> beta = xty;
+  if (!cholesky_solve(factor, ncol, beta)) return std::nullopt;
+
+  OlsResult res;
+  res.coef = beta;
+  res.residuals.resize(n);
+  res.rss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double fit = 0.0;
+    const double* row = &x[r * ncol];
+    for (std::size_t i = 0; i < ncol; ++i) fit += row[i] * beta[i];
+    res.residuals[r] = y[r] - fit;
+    res.rss += res.residuals[r] * res.residuals[r];
+  }
+  res.sigma2 = res.rss / static_cast<double>(n - ncol);
+
+  const std::vector<double> inv = cholesky_invert(factor, ncol);
+  res.std_error.resize(ncol);
+  res.t_stat.resize(ncol);
+  for (std::size_t i = 0; i < ncol; ++i) {
+    res.std_error[i] = std::sqrt(res.sigma2 * inv[i * ncol + i]);
+    res.t_stat[i] =
+        res.std_error[i] > 0.0 ? beta[i] / res.std_error[i] : 0.0;
+  }
+  return res;
+}
+
+}  // namespace rovista::stats

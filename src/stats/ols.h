@@ -1,0 +1,28 @@
+// Ordinary least squares with coefficient standard errors.
+//
+// Used by the Augmented Dickey–Fuller test (regression of Δx on lagged
+// level and lagged differences) and anywhere a linear fit is needed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace rovista::stats {
+
+struct OlsResult {
+  std::vector<double> coef;        // estimated coefficients
+  std::vector<double> std_error;   // per-coefficient standard errors
+  std::vector<double> t_stat;      // coef / std_error
+  std::vector<double> residuals;   // y - X beta
+  double sigma2 = 0.0;             // residual variance (dof-adjusted)
+  double rss = 0.0;                // residual sum of squares
+};
+
+/// Fit y = X beta + e. `x` is row-major with `ncol` columns per row.
+/// Returns nullopt if the normal equations are singular or the system is
+/// underdetermined (rows <= cols).
+std::optional<OlsResult> ols_fit(const std::vector<double>& x,
+                                 std::size_t ncol,
+                                 const std::vector<double>& y);
+
+}  // namespace rovista::stats

@@ -1,0 +1,118 @@
+#include "stats/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rovista::stats {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt) {
+  const std::size_t n = x0.size();
+  NelderMeadResult result;
+  if (n == 0) {
+    result.x = std::move(x0);
+    result.fmin = f(result.x);
+    result.converged = true;
+    return result;
+  }
+
+  // Build initial simplex: x0 plus a perturbation along each axis.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double step =
+        x0[i] != 0.0 ? opt.initial_step * std::abs(x0[i]) : opt.initial_step;
+    simplex[i + 1][i] += step;
+  }
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
+
+  constexpr double kAlpha = 1.0;  // reflection
+  constexpr double kGamma = 2.0;  // expansion
+  constexpr double kRho = 0.5;    // contraction
+  constexpr double kSigma = 0.5;  // shrink
+
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    // Order vertices by objective value.
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    {
+      std::vector<std::vector<double>> s2(n + 1);
+      std::vector<double> f2(n + 1);
+      for (std::size_t i = 0; i <= n; ++i) {
+        s2[i] = std::move(simplex[idx[i]]);
+        f2[i] = fv[idx[i]];
+      }
+      simplex = std::move(s2);
+      fv = std::move(f2);
+    }
+
+    if (std::abs(fv[n] - fv[0]) <
+        opt.tolerance * (std::abs(fv[0]) + opt.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of the n best vertices.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double t) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        p[j] = centroid[j] + t * (centroid[j] - simplex[n][j]);
+      }
+      return p;
+    };
+
+    const std::vector<double> xr = blend(kAlpha);
+    const double fr = f(xr);
+    if (fr < fv[0]) {
+      const std::vector<double> xe = blend(kGamma);
+      const double fe = f(xe);
+      if (fe < fr) {
+        simplex[n] = xe;
+        fv[n] = fe;
+      } else {
+        simplex[n] = xr;
+        fv[n] = fr;
+      }
+    } else if (fr < fv[n - 1]) {
+      simplex[n] = xr;
+      fv[n] = fr;
+    } else {
+      const std::vector<double> xc = blend(fr < fv[n] ? kRho : -kRho);
+      const double fc = f(xc);
+      if (fc < std::min(fr, fv[n])) {
+        simplex[n] = xc;
+        fv[n] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            simplex[i][j] =
+                simplex[0][j] + kSigma * (simplex[i][j] - simplex[0][j]);
+          }
+          fv[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (fv[i] < fv[best]) best = i;
+  }
+  result.x = simplex[best];
+  result.fmin = fv[best];
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace rovista::stats

@@ -1,0 +1,31 @@
+// Derivative-free minimization (Nelder–Mead simplex).
+//
+// The ARMA conditional-sum-of-squares objective is smooth but its gradient
+// is awkward to derive; Nelder–Mead is robust for the low-dimensional
+// (p+q+1 <= ~6) problems RoVista fits per vVP time series.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rovista::stats {
+
+struct NelderMeadOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-9;     // convergence: spread of simplex f-values
+  double initial_step = 0.25;  // simplex edge relative to each coordinate
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fmin = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize `f` starting from `x0`.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt = {});
+
+}  // namespace rovista::stats

@@ -1,0 +1,81 @@
+// IP-ID spike detection (paper §4.3 + Appendix A).
+//
+// Given a vVP's background IP-ID rate series (samples taken before the
+// spoofed burst) and the observation window (samples after), the detector:
+//   1. runs the ADF test; stationary → ARMA, nonstationary → ARIMA,
+//   2. forecasts the observation window with per-step standard errors,
+//   3. forms z-scores z_{t+k} = (x_{t+k} − x̂_{t+k}) / σ̂_{t+k},
+//   4. applies a one-tailed test at level α (spikes only increase traffic),
+//   5. screens out vVPs whose estimated FP/FN rates exceed α (the paper
+//      excludes vVPs for which 10 packets cannot be resolved against the
+//      background noise).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace rovista::stats {
+
+struct SpikeDetectorConfig {
+  double alpha = 0.05;          // one-tailed significance level
+  int max_p = 2;                // ARMA order search bounds
+  int max_q = 1;
+  double spike_packets = 10.0;  // expected spike magnitude (spoofed burst)
+  double spike_stddev = 1.0;    // σ_s of the spike-size prior N(10, σ_s²)
+
+  /// Index in the observation window where a spike is *planned* (the
+  /// burst interval — its timing is known a priori, so it is tested at
+  /// plain α). All other indices form an unplanned scan and get a
+  /// Bonferroni-corrected level α/(m-1). Negative disables.
+  int planned_index = 0;
+
+  /// When set, also require the fitted model's residuals to pass a
+  /// Ljung–Box whiteness test — a vVP whose background the ARMA family
+  /// cannot represent is excluded rather than mis-scored. Off by
+  /// default: with ~10 background points the test has little power and
+  /// mostly costs coverage.
+  bool check_residual_whiteness = false;
+};
+
+struct SpikeAnalysis {
+  bool nonstationary = false;        // ADF failed to reject → ARIMA used
+  std::vector<double> forecast;      // x̂ over the observation window
+  std::vector<double> forecast_sd;   // σ̂ over the observation window
+  std::vector<double> z_scores;      // per-step z-scores
+  std::vector<bool> spike_at;        // z > t_α per step
+  std::size_t spike_count = 0;       // number of significant steps
+  double estimated_fn_rate = 0.0;    // ∫ Φ(t_α − s/σ̂²) dF_s(s)
+  bool residuals_white = true;       // Ljung–Box outcome (when enabled)
+  bool usable = true;                // false → exclude this vVP (App. A)
+};
+
+class SpikeDetector {
+ public:
+  explicit SpikeDetector(SpikeDetectorConfig config = {}) noexcept
+      : config_(config) {}
+
+  /// Analyze one experiment. `background` is the pre-burst rate series,
+  /// `observed` the post-burst window (same sampling cadence).
+  /// Returns nullopt when the background is too short to model.
+  std::optional<SpikeAnalysis> analyze(
+      const std::vector<double>& background,
+      const std::vector<double>& observed) const;
+
+  const SpikeDetectorConfig& config() const noexcept { return config_; }
+
+ private:
+  SpikeDetectorConfig config_;
+};
+
+/// Closed-form asymptotic false-negative rate for a spike of size `s`
+/// against forecast stddev `sigma`: Φ(t_α − s/σ).
+double spike_false_negative_rate(double s, double sigma,
+                                 double alpha) noexcept;
+
+/// FN rate integrated over the spike-size prior N(mu_s, sd_s²), by
+/// Gauss–Hermite-style discretization.
+double spike_expected_fn_rate(double mu_s, double sd_s, double sigma,
+                              double alpha) noexcept;
+
+}  // namespace rovista::stats

@@ -1,0 +1,113 @@
+#include "stats/timeseries.h"
+
+#include <cmath>
+
+namespace rovista::stats {
+
+double mean(const std::vector<double>& x) noexcept {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(const std::vector<double>& x, int ddof) noexcept {
+  if (x.size() <= static_cast<std::size_t>(ddof)) return 0.0;
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size() - static_cast<std::size_t>(ddof));
+}
+
+std::vector<double> difference(const std::vector<double>& x) {
+  if (x.size() < 2) return {};
+  std::vector<double> out;
+  out.reserve(x.size() - 1);
+  for (std::size_t i = 1; i < x.size(); ++i) out.push_back(x[i] - x[i - 1]);
+  return out;
+}
+
+std::vector<double> difference(const std::vector<double>& x, int d) {
+  std::vector<double> out = x;
+  for (int i = 0; i < d; ++i) out = difference(out);
+  return out;
+}
+
+std::vector<double> integrate(const std::vector<double>& dx,
+                              double last_level) {
+  std::vector<double> out;
+  out.reserve(dx.size());
+  double level = last_level;
+  for (double v : dx) {
+    level += v;
+    out.push_back(level);
+  }
+  return out;
+}
+
+double autocovariance(const std::vector<double>& x, std::size_t k) noexcept {
+  const std::size_t n = x.size();
+  if (k >= n) return 0.0;
+  const double m = mean(x);
+  double s = 0.0;
+  for (std::size_t t = 0; t + k < n; ++t) s += (x[t] - m) * (x[t + k] - m);
+  return s / static_cast<double>(n);
+}
+
+double autocorrelation(const std::vector<double>& x, std::size_t k) noexcept {
+  const double c0 = autocovariance(x, 0);
+  if (c0 <= 0.0) return k == 0 ? 1.0 : 0.0;
+  return autocovariance(x, k) / c0;
+}
+
+std::vector<double> acf(const std::vector<double>& x, std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  const double c0 = autocovariance(x, 0);
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    out.push_back(c0 <= 0.0 ? (k == 0 ? 1.0 : 0.0)
+                            : autocovariance(x, k) / c0);
+  }
+  return out;
+}
+
+std::vector<double> pacf(const std::vector<double>& x, std::size_t max_lag) {
+  // Durbin–Levinson recursion on the sample ACF.
+  const std::vector<double> rho = acf(x, max_lag);
+  std::vector<double> out(max_lag + 1, 0.0);
+  out[0] = 1.0;
+  if (max_lag == 0) return out;
+
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi_cur(max_lag + 1, 0.0);
+  phi_prev[1] = rho[1];
+  out[1] = rho[1];
+  double v = 1.0 - rho[1] * rho[1];
+
+  for (std::size_t k = 2; k <= max_lag; ++k) {
+    double num = rho[k];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * rho[k - j];
+    const double phi_kk = (v > 1e-12) ? num / v : 0.0;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi_cur[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+    }
+    phi_cur[k] = phi_kk;
+    out[k] = phi_kk;
+    v *= (1.0 - phi_kk * phi_kk);
+    phi_prev = phi_cur;
+  }
+  return out;
+}
+
+std::vector<double> unwrap_u16(const std::vector<double>& raw) {
+  std::vector<double> out;
+  out.reserve(raw.size());
+  double offset = 0.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i > 0 && raw[i] < raw[i - 1]) offset += 65536.0;
+    out.push_back(raw[i] + offset);
+  }
+  return out;
+}
+
+}  // namespace rovista::stats

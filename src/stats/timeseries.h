@@ -1,0 +1,42 @@
+// Time series container with the summary statistics used by the
+// ARMA/ARIMA pipeline (Appendix A of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rovista::stats {
+
+/// Sample mean; 0 for an empty series.
+double mean(const std::vector<double>& x) noexcept;
+
+/// Sample variance with `ddof` delta degrees of freedom (1 = unbiased).
+double variance(const std::vector<double>& x, int ddof = 1) noexcept;
+
+/// First difference: y[t] = x[t+1] - x[t] (length n-1).
+std::vector<double> difference(const std::vector<double>& x);
+
+/// d-th order difference.
+std::vector<double> difference(const std::vector<double>& x, int d);
+
+/// Undo one level of differencing given the last observed level.
+std::vector<double> integrate(const std::vector<double>& dx,
+                              double last_level);
+
+/// Sample autocovariance at lag k (biased, divisor n — standard in TS).
+double autocovariance(const std::vector<double>& x, std::size_t k) noexcept;
+
+/// Sample autocorrelation at lag k.
+double autocorrelation(const std::vector<double>& x, std::size_t k) noexcept;
+
+/// Autocorrelation function up to max_lag (inclusive; acf[0] == 1).
+std::vector<double> acf(const std::vector<double>& x, std::size_t max_lag);
+
+/// Partial autocorrelation via Durbin–Levinson recursion.
+std::vector<double> pacf(const std::vector<double>& x, std::size_t max_lag);
+
+/// Unwrap a 16-bit counter sequence (IP-IDs) into a monotone series,
+/// accounting for wraparound at 65536.
+std::vector<double> unwrap_u16(const std::vector<double>& raw);
+
+}  // namespace rovista::stats

@@ -1,0 +1,142 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+
+namespace rovista::topology {
+
+const std::vector<Asn> AsGraph::kEmpty;
+
+bool AsGraph::add_as(AsInfo info) {
+  const Asn asn = info.asn;
+  if (nodes_.contains(asn)) return false;
+  Node node;
+  node.info = std::move(info);
+  nodes_.emplace(asn, std::move(node));
+  insertion_order_.push_back(asn);
+  return true;
+}
+
+bool AsGraph::contains(Asn asn) const noexcept { return nodes_.contains(asn); }
+
+const AsInfo* AsGraph::info(Asn asn) const noexcept {
+  const Node* n = node(asn);
+  return n != nullptr ? &n->info : nullptr;
+}
+
+const AsGraph::Node* AsGraph::node(Asn asn) const noexcept {
+  const auto it = nodes_.find(asn);
+  return it != nodes_.end() ? &it->second : nullptr;
+}
+
+AsGraph::Node* AsGraph::node(Asn asn) noexcept {
+  const auto it = nodes_.find(asn);
+  return it != nodes_.end() ? &it->second : nullptr;
+}
+
+bool AsGraph::add_p2c(Asn provider, Asn customer) {
+  if (provider == customer) return false;
+  Node* p = node(provider);
+  Node* c = node(customer);
+  if (p == nullptr || c == nullptr) return false;
+  if (relationship(provider, customer).has_value()) return false;
+  p->customers.push_back(customer);
+  c->providers.push_back(provider);
+  return true;
+}
+
+bool AsGraph::add_p2p(Asn a, Asn b) {
+  if (a == b) return false;
+  Node* na = node(a);
+  Node* nb = node(b);
+  if (na == nullptr || nb == nullptr) return false;
+  if (relationship(a, b).has_value()) return false;
+  na->peers.push_back(b);
+  nb->peers.push_back(a);
+  return true;
+}
+
+bool AsGraph::remove_edge(Asn a, Asn b) {
+  Node* na = node(a);
+  Node* nb = node(b);
+  if (na == nullptr || nb == nullptr) return false;
+  bool removed = false;
+  const auto drop = [&](std::vector<Asn>& v, Asn target) {
+    const auto it = std::find(v.begin(), v.end(), target);
+    if (it != v.end()) {
+      v.erase(it);
+      removed = true;
+    }
+  };
+  drop(na->providers, b);
+  drop(na->customers, b);
+  drop(na->peers, b);
+  drop(nb->providers, a);
+  drop(nb->customers, a);
+  drop(nb->peers, a);
+  return removed;
+}
+
+bool AsGraph::set_relationship(Asn a, Asn b, NeighborKind kind_of_b) {
+  if (a == b || node(a) == nullptr || node(b) == nullptr) return false;
+  remove_edge(a, b);
+  switch (kind_of_b) {
+    case NeighborKind::kCustomer:
+      return add_p2c(a, b);
+    case NeighborKind::kProvider:
+      return add_p2c(b, a);
+    case NeighborKind::kPeer:
+      return add_p2p(a, b);
+  }
+  return false;
+}
+
+const std::vector<Asn>& AsGraph::providers(Asn asn) const noexcept {
+  const Node* n = node(asn);
+  return n != nullptr ? n->providers : kEmpty;
+}
+
+const std::vector<Asn>& AsGraph::customers(Asn asn) const noexcept {
+  const Node* n = node(asn);
+  return n != nullptr ? n->customers : kEmpty;
+}
+
+const std::vector<Asn>& AsGraph::peers(Asn asn) const noexcept {
+  const Node* n = node(asn);
+  return n != nullptr ? n->peers : kEmpty;
+}
+
+std::vector<Neighbor> AsGraph::neighbors(Asn asn) const {
+  std::vector<Neighbor> out;
+  const Node* n = node(asn);
+  if (n == nullptr) return out;
+  out.reserve(n->providers.size() + n->customers.size() + n->peers.size());
+  for (Asn p : n->providers) out.push_back({p, NeighborKind::kProvider});
+  for (Asn c : n->customers) out.push_back({c, NeighborKind::kCustomer});
+  for (Asn p : n->peers) out.push_back({p, NeighborKind::kPeer});
+  return out;
+}
+
+std::optional<NeighborKind> AsGraph::relationship(Asn asn,
+                                                  Asn neighbor) const {
+  const Node* n = node(asn);
+  if (n == nullptr) return std::nullopt;
+  const auto has = [&](const std::vector<Asn>& v) {
+    return std::find(v.begin(), v.end(), neighbor) != v.end();
+  };
+  if (has(n->providers)) return NeighborKind::kProvider;
+  if (has(n->customers)) return NeighborKind::kCustomer;
+  if (has(n->peers)) return NeighborKind::kPeer;
+  return std::nullopt;
+}
+
+std::vector<Asn> AsGraph::transit_free() const {
+  std::vector<Asn> out;
+  for (Asn asn : insertion_order_) {
+    if (providers(asn).empty()) out.push_back(asn);
+  }
+  return out;
+}
+
+std::vector<Asn> AsGraph::all_asns() const { return insertion_order_; }
+
+}  // namespace rovista::topology

@@ -1,0 +1,108 @@
+#include "topology/cone.h"
+
+#include <algorithm>
+
+namespace rovista::topology {
+
+const std::unordered_set<Asn> CustomerCones::kEmpty;
+
+CustomerCones::CustomerCones(const AsGraph& graph) {
+  // Iterative post-order accumulation. The relationship graph can contain
+  // p2c cycles only if malformed; guard with a visiting set and treat
+  // back-edges as already-complete (their partial cone is used).
+  enum class State { kUnvisited, kVisiting, kDone };
+  std::unordered_map<Asn, State> state;
+  for (Asn asn : graph.all_asns()) state[asn] = State::kUnvisited;
+
+  struct Frame {
+    Asn asn;
+    std::size_t next_child = 0;
+  };
+
+  for (Asn root : graph.all_asns()) {
+    if (state[root] != State::kUnvisited) continue;
+    std::vector<Frame> stack{{root}};
+    state[root] = State::kVisiting;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& customers = graph.customers(frame.asn);
+      if (frame.next_child < customers.size()) {
+        const Asn child = customers[frame.next_child++];
+        if (state[child] == State::kUnvisited) {
+          state[child] = State::kVisiting;
+          stack.push_back({child});
+        }
+        continue;
+      }
+      // All children done: build this cone.
+      auto& cone = cones_[frame.asn];
+      cone.insert(frame.asn);
+      for (Asn child : customers) {
+        const auto it = cones_.find(child);
+        if (it != cones_.end()) {
+          cone.insert(it->second.begin(), it->second.end());
+        }
+      }
+      state[frame.asn] = State::kDone;
+      stack.pop_back();
+    }
+  }
+}
+
+std::size_t CustomerCones::cone_size(Asn asn) const noexcept {
+  const auto it = cones_.find(asn);
+  return it != cones_.end() ? it->second.size() : 0;
+}
+
+bool CustomerCones::in_cone(Asn asn, Asn candidate) const noexcept {
+  const auto it = cones_.find(asn);
+  return it != cones_.end() && it->second.contains(candidate);
+}
+
+const std::unordered_set<Asn>& CustomerCones::cone(Asn asn) const {
+  const auto it = cones_.find(asn);
+  return it != cones_.end() ? it->second : kEmpty;
+}
+
+std::vector<Asn> rank_by_cone(const AsGraph& graph,
+                              const CustomerCones& cones) {
+  std::vector<Asn> out = graph.all_asns();
+  std::sort(out.begin(), out.end(), [&](Asn a, Asn b) {
+    const std::size_t ca = cones.cone_size(a);
+    const std::size_t cb = cones.cone_size(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return out;
+}
+
+std::unordered_map<Asn, std::size_t> rank_map(const std::vector<Asn>& ranked) {
+  std::unordered_map<Asn, std::size_t> out;
+  out.reserve(ranked.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) out[ranked[i]] = i + 1;
+  return out;
+}
+
+std::vector<Asn> infer_clique(const AsGraph& graph,
+                              const CustomerCones& cones) {
+  std::vector<Asn> candidates = graph.transit_free();
+  std::sort(candidates.begin(), candidates.end(), [&](Asn a, Asn b) {
+    const std::size_t ca = cones.cone_size(a);
+    const std::size_t cb = cones.cone_size(b);
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+
+  // Greedy: keep a candidate only if it peers with everything kept so far.
+  std::vector<Asn> clique;
+  for (Asn asn : candidates) {
+    const bool ok = std::all_of(
+        clique.begin(), clique.end(), [&](Asn member) {
+          return graph.relationship(asn, member) == NeighborKind::kPeer;
+        });
+    if (ok) clique.push_back(asn);
+  }
+  return clique;
+}
+
+}  // namespace rovista::topology

@@ -1,0 +1,50 @@
+// Customer cones, AS rank, and clique (tier-1) inference.
+//
+// The paper ranks ASes by customer-cone size (CAIDA AS Rank, §7.2) and
+// singles out the transit-free clique (Table 1). Cone computation is a
+// memoized DFS over customer edges; the clique is inferred as the set of
+// transit-free ASes that mutually peer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/as_graph.h"
+
+namespace rovista::topology {
+
+/// Customer cone of every AS: the AS itself plus everything reachable by
+/// repeatedly following provider→customer edges.
+class CustomerCones {
+ public:
+  explicit CustomerCones(const AsGraph& graph);
+
+  /// Cone size (>= 1; includes the AS itself).
+  std::size_t cone_size(Asn asn) const noexcept;
+
+  /// Membership test: is `candidate` in `asn`'s cone?
+  bool in_cone(Asn asn, Asn candidate) const noexcept;
+
+  const std::unordered_set<Asn>& cone(Asn asn) const;
+
+ private:
+  std::unordered_map<Asn, std::unordered_set<Asn>> cones_;
+  static const std::unordered_set<Asn> kEmpty;
+};
+
+/// ASes ordered by descending cone size (rank 1 = biggest cone).
+/// Ties break by ascending ASN for determinism.
+std::vector<Asn> rank_by_cone(const AsGraph& graph,
+                              const CustomerCones& cones);
+
+/// Rank lookup (1-based) built from `rank_by_cone`'s output.
+std::unordered_map<Asn, std::size_t> rank_map(const std::vector<Asn>& ranked);
+
+/// Infer the tier-1 clique: transit-free ASes that peer with every other
+/// transit-free AS (maximal mutual-peering subset, greedy by cone size).
+std::vector<Asn> infer_clique(const AsGraph& graph,
+                              const CustomerCones& cones);
+
+}  // namespace rovista::topology

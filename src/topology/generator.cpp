@@ -1,0 +1,131 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace rovista::topology {
+
+namespace {
+
+struct Region {
+  Rir rir;
+  const char* countries[4];
+};
+
+// Coarse RIR → country pools for labelling ASes; the analysis only needs
+// plausible diversity, not geographic fidelity.
+constexpr Region kRegions[] = {
+    {Rir::kApnic, {"JP", "AU", "IN", "KR"}},
+    {Rir::kRipeNcc, {"NL", "DE", "FR", "GB"}},
+    {Rir::kArin, {"US", "CA", "US", "US"}},
+    {Rir::kAfrinic, {"ZA", "KE", "NG", "EG"}},
+    {Rir::kLacnic, {"BR", "AR", "CL", "MX"}},
+};
+
+AsInfo make_info(Asn asn, int tier, util::Rng& rng) {
+  const Region& region = kRegions[rng.index(std::size(kRegions))];
+  AsInfo info;
+  info.asn = asn;
+  info.name = util::format("AS%u", asn);
+  info.rir = region.rir;
+  info.country = region.countries[rng.index(4)];
+  info.tier = tier;
+  return info;
+}
+
+// Preferential pick: weight each candidate by (1 + current customer
+// count) so big providers get bigger, yielding heavy-tailed cones.
+Asn preferential_pick(const AsGraph& graph, const std::vector<Asn>& pool,
+                      util::Rng& rng) {
+  std::uint64_t total = 0;
+  for (Asn asn : pool) total += 1 + graph.customers(asn).size();
+  std::uint64_t target = rng.uniform_u64(0, total - 1);
+  for (Asn asn : pool) {
+    const std::uint64_t w = 1 + graph.customers(asn).size();
+    if (target < w) return asn;
+    target -= w;
+  }
+  return pool.back();
+}
+
+}  // namespace
+
+AsGraph generate_topology(const TopologyParams& params, util::Rng& rng) {
+  AsGraph graph;
+  Asn next_asn = params.first_asn;
+
+  std::vector<Asn> tier1, tier2, tier3, stubs;
+
+  for (int i = 0; i < params.tier1_count; ++i) {
+    const Asn asn = next_asn++;
+    graph.add_as(make_info(asn, 1, rng));
+    tier1.push_back(asn);
+  }
+  // Tier-1s form a full peering mesh (transit-free clique).
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      graph.add_p2p(tier1[i], tier1[j]);
+    }
+  }
+
+  for (int i = 0; i < params.tier2_count; ++i) {
+    const Asn asn = next_asn++;
+    graph.add_as(make_info(asn, 2, rng));
+    tier2.push_back(asn);
+    // 2–3 tier-1 transit providers.
+    const int nprov = static_cast<int>(rng.uniform_u64(2, 3));
+    for (int k = 0; k < nprov; ++k) {
+      graph.add_p2c(preferential_pick(graph, tier1, rng), asn);
+    }
+  }
+  for (std::size_t i = 0; i < tier2.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2.size(); ++j) {
+      if (rng.bernoulli(params.tier2_peer_prob)) {
+        graph.add_p2p(tier2[i], tier2[j]);
+      }
+    }
+  }
+
+  for (int i = 0; i < params.tier3_count; ++i) {
+    const Asn asn = next_asn++;
+    graph.add_as(make_info(asn, 3, rng));
+    tier3.push_back(asn);
+    // 1–3 providers, mostly tier-2, occasionally straight to tier-1.
+    const int nprov = static_cast<int>(rng.uniform_u64(1, 3));
+    for (int k = 0; k < nprov; ++k) {
+      const auto& pool = rng.bernoulli(0.12) ? tier1 : tier2;
+      graph.add_p2c(preferential_pick(graph, pool, rng), asn);
+    }
+  }
+  if (!tier3.empty()) {
+    // Sparse regional peering: sample pairs rather than the full O(n^2)
+    // mesh for large tier-3 populations.
+    const std::size_t samples = static_cast<std::size_t>(
+        params.tier3_peer_prob * static_cast<double>(tier3.size()) *
+        static_cast<double>(tier3.size()) / 2.0);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const Asn a = tier3[rng.index(tier3.size())];
+      const Asn b = tier3[rng.index(tier3.size())];
+      if (a != b) graph.add_p2p(a, b);
+    }
+  }
+
+  for (int i = 0; i < params.stub_count; ++i) {
+    const Asn asn = next_asn++;
+    graph.add_as(make_info(asn, 4, rng));
+    stubs.push_back(asn);
+    const auto& pool = rng.bernoulli(0.3) ? tier2 : tier3;
+    graph.add_p2c(preferential_pick(graph, pool, rng), asn);
+    if (rng.bernoulli(params.stub_multihome_prob)) {
+      const auto& pool2 = rng.bernoulli(0.3) ? tier2 : tier3;
+      graph.add_p2c(preferential_pick(graph, pool2, rng), asn);
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace rovista::topology

@@ -1,0 +1,32 @@
+// Synthetic Internet topology generation.
+//
+// Produces an AS graph with the structural features the paper's analysis
+// depends on: a small transit-free clique that mutually peers (tier-1s,
+// Table 1), a heavy-tailed customer-cone distribution (AS rank, Fig. 7),
+// multihomed mid-tier networks (the KPN case study needs customers with
+// and without alternate providers, Fig. 8), and a large stub population.
+// Attachment is preferential so cone sizes follow a power law.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace rovista::topology {
+
+struct TopologyParams {
+  int tier1_count = 12;        // transit-free clique size
+  int tier2_count = 120;       // large transit providers
+  int tier3_count = 600;       // regional transit
+  int stub_count = 4000;       // edge networks
+  double tier2_peer_prob = 0.25;  // p2p density within tier 2
+  double tier3_peer_prob = 0.03;  // p2p density within tier 3
+  double stub_multihome_prob = 0.35;  // chance a stub has 2+ providers
+  std::uint32_t first_asn = 1;
+};
+
+/// Generate a topology; deterministic in (params, rng state).
+AsGraph generate_topology(const TopologyParams& params, util::Rng& rng);
+
+}  // namespace rovista::topology

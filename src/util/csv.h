@@ -1,0 +1,41 @@
+// CSV and fixed-width table emission for benchmark/report output.
+//
+// Benchmarks regenerate the paper's tables and figure series; this module
+// renders them both machine-readably (CSV) and human-readably (aligned
+// tables on stdout).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rovista::util {
+
+/// Accumulates rows and renders them as CSV or an aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render as RFC-4180-ish CSV (quotes fields containing , " or newline).
+  std::string to_csv() const;
+
+  /// Render as an aligned, pipe-separated text table.
+  std::string to_text() const;
+
+  /// Write CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace rovista::util

@@ -1,0 +1,57 @@
+#include "util/date.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace rovista::util {
+
+// Civil <-> day-count conversion after Howard Hinnant's public-domain
+// chrono algorithms.
+Date Date::from_ymd(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return Date(static_cast<std::int64_t>(era) * 146097 +
+              static_cast<std::int64_t>(doe) - 719468);
+}
+
+void Date::to_ymd(int& year, int& month, int& day) const noexcept {
+  std::int64_t z = days_ + 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  year = static_cast<int>(y + (month <= 2));
+}
+
+std::string Date::to_string() const {
+  int y, m, d;
+  to_ymd(y, m, d);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+bool Date::parse(const std::string& s, Date& out) {
+  const auto parts = split(s, '-');
+  if (parts.size() != 3) return false;
+  std::uint64_t y, m, d;
+  if (!parse_u64(parts[0], y) || !parse_u64(parts[1], m) ||
+      !parse_u64(parts[2], d)) {
+    return false;
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  out = from_ymd(static_cast<int>(y), static_cast<int>(m), static_cast<int>(d));
+  return true;
+}
+
+}  // namespace rovista::util

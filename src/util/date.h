@@ -1,0 +1,59 @@
+// Calendar dates for the longitudinal measurement timeline.
+//
+// The simulator's "measurement days" are civil dates; this is a minimal
+// proleptic-Gregorian day count (no time zones, no wall clock — the
+// simulation never consults real time).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace rovista::util {
+
+/// A civil date, stored as days since 1970-01-01 (may be negative).
+class Date {
+ public:
+  constexpr Date() noexcept : days_(0) {}
+  constexpr explicit Date(std::int64_t days_since_epoch) noexcept
+      : days_(days_since_epoch) {}
+
+  /// Construct from a civil year/month/day (month 1..12, day 1..31).
+  static Date from_ymd(int year, int month, int day) noexcept;
+
+  /// Parse "YYYY-MM-DD"; returns false on malformed input.
+  static bool parse(const std::string& s, Date& out);
+
+  constexpr std::int64_t days_since_epoch() const noexcept { return days_; }
+
+  /// Civil components.
+  void to_ymd(int& year, int& month, int& day) const noexcept;
+
+  /// Format as "YYYY-MM-DD".
+  std::string to_string() const;
+
+  constexpr Date operator+(std::int64_t days) const noexcept {
+    return Date(days_ + days);
+  }
+  constexpr Date operator-(std::int64_t days) const noexcept {
+    return Date(days_ - days);
+  }
+  constexpr std::int64_t operator-(Date other) const noexcept {
+    return days_ - other.days_;
+  }
+  Date& operator+=(std::int64_t days) noexcept {
+    days_ += days;
+    return *this;
+  }
+  Date& operator++() noexcept {
+    ++days_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Date&) const noexcept = default;
+
+ private:
+  std::int64_t days_;
+};
+
+}  // namespace rovista::util

@@ -1,0 +1,21 @@
+// Minimal leveled logging.
+//
+// The simulator is deterministic and benchmarks parse their own structured
+// output, so logging is intentionally sparse: a module asks for a level
+// check before formatting, nothing is global state beyond the level.
+#pragma once
+
+#include <string>
+
+namespace rovista::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the process-wide minimum level (default: kWarn).
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit a message to stderr if `level` >= the configured minimum.
+void log(LogLevel level, const std::string& msg);
+
+}  // namespace rovista::util

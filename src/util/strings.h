@@ -1,0 +1,30 @@
+// Small string helpers shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rovista::util {
+
+/// Split `s` on `delim`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Parse a non-negative decimal integer; returns false on any non-digit
+/// or overflow. Does not accept signs or leading/trailing whitespace.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Parse a decimal with optional fraction (no exponent); returns false on
+/// malformed input.
+bool parse_double(std::string_view s, double& out);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace rovista::util

@@ -1,0 +1,40 @@
+#include "validation/apnic_dashboard.h"
+
+#include <unordered_map>
+
+namespace rovista::validation {
+
+std::vector<ApnicEntry> apnic_dashboard(
+    dataplane::DataPlane& plane, std::span<const topology::Asn> ases,
+    std::span<const net::Ipv4Address> client_addresses,
+    net::Ipv4Address invalid_content_host) {
+  // Group client addresses by AS.
+  std::unordered_map<topology::Asn, std::vector<net::Ipv4Address>> by_as;
+  for (const net::Ipv4Address addr : client_addresses) {
+    const topology::Asn asn = plane.as_of(addr);
+    if (asn != 0) by_as[asn].push_back(addr);
+  }
+
+  std::vector<ApnicEntry> out;
+  for (const topology::Asn asn : ases) {
+    const auto it = by_as.find(asn);
+    if (it == by_as.end() || it->second.empty()) continue;
+    ApnicEntry entry;
+    entry.asn = asn;
+    entry.clients = static_cast<int>(it->second.size());
+    int filtered = 0;
+    for (const net::Ipv4Address addr : it->second) {
+      (void)addr;  // all clients in an AS share the AS-level path
+      if (!plane.compute_path(asn, invalid_content_host).delivered) {
+        ++filtered;
+      }
+    }
+    entry.rov_filtering_pct =
+        100.0 * static_cast<double>(filtered) /
+        static_cast<double>(entry.clients);
+    out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace rovista::validation

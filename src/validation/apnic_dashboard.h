@@ -1,0 +1,30 @@
+// APNIC-style RPKI dashboard (paper §8).
+//
+// APNIC recruits clients via ad networks and reports, per AS, the
+// percentage of clients that could not fetch content served from an
+// RPKI-invalid prefix. The simulated dashboard samples "clients" (hosts
+// the scenario registered in the AS) and tests whether each could fetch
+// from the invalid test prefix — which, like the real dashboard, is a
+// single-prefix method and inherits its blind spots.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dataplane/dataplane.h"
+
+namespace rovista::validation {
+
+struct ApnicEntry {
+  topology::Asn asn = 0;
+  int clients = 0;                 // sampled clients in this AS
+  double rov_filtering_pct = 0.0;  // % unable to fetch the invalid content
+};
+
+/// Build the dashboard for `ases` against a single invalid-content host.
+std::vector<ApnicEntry> apnic_dashboard(
+    dataplane::DataPlane& plane, std::span<const topology::Asn> ases,
+    std::span<const net::Ipv4Address> client_addresses,
+    net::Ipv4Address invalid_content_host);
+
+}  // namespace rovista::validation

@@ -1,0 +1,85 @@
+#include "validation/cloudflare_list.h"
+
+#include <algorithm>
+
+namespace rovista::validation {
+
+std::vector<CrowdEntry> generate_crowd_list(const scenario::Scenario& s,
+                                            std::size_t entries,
+                                            double stale_fraction,
+                                            double partial_fraction,
+                                            util::Rng& rng) {
+  std::vector<CrowdEntry> list;
+
+  // Contributors report on ASes they know about: bias toward measured
+  // ASes (which is also what makes the comparison possible).
+  std::vector<topology::Asn> pool = s.measured_ases();
+  rng.shuffle(pool);
+
+  const util::Date today = s.current();
+  for (const topology::Asn asn : pool) {
+    if (list.size() >= entries) break;
+    const bgp::RovMode mode = s.true_mode(asn, today);
+    const bool deploys = mode != bgp::RovMode::kNone;
+
+    CrowdEntry entry;
+    entry.asn = asn;
+    entry.reference = "screenshot from isbgpsafeyet.com";
+
+    if (rng.bernoulli(stale_fraction)) {
+      // Outdated report: shows the opposite of today's state (e.g. the
+      // AS enabled ROV after the screenshot, or retracted it since).
+      entry.label = deploys ? CrowdLabel::kUnsafe : CrowdLabel::kSafe;
+      entry.reference = "outdated report";
+    } else if (deploys && rng.bernoulli(partial_fraction)) {
+      entry.label = CrowdLabel::kPartiallySafe;
+    } else {
+      entry.label = deploys ? CrowdLabel::kSafe : CrowdLabel::kUnsafe;
+    }
+    list.push_back(entry);
+  }
+
+  // The scenario's stale claimants are exactly the BIT-style entries the
+  // paper calls out; make sure they appear marked safe.
+  const auto& cs = s.cases();
+  if (cs.stale_claim_as != 0) {
+    const auto it = std::find_if(
+        list.begin(), list.end(),
+        [&](const CrowdEntry& e) { return e.asn == cs.stale_claim_as; });
+    if (it != list.end()) {
+      it->label = CrowdLabel::kSafe;
+      it->reference = "2018 announcement (since retracted)";
+    } else {
+      list.push_back({cs.stale_claim_as, CrowdLabel::kSafe,
+                      "2018 announcement (since retracted)"});
+    }
+  }
+  return list;
+}
+
+CrowdComparison compare_crowd_list(std::span<const CrowdEntry> list,
+                                   const core::LongitudinalStore& store) {
+  CrowdComparison cmp;
+  for (const CrowdEntry& entry : list) {
+    const auto score = store.latest_score(entry.asn);
+    if (!score.has_value()) continue;
+    switch (entry.label) {
+      case CrowdLabel::kSafe:
+        cmp.safe_scores.push_back(*score);
+        break;
+      case CrowdLabel::kPartiallySafe:
+        cmp.partially_safe_scores.push_back(*score);
+        break;
+      case CrowdLabel::kUnsafe:
+        cmp.unsafe_scores.push_back(*score);
+        break;
+    }
+  }
+  std::sort(cmp.safe_scores.begin(), cmp.safe_scores.end());
+  std::sort(cmp.partially_safe_scores.begin(),
+            cmp.partially_safe_scores.end());
+  std::sort(cmp.unsafe_scores.begin(), cmp.unsafe_scores.end());
+  return cmp;
+}
+
+}  // namespace rovista::validation

@@ -1,0 +1,61 @@
+// The crowdsourced operator list (Cloudflare's isbgpsafeyet repository)
+// and the rpki.exposed spreadsheet (paper §8, Fig. 11).
+//
+// Both lists are community-maintained and suffer staleness and
+// single-prefix bias. The generator produces a list from scenario ground
+// truth with exactly those defect classes; the comparison buckets each
+// label's score distribution the way Fig. 11 does.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/longitudinal.h"
+#include "scenario/scenario.h"
+#include "util/rng.h"
+
+namespace rovista::validation {
+
+enum class CrowdLabel { kSafe, kPartiallySafe, kUnsafe };
+
+constexpr const char* crowd_label_name(CrowdLabel label) noexcept {
+  switch (label) {
+    case CrowdLabel::kSafe:
+      return "safe";
+    case CrowdLabel::kPartiallySafe:
+      return "partially safe";
+    case CrowdLabel::kUnsafe:
+      return "unsafe";
+  }
+  return "?";
+}
+
+struct CrowdEntry {
+  topology::Asn asn = 0;
+  CrowdLabel label = CrowdLabel::kUnsafe;
+  std::string reference;
+};
+
+/// Generate a crowdsourced list from ground truth with realistic
+/// defects: `stale_fraction` of entries reflect an *outdated* state
+/// (recent deployers still marked unsafe, retracted deployers still
+/// safe), and `partial_fraction` of deployers are labelled partially
+/// safe. Deterministic in `rng`.
+std::vector<CrowdEntry> generate_crowd_list(const scenario::Scenario& s,
+                                            std::size_t entries,
+                                            double stale_fraction,
+                                            double partial_fraction,
+                                            util::Rng& rng);
+
+/// Scores of measured ASes per label (the three CDFs of Fig. 11).
+struct CrowdComparison {
+  std::vector<double> safe_scores;
+  std::vector<double> partially_safe_scores;
+  std::vector<double> unsafe_scores;
+};
+
+CrowdComparison compare_crowd_list(std::span<const CrowdEntry> list,
+                                   const core::LongitudinalStore& store);
+
+}  // namespace rovista::validation

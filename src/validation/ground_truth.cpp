@@ -1,0 +1,46 @@
+#include "validation/ground_truth.h"
+
+namespace rovista::validation {
+
+CrossValidationReport cross_validate(
+    const std::vector<scenario::OperatorClaim>& claims,
+    const core::LongitudinalStore& store) {
+  CrossValidationReport report;
+  for (const scenario::OperatorClaim& claim : claims) {
+    ClaimComparison cmp;
+    cmp.claim = claim;
+    const auto score = store.latest_score(claim.asn);
+    if (!score.has_value()) {
+      cmp.outcome = ClaimOutcome::kUnmeasured;
+      report.comparisons.push_back(cmp);
+      continue;
+    }
+    cmp.score = *score;
+
+    if (claim.claims_rov) {
+      ++report.rov_claims;
+      if (*score >= 100.0) {
+        cmp.outcome = ClaimOutcome::kConsistentPerfect;
+        ++report.rov_claims_perfect;
+      } else if (*score >= 90.0) {
+        cmp.outcome = ClaimOutcome::kConsistentHigh;
+        ++report.rov_claims_high;
+      } else {
+        cmp.outcome = ClaimOutcome::kDiscrepantLow;
+        ++report.rov_claims_zero_or_low;
+      }
+    } else {
+      ++report.nonrov_claims;
+      if (*score <= 0.0) {
+        cmp.outcome = ClaimOutcome::kConsistentNonRov;
+        ++report.nonrov_claims_zero;
+      } else {
+        cmp.outcome = ClaimOutcome::kDiscrepantNonRov;
+      }
+    }
+    report.comparisons.push_back(cmp);
+  }
+  return report;
+}
+
+}  // namespace rovista::validation

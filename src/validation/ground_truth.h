@@ -1,0 +1,66 @@
+// Cross-validation of RoVista scores against operator statements
+// (paper §6.3.2, Tables 2 and 3).
+//
+// Operator claims come from the scenario's claim registry (official
+// announcements, surveys, personal communication — including stale
+// claims, like BIT's 2018 post that outlived its actual deployment).
+// The comparison buckets each claim exactly as the paper does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/longitudinal.h"
+#include "scenario/scenario.h"
+
+namespace rovista::validation {
+
+enum class ClaimOutcome {
+  kConsistentPerfect,   // claims ROV, score == 100
+  kConsistentHigh,      // claims ROV, 90 <= score < 100 (RETN-style)
+  kDiscrepantLow,       // claims ROV, score < 90 (BIT-style stale claim)
+  kConsistentNonRov,    // claims no ROV, score == 0
+  kDiscrepantNonRov,    // claims no ROV, score > 0 (collateral benefit)
+  kUnmeasured,          // RoVista has no score for the AS
+};
+
+constexpr const char* outcome_name(ClaimOutcome o) noexcept {
+  switch (o) {
+    case ClaimOutcome::kConsistentPerfect:
+      return "consistent (100%)";
+    case ClaimOutcome::kConsistentHigh:
+      return "consistent (>=90%)";
+    case ClaimOutcome::kDiscrepantLow:
+      return "DISCREPANT (<90%)";
+    case ClaimOutcome::kConsistentNonRov:
+      return "consistent (0%)";
+    case ClaimOutcome::kDiscrepantNonRov:
+      return "protected without deploying";
+    case ClaimOutcome::kUnmeasured:
+      return "unmeasured";
+  }
+  return "?";
+}
+
+struct ClaimComparison {
+  scenario::OperatorClaim claim;
+  double score = -1.0;  // -1 => unmeasured
+  ClaimOutcome outcome = ClaimOutcome::kUnmeasured;
+};
+
+struct CrossValidationReport {
+  std::vector<ClaimComparison> comparisons;
+  std::size_t rov_claims = 0;
+  std::size_t rov_claims_perfect = 0;   // paper: 34 / 38
+  std::size_t rov_claims_high = 0;      // paper: 1 (92.5%)
+  std::size_t rov_claims_zero_or_low = 0;  // paper: 3 (stale claims)
+  std::size_t nonrov_claims = 0;
+  std::size_t nonrov_claims_zero = 0;   // paper: 2 / 2
+};
+
+/// Compare the latest scores against every operator claim.
+CrossValidationReport cross_validate(
+    const std::vector<scenario::OperatorClaim>& claims,
+    const core::LongitudinalStore& store);
+
+}  // namespace rovista::validation

@@ -1,0 +1,46 @@
+#include "validation/single_prefix.h"
+
+#include <unordered_map>
+
+namespace rovista::validation {
+
+std::vector<SinglePrefixResult> single_prefix_measurement(
+    dataplane::DataPlane& plane, std::span<const topology::Asn> ases,
+    net::Ipv4Address test_address) {
+  std::vector<SinglePrefixResult> out;
+  out.reserve(ases.size());
+  for (const topology::Asn asn : ases) {
+    SinglePrefixResult r;
+    r.asn = asn;
+    r.label = plane.compute_path(asn, test_address).delivered
+                  ? SinglePrefixLabel::kUnsafe
+                  : SinglePrefixLabel::kSafe;
+    out.push_back(r);
+  }
+  return out;
+}
+
+SinglePrefixComparison compare_with_rovista(
+    std::span<const SinglePrefixResult> labels,
+    std::span<const core::AsScore> scores) {
+  std::unordered_map<topology::Asn, double> score_of;
+  for (const core::AsScore& s : scores) score_of[s.asn] = s.score;
+
+  SinglePrefixComparison cmp;
+  for (const SinglePrefixResult& label : labels) {
+    const auto it = score_of.find(label.asn);
+    if (it == score_of.end() || label.label == SinglePrefixLabel::kUnknown) {
+      continue;
+    }
+    ++cmp.compared;
+    if (label.label == SinglePrefixLabel::kSafe && it->second <= 0.0) {
+      ++cmp.false_positives;
+    }
+    if (label.label == SinglePrefixLabel::kUnsafe && it->second >= 90.0) {
+      ++cmp.false_negatives;
+    }
+  }
+  return cmp;
+}
+
+}  // namespace rovista::validation

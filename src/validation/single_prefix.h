@@ -1,0 +1,55 @@
+// Single-RPKI-invalid-prefix measurement (the isbgpsafeyet.com model)
+// and its comparison against RoVista (paper §8, Fig. 10).
+//
+// The comparator classifies an AS "safe" iff it cannot reach the single
+// test prefix, exactly as Cloudflare's test does. RoVista's multi-prefix
+// score exposes the method's false positives (safe but score 0 — the AS
+// merely lost that one route) and false negatives (unsafe but score
+// >= 90 — e.g. every AS behind AT&T once the test prefix rode a customer
+// session).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/scoring.h"
+#include "dataplane/dataplane.h"
+
+namespace rovista::validation {
+
+enum class SinglePrefixLabel { kSafe, kUnsafe, kUnknown };
+
+struct SinglePrefixResult {
+  topology::Asn asn = 0;
+  SinglePrefixLabel label = SinglePrefixLabel::kUnknown;
+};
+
+/// Classify each AS by whether it can reach the single test address.
+std::vector<SinglePrefixResult> single_prefix_measurement(
+    dataplane::DataPlane& plane, std::span<const topology::Asn> ases,
+    net::Ipv4Address test_address);
+
+struct SinglePrefixComparison {
+  std::size_t compared = 0;
+  std::size_t false_positives = 0;  // safe, but RoVista score == 0
+  std::size_t false_negatives = 0;  // unsafe, but RoVista score >= 90
+
+  double fp_rate() const noexcept {
+    return compared == 0 ? 0.0
+                         : static_cast<double>(false_positives) /
+                               static_cast<double>(compared);
+  }
+  double fn_rate() const noexcept {
+    return compared == 0 ? 0.0
+                         : static_cast<double>(false_negatives) /
+                               static_cast<double>(compared);
+  }
+};
+
+/// Compare single-prefix labels with RoVista scores (same date).
+SinglePrefixComparison compare_with_rovista(
+    std::span<const SinglePrefixResult> labels,
+    std::span<const core::AsScore> scores);
+
+}  // namespace rovista::validation

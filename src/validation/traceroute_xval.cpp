@@ -1,0 +1,52 @@
+#include "validation/traceroute_xval.h"
+
+#include <map>
+
+namespace rovista::validation {
+
+std::vector<ReachabilityTuple> atlas_traceroutes(
+    dataplane::DataPlane& plane, std::span<const topology::Asn> probe_ases,
+    std::span<const scan::Tnode> tnodes) {
+  std::vector<ReachabilityTuple> out;
+  out.reserve(probe_ases.size() * tnodes.size());
+  for (const topology::Asn asn : probe_ases) {
+    for (const scan::Tnode& tnode : tnodes) {
+      const dataplane::TracerouteResult tr =
+          dataplane::tcp_traceroute(plane, asn, tnode.address, tnode.port);
+      out.push_back({asn, tnode.address, tr.reached});
+    }
+  }
+  return out;
+}
+
+XvalResult compare_with_verdicts(
+    std::span<const ReachabilityTuple> tuples,
+    std::span<const core::PairObservation> observations) {
+  // Index verdicts by (AS, tNode); unanimity was already established at
+  // scoring time, so any observation is representative — but prefer a
+  // conclusive one.
+  std::map<std::pair<topology::Asn, std::uint32_t>, core::FilteringVerdict>
+      verdicts;
+  for (const core::PairObservation& obs : observations) {
+    if (obs.verdict == core::FilteringVerdict::kInconclusive) continue;
+    verdicts[{obs.vvp_as, obs.tnode.value()}] = obs.verdict;
+  }
+
+  XvalResult result;
+  for (const ReachabilityTuple& tuple : tuples) {
+    const auto it = verdicts.find({tuple.asn, tuple.tnode.value()});
+    if (it == verdicts.end()) continue;
+    if (it->second == core::FilteringVerdict::kInboundFiltering) continue;
+    ++result.compared;
+    const bool rovista_reachable =
+        it->second == core::FilteringVerdict::kNoFiltering;
+    if (rovista_reachable == tuple.reachable) {
+      ++result.matched;
+    } else {
+      ++result.mismatched;
+    }
+  }
+  return result;
+}
+
+}  // namespace rovista::validation

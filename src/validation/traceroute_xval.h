@@ -1,0 +1,49 @@
+// Traceroute cross-validation of the IP-ID model (paper §6.3.1).
+//
+// RIPE-Atlas-style probes run TCP traceroutes toward every tNode from
+// ASes RoVista also measured; the (AS, tNode, reachability) tuples are
+// compared against the side-channel verdicts. The paper found a perfect
+// match over 167,392 tuples; the harness reports the match rate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/scoring.h"
+#include "dataplane/traceroute.h"
+#include "scan/tnode_discovery.h"
+
+namespace rovista::validation {
+
+struct ReachabilityTuple {
+  topology::Asn asn = 0;
+  net::Ipv4Address tnode;
+  bool reachable = false;
+};
+
+/// Run traceroutes from each probe AS toward each tNode.
+std::vector<ReachabilityTuple> atlas_traceroutes(
+    dataplane::DataPlane& plane, std::span<const topology::Asn> probe_ases,
+    std::span<const scan::Tnode> tnodes);
+
+struct XvalResult {
+  std::size_t compared = 0;
+  std::size_t matched = 0;
+  std::size_t mismatched = 0;
+
+  double match_rate() const noexcept {
+    return compared == 0
+               ? 1.0
+               : static_cast<double>(matched) / static_cast<double>(compared);
+  }
+};
+
+/// Compare traceroute reachability with RoVista per-pair verdicts:
+/// no-filtering ↔ reachable, outbound-filtering ↔ unreachable (inbound
+/// filtering and inconclusive pairs are skipped, as the paper does by
+/// construction of its tNode set).
+XvalResult compare_with_verdicts(
+    std::span<const ReachabilityTuple> tuples,
+    std::span<const core::PairObservation> observations);
+
+}  // namespace rovista::validation

@@ -1,0 +1,178 @@
+// Tests for src/bgpstream: hijack staging, detection, and the §7.5
+// report-vs-score analysis.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgpstream/analysis.h"
+#include "bgpstream/hijack.h"
+#include "core/longitudinal.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+using namespace rovista::bgpstream;
+using rovista::core::AsScore;
+using rovista::core::LongitudinalStore;
+using rovista::util::Date;
+
+class BgpStreamScenario : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rovista::scenario::ScenarioParams params;
+    params.seed = 55;
+    params.topology.tier1_count = 5;
+    params.topology.tier2_count = 16;
+    params.topology.tier3_count = 40;
+    params.topology.stub_count = 120;
+    params.tnode_prefix_count = 4;
+    params.measured_as_count = 25;
+    params.hosts_per_measured_as = 3;
+    scenario_ = new rovista::scenario::Scenario(std::move(params));
+    scenario_->advance_to(scenario_->start() + 100);
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static rovista::scenario::Scenario* scenario_;
+};
+
+rovista::scenario::Scenario* BgpStreamScenario::scenario_ = nullptr;
+
+TEST_F(BgpStreamScenario, GenerateHijacksDeterministic) {
+  rovista::util::Rng r1(9);
+  rovista::util::Rng r2(9);
+  const auto a = generate_hijacks(*scenario_, 20, r1);
+  const auto b = generate_hijacks(*scenario_, 20, r2);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prefix, b[i].prefix);
+    EXPECT_EQ(a[i].attacker, b[i].attacker);
+    EXPECT_EQ(a[i].victim, b[i].victim);
+  }
+  for (const auto& ev : a) {
+    EXPECT_NE(ev.victim, ev.attacker);
+    EXPECT_GE(ev.start, scenario_->start());
+    EXPECT_GT(ev.end, ev.start);
+  }
+}
+
+TEST_F(BgpStreamScenario, ApplyAndWithdrawHijack) {
+  auto& s = *scenario_;
+  rovista::util::Rng rng(13);
+  const auto events = generate_hijacks(s, 5, rng);
+  const HijackEvent& ev = events.front();
+
+  const auto origins_before = s.routing().origins_of(ev.prefix);
+  apply_hijack(s.routing(), ev);
+  const auto origins_during = s.routing().origins_of(ev.prefix);
+  EXPECT_EQ(origins_during.size(), origins_before.size() + 1);
+  withdraw_hijack(s.routing(), ev);
+  EXPECT_EQ(s.routing().origins_of(ev.prefix).size(),
+            origins_before.size());
+}
+
+TEST_F(BgpStreamScenario, DetectionSeesVisibleHijacks) {
+  auto& s = *scenario_;
+  rovista::util::Rng rng(17);
+  const auto events = generate_hijacks(s, 10, rng);
+  for (const auto& ev : events) apply_hijack(s.routing(), ev);
+  const auto reports = detect_hijacks(s.collector(), s.routing(),
+                                      s.current_vrps(), events, s.current());
+  // Most sub-prefix hijacks should be visible somewhere; exact-prefix
+  // MOAS may lose best-path everywhere the collector looks.
+  EXPECT_GT(reports.size(), 0u);
+  for (const auto& r : reports) {
+    EXPECT_NE(r.attacker, 0u);
+    EXPECT_NE(r.expected_origin, r.attacker);
+  }
+  for (const auto& ev : events) withdraw_hijack(s.routing(), ev);
+}
+
+TEST_F(BgpStreamScenario, RpkiCoveredFlagTracksVictimRoa) {
+  auto& s = *scenario_;
+  rovista::util::Rng rng(19);
+  const auto events = generate_hijacks(s, 30, rng);
+  for (const auto& ev : events) apply_hijack(s.routing(), ev);
+  const auto reports = detect_hijacks(s.collector(), s.routing(),
+                                      s.current_vrps(), events, s.current());
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.rpki_covered, s.current_vrps().is_covered(r.prefix));
+  }
+  for (const auto& ev : events) withdraw_hijack(s.routing(), ev);
+}
+
+TEST_F(BgpStreamScenario, AnalysisJoinsScores) {
+  auto& s = *scenario_;
+  rovista::util::Rng rng(23);
+  const auto events = generate_hijacks(s, 10, rng);
+  for (const auto& ev : events) apply_hijack(s.routing(), ev);
+  const auto reports = detect_hijacks(s.collector(), s.routing(),
+                                      s.current_vrps(), events, s.current());
+  ASSERT_FALSE(reports.empty());
+
+  // Score store: every AS in the graph scores 0 (nobody filters).
+  LongitudinalStore store;
+  std::vector<AsScore> scores;
+  for (const auto asn : s.graph().all_asns()) {
+    AsScore sc;
+    sc.asn = asn;
+    sc.score = 0.0;
+    scores.push_back(sc);
+  }
+  store.record(s.current(), scores);
+
+  std::vector<ReportAnalysis> analyses;
+  for (const auto& r : reports) {
+    analyses.push_back(analyze_report(r, s.collector(), s.routing(), store));
+  }
+  const auto summary = summarize(analyses);
+  EXPECT_EQ(summary.total_reports, reports.size());
+  // With universal zero scores, no path can contain a high-score AS.
+  EXPECT_EQ(summary.covered_high_score_on_path, 0u);
+  EXPECT_EQ(summary.uncovered_high_score_on_path, 0u);
+  for (const auto& a : analyses) {
+    if (!a.as_path.empty()) {
+      EXPECT_EQ(a.as_path.back(), a.report.attacker);
+      EXPECT_TRUE(a.all_zero_score);
+    }
+  }
+  for (const auto& ev : events) withdraw_hijack(s.routing(), ev);
+}
+
+TEST(BgpStreamSummary, BucketsHighScorePaths) {
+  // Hand-crafted analyses exercise the summary buckets.
+  ReportAnalysis covered_high;
+  covered_high.report.rpki_covered = true;
+  covered_high.as_path = {1, 2};
+  covered_high.path_scores = {95.0, 0.0};
+  covered_high.all_scored = true;
+  covered_high.any_high_score = true;
+
+  ReportAnalysis covered_zero;
+  covered_zero.report.rpki_covered = true;
+  covered_zero.as_path = {3, 4};
+  covered_zero.path_scores = {0.0, 0.0};
+  covered_zero.all_scored = true;
+  covered_zero.all_zero_score = true;
+
+  ReportAnalysis uncovered_high;
+  uncovered_high.report.rpki_covered = false;
+  uncovered_high.as_path = {5};
+  uncovered_high.path_scores = {99.0};
+  uncovered_high.all_scored = true;
+  uncovered_high.any_high_score = true;
+
+  const auto summary =
+      summarize({covered_high, covered_zero, uncovered_high});
+  EXPECT_EQ(summary.total_reports, 3u);
+  EXPECT_EQ(summary.rpki_covered, 2u);
+  EXPECT_EQ(summary.covered_fully_scored, 2u);
+  EXPECT_EQ(summary.covered_high_score_on_path, 1u);
+  EXPECT_EQ(summary.covered_all_zero, 1u);
+  EXPECT_EQ(summary.uncovered_fully_scored, 1u);
+  EXPECT_EQ(summary.uncovered_high_score_on_path, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// End-to-end regression tests for the paper's case studies at bench
+// scale: every §7.3–§7.6 fixture must land in its paper-shaped score
+// band when measured by the real pipeline. These are the guarantees the
+// bench binaries print; pinning them here keeps refactors honest.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rovista.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+using namespace rovista;
+
+class CaseStudies : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario::ScenarioParams params;
+    params.seed = 42;
+    params.topology.tier1_count = 8;
+    params.topology.tier2_count = 28;
+    params.topology.tier3_count = 70;
+    params.topology.stub_count = 320;
+    params.topology.tier2_peer_prob = 0.4;
+    params.topology.stub_multihome_prob = 0.5;
+    params.tnode_prefix_count = 10;
+    params.measured_as_count = 110;
+    params.hosts_per_measured_as = 5;
+    s_ = new scenario::Scenario(std::move(params));
+    s_->advance_to(s_->end());
+    client_a_ = new scan::MeasurementClient(s_->plane(), s_->client_as_a(),
+                                            s_->client_addr_a());
+    client_b_ = new scan::MeasurementClient(s_->plane(), s_->client_as_b(),
+                                            s_->client_addr_b());
+    core::RovistaConfig config;
+    config.scoring.min_vvps_per_as = 2;
+    config.scoring.min_tnodes = 3;
+    rovista_ = new core::Rovista(s_->plane(), *client_a_, *client_b_, config);
+    const auto view = s_->collector().snapshot(s_->routing());
+    const auto tnodes = rovista_->acquire_tnodes(
+        view, s_->current_vrps(), s_->rov_reference_ases(s_->end(), 10),
+        s_->non_rov_reference_ases(s_->end(), 10));
+    const auto vvps = rovista_->acquire_vvps(s_->vvp_candidates());
+    round_ = rovista_->run_round(vvps, tnodes);
+  }
+  static void TearDownTestSuite() {
+    delete rovista_;
+    delete client_b_;
+    delete client_a_;
+    delete s_;
+  }
+
+  static std::optional<double> score_of(topology::Asn asn) {
+    for (const auto& s : round_.scores) {
+      if (s.asn == asn) return s.score;
+    }
+    return std::nullopt;
+  }
+
+  static scenario::Scenario* s_;
+  static scan::MeasurementClient* client_a_;
+  static scan::MeasurementClient* client_b_;
+  static core::Rovista* rovista_;
+  static core::MeasurementRound round_;
+};
+
+scenario::Scenario* CaseStudies::s_ = nullptr;
+scan::MeasurementClient* CaseStudies::client_a_ = nullptr;
+scan::MeasurementClient* CaseStudies::client_b_ = nullptr;
+core::Rovista* CaseStudies::rovista_ = nullptr;
+core::MeasurementRound CaseStudies::round_;
+
+TEST_F(CaseStudies, DtagScoresZero) {
+  const auto score = score_of(s_->cases().cd_nonrov_provider);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(*score, 0.0);
+}
+
+TEST_F(CaseStudies, TdcCollateralDamageBand) {
+  // Paper: TDC at 92.1% — a full deployer held below 100 by its
+  // non-validating provider's LPM.
+  const auto score = score_of(s_->cases().cd_rov_as);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GT(*score, 85.0);
+  EXPECT_LT(*score, 100.0);
+}
+
+TEST_F(CaseStudies, AttCustomerExemptionBand) {
+  // Post-flip AT&T: high but not perfect.
+  const auto score = score_of(s_->cases().att);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GT(*score, 80.0);
+  EXPECT_LT(*score, 100.0);
+}
+
+TEST_F(CaseStudies, SwisscomDefaultRouteBand) {
+  const auto score = score_of(s_->cases().default_route_as);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GT(*score, 80.0);
+  EXPECT_LT(*score, 100.0);
+}
+
+TEST_F(CaseStudies, NttPartialCoverageBand) {
+  const auto score = score_of(s_->cases().partial_as);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GT(*score, 80.0);
+  EXPECT_LT(*score, 100.0);
+}
+
+TEST_F(CaseStudies, StaleClaimantScoresZero) {
+  const auto score = score_of(s_->cases().stale_claim_as);
+  ASSERT_TRUE(score.has_value());
+  EXPECT_EQ(*score, 0.0);
+}
+
+TEST_F(CaseStudies, KpnAndStubsFullyProtectedAtWindowEnd) {
+  const auto kpn = score_of(s_->cases().kpn);
+  ASSERT_TRUE(kpn.has_value());
+  EXPECT_EQ(*kpn, 100.0);
+  for (const auto stub : s_->cases().kpn_stub_customers) {
+    const auto score = score_of(stub);
+    ASSERT_TRUE(score.has_value()) << stub;
+    EXPECT_EQ(*score, 100.0) << stub;
+  }
+}
+
+TEST_F(CaseStudies, MultihomedKpnCustomersStayUnprotected) {
+  const auto a = score_of(s_->cases().kpn_multihomed_a);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_LT(*a, 50.0);
+  const auto b = score_of(s_->cases().kpn_multihomed_b);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LT(*b, 50.0);
+}
+
+TEST_F(CaseStudies, PinnedTier1sArePerfect) {
+  // Every original-clique tier-1 (all pinned to full ROV) scores 100.
+  for (const auto asn : s_->graph().all_asns()) {
+    if (s_->graph().info(asn)->tier != 1) continue;
+    if (asn == s_->cases().cd_nonrov_provider || asn == s_->cases().att) {
+      continue;
+    }
+    const auto score = score_of(asn);
+    if (score.has_value()) EXPECT_EQ(*score, 100.0) << asn;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,334 @@
+// Tests for src/core: the §4.3 experiment, scoring/unanimity, and the
+// longitudinal store.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.h"
+#include "core/longitudinal.h"
+#include "core/rovista.h"
+#include "core/scoring.h"
+
+namespace {
+
+using namespace rovista::core;
+using rovista::bgp::AsPolicy;
+using rovista::bgp::RoutingSystem;
+using rovista::bgp::RovMode;
+using rovista::dataplane::DataPlane;
+using rovista::dataplane::HostConfig;
+using rovista::dataplane::IpIdPolicy;
+using rovista::net::Ipv4Address;
+using rovista::net::Ipv4Prefix;
+using rovista::rpki::VrpSet;
+using rovista::scan::MeasurementClient;
+using rovista::scan::Tnode;
+using rovista::scan::Vvp;
+using rovista::topology::AsGraph;
+using rovista::topology::Asn;
+using rovista::util::Date;
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+Ipv4Address addr(const char* s) { return *Ipv4Address::parse(s); }
+
+// Fixture: 1 provides {2 (client), 3 (vVP AS), 4 (tNode AS), 5 (egress-
+// filtered tNode AS)}. The tNode prefix 6.6.6.0/24 is exclusively
+// invalid (ROA for AS 99 covers it, AS 4 announces it).
+struct ExperimentFixture {
+  AsGraph graph;
+  std::unique_ptr<RoutingSystem> routing;
+  std::unique_ptr<DataPlane> plane;
+  std::unique_ptr<MeasurementClient> client;
+
+  ExperimentFixture() {
+    for (Asn a : {1u, 2u, 3u, 4u, 5u}) graph.add_as({a, ""});
+    for (Asn a : {2u, 3u, 4u, 5u}) graph.add_p2c(1, a);
+    routing = std::make_unique<RoutingSystem>(graph);
+    for (Asn a : {2u, 3u, 4u, 5u}) {
+      routing->announce({Ipv4Prefix(Ipv4Address(a << 24), 8), a});
+    }
+    VrpSet vrps;
+    vrps.add({pfx("6.6.6.0/24"), 24, 99});
+    vrps.add({pfx("7.7.7.0/24"), 24, 99});
+    routing->set_vrps(std::move(vrps));
+    routing->announce({pfx("6.6.6.0/24"), 4});
+    routing->announce({pfx("7.7.7.0/24"), 5});
+    plane = std::make_unique<DataPlane>(*routing, 99);
+    client = std::make_unique<MeasurementClient>(*plane, 2, addr("2.0.0.10"));
+  }
+
+  Vvp add_vvp(const char* address, double background_rate) {
+    HostConfig config;
+    config.address = addr(address);
+    config.ipid_policy = IpIdPolicy::kGlobal;
+    config.background.base_rate = background_rate;
+    config.seed = config.address.value();
+    plane->add_host(3, config);
+    return Vvp{config.address, 3, background_rate};
+  }
+
+  Tnode add_tnode(Asn asn, const char* address, const char* prefix) {
+    HostConfig config;
+    config.address = addr(address);
+    config.open_ports = {80};
+    config.rto_seconds = 3.0;
+    config.max_retransmits = 1;
+    config.seed = config.address.value();
+    plane->add_host(asn, config);
+    return Tnode{config.address, 80, pfx(prefix), asn};
+  }
+};
+
+TEST(Experiment, SamplesToRates) {
+  std::vector<rovista::scan::IpIdSample> samples = {
+      {0, 100}, {500000, 102}, {1000000, 104}, {2000000, 124}};
+  const auto rates = samples_to_rates(samples);
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(rates[2], 20.0);
+}
+
+TEST(Experiment, SamplesToRatesHandlesWraparound) {
+  std::vector<rovista::scan::IpIdSample> samples = {{0, 65534},
+                                                    {500000, 4}};
+  const auto rates = samples_to_rates(samples);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 12.0);  // 6 ids over 0.5 s
+}
+
+TEST(Experiment, NoFilteringVerdictWhenReachable) {
+  ExperimentFixture fx;
+  const Vvp vvp = fx.add_vvp("3.0.0.1", 2.0);
+  const Tnode tnode = fx.add_tnode(4, "6.6.6.10", "6.6.6.0/24");
+  const auto result = run_experiment(*fx.plane, *fx.client, vvp, tnode);
+  EXPECT_EQ(result.verdict, FilteringVerdict::kNoFiltering);
+}
+
+TEST(Experiment, OutboundFilteringWhenVvpAsFilters) {
+  ExperimentFixture fx;
+  AsPolicy full;
+  full.rov = RovMode::kFull;
+  fx.routing->set_policy(3, full);
+  const Vvp vvp = fx.add_vvp("3.0.0.1", 2.0);
+  const Tnode tnode = fx.add_tnode(4, "6.6.6.10", "6.6.6.0/24");
+  const auto result = run_experiment(*fx.plane, *fx.client, vvp, tnode);
+  EXPECT_EQ(result.verdict, FilteringVerdict::kOutboundFiltering);
+}
+
+TEST(Experiment, InboundFilteringWhenTnodeEgressFiltered) {
+  ExperimentFixture fx;
+  // AS 5 drops outbound packets sourced from RPKI-invalid space: the
+  // tNode's SYN/ACKs never reach the vVP (Fig. 2b).
+  fx.plane->set_filter(5, {.egress_drop_invalid_source = true});
+  const Vvp vvp = fx.add_vvp("3.0.0.1", 2.0);
+  const Tnode tnode = fx.add_tnode(5, "7.7.7.10", "7.7.7.0/24");
+  const auto result = run_experiment(*fx.plane, *fx.client, vvp, tnode);
+  EXPECT_EQ(result.verdict, FilteringVerdict::kInboundFiltering);
+}
+
+TEST(Experiment, InconclusiveWhenVvpGone) {
+  ExperimentFixture fx;
+  const Vvp ghost{addr("3.0.0.99"), 3, 0.0};
+  const Tnode tnode = fx.add_tnode(4, "6.6.6.10", "6.6.6.0/24");
+  const auto result = run_experiment(*fx.plane, *fx.client, ghost, tnode);
+  EXPECT_EQ(result.verdict, FilteringVerdict::kInconclusive);
+  EXPECT_EQ(result.rst_samples, 0);
+}
+
+TEST(Experiment, InconclusiveWhenBackgroundOverwhelms) {
+  ExperimentFixture fx;
+  const Vvp vvp = fx.add_vvp("3.0.0.1", 400.0);
+  const Tnode tnode = fx.add_tnode(4, "6.6.6.10", "6.6.6.0/24");
+  const auto result = run_experiment(*fx.plane, *fx.client, vvp, tnode);
+  EXPECT_EQ(result.verdict, FilteringVerdict::kInconclusive);
+}
+
+// ---------- scoring ----------
+
+PairObservation obs(Asn vvp_as, std::uint32_t vvp, std::uint32_t tnode,
+                    FilteringVerdict verdict) {
+  PairObservation o;
+  o.vvp_as = vvp_as;
+  o.vvp = Ipv4Address(vvp);
+  o.tnode = Ipv4Address(tnode);
+  o.verdict = verdict;
+  return o;
+}
+
+TEST(Scoring, BasicAggregation) {
+  std::vector<PairObservation> observations;
+  // AS 10: 3 vVPs, 4 tNodes; tNodes 1,2 outbound, 3,4 reachable.
+  for (std::uint32_t vvp = 1; vvp <= 3; ++vvp) {
+    for (std::uint32_t tnode = 1; tnode <= 4; ++tnode) {
+      observations.push_back(
+          obs(10, vvp, tnode,
+              tnode <= 2 ? FilteringVerdict::kOutboundFiltering
+                         : FilteringVerdict::kNoFiltering));
+    }
+  }
+  const auto scores = aggregate_scores(observations, {3, 3});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].asn, 10u);
+  EXPECT_DOUBLE_EQ(scores[0].score, 50.0);
+  EXPECT_EQ(scores[0].vvp_count, 3);
+  EXPECT_EQ(scores[0].tnodes_consistent, 4);
+  EXPECT_EQ(scores[0].tnodes_outbound, 2);
+}
+
+TEST(Scoring, UnanimityDiscardsDisagreeingTnodes) {
+  std::vector<PairObservation> observations;
+  for (std::uint32_t vvp = 1; vvp <= 3; ++vvp) {
+    // tNode 1: unanimous outbound. tNode 2: one dissenting vVP.
+    observations.push_back(
+        obs(10, vvp, 1, FilteringVerdict::kOutboundFiltering));
+    observations.push_back(
+        obs(10, vvp, 2,
+            vvp == 3 ? FilteringVerdict::kNoFiltering
+                     : FilteringVerdict::kOutboundFiltering));
+    observations.push_back(
+        obs(10, vvp, 3, FilteringVerdict::kNoFiltering));
+    observations.push_back(
+        obs(10, vvp, 4, FilteringVerdict::kNoFiltering));
+  }
+  const auto scores = aggregate_scores(observations, {3, 3});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].tnodes_inconsistent, 1);
+  EXPECT_EQ(scores[0].tnodes_consistent, 3);
+  EXPECT_NEAR(scores[0].score, 100.0 / 3.0, 1e-9);
+}
+
+TEST(Scoring, MinVvpsThreshold) {
+  std::vector<PairObservation> observations;
+  for (std::uint32_t tnode = 1; tnode <= 4; ++tnode) {
+    observations.push_back(
+        obs(10, 1, tnode, FilteringVerdict::kOutboundFiltering));
+  }
+  EXPECT_TRUE(aggregate_scores(observations, {2, 3}).empty());
+  EXPECT_EQ(aggregate_scores(observations, {1, 3}).size(), 1u);
+}
+
+TEST(Scoring, MinTnodesThreshold) {
+  std::vector<PairObservation> observations;
+  for (std::uint32_t vvp = 1; vvp <= 3; ++vvp) {
+    observations.push_back(
+        obs(10, vvp, 1, FilteringVerdict::kOutboundFiltering));
+    observations.push_back(
+        obs(10, vvp, 2, FilteringVerdict::kOutboundFiltering));
+  }
+  EXPECT_TRUE(aggregate_scores(observations, {3, 3}).empty());
+  EXPECT_EQ(aggregate_scores(observations, {3, 2}).size(), 1u);
+}
+
+TEST(Scoring, InboundOnlyTnodesGiveNoSignal) {
+  std::vector<PairObservation> observations;
+  for (std::uint32_t vvp = 1; vvp <= 3; ++vvp) {
+    observations.push_back(
+        obs(10, vvp, 1, FilteringVerdict::kInboundFiltering));
+    observations.push_back(
+        obs(10, vvp, 2, FilteringVerdict::kOutboundFiltering));
+    observations.push_back(
+        obs(10, vvp, 3, FilteringVerdict::kOutboundFiltering));
+  }
+  const auto scores = aggregate_scores(observations, {3, 2});
+  ASSERT_EQ(scores.size(), 1u);
+  // tNode 1 contributes nothing; the other two are outbound: 100%.
+  EXPECT_DOUBLE_EQ(scores[0].score, 100.0);
+  EXPECT_EQ(scores[0].tnodes_consistent, 2);
+}
+
+TEST(Scoring, InconclusiveIgnored) {
+  std::vector<PairObservation> observations;
+  for (std::uint32_t vvp = 1; vvp <= 3; ++vvp) {
+    for (std::uint32_t tnode = 1; tnode <= 3; ++tnode) {
+      observations.push_back(
+          obs(10, vvp, tnode,
+              vvp == 2 ? FilteringVerdict::kInconclusive
+                       : FilteringVerdict::kOutboundFiltering));
+    }
+  }
+  const auto scores = aggregate_scores(observations, {2, 3});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].vvp_count, 2);  // the inconclusive vVP dropped out
+  EXPECT_DOUBLE_EQ(scores[0].score, 100.0);
+}
+
+TEST(Scoring, ConsistencyRate) {
+  std::vector<PairObservation> observations;
+  observations.push_back(obs(10, 1, 1, FilteringVerdict::kOutboundFiltering));
+  observations.push_back(obs(10, 2, 1, FilteringVerdict::kOutboundFiltering));
+  observations.push_back(obs(10, 1, 2, FilteringVerdict::kOutboundFiltering));
+  observations.push_back(obs(10, 2, 2, FilteringVerdict::kNoFiltering));
+  EXPECT_DOUBLE_EQ(consistency_rate(observations), 0.5);
+  EXPECT_DOUBLE_EQ(consistency_rate({}), 1.0);
+}
+
+// ---------- longitudinal store ----------
+
+AsScore score_of(Asn asn, double score) {
+  AsScore s;
+  s.asn = asn;
+  s.score = score;
+  return s;
+}
+
+TEST(Longitudinal, RecordAndQuery) {
+  LongitudinalStore store;
+  const Date d1 = Date::from_ymd(2022, 1, 1);
+  const Date d2 = Date::from_ymd(2022, 2, 1);
+  store.record(d1, std::vector<AsScore>{score_of(10, 0.0), score_of(20, 100.0)});
+  store.record(d2, std::vector<AsScore>{score_of(10, 100.0)});
+
+  EXPECT_EQ(store.as_count(), 2u);
+  EXPECT_EQ(store.dates(), (std::vector<Date>{d1, d2}));
+  EXPECT_EQ(store.latest_score(10), 100.0);
+  EXPECT_EQ(store.latest_score(20), 100.0);
+  EXPECT_EQ(store.score_on(10, d1), 0.0);
+  EXPECT_FALSE(store.score_on(20, d2).has_value());
+  EXPECT_FALSE(store.latest_score(99).has_value());
+  EXPECT_EQ(store.series(10).size(), 2u);
+}
+
+TEST(Longitudinal, FractionAtLeast) {
+  LongitudinalStore store;
+  const Date d = Date::from_ymd(2022, 1, 1);
+  store.record(d, std::vector<AsScore>{score_of(1, 100.0), score_of(2, 50.0),
+                                       score_of(3, 0.0), score_of(4, 100.0)});
+  EXPECT_DOUBLE_EQ(store.fraction_at_least(d, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(store.fraction_at_least(d, 50.0), 0.75);
+  EXPECT_DOUBLE_EQ(store.fraction_at_least(Date::from_ymd(2023, 1, 1), 50.0),
+                   0.0);
+}
+
+TEST(Longitudinal, ScoreJumps) {
+  LongitudinalStore store;
+  const Date d1 = Date::from_ymd(2022, 1, 1);
+  const Date d2 = Date::from_ymd(2022, 2, 1);
+  const Date d3 = Date::from_ymd(2022, 3, 1);
+  store.record(d1, std::vector<AsScore>{score_of(1, 0.0), score_of(2, 0.0)});
+  store.record(d2, std::vector<AsScore>{score_of(1, 100.0), score_of(2, 40.0)});
+  store.record(d3, std::vector<AsScore>{score_of(2, 100.0)});
+
+  const auto jumps = store.score_jumps(0.0, 100.0);
+  ASSERT_EQ(jumps.size(), 1u);
+  EXPECT_EQ(jumps[0].first, 1u);
+  EXPECT_EQ(jumps[0].second, d2);
+}
+
+TEST(Longitudinal, ConsistentlyPredicate) {
+  LongitudinalStore store;
+  const Date d1 = Date::from_ymd(2022, 1, 1);
+  const Date d2 = Date::from_ymd(2022, 2, 1);
+  store.record(d1, std::vector<AsScore>{score_of(1, 0.0), score_of(2, 100.0),
+                                        score_of(3, 0.0)});
+  store.record(d2, std::vector<AsScore>{score_of(1, 0.0), score_of(2, 100.0),
+                                        score_of(3, 50.0)});
+  const auto always_zero =
+      store.consistently([](double s) { return s <= 0.0; });
+  EXPECT_EQ(always_zero, (std::vector<Asn>{1}));
+  const auto always_full =
+      store.consistently([](double s) { return s >= 100.0; });
+  EXPECT_EQ(always_full, (std::vector<Asn>{2}));
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Additional data-plane coverage: delivery statistics, hop latency,
+// handshake completion, blackhole semantics (ROV++), and aggregation
+// order-independence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/scoring.h"
+#include "dataplane/dataplane.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista;
+using namespace rovista::dataplane;
+using rovista::bgp::AsPolicy;
+using rovista::bgp::RoutingSystem;
+using rovista::bgp::RovMode;
+using rovista::net::Ipv4Address;
+using rovista::net::Ipv4Prefix;
+using rovista::net::Packet;
+using rovista::net::TcpFlags;
+using rovista::rpki::VrpSet;
+using rovista::topology::AsGraph;
+using rovista::topology::Asn;
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+Ipv4Address addr(const char* s) { return *Ipv4Address::parse(s); }
+
+struct Fixture {
+  AsGraph graph;
+  std::unique_ptr<RoutingSystem> routing;
+  std::unique_ptr<DataPlane> plane;
+
+  Fixture() {
+    for (Asn a : {1u, 2u, 3u}) graph.add_as({a, ""});
+    graph.add_p2c(1, 2);
+    graph.add_p2c(1, 3);
+    routing = std::make_unique<RoutingSystem>(graph);
+    routing->announce({pfx("10.2.0.0/16"), 2});
+    routing->announce({pfx("10.3.0.0/16"), 3});
+    plane = std::make_unique<DataPlane>(*routing, 5);
+  }
+
+  Host* add_host(Asn asn, const char* address, bool capture = false) {
+    HostConfig config;
+    config.address = addr(address);
+    config.open_ports = {80};
+    config.capture = capture;
+    config.seed = config.address.value();
+    return plane->add_host(asn, config);
+  }
+};
+
+TEST(DataPlaneStats, CountersTrackOutcomes) {
+  Fixture fx;
+  fx.add_host(2, "10.2.0.1");
+  Host* observer = fx.add_host(3, "10.3.0.1", true);
+
+  observer->send_raw(Packet::make_tcp(addr("10.3.0.1"), addr("10.2.0.1"),
+                                      1000, 80, TcpFlags::kSyn, 0));
+  observer->send_raw(Packet::make_tcp(addr("10.3.0.1"), addr("99.0.0.1"),
+                                      1000, 80, TcpFlags::kSyn, 0));
+  fx.plane->sim().run_until(microseconds(0.5));
+  EXPECT_GE(fx.plane->packets_sent(), 2u);
+  EXPECT_GE(fx.plane->packets_delivered(), 1u);
+  EXPECT_EQ(fx.plane->packets_dropped(DropReason::kNoRoute), 1u);
+}
+
+TEST(DataPlaneStats, HopLatencyScalesWithPathLength) {
+  Fixture fx;
+  fx.plane->set_hop_latency(10000);  // 10 ms per hop
+  fx.add_host(2, "10.2.0.1");
+  Host* observer = fx.add_host(3, "10.3.0.1", true);
+  observer->send_raw(Packet::make_tcp(addr("10.3.0.1"), addr("10.2.0.1"),
+                                      1000, 9999,
+                                      TcpFlags::kSyn | TcpFlags::kAck, 0));
+  fx.plane->sim().run();
+  ASSERT_EQ(observer->captured().size(), 1u);
+  // 3 hops out + 3 hops back at 10 ms each, plus small processing fudge.
+  const double rtt = to_seconds(observer->captured()[0].first);
+  EXPECT_GT(rtt, 0.055);
+  EXPECT_LT(rtt, 0.075);
+}
+
+TEST(DataPlaneStats, AckCompletesHandshakeAndStopsRto) {
+  Fixture fx;
+  HostConfig config;
+  config.address = addr("10.2.0.1");
+  config.open_ports = {80};
+  config.rto_seconds = 1.0;
+  config.max_retransmits = 3;
+  config.seed = 5;
+  fx.plane->add_host(2, config);
+  Host* observer = fx.add_host(3, "10.3.0.1", true);
+
+  observer->send_raw(Packet::make_tcp(addr("10.3.0.1"), addr("10.2.0.1"),
+                                      1000, 80, TcpFlags::kSyn, 0));
+  fx.plane->sim().run_until(microseconds(0.2));
+  ASSERT_EQ(observer->captured().size(), 1u);  // the SYN/ACK
+  // Complete the handshake with a plain ACK: no retransmissions follow.
+  observer->send_raw(Packet::make_tcp(addr("10.3.0.1"), addr("10.2.0.1"),
+                                      1000, 80, TcpFlags::kAck, 0));
+  fx.plane->sim().run();
+  EXPECT_EQ(observer->captured().size(), 1u);
+}
+
+TEST(RovPlusPlus, BlackholesFilteredMoreSpecific) {
+  Fixture fx;
+  VrpSet vrps;
+  vrps.add({pfx("10.2.9.0/24"), 24, 99});  // /24 inside AS2's block, invalid
+  fx.routing->set_vrps(std::move(vrps));
+  fx.routing->announce({pfx("10.2.9.0/24"), 3});  // AS3 hijacks it
+  fx.add_host(3, "10.2.9.1");
+
+  // Plain ROV at AS2: filters the /24, but its own /16 covers the
+  // address... AS2 originates the /16 so traffic dies as no-host there.
+  AsPolicy full;
+  full.rov = RovMode::kFull;
+  fx.routing->set_policy(2, full);
+  const auto plain = fx.plane->compute_path(2, addr("10.2.9.1"));
+  EXPECT_FALSE(plain.delivered);
+
+  // AS1 (the provider) has both routes and no ROV: traffic from AS1
+  // follows the /24 to the hijacker.
+  EXPECT_TRUE(fx.plane->compute_path(1, addr("10.2.9.1")).delivered);
+
+  // With ROV++ at AS1... AS1 has the route (accepts invalid only if its
+  // mode filters). ROV++ filters the /24 at import AND blackholes.
+  AsPolicy rovpp;
+  rovpp.rov = RovMode::kRovPlusPlus;
+  fx.routing->set_policy(1, rovpp);
+  const auto blackholed = fx.plane->compute_path(1, addr("10.2.9.1"));
+  EXPECT_FALSE(blackholed.delivered);
+  EXPECT_EQ(blackholed.reason, DropReason::kBlackholed);
+}
+
+TEST(RovPlusPlus, DoesNotBlackholeValidMoreSpecifics) {
+  Fixture fx;
+  VrpSet vrps;
+  vrps.add({pfx("10.2.9.0/24"), 24, 3});  // the /24 is VALID for AS3
+  fx.routing->set_vrps(std::move(vrps));
+  fx.routing->announce({pfx("10.2.9.0/24"), 3});
+  fx.add_host(3, "10.2.9.1");
+  AsPolicy rovpp;
+  rovpp.rov = RovMode::kRovPlusPlus;
+  fx.routing->set_policy(1, rovpp);
+  EXPECT_TRUE(fx.plane->compute_path(1, addr("10.2.9.1")).delivered);
+}
+
+// ---------- aggregation order independence ----------
+
+TEST(Aggregation, ScoreIndependentOfObservationOrder) {
+  using core::FilteringVerdict;
+  using core::PairObservation;
+  util::Rng rng(17);
+  std::vector<PairObservation> observations;
+  for (std::uint32_t vvp = 1; vvp <= 4; ++vvp) {
+    for (std::uint32_t tnode = 1; tnode <= 6; ++tnode) {
+      PairObservation o;
+      o.vvp_as = 10 + (tnode % 2);
+      o.vvp = Ipv4Address(vvp);
+      o.tnode = Ipv4Address(tnode);
+      o.verdict = (tnode % 3 == 0) ? FilteringVerdict::kOutboundFiltering
+                                   : FilteringVerdict::kNoFiltering;
+      observations.push_back(o);
+    }
+  }
+  const auto baseline = core::aggregate_scores(observations, {2, 1});
+  for (int i = 0; i < 10; ++i) {
+    rng.shuffle(observations);
+    const auto shuffled = core::aggregate_scores(observations, {2, 1});
+    ASSERT_EQ(shuffled.size(), baseline.size());
+    for (std::size_t k = 0; k < baseline.size(); ++k) {
+      EXPECT_EQ(shuffled[k].asn, baseline[k].asn);
+      EXPECT_DOUBLE_EQ(shuffled[k].score, baseline[k].score);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Tests for the chi-squared CDF and the Ljung–Box whiteness diagnostic.
+#include <gtest/gtest.h>
+
+#include "stats/arma.h"
+#include "stats/diagnostics.h"
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista::stats;
+using rovista::util::Rng;
+
+TEST(ChiSquared, KnownValues) {
+  // χ²(1): CDF(3.841) = 0.95; χ²(5): CDF(11.07) = 0.95.
+  EXPECT_NEAR(chi_squared_cdf(3.841, 1), 0.95, 1e-3);
+  EXPECT_NEAR(chi_squared_cdf(11.070, 5), 0.95, 1e-3);
+  EXPECT_NEAR(chi_squared_cdf(18.307, 10), 0.95, 1e-3);
+  // Median of χ²(2) is 2 ln 2.
+  EXPECT_NEAR(chi_squared_cdf(1.386294, 2), 0.5, 1e-4);
+}
+
+TEST(ChiSquared, Boundaries) {
+  EXPECT_DOUBLE_EQ(chi_squared_cdf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(chi_squared_cdf(-1.0, 3), 0.0);
+  EXPECT_NEAR(chi_squared_cdf(1000.0, 3), 1.0, 1e-9);
+}
+
+TEST(ChiSquared, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 30.0; x += 0.5) {
+    const double v = chi_squared_cdf(x, 4);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(RegularizedGamma, AgreesAcrossBranches) {
+  // The series (x < a+1) and continued-fraction (x >= a+1) branches must
+  // agree at the switchover.
+  for (double a : {0.5, 2.0, 7.5}) {
+    const double left = regularized_gamma_p(a, a + 0.999);
+    const double right = regularized_gamma_p(a, a + 1.001);
+    EXPECT_NEAR(left, right, 1e-3) << a;
+  }
+}
+
+TEST(LjungBox, WhiteNoiseNotRejected) {
+  Rng rng(3);
+  int rejected = 0;
+  const int reps = 100;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> x(200);
+    for (double& v : x) v = rng.normal();
+    const auto res = ljung_box_test(x, 10);
+    ASSERT_TRUE(res.has_value());
+    if (res->reject_whiteness) ++rejected;
+  }
+  // Nominal 5% level: allow up to ~12%.
+  EXPECT_LT(rejected, 13);
+}
+
+TEST(LjungBox, Ar1Rejected) {
+  Rng rng(5);
+  std::vector<double> x(300, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    x[t] = 0.7 * x[t - 1] + rng.normal();
+  }
+  const auto res = ljung_box_test(x, 10);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->reject_whiteness);
+  EXPECT_LT(res->p_value, 1e-6);
+}
+
+TEST(LjungBox, DegenerateInputs) {
+  EXPECT_FALSE(ljung_box_test({1.0, 2.0}, 5).has_value());
+  std::vector<double> x(50, 0.0);
+  EXPECT_FALSE(ljung_box_test(x, 3, /*fitted=*/3).has_value());  // dof 0
+  EXPECT_FALSE(ljung_box_test(x, 0).has_value());
+}
+
+TEST(LjungBox, FittedModelResidualsAreWhite) {
+  // Fit the right model to an AR(1): residuals pass; the raw series
+  // fails.
+  Rng rng(11);
+  std::vector<double> x(500, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    x[t] = 2.0 + 0.6 * x[t - 1] + rng.normal();
+  }
+  const auto model = fit_arma(x, 1, 0);
+  ASSERT_TRUE(model.has_value());
+  const auto resid = residual_whiteness(*model, x, 10);
+  ASSERT_TRUE(resid.has_value());
+  EXPECT_FALSE(resid->reject_whiteness) << "p=" << resid->p_value;
+
+  const auto raw = ljung_box_test(x, 10);
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_TRUE(raw->reject_whiteness);
+}
+
+}  // namespace

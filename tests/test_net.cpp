@@ -1,0 +1,270 @@
+// Tests for src/net: addresses, prefixes, wire-format headers, packets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/headers.h"
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista::net;
+
+// ---------- Ipv4Address ----------
+
+TEST(Ipv4Address, ParseAndFormat) {
+  const auto a = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xC0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4Address, ParseBoundaries) {
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0").has_value());
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255").has_value());
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+}
+
+TEST(Ipv4Address, FromOctets) {
+  EXPECT_EQ(Ipv4Address::from_octets(10, 0, 0, 1).value(), 0x0A000001u);
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(1), Ipv4Address(2));
+  EXPECT_EQ(Ipv4Address(5), Ipv4Address(5));
+}
+
+// ---------- Ipv4Prefix ----------
+
+TEST(Ipv4Prefix, NormalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Address::from_octets(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.address(), Ipv4Address::from_octets(10, 1, 0, 0));
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, ParseValid) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 8);
+  EXPECT_EQ(p->address(), Ipv4Address::from_octets(10, 0, 0, 0));
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0/8").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("/8").has_value());
+}
+
+TEST(Ipv4Prefix, ZeroLengthCoversEverything) {
+  const Ipv4Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(0)));
+  EXPECT_TRUE(all.contains(Ipv4Address(0xFFFFFFFF)));
+  EXPECT_EQ(all.mask(), 0u);
+  EXPECT_EQ(all.size(), 1ULL << 32);
+}
+
+TEST(Ipv4Prefix, HostRoute) {
+  const Ipv4Prefix host(Ipv4Address::from_octets(1, 2, 3, 4), 32);
+  EXPECT_TRUE(host.contains(Ipv4Address::from_octets(1, 2, 3, 4)));
+  EXPECT_FALSE(host.contains(Ipv4Address::from_octets(1, 2, 3, 5)));
+  EXPECT_EQ(host.size(), 1u);
+}
+
+TEST(Ipv4Prefix, ContainsBoundaries) {
+  const Ipv4Prefix p(Ipv4Address::from_octets(10, 1, 0, 0), 16);
+  EXPECT_TRUE(p.contains(p.first()));
+  EXPECT_TRUE(p.contains(p.last()));
+  EXPECT_EQ(p.last(), Ipv4Address::from_octets(10, 1, 255, 255));
+  EXPECT_FALSE(p.contains(Ipv4Address::from_octets(10, 2, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Address::from_octets(10, 0, 255, 255)));
+}
+
+TEST(Ipv4Prefix, CoversSubnetsOnly) {
+  const Ipv4Prefix p16(Ipv4Address::from_octets(10, 1, 0, 0), 16);
+  const Ipv4Prefix p24(Ipv4Address::from_octets(10, 1, 5, 0), 24);
+  EXPECT_TRUE(p16.covers(p24));
+  EXPECT_TRUE(p16.covers(p16));
+  EXPECT_FALSE(p24.covers(p16));
+  const Ipv4Prefix other(Ipv4Address::from_octets(10, 2, 5, 0), 24);
+  EXPECT_FALSE(p16.covers(other));
+}
+
+// ---------- checksums / headers ----------
+
+TEST(Checksum, Rfc1071KnownVector) {
+  // The worked example from RFC 1071 §3: words 0001 f203 f4f5 f6f7
+  // sum with carries to ddf2, checksum = ~ddf2 = 220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadding) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // words: 0x0102 + 0x0300 = 0x0402 -> ~ = 0xFBFD
+  EXPECT_EQ(internet_checksum(data), 0xFBFD);
+}
+
+TEST(Ipv4Header, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.source = Ipv4Address::from_octets(192, 0, 2, 1);
+  h.destination = Ipv4Address::from_octets(198, 51, 100, 2);
+  h.identification = 0xBEEF;
+  h.total_length = 40;
+  h.ttl = 61;
+  const auto bytes = h.serialize();
+  const auto parsed = Ipv4Header::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->source, h.source);
+  EXPECT_EQ(parsed->destination, h.destination);
+  EXPECT_EQ(parsed->identification, 0xBEEF);
+  EXPECT_EQ(parsed->ttl, 61);
+  EXPECT_EQ(parsed->total_length, 40);
+}
+
+TEST(Ipv4Header, ChecksumValidatesToZero) {
+  Ipv4Header h;
+  h.source = Ipv4Address::from_octets(1, 2, 3, 4);
+  h.destination = Ipv4Address::from_octets(5, 6, 7, 8);
+  const auto bytes = h.serialize();
+  EXPECT_EQ(internet_checksum(bytes), 0);
+}
+
+TEST(Ipv4Header, ParseRejectsCorruption) {
+  Ipv4Header h;
+  h.source = Ipv4Address::from_octets(1, 2, 3, 4);
+  auto bytes = h.serialize();
+  bytes[8] ^= 0xFF;  // corrupt TTL
+  EXPECT_FALSE(Ipv4Header::parse(bytes).has_value());
+}
+
+TEST(Ipv4Header, ParseRejectsTruncated) {
+  Ipv4Header h;
+  const auto bytes = h.serialize();
+  EXPECT_FALSE(
+      Ipv4Header::parse(std::span(bytes.data(), 10)).has_value());
+}
+
+TEST(TcpHeader, SerializeParseRoundTrip) {
+  const Ipv4Address src = Ipv4Address::from_octets(10, 0, 0, 1);
+  const Ipv4Address dst = Ipv4Address::from_octets(10, 0, 0, 2);
+  TcpHeader t;
+  t.source_port = 443;
+  t.destination_port = 51234;
+  t.sequence = 0xDEADBEEF;
+  t.flags = TcpFlags::kSyn | TcpFlags::kAck;
+  const auto bytes = t.serialize(src, dst);
+  const auto parsed = TcpHeader::parse(bytes, src, dst);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->source_port, 443);
+  EXPECT_EQ(parsed->destination_port, 51234);
+  EXPECT_EQ(parsed->sequence, 0xDEADBEEFu);
+  EXPECT_TRUE(parsed->has(TcpFlags::kSyn));
+  EXPECT_TRUE(parsed->has(TcpFlags::kAck));
+  EXPECT_FALSE(parsed->has(TcpFlags::kRst));
+}
+
+TEST(TcpHeader, PseudoHeaderBindsAddresses) {
+  const Ipv4Address src = Ipv4Address::from_octets(10, 0, 0, 1);
+  const Ipv4Address dst = Ipv4Address::from_octets(10, 0, 0, 2);
+  TcpHeader t;
+  t.source_port = 80;
+  const auto bytes = t.serialize(src, dst);
+  // One's-complement addition is commutative, so *swapping* src and dst
+  // keeps the checksum valid (true of real TCP too) — but a different
+  // address must fail it.
+  EXPECT_TRUE(TcpHeader::parse(bytes, dst, src).has_value());
+  const Ipv4Address other = Ipv4Address::from_octets(10, 0, 0, 9);
+  EXPECT_FALSE(TcpHeader::parse(bytes, src, other).has_value());
+}
+
+// ---------- Packet ----------
+
+TEST(Packet, MakeTcpFlagsHelpers) {
+  const auto syn = Packet::make_tcp(Ipv4Address(1), Ipv4Address(2), 1000, 80,
+                                    TcpFlags::kSyn, 7);
+  EXPECT_TRUE(syn.is_syn());
+  EXPECT_FALSE(syn.is_syn_ack());
+  EXPECT_FALSE(syn.is_rst());
+
+  const auto synack = Packet::make_tcp(Ipv4Address(1), Ipv4Address(2), 80,
+                                       1000, TcpFlags::kSyn | TcpFlags::kAck,
+                                       8);
+  EXPECT_TRUE(synack.is_syn_ack());
+  EXPECT_FALSE(synack.is_syn());
+
+  const auto rst = Packet::make_tcp(Ipv4Address(1), Ipv4Address(2), 80, 1000,
+                                    TcpFlags::kRst, 9);
+  EXPECT_TRUE(rst.is_rst());
+}
+
+TEST(Packet, WireRoundTrip) {
+  const auto p = Packet::make_tcp(Ipv4Address::from_octets(192, 0, 2, 7),
+                                  Ipv4Address::from_octets(203, 0, 113, 9),
+                                  40001, 443, TcpFlags::kSyn, 0x1234);
+  const auto bytes = p.to_bytes();
+  EXPECT_EQ(bytes.size(), Ipv4Header::kSize + TcpHeader::kSize);
+  const auto back = Packet::from_bytes(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->ip.source, p.ip.source);
+  EXPECT_EQ(back->ip.identification, 0x1234);
+  EXPECT_EQ(back->tcp.source_port, 40001);
+  EXPECT_TRUE(back->is_syn());
+}
+
+TEST(Packet, FromBytesRejectsCorruptTcp) {
+  const auto p = Packet::make_tcp(Ipv4Address(1), Ipv4Address(2), 1, 2,
+                                  TcpFlags::kSyn, 3);
+  auto bytes = p.to_bytes();
+  bytes[Ipv4Header::kSize + 13] ^= 0x20;  // flip a TCP flag bit
+  EXPECT_FALSE(Packet::from_bytes(bytes).has_value());
+}
+
+TEST(Packet, Summary) {
+  const auto p = Packet::make_tcp(Ipv4Address::from_octets(1, 2, 3, 4),
+                                  Ipv4Address::from_octets(5, 6, 7, 8), 9, 10,
+                                  TcpFlags::kRst, 11);
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("RST"), std::string::npos);
+  EXPECT_NE(s.find("1.2.3.4"), std::string::npos);
+}
+
+// Property sweep: random packets always round-trip through wire format.
+class PacketRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PacketRoundTrip, RandomPacketsRoundTrip) {
+  rovista::util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto p = Packet::make_tcp(
+        Ipv4Address(static_cast<std::uint32_t>(rng())),
+        Ipv4Address(static_cast<std::uint32_t>(rng())),
+        static_cast<std::uint16_t>(rng.uniform_u64(0, 65535)),
+        static_cast<std::uint16_t>(rng.uniform_u64(0, 65535)),
+        static_cast<std::uint8_t>(rng.uniform_u64(0, 0x3f)),
+        static_cast<std::uint16_t>(rng.uniform_u64(0, 65535)));
+    const auto back = Packet::from_bytes(p.to_bytes());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->ip.source, p.ip.source);
+    EXPECT_EQ(back->ip.destination, p.ip.destination);
+    EXPECT_EQ(back->ip.identification, p.ip.identification);
+    EXPECT_EQ(back->tcp.source_port, p.tcp.source_port);
+    EXPECT_EQ(back->tcp.destination_port, p.tcp.destination_port);
+    EXPECT_EQ(back->tcp.flags, p.tcp.flags);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PacketRoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Tests for the longest-prefix-match trie, including a randomized
+// equivalence check against a brute-force reference implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "net/prefix_trie.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista::net;
+using rovista::util::Rng;
+
+Ipv4Prefix pfx(const char* s) {
+  const auto p = Ipv4Prefix::parse(s);
+  EXPECT_TRUE(p.has_value()) << s;
+  return *p;
+}
+
+Ipv4Address addr(const char* s) {
+  const auto a = Ipv4Address::parse(s);
+  EXPECT_TRUE(a.has_value()) << s;
+  return *a;
+}
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.1.0.0/16"), 2);
+  EXPECT_EQ(trie.size(), 2u);
+
+  ASSERT_NE(trie.find(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 1);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/9")), nullptr);  // not an exact entry
+
+  EXPECT_TRUE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 5);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 5);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+
+  const auto m1 = trie.longest_match(addr("10.1.2.3"));
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(*m1->second, 24);
+
+  const auto m2 = trie.longest_match(addr("10.1.9.9"));
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(*m2->second, 16);
+
+  const auto m3 = trie.longest_match(addr("10.200.0.1"));
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_EQ(*m3->second, 8);
+
+  EXPECT_FALSE(trie.longest_match(addr("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteAtLengthZero) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 0);
+  const auto m = trie.longest_match(addr("203.0.113.5"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 0);
+  EXPECT_EQ(m->first.length(), 0);
+}
+
+TEST(PrefixTrie, AllMatchesShortestFirst) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+  trie.insert(pfx("99.0.0.0/8"), 99);
+
+  const auto matches = trie.all_matches(addr("10.1.2.3"));
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(*matches[0].second, 8);
+  EXPECT_EQ(*matches[1].second, 16);
+  EXPECT_EQ(*matches[2].second, 24);
+}
+
+TEST(PrefixTrie, CoveringEntriesOfAPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+
+  const auto covering = trie.covering(pfx("10.1.2.0/24"));
+  ASSERT_EQ(covering.size(), 3u);  // /8, /16 and the exact /24
+  const auto covering16 = trie.covering(pfx("10.1.0.0/16"));
+  ASSERT_EQ(covering16.size(), 2u);  // /8 and /16, not the /24 below it
+}
+
+TEST(PrefixTrie, HostRouteDepth32) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("1.2.3.4/32"), 32);
+  const auto m = trie.longest_match(addr("1.2.3.4"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 32);
+  EXPECT_FALSE(trie.longest_match(addr("1.2.3.5")).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsAllWithCorrectPrefixes) {
+  PrefixTrie<int> trie;
+  const std::vector<const char*> entries = {"0.0.0.0/0", "10.0.0.0/8",
+                                            "10.1.2.0/24", "192.168.0.0/16"};
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    trie.insert(pfx(entries[i]), static_cast<int>(i));
+  }
+  std::vector<std::string> seen;
+  trie.for_each([&](const Ipv4Prefix& p, const int&) {
+    seen.push_back(p.to_string());
+  });
+  ASSERT_EQ(seen.size(), entries.size());
+  for (const char* e : entries) {
+    EXPECT_NE(std::find(seen.begin(), seen.end(), std::string(e)),
+              seen.end())
+        << e;
+  }
+}
+
+TEST(PrefixTrie, DeepCopyIsIndependent) {
+  PrefixTrie<int> a;
+  a.insert(pfx("10.0.0.0/8"), 1);
+  PrefixTrie<int> b = a;
+  b.insert(pfx("11.0.0.0/8"), 2);
+  a.erase(pfx("10.0.0.0/8"));
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_NE(b.find(pfx("10.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, ClearResets) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.longest_match(addr("10.0.0.1")).has_value());
+}
+
+// ---- Randomized equivalence with brute force ----
+
+struct BruteForce {
+  std::vector<std::pair<Ipv4Prefix, int>> entries;
+
+  std::optional<std::pair<Ipv4Prefix, int>> longest_match(
+      Ipv4Address a) const {
+    std::optional<std::pair<Ipv4Prefix, int>> best;
+    for (const auto& [p, v] : entries) {
+      if (p.contains(a) && (!best || p.length() > best->first.length())) {
+        best = {p, v};
+      }
+    }
+    return best;
+  }
+};
+
+class TrieEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieEquivalence, MatchesBruteForce) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  BruteForce ref;
+
+  for (int i = 0; i < 300; ++i) {
+    // Cluster prefixes into a small space so overlaps actually happen.
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(rng.uniform_u64(0, 15)) << 28;
+    const std::uint8_t len =
+        static_cast<std::uint8_t>(rng.uniform_u64(4, 28));
+    const Ipv4Prefix p(
+        Ipv4Address(base | static_cast<std::uint32_t>(rng()) >> 4), len);
+    // Keep brute force consistent with overwrite semantics.
+    const auto it = std::find_if(
+        ref.entries.begin(), ref.entries.end(),
+        [&](const auto& e) { return e.first == p; });
+    if (it != ref.entries.end()) {
+      it->second = i;
+    } else {
+      ref.entries.emplace_back(p, i);
+    }
+    trie.insert(p, i);
+  }
+  EXPECT_EQ(trie.size(), ref.entries.size());
+
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Address a(static_cast<std::uint32_t>(rng()));
+    const auto expected = ref.longest_match(a);
+    const auto got = trie.longest_match(a);
+    ASSERT_EQ(got.has_value(), expected.has_value());
+    if (expected.has_value()) {
+      EXPECT_EQ(got->first.length(), expected->first.length());
+      EXPECT_EQ(*got->second, expected->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieEquivalence,
+                         ::testing::Values(1, 7, 99, 12345));
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Tests for score publication (the daily-dataset role) and the ZMap-style
+// cyclic scan permutation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "core/publish.h"
+#include "scan/permutation.h"
+
+namespace {
+
+using namespace rovista;
+namespace fs = std::filesystem;
+
+// ---------- CyclicPermutation ----------
+
+TEST(Permutation, FullCoverageSmall) {
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 97ULL, 100ULL, 256ULL}) {
+    scan::CyclicPermutation perm(n, 42);
+    std::set<std::uint64_t> seen;
+    while (const auto v = perm.next()) {
+      EXPECT_LT(*v, n);
+      EXPECT_TRUE(seen.insert(*v).second) << "duplicate " << *v;
+    }
+    EXPECT_EQ(seen.size(), n) << n;
+  }
+}
+
+TEST(Permutation, DeterministicPerSeed) {
+  scan::CyclicPermutation a(1000, 7);
+  scan::CyclicPermutation b(1000, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Permutation, DifferentSeedsDifferentOrders) {
+  scan::CyclicPermutation a(4096, 1);
+  scan::CyclicPermutation b(4096, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 20);
+}
+
+TEST(Permutation, ResetReplaysSameOrder) {
+  scan::CyclicPermutation perm(500, 9);
+  std::vector<std::uint64_t> first;
+  while (const auto v = perm.next()) first.push_back(*v);
+  perm.reset();
+  std::vector<std::uint64_t> second;
+  while (const auto v = perm.next()) second.push_back(*v);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Permutation, NotSequential) {
+  // The order should not be the identity (that's the point of it).
+  scan::CyclicPermutation perm(4096, 3);
+  int in_place = 0;
+  std::uint64_t index = 0;
+  while (const auto v = perm.next()) {
+    if (*v == index) ++in_place;
+    ++index;
+  }
+  EXPECT_LT(in_place, 64);
+}
+
+TEST(Permutation, SpreadsNeighborsApart) {
+  // Consecutive outputs should rarely be address-adjacent — the §5
+  // goal of never hammering one subnet.
+  scan::CyclicPermutation perm(4096, 11);
+  std::uint64_t prev = *perm.next();
+  int adjacent = 0;
+  int count = 0;
+  while (const auto v = perm.next()) {
+    if (*v == prev + 1 || prev == *v + 1) ++adjacent;
+    prev = *v;
+    ++count;
+  }
+  EXPECT_LT(adjacent, count / 50);
+}
+
+// ---------- publish / load ----------
+
+core::AsScore make_score(core::Asn asn, double score) {
+  core::AsScore s;
+  s.asn = asn;
+  s.score = score;
+  return s;
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("rovista-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int counter;
+};
+int TempDir::counter = 0;
+
+TEST(Publish, RoundTrip) {
+  core::LongitudinalStore store;
+  const util::Date d1 = util::Date::from_ymd(2022, 1, 1);
+  const util::Date d2 = util::Date::from_ymd(2022, 2, 1);
+  store.record(d1, std::vector<core::AsScore>{make_score(10, 0.0),
+                                              make_score(20, 92.5)});
+  store.record(d2, std::vector<core::AsScore>{make_score(10, 100.0)});
+
+  TempDir dir;
+  const auto written = core::publish_scores(store, dir.path.string());
+  ASSERT_TRUE(written.has_value());
+  EXPECT_EQ(*written, 2u);
+  EXPECT_TRUE(fs::exists(dir.path / "index.csv"));
+  EXPECT_TRUE(fs::exists(dir.path / "scores-2022-01-01.csv"));
+  EXPECT_TRUE(fs::exists(dir.path / "scores-2022-02-01.csv"));
+
+  const auto loaded = core::load_scores(dir.path.string());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->as_count(), 2u);
+  EXPECT_EQ(loaded->score_on(10, d1), 0.0);
+  EXPECT_EQ(loaded->score_on(20, d1), 92.5);
+  EXPECT_EQ(loaded->score_on(10, d2), 100.0);
+  EXPECT_FALSE(loaded->score_on(20, d2).has_value());
+  EXPECT_EQ(loaded->latest_score(10), 100.0);
+}
+
+TEST(Publish, EmptyStore) {
+  core::LongitudinalStore store;
+  TempDir dir;
+  const auto written = core::publish_scores(store, dir.path.string());
+  ASSERT_TRUE(written.has_value());
+  EXPECT_EQ(*written, 0u);
+  const auto loaded = core::load_scores(dir.path.string());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->as_count(), 0u);
+}
+
+TEST(Publish, LoadRejectsMissingDirectory) {
+  EXPECT_FALSE(core::load_scores("/nonexistent/rovista-xyz").has_value());
+}
+
+TEST(Publish, LoadRejectsCorruptSnapshot) {
+  core::LongitudinalStore store;
+  store.record(util::Date::from_ymd(2022, 1, 1),
+               std::vector<core::AsScore>{make_score(10, 50.0)});
+  TempDir dir;
+  ASSERT_TRUE(core::publish_scores(store, dir.path.string()).has_value());
+  // Corrupt the snapshot file.
+  std::ofstream f(dir.path / "scores-2022-01-01.csv");
+  f << "asn,score\nnot_a_number,oops\n";
+  f.close();
+  EXPECT_FALSE(core::load_scores(dir.path.string()).has_value());
+}
+
+TEST(Publish, LoadRejectsBadIndexDate) {
+  TempDir dir;
+  fs::create_directories(dir.path);
+  std::ofstream f(dir.path / "index.csv");
+  f << "date,ases_scored\nnot-a-date,1\n";
+  f.close();
+  EXPECT_FALSE(core::load_scores(dir.path.string()).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Robustness and end-to-end behaviour under degraded conditions:
+// random packet loss, SLURM exceptions in the full pipeline, and
+// routing-churn convergence properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rovista.h"
+#include "scenario/scenario.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista;
+
+scenario::ScenarioParams tiny_params(std::uint64_t seed) {
+  scenario::ScenarioParams p;
+  p.seed = seed;
+  p.topology.tier1_count = 5;
+  p.topology.tier2_count = 16;
+  p.topology.tier3_count = 40;
+  p.topology.stub_count = 120;
+  p.tnode_prefix_count = 5;
+  p.measured_as_count = 20;
+  p.hosts_per_measured_as = 4;
+  return p;
+}
+
+// ---------- packet-loss failure injection ----------
+
+TEST(Robustness, PipelineSurvivesModeratePacketLoss) {
+  scenario::Scenario s(tiny_params(101));
+  s.advance_to(s.start() + 100);
+  s.plane().set_loss_probability(0.02);  // 2% uniform loss
+
+  scan::MeasurementClient ca(s.plane(), s.client_as_a(), s.client_addr_a());
+  scan::MeasurementClient cb(s.plane(), s.client_as_b(), s.client_addr_b());
+  core::RovistaConfig config;
+  config.scoring.min_vvps_per_as = 2;
+  config.scoring.min_tnodes = 2;
+  core::Rovista rovista(s.plane(), ca, cb, config);
+
+  const auto view = s.collector().snapshot(s.routing());
+  const auto tnodes = rovista.acquire_tnodes(
+      view, s.current_vrps(), s.rov_reference_ases(s.current(), 10),
+      s.non_rov_reference_ases(s.current(), 10));
+  const auto vvps = rovista.acquire_vvps(s.vvp_candidates());
+  // Loss shrinks the qualified sets but must not empty them.
+  ASSERT_GE(tnodes.size(), 3u);
+  ASSERT_GE(vvps.size(), 10u);
+
+  const auto round = rovista.run_round(vvps, tnodes);
+  ASSERT_GE(round.scores.size(), 5u);
+
+  // Verdict accuracy degrades gracefully, not catastrophically.
+  std::size_t ok = 0;
+  std::size_t wrong = 0;
+  for (const auto& obs : round.observations) {
+    if (obs.verdict == core::FilteringVerdict::kInconclusive ||
+        obs.verdict == core::FilteringVerdict::kInboundFiltering) {
+      continue;
+    }
+    const bool truth = s.plane().compute_path(obs.vvp_as, obs.tnode).delivered;
+    const bool said = obs.verdict == core::FilteringVerdict::kNoFiltering;
+    (truth == said ? ok : wrong)++;
+  }
+  ASSERT_GT(ok + wrong, 100u);
+  EXPECT_GT(static_cast<double>(ok) / static_cast<double>(ok + wrong), 0.85);
+}
+
+TEST(Robustness, TotalLossYieldsInconclusiveNotWrong) {
+  scenario::Scenario s(tiny_params(102));
+  s.advance_to(s.start() + 50);
+
+  scan::MeasurementClient ca(s.plane(), s.client_as_a(), s.client_addr_a());
+  scan::MeasurementClient cb(s.plane(), s.client_as_b(), s.client_addr_b());
+  core::Rovista rovista(s.plane(), ca, cb, {});
+
+  // A vVP/tNode built directly (no scanning — nothing would answer).
+  dataplane::HostConfig vvp_config;
+  vvp_config.address =
+      net::Ipv4Address(s.as_prefix(s.measured_ases().front()).address().value() + 0x900);
+  vvp_config.ipid_policy = dataplane::IpIdPolicy::kGlobal;
+  vvp_config.background.base_rate = 2.0;
+  vvp_config.seed = 9;
+  s.plane().add_host(s.measured_ases().front(), vvp_config);
+  const scan::Vvp vvp{vvp_config.address, s.measured_ases().front(), 2.0};
+  const auto& [prefix, origin] = s.tnode_prefixes().front();
+  const scan::Tnode tnode{net::Ipv4Address(prefix.address().value() + 10),
+                          80, prefix, origin};
+
+  s.plane().set_loss_probability(1.0);
+  const auto result = rovista.measure_pair(vvp, tnode);
+  EXPECT_EQ(result.verdict, core::FilteringVerdict::kInconclusive);
+}
+
+// ---------- SLURM in the full pipeline ----------
+
+TEST(Robustness, SlurmAssertionKeepsInvalidReachableDespiteRov) {
+  scenario::Scenario s(tiny_params(103));
+  s.advance_to(s.start() + 50);
+
+  const auto& [prefix, origin] = s.tnode_prefixes().front();
+
+  // Take a measured AS, give it full ROV: the tNode prefix disappears.
+  const topology::Asn asn = s.measured_ases().front();
+  bgp::AsPolicy full;
+  full.rov = bgp::RovMode::kFull;
+  s.routing().set_policy(asn, full);
+  const net::Ipv4Address target(prefix.address().value() + 10);
+  const bool before = s.plane().compute_path(asn, target).delivered;
+
+  // Now add a SLURM assertion whitelisting the announcement (§7.1's
+  // mechanism for deliberately accepting a known-invalid route).
+  bgp::AsPolicy with_slurm = full;
+  with_slurm.slurm.assertions.push_back({prefix, prefix.length(), origin});
+  s.routing().set_policy(asn, with_slurm);
+  const bool after = s.plane().compute_path(asn, target).delivered;
+
+  // Reachability may also depend on upstream filtering; at minimum the
+  // SLURM view must flip the local validity, and if the route reached
+  // the AS before its ROV it must be reachable again now.
+  EXPECT_EQ(s.routing().validity_for(asn, prefix, origin),
+            rpki::RouteValidity::kValid);
+  bgp::AsPolicy none;
+  s.routing().set_policy(asn, none);
+  const bool reachable_without_rov =
+      s.plane().compute_path(asn, target).delivered;
+  if (reachable_without_rov) {
+    EXPECT_FALSE(before);
+    EXPECT_TRUE(after);
+  }
+}
+
+// ---------- routing churn convergence ----------
+
+TEST(Robustness, IncrementalChurnMatchesFreshComputation) {
+  // Property: after an arbitrary interleaving of announce/withdraw/policy
+  // operations, cached routes equal a from-scratch recomputation.
+  util::Rng rng(7);
+  topology::TopologyParams tp;
+  tp.tier1_count = 4;
+  tp.tier2_count = 10;
+  tp.tier3_count = 25;
+  tp.stub_count = 60;
+  const topology::AsGraph graph = topology::generate_topology(tp, rng);
+  bgp::RoutingSystem routing(graph);
+
+  const auto all = graph.all_asns();
+  rpki::VrpSet vrps;
+  const net::Ipv4Prefix target(net::Ipv4Address(0x0A000000), 8);
+  vrps.add({target, 8, 99});  // any origin is invalid
+  routing.set_vrps(std::move(vrps));
+
+  std::vector<bgp::OriginAnnouncement> active;
+  for (int step = 0; step < 60; ++step) {
+    const double action = rng.uniform01();
+    if (action < 0.4 || active.empty()) {
+      const bgp::OriginAnnouncement a{target, all[rng.index(all.size())]};
+      routing.announce(a);
+      active.push_back(a);
+    } else if (action < 0.7) {
+      const std::size_t pick = rng.index(active.size());
+      routing.withdraw(active[pick]);
+      active.erase(active.begin() + static_cast<long>(pick));
+    } else {
+      bgp::AsPolicy policy;
+      policy.rov = rng.bernoulli(0.5) ? bgp::RovMode::kFull
+                                      : bgp::RovMode::kNone;
+      routing.set_policy(all[rng.index(all.size())], policy);
+    }
+
+    // Cached view after the incremental operation...
+    const bgp::RouteMap cached = routing.routes_for(target);
+    // ...must equal a cold recomputation.
+    routing.invalidate_all();
+    const bgp::RouteMap& fresh = routing.routes_for(target);
+    ASSERT_EQ(cached.size(), fresh.size()) << "step " << step;
+    for (const auto& [asn, entry] : cached) {
+      const auto it = fresh.find(asn);
+      ASSERT_NE(it, fresh.end());
+      EXPECT_EQ(entry.next_hop, it->second.next_hop) << "AS" << asn;
+      EXPECT_EQ(entry.origin, it->second.origin);
+      EXPECT_EQ(entry.path_len, it->second.path_len);
+    }
+  }
+}
+
+TEST(Robustness, RelationshipRewireInvalidatesPaths) {
+  scenario::Scenario s(tiny_params(104));
+  s.advance_to(s.start() + 10);
+  const auto& cs = s.cases();
+  // Rewire one of KPN's stub customers to a gray transit: its path to
+  // tNodes must change accordingly after invalidation.
+  const topology::Asn stub = cs.kpn_stub_customers.front();
+  const auto& [prefix, origin] = s.tnode_prefixes().front();
+  const net::Ipv4Address target(prefix.address().value() + 10);
+
+  s.advance_to(cs.kpn_rov_date + 10);  // KPN filters now
+  EXPECT_FALSE(s.plane().compute_path(stub, target).delivered);
+
+  auto& graph = const_cast<topology::AsGraph&>(s.graph());
+  graph.add_p2c(s.gray_transits().front(), stub);
+  s.routing().invalidate_all();
+  EXPECT_TRUE(s.plane().compute_path(stub, target).delivered);
+}
+
+}  // namespace

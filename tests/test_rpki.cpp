@@ -1,0 +1,276 @@
+// Tests for src/rpki: object model, certificate-chain validation by the
+// relying party, RFC 6811 route origin validation, SLURM.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rpki/relying_party.h"
+#include "rpki/repository.h"
+#include "rpki/slurm.h"
+#include "rpki/validation.h"
+#include "util/date.h"
+
+namespace {
+
+using namespace rovista::rpki;
+using rovista::net::Ipv4Address;
+using rovista::net::Ipv4Prefix;
+using rovista::topology::Rir;
+using rovista::util::Date;
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+
+const Date kStart = Date::from_ymd(2022, 1, 1);
+const Date kEnd = Date::from_ymd(2024, 1, 1);
+const Date kToday = Date::from_ymd(2022, 6, 1);
+
+// ---------- VrpSet / RFC 6811 ----------
+
+TEST(Rfc6811, ValidInvalidUnknown) {
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 65001});
+
+  EXPECT_EQ(vrps.validate(pfx("10.1.0.0/16"), 65001), RouteValidity::kValid);
+  // Wrong origin.
+  EXPECT_EQ(vrps.validate(pfx("10.1.0.0/16"), 65002),
+            RouteValidity::kInvalid);
+  // Too specific for maxLength.
+  EXPECT_EQ(vrps.validate(pfx("10.1.2.0/24"), 65001),
+            RouteValidity::kInvalid);
+  // Not covered at all.
+  EXPECT_EQ(vrps.validate(pfx("10.2.0.0/16"), 65001),
+            RouteValidity::kUnknown);
+}
+
+TEST(Rfc6811, MaxLengthAllowsMoreSpecifics) {
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 24, 65001});
+  EXPECT_EQ(vrps.validate(pfx("10.1.2.0/24"), 65001), RouteValidity::kValid);
+  EXPECT_EQ(vrps.validate(pfx("10.1.2.0/25"), 65001),
+            RouteValidity::kInvalid);
+}
+
+TEST(Rfc6811, AnyMatchingVrpMakesValid) {
+  // Two VRPs for the same prefix with different origins: either origin
+  // validates.
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 65001});
+  vrps.add({pfx("10.1.0.0/16"), 16, 65002});
+  EXPECT_EQ(vrps.validate(pfx("10.1.0.0/16"), 65001), RouteValidity::kValid);
+  EXPECT_EQ(vrps.validate(pfx("10.1.0.0/16"), 65002), RouteValidity::kValid);
+  EXPECT_EQ(vrps.validate(pfx("10.1.0.0/16"), 65003),
+            RouteValidity::kInvalid);
+}
+
+TEST(Rfc6811, As0VrpNeverValidates) {
+  // RFC 6483 §4: AS 0 disallows all announcements of the space.
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 0});
+  EXPECT_EQ(vrps.validate(pfx("10.1.0.0/16"), 0), RouteValidity::kInvalid);
+  EXPECT_EQ(vrps.validate(pfx("10.1.0.0/16"), 65001),
+            RouteValidity::kInvalid);
+}
+
+TEST(VrpSet, CoveringQuery) {
+  VrpSet vrps;
+  vrps.add({pfx("10.0.0.0/8"), 8, 65000});
+  vrps.add({pfx("10.1.0.0/16"), 24, 65001});
+  const auto covering = vrps.covering(pfx("10.1.2.0/24"));
+  EXPECT_EQ(covering.size(), 2u);
+  EXPECT_TRUE(vrps.is_covered(pfx("10.1.2.0/24")));
+  EXPECT_FALSE(vrps.is_covered(pfx("11.0.0.0/8")));
+  EXPECT_EQ(vrps.size(), 2u);
+}
+
+// ---------- repositories / relying party ----------
+
+TEST(Repository, IssueAndPublish) {
+  Repository repo(Rir::kRipeNcc, 99, kStart, kEnd);
+  ResourceSet rs;
+  rs.prefixes.push_back(pfx("10.1.0.0/16"));
+  rs.asns.push_back(65001);
+  const auto serial = repo.issue_certificate("holder", rs, kStart, kEnd);
+  ASSERT_TRUE(serial.has_value());
+  EXPECT_TRUE(repo.publish_roa(*serial, 65001, {{pfx("10.1.0.0/16"), 16}},
+                               kStart, kEnd));
+  EXPECT_FALSE(repo.publish_roa(9999, 65001, {{pfx("10.1.0.0/16"), 16}},
+                                kStart, kEnd));
+  EXPECT_EQ(repo.roas().size(), 1u);
+  EXPECT_EQ(repo.withdraw_roa(*serial, 65001, pfx("10.1.0.0/16")), 1u);
+  EXPECT_TRUE(repo.roas().empty());
+}
+
+TEST(RelyingParty, ProducesVrpsFromValidChain) {
+  RepositorySystem repos(7, kStart, kEnd);
+  Repository& repo = repos.repository(Rir::kArin);
+  ResourceSet rs;
+  rs.prefixes.push_back(pfx("10.1.0.0/16"));
+  const auto serial = repo.issue_certificate("holder", rs, kStart, kEnd);
+  ASSERT_TRUE(serial.has_value());
+  repo.publish_roa(*serial, 65001, {{pfx("10.1.0.0/16"), 20}}, kStart, kEnd);
+
+  const ValidationRun run = run_relying_party(repos, kToday);
+  EXPECT_EQ(run.vrps.size(), 1u);
+  EXPECT_EQ(run.vrps.validate(pfx("10.1.0.0/18"), 65001),
+            RouteValidity::kValid);
+  EXPECT_TRUE(run.rejected.empty());
+  EXPECT_GE(run.certificates_checked, 6u);  // 5 TAs + 1 CA
+}
+
+TEST(RelyingParty, RejectsExpiredRoa) {
+  RepositorySystem repos(8, kStart, kEnd);
+  Repository& repo = repos.repository(Rir::kApnic);
+  ResourceSet rs;
+  rs.prefixes.push_back(pfx("10.2.0.0/16"));
+  const auto serial = repo.issue_certificate("holder", rs, kStart, kEnd);
+  repo.publish_roa(*serial, 65002, {{pfx("10.2.0.0/16"), 16}}, kStart,
+                   Date::from_ymd(2022, 3, 1));
+
+  const ValidationRun run = run_relying_party(repos, kToday);
+  EXPECT_TRUE(run.vrps.empty());
+  ASSERT_EQ(run.rejected.size(), 1u);
+  EXPECT_EQ(run.rejected[0].reason, RejectReason::kExpired);
+}
+
+TEST(RelyingParty, RejectsNotYetValidRoa) {
+  RepositorySystem repos(9, kStart, kEnd);
+  Repository& repo = repos.repository(Rir::kApnic);
+  ResourceSet rs;
+  rs.prefixes.push_back(pfx("10.2.0.0/16"));
+  const auto serial = repo.issue_certificate("holder", rs, kStart, kEnd);
+  repo.publish_roa(*serial, 65002, {{pfx("10.2.0.0/16"), 16}},
+                   Date::from_ymd(2023, 1, 1), kEnd);
+  const ValidationRun run = run_relying_party(repos, kToday);
+  EXPECT_TRUE(run.vrps.empty());
+  ASSERT_EQ(run.rejected.size(), 1u);
+  EXPECT_EQ(run.rejected[0].reason, RejectReason::kNotYetValid);
+}
+
+TEST(RelyingParty, RejectsOverclaimingRoa) {
+  // The ROA claims a prefix its signing certificate does not hold.
+  RepositorySystem repos(10, kStart, kEnd);
+  Repository& repo = repos.repository(Rir::kLacnic);
+  ResourceSet rs;
+  rs.prefixes.push_back(pfx("10.3.0.0/16"));
+  const auto serial = repo.issue_certificate("holder", rs, kStart, kEnd);
+  repo.publish_roa(*serial, 65003, {{pfx("99.0.0.0/8"), 8}}, kStart, kEnd);
+
+  const ValidationRun run = run_relying_party(repos, kToday);
+  EXPECT_TRUE(run.vrps.empty());
+  ASSERT_EQ(run.rejected.size(), 1u);
+  EXPECT_EQ(run.rejected[0].reason, RejectReason::kResourceOverclaim);
+}
+
+TEST(RelyingParty, ValidityWindowDrivesSnapshotDifferences) {
+  // The same repository seen on two dates yields different VRP sets —
+  // the mechanism behind the paper's Fig. 1 adoption curve.
+  RepositorySystem repos(11, kStart, kEnd);
+  Repository& repo = repos.repository(Rir::kAfrinic);
+  ResourceSet rs;
+  rs.prefixes.push_back(pfx("10.4.0.0/16"));
+  const auto serial = repo.issue_certificate("holder", rs, kStart, kEnd);
+  repo.publish_roa(*serial, 65004, {{pfx("10.4.0.0/16"), 16}},
+                   Date::from_ymd(2022, 8, 1), kEnd);
+
+  EXPECT_TRUE(run_relying_party(repos, kToday).vrps.empty());
+  EXPECT_EQ(run_relying_party(repos, Date::from_ymd(2022, 9, 1)).vrps.size(),
+            1u);
+}
+
+TEST(SimulatedCrypto, SignatureBinding) {
+  const KeyPair key = SimulatedCrypto::derive(1234);
+  SimulatedCrypto crypto;
+  crypto.register_key(key);
+  const std::uint64_t digest = 0xABCDEF;
+  const std::uint64_t sig = key.sign(digest);
+  EXPECT_TRUE(crypto.verify(key.key_id, digest, sig));
+  EXPECT_FALSE(crypto.verify(key.key_id, digest + 1, sig));
+  EXPECT_FALSE(crypto.verify(key.key_id, digest, sig ^ 1));
+  EXPECT_FALSE(crypto.verify(key.key_id + 1, digest, sig));
+}
+
+TEST(ResourceSet, Containment) {
+  ResourceSet big;
+  big.prefixes.push_back(pfx("10.0.0.0/8"));
+  big.asns.push_back(65001);
+  ResourceSet small;
+  small.prefixes.push_back(pfx("10.1.0.0/16"));
+  EXPECT_TRUE(big.contains(small));
+  small.asns.push_back(65002);
+  EXPECT_FALSE(big.contains(small));  // unknown ASN
+  ResourceSet outside;
+  outside.prefixes.push_back(pfx("11.0.0.0/8"));
+  EXPECT_FALSE(big.contains(outside));
+}
+
+// ---------- SLURM ----------
+
+TEST(Slurm, PrefixFilterRemovesVrps) {
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 65001});
+  vrps.add({pfx("10.2.0.0/16"), 16, 65002});
+
+  SlurmFile slurm;
+  slurm.filters.push_back({pfx("10.1.0.0/16"), std::nullopt});
+  const VrpSet out = slurm.apply(vrps);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.validate(pfx("10.1.0.0/16"), 65001),
+            RouteValidity::kUnknown);  // filtered -> uncovered
+  EXPECT_EQ(out.validate(pfx("10.2.0.0/16"), 65002), RouteValidity::kValid);
+}
+
+TEST(Slurm, AsnFilter) {
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 65001});
+  vrps.add({pfx("10.2.0.0/16"), 16, 65002});
+  SlurmFile slurm;
+  slurm.filters.push_back({std::nullopt, 65002});
+  const VrpSet out = slurm.apply(vrps);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.validate(pfx("10.2.0.0/16"), 65002), RouteValidity::kUnknown);
+}
+
+TEST(Slurm, FilterWithBothFieldsRequiresBoth) {
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 65001});
+  SlurmFile slurm;
+  slurm.filters.push_back({pfx("10.1.0.0/16"), 65099});  // ASN differs
+  EXPECT_EQ(slurm.apply(vrps).size(), 1u);
+}
+
+TEST(Slurm, AssertionAddsLocalVrp) {
+  VrpSet vrps;
+  SlurmFile slurm;
+  slurm.assertions.push_back({pfx("10.9.0.0/16"), 20, 65009});
+  const VrpSet out = slurm.apply(vrps);
+  EXPECT_EQ(out.validate(pfx("10.9.1.0/20"), 65009), RouteValidity::kValid);
+  // An assertion can make a previously invalid announcement locally
+  // acceptable — the §7.1 mechanism for ROV ASes accepting invalids.
+  EXPECT_EQ(out.validate(pfx("10.9.0.0/16"), 65009), RouteValidity::kValid);
+}
+
+TEST(Slurm, EmptyFileIsIdentity) {
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 65001});
+  const SlurmFile slurm;
+  const VrpSet out = slurm.apply(vrps);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.validate(pfx("10.1.0.0/16"), 65001), RouteValidity::kValid);
+}
+
+TEST(Roa, DigestChangesWithContent) {
+  Roa a;
+  a.asn = 65001;
+  a.prefixes = {{pfx("10.1.0.0/16"), 16}};
+  a.not_before = kStart;
+  a.not_after = kEnd;
+  Roa b = a;
+  EXPECT_EQ(a.payload_digest(), b.payload_digest());
+  b.asn = 65002;
+  EXPECT_NE(a.payload_digest(), b.payload_digest());
+  Roa c = a;
+  c.prefixes[0].max_length = 24;
+  EXPECT_NE(a.payload_digest(), c.payload_digest());
+}
+
+}  // namespace

@@ -1,0 +1,302 @@
+// Tests for the RPKI-to-Router protocol (RFC 8210): wire format
+// round-trips, the serial handshake, incremental diffs, cache resets,
+// and end-to-end equivalence with direct relying-party output.
+#include <gtest/gtest.h>
+
+#include "rpki/rtr.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista::rpki;
+using namespace rovista::rpki::rtr;
+using rovista::net::Ipv4Address;
+using rovista::net::Ipv4Prefix;
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+
+Vrp vrp(const char* prefix, std::uint8_t max_len, std::uint32_t asn) {
+  return Vrp{pfx(prefix), max_len, asn};
+}
+
+// ---------- wire format ----------
+
+TEST(RtrWire, SerialQueryRoundTrip) {
+  const Pdu q = make_serial_query(0xBEEF, 42);
+  const auto bytes = q.serialize();
+  EXPECT_EQ(bytes.size(), 12u);
+  EXPECT_EQ(bytes[0], kProtocolVersion);
+  EXPECT_EQ(bytes[1], static_cast<std::uint8_t>(PduType::kSerialQuery));
+  const auto parsed = Pdu::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->second, 12u);
+  EXPECT_EQ(parsed->first.type, PduType::kSerialQuery);
+  EXPECT_EQ(parsed->first.session_id, 0xBEEF);
+  EXPECT_EQ(parsed->first.serial, 42u);
+}
+
+TEST(RtrWire, Ipv4PrefixRoundTrip) {
+  const Pdu p = make_ipv4_prefix(true, vrp("10.1.0.0/16", 24, 65001));
+  const auto bytes = p.serialize();
+  EXPECT_EQ(bytes.size(), 20u);
+  const auto parsed = Pdu::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->first.announce);
+  EXPECT_EQ(parsed->first.prefix_length, 16);
+  EXPECT_EQ(parsed->first.max_length, 24);
+  EXPECT_EQ(parsed->first.asn, 65001u);
+  EXPECT_EQ(parsed->first.prefix, *Ipv4Address::parse("10.1.0.0"));
+}
+
+TEST(RtrWire, WithdrawFlag) {
+  const Pdu p = make_ipv4_prefix(false, vrp("10.1.0.0/16", 16, 65001));
+  const auto parsed = Pdu::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->first.announce);
+}
+
+TEST(RtrWire, EndOfDataCarriesTimers) {
+  Pdu p = make_end_of_data(7, 99);
+  p.refresh_interval = 100;
+  p.retry_interval = 200;
+  p.expire_interval = 300;
+  const auto parsed = Pdu::parse(p.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->second, 24u);
+  EXPECT_EQ(parsed->first.serial, 99u);
+  EXPECT_EQ(parsed->first.refresh_interval, 100u);
+  EXPECT_EQ(parsed->first.retry_interval, 200u);
+  EXPECT_EQ(parsed->first.expire_interval, 300u);
+}
+
+TEST(RtrWire, ErrorReportRoundTrip) {
+  const Pdu e = make_error(ErrorCode::kNoDataAvailable, "try later");
+  const auto parsed = Pdu::parse(e.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first.type, PduType::kErrorReport);
+  EXPECT_EQ(parsed->first.error_code, ErrorCode::kNoDataAvailable);
+  EXPECT_EQ(parsed->first.error_text, "try later");
+}
+
+TEST(RtrWire, ParseRejectsGarbage) {
+  EXPECT_FALSE(Pdu::parse({}).has_value());
+  std::vector<std::uint8_t> truncated = {1, 1, 0, 0, 0, 0};
+  EXPECT_FALSE(Pdu::parse(truncated).has_value());
+  // Wrong version byte.
+  auto bytes = make_reset_query().serialize();
+  bytes[0] = 0;
+  EXPECT_FALSE(Pdu::parse(bytes).has_value());
+  // Length field larger than buffer.
+  bytes = make_reset_query().serialize();
+  bytes[7] = 200;
+  EXPECT_FALSE(Pdu::parse(bytes).has_value());
+  // Bad prefix lengths.
+  auto pp = make_ipv4_prefix(true, vrp("10.0.0.0/8", 8, 1)).serialize();
+  pp[9] = 40;  // prefix length 40 > 32
+  EXPECT_FALSE(Pdu::parse(pp).has_value());
+}
+
+TEST(RtrWire, MaxLengthBelowPrefixLengthRejected) {
+  auto bytes = make_ipv4_prefix(true, vrp("10.1.0.0/16", 16, 1)).serialize();
+  bytes[10] = 8;  // max_length 8 < prefix length 16
+  EXPECT_FALSE(Pdu::parse(bytes).has_value());
+}
+
+// ---------- cache / router handshake ----------
+
+VrpSet set_of(std::initializer_list<Vrp> vrps) {
+  VrpSet out;
+  for (const Vrp& v : vrps) out.add(v);
+  return out;
+}
+
+std::vector<std::uint8_t> to_stream(const std::vector<Pdu>& pdus) {
+  std::vector<std::uint8_t> out;
+  for (const Pdu& pdu : pdus) {
+    const auto b = pdu.serialize();
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+TEST(RtrSession, InitialFullSync) {
+  Cache cache(1);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001),
+                        vrp("10.2.0.0/16", 24, 65002)}));
+
+  RouterSession router;
+  EXPECT_EQ(router.next_query().type, PduType::kResetQuery);
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  EXPECT_TRUE(router.consume_stream(to_stream(response)));
+  EXPECT_TRUE(router.synchronized());
+  EXPECT_EQ(router.serial(), 1u);
+  EXPECT_EQ(router.vrp_count(), 2u);
+  EXPECT_EQ(router.vrps().validate(pfx("10.1.0.0/16"), 65001),
+            RouteValidity::kValid);
+}
+
+TEST(RtrSession, IncrementalDiff) {
+  Cache cache(1);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001),
+                        vrp("10.2.0.0/16", 16, 65002)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+
+  // Publish a new snapshot: one withdrawal, one announcement.
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001),
+                        vrp("10.3.0.0/16", 16, 65003)}));
+  EXPECT_EQ(router.next_query().type, PduType::kSerialQuery);
+  response.clear();
+  cache.handle(router.next_query(), response);
+  // Cache Response + 1 withdraw + 1 announce + End of Data.
+  EXPECT_EQ(response.size(), 4u);
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+  EXPECT_EQ(router.serial(), 2u);
+  EXPECT_EQ(router.vrp_count(), 2u);
+  EXPECT_EQ(router.vrps().validate(pfx("10.2.0.0/16"), 65002),
+            RouteValidity::kUnknown);
+  EXPECT_EQ(router.vrps().validate(pfx("10.3.0.0/16"), 65003),
+            RouteValidity::kValid);
+}
+
+TEST(RtrSession, EmptyDeltaWhenCurrent) {
+  Cache cache(1);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+
+  response.clear();
+  cache.handle(router.next_query(), response);
+  EXPECT_EQ(response.size(), 2u);  // response + end of data only
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+  EXPECT_EQ(router.vrp_count(), 1u);
+}
+
+TEST(RtrSession, CacheResetWhenHistoryExpired) {
+  Cache cache(1, /*history_limit=*/2);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+
+  // Burn through more publishes than the history window holds.
+  for (int i = 2; i <= 6; ++i) {
+    VrpSet next;
+    next.add(vrp("10.1.0.0/16", 16, 65001));
+    next.add(Vrp{Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(i) << 24), 8),
+                 8, static_cast<std::uint32_t>(i)});
+    cache.publish(next);
+  }
+
+  response.clear();
+  cache.handle(router.next_query(), response);
+  ASSERT_EQ(response.size(), 1u);
+  EXPECT_EQ(response[0].type, PduType::kCacheReset);
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+  // The router falls back to a Reset Query and resyncs fully.
+  EXPECT_EQ(router.next_query().type, PduType::kResetQuery);
+  response.clear();
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+  EXPECT_EQ(router.serial(), cache.serial());
+  EXPECT_EQ(router.vrp_count(), cache.current().size());
+}
+
+TEST(RtrSession, SessionMismatchForcesReset) {
+  Cache cache(7);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  std::vector<Pdu> response;
+  cache.handle(make_serial_query(/*wrong session*/ 8, 1), response);
+  ASSERT_EQ(response.size(), 1u);
+  EXPECT_EQ(response[0].type, PduType::kCacheReset);
+}
+
+TEST(RtrSession, ProtocolErrorsDetected) {
+  RouterSession router;
+  // Prefix outside a response.
+  EXPECT_FALSE(router.consume(make_ipv4_prefix(true,
+                                               vrp("10.0.0.0/8", 8, 1))));
+  EXPECT_FALSE(router.last_error().empty());
+  // Error report.
+  RouterSession router2;
+  EXPECT_FALSE(router2.consume(make_error(ErrorCode::kCorruptData, "bad")));
+  EXPECT_EQ(router2.last_error(), "bad");
+  // Malformed stream.
+  RouterSession router3;
+  const std::vector<std::uint8_t> junk = {1, 2, 3};
+  EXPECT_FALSE(router3.consume_stream(junk));
+}
+
+TEST(RtrSession, NotifyDoesNotDisturbState) {
+  Cache cache(1);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response)));
+  EXPECT_TRUE(router.consume(cache.notify()));
+  EXPECT_TRUE(router.synchronized());
+  EXPECT_EQ(router.vrp_count(), 1u);
+}
+
+// Property: after any deterministic sequence of random publishes and
+// syncs, the router's VRP set matches the cache snapshot exactly.
+class RtrConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtrConvergence, RouterTracksCacheThroughChurn) {
+  rovista::util::Rng rng(GetParam());
+  Cache cache(static_cast<std::uint16_t>(GetParam()), 4);
+  RouterSession router;
+
+  std::vector<Vrp> pool;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    pool.push_back(Vrp{
+        Ipv4Prefix(Ipv4Address((i + 1) << 20), 16),
+        static_cast<std::uint8_t>(16 + rng.uniform_u64(0, 8)),
+        65000 + i});
+  }
+
+  for (int round = 0; round < 25; ++round) {
+    // Random subset as the new snapshot.
+    VrpSet snapshot;
+    std::size_t count = 0;
+    for (const Vrp& v : pool) {
+      if (rng.bernoulli(0.5)) {
+        snapshot.add(v);
+        ++count;
+      }
+    }
+    cache.publish(snapshot);
+
+    // The router may skip syncs (falls behind the history window).
+    if (rng.bernoulli(0.3)) continue;
+
+    for (int attempts = 0; attempts < 3; ++attempts) {
+      std::vector<Pdu> response;
+      cache.handle(router.next_query(), response);
+      ASSERT_TRUE(router.consume_stream(to_stream(response)));
+      if (router.synchronized() && router.serial() == cache.serial()) break;
+    }
+    ASSERT_EQ(router.serial(), cache.serial());
+    ASSERT_EQ(router.vrp_count(), count);
+    // Spot-check set equality through validation outcomes.
+    for (const Vrp& v : pool) {
+      EXPECT_EQ(router.vrps().validate(v.prefix, v.asn),
+                cache.current().end() !=
+                        std::find(cache.current().begin(),
+                                  cache.current().end(), v)
+                    ? RouteValidity::kValid
+                    : RouteValidity::kUnknown);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtrConvergence, ::testing::Values(1, 9, 77));
+
+}  // namespace

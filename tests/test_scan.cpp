@@ -1,0 +1,344 @@
+// Tests for src/scan: scanner, measurement client, vVP qualification
+// (§4.2), tNode qualification (§4.1).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "scan/measurement_client.h"
+#include "scan/scanner.h"
+#include "scan/tnode_discovery.h"
+#include "scan/vvp_discovery.h"
+
+namespace {
+
+using namespace rovista::scan;
+using rovista::bgp::AsPolicy;
+using rovista::bgp::RoutingSystem;
+using rovista::bgp::RovMode;
+using rovista::dataplane::DataPlane;
+using rovista::dataplane::HostConfig;
+using rovista::dataplane::IpIdPolicy;
+using rovista::net::Ipv4Address;
+using rovista::net::Ipv4Prefix;
+using rovista::rpki::VrpSet;
+using rovista::topology::AsGraph;
+using rovista::topology::Asn;
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+Ipv4Address addr(const char* s) { return *Ipv4Address::parse(s); }
+
+// Star: provider 1 over {2 (client A), 3 (client B), 4 (targets)}.
+struct ScanFixture {
+  AsGraph graph;
+  std::unique_ptr<RoutingSystem> routing;
+  std::unique_ptr<DataPlane> plane;
+  std::unique_ptr<MeasurementClient> client_a;
+  std::unique_ptr<MeasurementClient> client_b;
+
+  ScanFixture() {
+    for (Asn a : {1u, 2u, 3u, 4u}) graph.add_as({a, ""});
+    graph.add_p2c(1, 2);
+    graph.add_p2c(1, 3);
+    graph.add_p2c(1, 4);
+    routing = std::make_unique<RoutingSystem>(graph);
+    for (Asn a : {2u, 3u, 4u}) {
+      routing->announce(
+          {Ipv4Prefix(Ipv4Address(a << 24), 8), a});
+    }
+    plane = std::make_unique<DataPlane>(*routing, 777);
+    client_a = std::make_unique<MeasurementClient>(*plane, 2,
+                                                   addr("2.0.0.10"));
+    client_b = std::make_unique<MeasurementClient>(*plane, 3,
+                                                   addr("3.0.0.10"));
+  }
+
+  rovista::dataplane::Host* add_target(const char* address,
+                                       IpIdPolicy policy,
+                                       double background_rate = 1.0,
+                                       std::vector<std::uint16_t> ports = {
+                                           80}) {
+    HostConfig config;
+    config.address = addr(address);
+    config.open_ports = std::move(ports);
+    config.ipid_policy = policy;
+    config.background.base_rate = background_rate;
+    config.rto_seconds = 3.0;
+    config.max_retransmits = 1;
+    config.seed = config.address.value();
+    return plane->add_host(4, config);
+  }
+};
+
+// ---------- scanner ----------
+
+TEST(Scanner, SynScanFindsOpenPorts) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal, 0.0, {80});
+  fx.add_target("4.0.0.2", IpIdPolicy::kGlobal, 0.0, {8080});
+  fx.add_target("4.0.0.3", IpIdPolicy::kGlobal, 0.0, {12345});  // unpopular
+  const std::vector<Ipv4Address> addresses = {
+      addr("4.0.0.1"), addr("4.0.0.2"), addr("4.0.0.3"), addr("4.0.0.4")};
+  const auto hits = syn_scan(*fx.plane, 2, addr("2.0.0.10"), addresses,
+                             kPopularPorts);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].address, addr("4.0.0.1"));
+  EXPECT_EQ(hits[0].port, 80);
+  EXPECT_EQ(hits[1].address, addr("4.0.0.2"));
+  EXPECT_EQ(hits[1].port, 8080);
+}
+
+TEST(Scanner, SynAckScanFindsResponsiveHosts) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal);
+  const std::vector<Ipv4Address> addresses = {addr("4.0.0.1"),
+                                              addr("4.0.0.9")};
+  const auto hits = synack_scan(*fx.plane, 2, addr("2.0.0.10"), addresses);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], addr("4.0.0.1"));
+}
+
+TEST(Scanner, UnreachableTargetNotHit) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal);
+  // ROV-style: remove AS 2's route toward AS 4 by filtering.
+  VrpSet vrps;
+  vrps.add({pfx("4.0.0.0/8"), 8, 99});
+  fx.routing->set_vrps(std::move(vrps));
+  AsPolicy full;
+  full.rov = RovMode::kFull;
+  fx.routing->set_policy(2, full);
+  const std::vector<Ipv4Address> addresses = {addr("4.0.0.1")};
+  EXPECT_TRUE(
+      syn_scan(*fx.plane, 2, addr("2.0.0.10"), addresses, kPopularPorts)
+          .empty());
+}
+
+// ---------- measurement client ----------
+
+TEST(MeasurementClient, ProbeElicitsRstWithIpId) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal, 0.0);
+  fx.client_a->probe_at(1000, addr("4.0.0.1"), 80, 40001);
+  fx.client_a->probe_at(500000, addr("4.0.0.1"), 80, 40002);
+  fx.plane->sim().run();
+  const auto samples = fx.client_a->rst_samples(addr("4.0.0.1"));
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(static_cast<std::uint16_t>(samples[1].ip_id - samples[0].ip_id),
+            1);
+  EXPECT_GT(samples[1].time, samples[0].time);
+}
+
+TEST(MeasurementClient, SpoofedSynTriggersSynAckToVictim) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal, 0.0);
+  // A spoofs B: the SYN/ACK goes to B.
+  fx.client_a->spoofed_syn_at(1000, fx.client_b->address(), addr("4.0.0.1"),
+                              80, 51001);
+  fx.plane->sim().run_until(rovista::dataplane::microseconds(0.5));
+  const auto arrivals = fx.client_b->syn_ack_times(addr("4.0.0.1"));
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_TRUE(fx.client_a->syn_ack_times(addr("4.0.0.1")).empty());
+}
+
+TEST(MeasurementClient, ClearResetsCapture) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal, 0.0);
+  fx.client_a->probe_at(1000, addr("4.0.0.1"), 80, 40001);
+  fx.plane->sim().run();
+  EXPECT_FALSE(fx.client_a->captured().empty());
+  fx.client_a->clear();
+  EXPECT_TRUE(fx.client_a->captured().empty());
+}
+
+// ---------- vVP qualification (§4.2) ----------
+
+TEST(VvpQualification, AcceptsGlobalCounter) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal, 2.0);
+  const auto verdict = run_vvp_qualification(*fx.plane, *fx.client_a,
+                                             addr("4.0.0.1"), 1000);
+  EXPECT_TRUE(verdict.is_vvp);
+  EXPECT_TRUE(verdict.monotone);
+  EXPECT_GE(verdict.growth, 14u);
+  EXPECT_EQ(verdict.samples, 10);
+}
+
+TEST(VvpQualification, RejectsPerDestinationCounter) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kPerDestination, 2.0);
+  const auto verdict = run_vvp_qualification(*fx.plane, *fx.client_a,
+                                             addr("4.0.0.1"), 1000);
+  EXPECT_FALSE(verdict.is_vvp);
+  // Monotone (the per-client counter still grows), but growth is too
+  // small — the burst toward spoofed sources left no trace.
+  EXPECT_TRUE(verdict.monotone);
+  EXPECT_LT(verdict.growth, 14u);
+}
+
+TEST(VvpQualification, RejectsRandomIpId) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kRandom, 2.0);
+  const auto verdict = run_vvp_qualification(*fx.plane, *fx.client_a,
+                                             addr("4.0.0.1"), 1000);
+  EXPECT_FALSE(verdict.is_vvp);
+}
+
+TEST(VvpQualification, RejectsZeroIpId) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kZero, 2.0);
+  const auto verdict = run_vvp_qualification(*fx.plane, *fx.client_a,
+                                             addr("4.0.0.1"), 1000);
+  EXPECT_FALSE(verdict.is_vvp);
+  EXPECT_FALSE(verdict.monotone);
+}
+
+TEST(VvpQualification, RejectsUnreachableHost) {
+  ScanFixture fx;
+  const auto verdict = run_vvp_qualification(*fx.plane, *fx.client_a,
+                                             addr("4.0.0.99"), 1000);
+  EXPECT_FALSE(verdict.is_vvp);
+  EXPECT_EQ(verdict.samples, 0);
+}
+
+TEST(VvpQualification, EstimatesBackgroundRate) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal, 20.0);
+  const auto verdict = run_vvp_qualification(*fx.plane, *fx.client_a,
+                                             addr("4.0.0.1"), 1000);
+  EXPECT_TRUE(verdict.is_vvp);
+  EXPECT_NEAR(verdict.est_background_rate, 20.0, 8.0);
+}
+
+TEST(VvpQualification, DiscoverFiltersMixedPopulation) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kGlobal, 1.0);
+  fx.add_target("4.0.0.2", IpIdPolicy::kPerDestination, 1.0);
+  fx.add_target("4.0.0.3", IpIdPolicy::kRandom, 1.0);
+  fx.add_target("4.0.0.4", IpIdPolicy::kGlobal, 3.0);
+  const std::vector<Ipv4Address> candidates = {
+      addr("4.0.0.1"), addr("4.0.0.2"), addr("4.0.0.3"), addr("4.0.0.4")};
+  const auto vvps = discover_vvps(*fx.plane, *fx.client_a, candidates);
+  ASSERT_EQ(vvps.size(), 2u);
+  EXPECT_EQ(vvps[0].address, addr("4.0.0.1"));
+  EXPECT_EQ(vvps[1].address, addr("4.0.0.4"));
+  EXPECT_EQ(vvps[0].asn, 4u);
+}
+
+// ---------- tNode selection and qualification (§4.1) ----------
+
+TEST(TnodeSelection, ExclusivelyInvalidOnly) {
+  rovista::bgp::CollectorSnapshot snap;
+  const auto add = [&](const char* prefix, Asn origin) {
+    rovista::bgp::CollectorEntry e;
+    e.prefix = pfx(prefix);
+    e.as_path = {1, origin};
+    e.peer = 1;
+    snap.entries.push_back(e);
+  };
+  add("10.1.0.0/16", 100);  // invalid (ROA says 200)
+  add("10.2.0.0/16", 200);  // valid
+  add("10.3.0.0/16", 100);  // MOAS: invalid origin...
+  add("10.3.0.0/16", 300);  // ...and valid origin
+
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 200});
+  vrps.add({pfx("10.2.0.0/16"), 16, 200});
+  vrps.add({pfx("10.3.0.0/16"), 16, 300});
+
+  const auto test_prefixes = select_test_prefixes(snap, vrps);
+  ASSERT_EQ(test_prefixes.size(), 1u);
+  EXPECT_EQ(test_prefixes[0], pfx("10.1.0.0/16"));
+}
+
+TEST(TnodeQualification, WellBehavedHostPasses) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kPerDestination, 0.0);
+  const auto b = qualify_tnode(*fx.plane, *fx.client_a, *fx.client_b,
+                               addr("4.0.0.1"), 80);
+  EXPECT_TRUE(b.responds_to_spoof);
+  EXPECT_TRUE(b.implements_rto);
+  EXPECT_TRUE(b.stops_after_rst);
+  EXPECT_TRUE(b.qualified());
+}
+
+TEST(TnodeQualification, NoRtoHostFailsConditionB) {
+  ScanFixture fx;
+  HostConfig config;
+  config.address = addr("4.0.0.1");
+  config.open_ports = {80};
+  config.implements_rto = false;
+  config.seed = 5;
+  fx.plane->add_host(4, config);
+  const auto b = qualify_tnode(*fx.plane, *fx.client_a, *fx.client_b,
+                               addr("4.0.0.1"), 80);
+  EXPECT_TRUE(b.responds_to_spoof);
+  EXPECT_FALSE(b.implements_rto);
+  EXPECT_FALSE(b.qualified());
+}
+
+TEST(TnodeQualification, RetransmitAfterRstFailsConditionC) {
+  ScanFixture fx;
+  HostConfig config;
+  config.address = addr("4.0.0.1");
+  config.open_ports = {80};
+  config.rto_seconds = 3.0;
+  config.max_retransmits = 1;
+  config.retransmit_after_rst = true;
+  config.seed = 5;
+  fx.plane->add_host(4, config);
+  const auto b = qualify_tnode(*fx.plane, *fx.client_a, *fx.client_b,
+                               addr("4.0.0.1"), 80);
+  EXPECT_TRUE(b.responds_to_spoof);
+  EXPECT_TRUE(b.implements_rto);
+  EXPECT_FALSE(b.stops_after_rst);
+  EXPECT_FALSE(b.qualified());
+}
+
+TEST(TnodeQualification, TooSlowRtoFailsWindow) {
+  ScanFixture fx;
+  HostConfig config;
+  config.address = addr("4.0.0.1");
+  config.open_ports = {80};
+  config.rto_seconds = 6.0;  // outside the paper's 1–3 s expectation
+  config.max_retransmits = 1;
+  config.seed = 5;
+  fx.plane->add_host(4, config);
+  const auto b = qualify_tnode(*fx.plane, *fx.client_a, *fx.client_b,
+                               addr("4.0.0.1"), 80);
+  EXPECT_FALSE(b.implements_rto);
+}
+
+TEST(TnodeFiltering, DropsNodesReachableFromRovRefs) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kPerDestination, 0.0);
+  std::vector<Tnode> tnodes = {{addr("4.0.0.1"), 80, pfx("4.0.0.0/8"), 4}};
+  // AS 2 poses as a "confirmed ROV" reference — but it can reach the
+  // node, so the node must be discarded as a false tNode.
+  const std::vector<Asn> rov_refs = {2};
+  const std::vector<Asn> non_rov_refs = {3};
+  const auto kept = filter_false_tnodes(*fx.plane, tnodes, rov_refs,
+                                        non_rov_refs);
+  EXPECT_TRUE(kept.empty());
+}
+
+TEST(TnodeFiltering, KeepsNodesMatchingReferences) {
+  ScanFixture fx;
+  fx.add_target("4.0.0.1", IpIdPolicy::kPerDestination, 0.0);
+  // Make AS 2 genuinely ROV (no route to the invalid prefix).
+  VrpSet vrps;
+  vrps.add({pfx("4.0.0.0/8"), 8, 99});
+  fx.routing->set_vrps(std::move(vrps));
+  AsPolicy full;
+  full.rov = RovMode::kFull;
+  fx.routing->set_policy(2, full);
+
+  std::vector<Tnode> tnodes = {{addr("4.0.0.1"), 80, pfx("4.0.0.0/8"), 4}};
+  const std::vector<Asn> rov_refs = {2};
+  const std::vector<Asn> non_rov_refs = {3};
+  const auto kept = filter_false_tnodes(*fx.plane, tnodes, rov_refs,
+                                        non_rov_refs);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].address, addr("4.0.0.1"));
+}
+
+}  // namespace

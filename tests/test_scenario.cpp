@@ -1,0 +1,241 @@
+// Tests for src/scenario: construction invariants, the timeline, case-
+// study fixtures, and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "scenario/scenario.h"
+
+namespace {
+
+using namespace rovista::scenario;
+using rovista::bgp::RovMode;
+using rovista::rpki::RouteValidity;
+using rovista::util::Date;
+
+ScenarioParams small_params(std::uint64_t seed = 11) {
+  ScenarioParams p;
+  p.seed = seed;
+  p.topology.tier1_count = 5;
+  p.topology.tier2_count = 16;
+  p.topology.tier3_count = 40;
+  p.topology.stub_count = 120;
+  p.tnode_prefix_count = 5;
+  p.moas_invalid_count = 5;
+  p.surge_invalid_count = 10;
+  p.measured_as_count = 30;
+  p.hosts_per_measured_as = 3;
+  p.collector_peer_count = 20;
+  return p;
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { shared_ = new Scenario(small_params()); }
+  static void TearDownTestSuite() {
+    delete shared_;
+    shared_ = nullptr;
+  }
+  static Scenario* shared_;
+};
+
+Scenario* ScenarioTest::shared_ = nullptr;
+
+TEST_F(ScenarioTest, StartsAtWindowStart) {
+  EXPECT_EQ(shared_->current(), shared_->start());
+  EXPECT_LT(shared_->start(), shared_->end());
+}
+
+TEST_F(ScenarioTest, ClientsExistAndAreDistinct) {
+  EXPECT_NE(shared_->client_as_a(), 0u);
+  EXPECT_NE(shared_->client_as_b(), 0u);
+  EXPECT_NE(shared_->client_as_a(), shared_->client_as_b());
+  EXPECT_TRUE(shared_->graph().contains(shared_->client_as_a()));
+  // Clients never deploy ROV.
+  EXPECT_EQ(shared_->true_mode(shared_->client_as_a(), shared_->end()),
+            RovMode::kNone);
+}
+
+TEST_F(ScenarioTest, TnodePrefixesAreExclusivelyInvalid) {
+  for (const auto& [prefix, origin] : shared_->tnode_prefixes()) {
+    EXPECT_EQ(shared_->current_vrps().validate(prefix, origin),
+              RouteValidity::kInvalid)
+        << prefix.to_string();
+    // Only the wrong origin announces it.
+    const auto origins = shared_->routing().origins_of(prefix);
+    ASSERT_EQ(origins.size(), 1u);
+    EXPECT_EQ(origins[0], origin);
+  }
+}
+
+TEST_F(ScenarioTest, ClientsReachEveryTnodePrefix) {
+  for (const auto& [prefix, origin] : shared_->tnode_prefixes()) {
+    const auto path = shared_->plane().compute_path(
+        shared_->client_as_a(),
+        rovista::net::Ipv4Address(prefix.address().value() + 10));
+    // Delivered or at worst no-host (host ids vary); never no-route.
+    EXPECT_NE(path.reason, rovista::dataplane::DropReason::kNoRoute)
+        << prefix.to_string();
+  }
+}
+
+TEST_F(ScenarioTest, MeasuredAsesHaveHosts) {
+  EXPECT_GE(shared_->measured_ases().size(), 30u);  // 30 + fixtures
+  EXPECT_FALSE(shared_->vvp_candidates().empty());
+  // Every candidate address resolves to a registered host.
+  for (const auto addr : shared_->vvp_candidates()) {
+    EXPECT_NE(shared_->plane().host(addr), nullptr);
+  }
+}
+
+TEST_F(ScenarioTest, FixturesArePresentAndMeasured) {
+  const CaseStudies& cs = shared_->cases();
+  const auto& measured = shared_->measured_ases();
+  for (const auto asn :
+       {cs.kpn, cs.att, cs.cd_rov_as, cs.cd_nonrov_provider,
+        cs.default_route_as, cs.partial_as, cs.stale_claim_as}) {
+    EXPECT_NE(asn, 0u);
+    EXPECT_TRUE(shared_->graph().contains(asn));
+    EXPECT_NE(std::find(measured.begin(), measured.end(), asn),
+              measured.end())
+        << asn;
+  }
+  EXPECT_EQ(cs.kpn_stub_customers.size(), 4u);
+}
+
+TEST_F(ScenarioTest, FixtureGroundTruth) {
+  const CaseStudies& cs = shared_->cases();
+  const Date late = shared_->end();
+  EXPECT_EQ(shared_->true_mode(cs.cd_nonrov_provider, late), RovMode::kNone);
+  EXPECT_EQ(shared_->true_mode(cs.cd_rov_as, late), RovMode::kFull);
+  EXPECT_EQ(shared_->true_mode(cs.att, late), RovMode::kExemptCustomers);
+  EXPECT_EQ(shared_->true_mode(cs.stale_claim_as, late), RovMode::kNone);
+  // KPN flips exactly at its date.
+  EXPECT_EQ(shared_->true_mode(cs.kpn, cs.kpn_rov_date - 1), RovMode::kNone);
+  EXPECT_EQ(shared_->true_mode(cs.kpn, cs.kpn_rov_date), RovMode::kFull);
+}
+
+TEST_F(ScenarioTest, OperatorClaimsIncludeStaleOnes) {
+  const auto& claims = shared_->operator_claims();
+  EXPECT_GE(claims.size(), 12u);
+  const auto stale = std::count_if(
+      claims.begin(), claims.end(),
+      [](const OperatorClaim& c) { return c.stale; });
+  EXPECT_GE(stale, 3);
+  const auto nonrov = std::count_if(
+      claims.begin(), claims.end(),
+      [](const OperatorClaim& c) { return !c.claims_rov; });
+  EXPECT_GE(nonrov, 2);
+}
+
+TEST_F(ScenarioTest, ReferenceAsesMatchTruth) {
+  const auto rov_refs = shared_->rov_reference_ases(shared_->start(), 10);
+  EXPECT_FALSE(rov_refs.empty());
+  for (const auto asn : rov_refs) {
+    EXPECT_EQ(shared_->true_mode(asn, shared_->start()), RovMode::kFull);
+  }
+  const auto non_refs =
+      shared_->non_rov_reference_ases(shared_->start(), 10);
+  EXPECT_FALSE(non_refs.empty());
+  for (const auto asn : non_refs) {
+    EXPECT_EQ(shared_->true_mode(asn, shared_->start()), RovMode::kNone);
+  }
+}
+
+TEST_F(ScenarioTest, AsPrefixAndDarkPrefixDisjoint) {
+  for (const auto asn : shared_->graph().all_asns()) {
+    const auto main = shared_->as_prefix(asn);
+    const auto dark = shared_->as_dark_prefix(asn);
+    EXPECT_FALSE(main.covers(dark));
+    EXPECT_FALSE(dark.covers(main));
+  }
+}
+
+// Timeline tests mutate state: use a fresh scenario.
+
+TEST(ScenarioTimeline, VrpCountGrowsOverWindow) {
+  Scenario s(small_params(21));
+  const std::size_t at_start = s.current_vrps().size();
+  s.advance_to(s.end());
+  const std::size_t at_end = s.current_vrps().size();
+  EXPECT_GT(at_end, at_start);
+}
+
+TEST(ScenarioTimeline, SurgeAppearsAndDisappears) {
+  Scenario s(small_params(22));
+  const auto count_invalid = [&] {
+    const auto snap = s.collector().snapshot(s.routing());
+    return rovista::bgp::classify_snapshot(snap, s.current_vrps())
+        .exclusively_invalid;
+  };
+  s.advance_to(Date::from_ymd(2022, 5, 1));
+  const std::size_t before = count_invalid();
+  s.advance_to(Date::from_ymd(2022, 6, 15));
+  const std::size_t during = count_invalid();
+  s.advance_to(Date::from_ymd(2022, 9, 1));
+  const std::size_t after = count_invalid();
+  EXPECT_GT(during, before);
+  EXPECT_LT(after, during);
+}
+
+TEST(ScenarioTimeline, RovDeploymentReducesReach) {
+  Scenario s(small_params(23));
+  const auto& cs = s.cases();
+  // Before KPN's flip its stub customers reach the tNode prefixes;
+  // afterwards they do not (collateral benefit).
+  const auto& [prefix, origin] = s.tnode_prefixes().front();
+  const auto probe_addr =
+      rovista::net::Ipv4Address(prefix.address().value() + 10);
+  s.advance_to(cs.kpn_rov_date - 5);
+  const bool before =
+      s.plane().compute_path(cs.kpn_stub_customers[0], probe_addr).delivered;
+  s.advance_to(cs.kpn_rov_date + 5);
+  const bool after =
+      s.plane().compute_path(cs.kpn_stub_customers[0], probe_addr).delivered;
+  EXPECT_TRUE(before);
+  EXPECT_FALSE(after);
+}
+
+TEST(ScenarioTimeline, CloudflareRelationshipFlip) {
+  Scenario s(small_params(24));
+  const auto& cs = s.cases();
+  s.advance_to(cs.cloudflare_becomes_customer - 2);
+  EXPECT_EQ(s.graph().relationship(cs.att, cs.cloudflare),
+            rovista::topology::NeighborKind::kPeer);
+  s.advance_to(cs.cloudflare_becomes_customer + 1);
+  EXPECT_EQ(s.graph().relationship(cs.att, cs.cloudflare),
+            rovista::topology::NeighborKind::kCustomer);
+}
+
+TEST(ScenarioDeterminism, SameSeedSameWorld) {
+  Scenario a(small_params(31));
+  Scenario b(small_params(31));
+  EXPECT_EQ(a.graph().size(), b.graph().size());
+  EXPECT_EQ(a.vvp_candidates().size(), b.vvp_candidates().size());
+  for (std::size_t i = 0; i < a.vvp_candidates().size(); ++i) {
+    EXPECT_EQ(a.vvp_candidates()[i], b.vvp_candidates()[i]);
+  }
+  EXPECT_EQ(a.tnode_prefixes().size(), b.tnode_prefixes().size());
+  for (std::size_t i = 0; i < a.tnode_prefixes().size(); ++i) {
+    EXPECT_EQ(a.tnode_prefixes()[i].first, b.tnode_prefixes()[i].first);
+    EXPECT_EQ(a.tnode_prefixes()[i].second, b.tnode_prefixes()[i].second);
+  }
+  EXPECT_EQ(a.current_vrps().size(), b.current_vrps().size());
+}
+
+TEST(ScenarioDeterminism, DifferentSeedDifferentWorld) {
+  Scenario a(small_params(32));
+  Scenario b(small_params(33));
+  // Same sizes, different wiring: tNode prefixes should differ.
+  bool any_difference = a.tnode_prefixes().size() != b.tnode_prefixes().size();
+  for (std::size_t i = 0;
+       !any_difference &&
+       i < std::min(a.tnode_prefixes().size(), b.tnode_prefixes().size());
+       ++i) {
+    any_difference = a.tnode_prefixes()[i].first != b.tnode_prefixes()[i].first;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace

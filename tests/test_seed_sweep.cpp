@@ -1,0 +1,66 @@
+// Cross-seed stability: the pipeline's accuracy guarantees must hold for
+// worlds it has never been tuned on, not just the default seed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rovista.h"
+#include "scenario/scenario.h"
+
+namespace {
+
+using namespace rovista;
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, PipelineAccuracyHoldsAcrossSeeds) {
+  scenario::ScenarioParams params;
+  params.seed = GetParam();
+  params.topology.tier1_count = 5;
+  params.topology.tier2_count = 18;
+  params.topology.stub_count = 150;
+  params.topology.tier3_count = 45;
+  params.tnode_prefix_count = 5;
+  params.measured_as_count = 18;
+  params.hosts_per_measured_as = 4;
+  scenario::Scenario s(std::move(params));
+  s.advance_to(s.start() + 250);
+
+  scan::MeasurementClient client_a(s.plane(), s.client_as_a(),
+                                   s.client_addr_a());
+  scan::MeasurementClient client_b(s.plane(), s.client_as_b(),
+                                   s.client_addr_b());
+  core::RovistaConfig config;
+  config.scoring.min_vvps_per_as = 2;
+  config.scoring.min_tnodes = 2;
+  core::Rovista rovista(s.plane(), client_a, client_b, config);
+
+  const auto view = s.collector().snapshot(s.routing());
+  const auto tnodes = rovista.acquire_tnodes(
+      view, s.current_vrps(), s.rov_reference_ases(s.current(), 10),
+      s.non_rov_reference_ases(s.current(), 10));
+  ASSERT_GE(tnodes.size(), 4u) << "seed " << GetParam();
+  const auto vvps = rovista.acquire_vvps(s.vvp_candidates());
+  ASSERT_GE(vvps.size(), 15u);
+
+  const auto round = rovista.run_round(vvps, tnodes);
+  std::size_t ok = 0;
+  std::size_t wrong = 0;
+  for (const auto& obs : round.observations) {
+    if (obs.verdict == core::FilteringVerdict::kInconclusive ||
+        obs.verdict == core::FilteringVerdict::kInboundFiltering) {
+      continue;
+    }
+    const bool truth = s.plane().compute_path(obs.vvp_as, obs.tnode).delivered;
+    const bool said = obs.verdict == core::FilteringVerdict::kNoFiltering;
+    (truth == said ? ok : wrong)++;
+  }
+  ASSERT_GT(ok + wrong, 200u);
+  EXPECT_GT(static_cast<double>(ok) / static_cast<double>(ok + wrong), 0.93)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Additional statistics coverage: Student-t quantiles, ARIMA order
+// grids, detector configuration knobs, and fuzzing of the RTR parser
+// (placed here to keep the fuzz harness with the other property tests).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rpki/rtr.h"
+#include "stats/arima.h"
+#include "stats/distributions.h"
+#include "stats/spike.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista::stats;
+using rovista::util::Rng;
+
+// ---------- Student-t quantiles ----------
+
+TEST(StudentT, MatchesTableValues) {
+  // t_{0.95, nu} reference values.
+  EXPECT_NEAR(student_t_quantile(0.95, 5), 2.015, 0.05);
+  EXPECT_NEAR(student_t_quantile(0.95, 10), 1.812, 0.03);
+  EXPECT_NEAR(student_t_quantile(0.95, 30), 1.697, 0.02);
+  // t_{0.975, nu}
+  EXPECT_NEAR(student_t_quantile(0.975, 10), 2.228, 0.05);
+}
+
+TEST(StudentT, ConvergesToNormal) {
+  EXPECT_NEAR(student_t_quantile(0.95, 1e9), normal_quantile(0.95), 1e-6);
+}
+
+TEST(StudentT, HeavierTailsThanNormal) {
+  for (double dof : {4.0, 8.0, 16.0}) {
+    EXPECT_GT(student_t_quantile(0.99, dof), normal_quantile(0.99)) << dof;
+  }
+}
+
+TEST(StudentT, UpperTailHelper) {
+  EXPECT_DOUBLE_EQ(upper_tail_critical_t(0.05, 7),
+                   student_t_quantile(0.95, 7));
+}
+
+// ---------- ARIMA order grid ----------
+
+struct ArimaCase {
+  int p, d, q;
+};
+
+class ArimaGrid : public ::testing::TestWithParam<ArimaCase> {};
+
+TEST_P(ArimaGrid, FitsAndForecastsFinite) {
+  const ArimaCase c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c.p * 100 + c.d * 10 + c.q) + 5);
+  // Generate a series with the requested integration order.
+  std::vector<double> x(400, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    x[t] = 0.4 * x[t - 1] + rng.normal();
+  }
+  for (int i = 0; i < c.d; ++i) {
+    double acc = 0.0;
+    for (double& v : x) {
+      acc += v;
+      v = acc;
+    }
+  }
+  const auto model = fit_arima(x, c.p, c.d, c.q);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->d, c.d);
+  const auto fc = forecast_arima(*model, x, 12);
+  ASSERT_EQ(fc.mean.size(), 12u);
+  for (std::size_t i = 0; i < fc.mean.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(fc.mean[i]));
+    EXPECT_TRUE(std::isfinite(fc.stddev[i]));
+    EXPECT_GE(fc.stddev[i], 0.0);
+  }
+  // Forecast variance is non-decreasing in the horizon.
+  for (std::size_t i = 1; i < fc.stddev.size(); ++i) {
+    EXPECT_GE(fc.stddev[i] + 1e-9, fc.stddev[i - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, ArimaGrid,
+    ::testing::Values(ArimaCase{0, 0, 0}, ArimaCase{1, 0, 0},
+                      ArimaCase{0, 0, 1}, ArimaCase{1, 0, 1},
+                      ArimaCase{2, 0, 0}, ArimaCase{1, 1, 0},
+                      ArimaCase{0, 1, 1}, ArimaCase{1, 1, 1},
+                      ArimaCase{1, 2, 0}));
+
+// ---------- detector knobs ----------
+
+TEST(SpikeConfig, DisabledPlannedIndexTestsEverythingAtScanLevel) {
+  Rng rng(3);
+  std::vector<double> background(9);
+  std::vector<double> observed(8);
+  for (double& v : background) {
+    v = static_cast<double>(rng.poisson(2.0)) / 0.5;
+  }
+  for (double& v : observed) {
+    v = static_cast<double>(rng.poisson(2.0)) / 0.5;
+  }
+  observed[0] += 7.0;  // modest burst: passes α, not α/(m-1)
+
+  SpikeDetectorConfig strict;
+  strict.planned_index = -1;  // everything Bonferroni-guarded
+  SpikeDetectorConfig planned;
+  planned.planned_index = 0;
+
+  const auto strict_res = SpikeDetector(strict).analyze(background, observed);
+  const auto planned_res =
+      SpikeDetector(planned).analyze(background, observed);
+  ASSERT_TRUE(strict_res.has_value());
+  ASSERT_TRUE(planned_res.has_value());
+  // The planned test must be at least as sensitive at index 0.
+  EXPECT_GE(static_cast<int>(planned_res->spike_at[0]),
+            static_cast<int>(strict_res->spike_at[0]));
+}
+
+TEST(SpikeConfig, AlphaMonotonicity) {
+  Rng rng(4);
+  std::vector<double> background(9);
+  std::vector<double> observed(8);
+  for (double& v : background) {
+    v = static_cast<double>(rng.poisson(3.0)) / 0.5;
+  }
+  for (double& v : observed) {
+    v = static_cast<double>(rng.poisson(3.0)) / 0.5;
+  }
+  observed[3] += 9.0;
+
+  SpikeDetectorConfig loose;
+  loose.alpha = 0.2;
+  SpikeDetectorConfig tight;
+  tight.alpha = 0.001;
+  const auto loose_res = SpikeDetector(loose).analyze(background, observed);
+  const auto tight_res = SpikeDetector(tight).analyze(background, observed);
+  ASSERT_TRUE(loose_res.has_value());
+  ASSERT_TRUE(tight_res.has_value());
+  EXPECT_GE(loose_res->spike_count, tight_res->spike_count);
+}
+
+// ---------- RTR parser fuzz ----------
+
+TEST(RtrFuzz, RandomBytesNeverCrashAndNeverOverread) {
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint8_t> bytes(rng.uniform_u64(0, 64));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_u64(0, 255));
+    }
+    const auto parsed = rovista::rpki::rtr::Pdu::parse(bytes);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->second, bytes.size());
+      EXPECT_GE(parsed->second, 8u);
+    }
+  }
+}
+
+TEST(RtrFuzz, BitFlippedValidPdusParseOrRejectCleanly) {
+  Rng rng(7);
+  const auto base = rovista::rpki::rtr::make_ipv4_prefix(
+      true, {*rovista::net::Ipv4Prefix::parse("10.0.0.0/8"), 24, 65000});
+  const auto wire = base.serialize();
+  for (int i = 0; i < 5000; ++i) {
+    auto mutated = wire;
+    const std::size_t pos = rng.index(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_u64(0, 7));
+    const auto parsed = rovista::rpki::rtr::Pdu::parse(mutated);
+    if (parsed.has_value()) {
+      EXPECT_LE(parsed->second, mutated.size());
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Tests for the time-series container utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/timeseries.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista::stats;
+using rovista::util::Rng;
+
+TEST(TimeSeries, MeanAndVariance) {
+  const std::vector<double> x = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_NEAR(variance(x, 0), 4.0, 1e-12);         // population
+  EXPECT_NEAR(variance(x, 1), 32.0 / 7.0, 1e-12);  // sample
+}
+
+TEST(TimeSeries, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(variance({5.0}, 1), 0.0);
+}
+
+TEST(TimeSeries, Difference) {
+  const std::vector<double> x = {1, 4, 9, 16};
+  const auto d1 = difference(x);
+  EXPECT_EQ(d1, (std::vector<double>{3, 5, 7}));
+  const auto d2 = difference(x, 2);
+  EXPECT_EQ(d2, (std::vector<double>{2, 2}));
+  EXPECT_TRUE(difference(std::vector<double>{1.0}).empty());
+}
+
+TEST(TimeSeries, IntegrateInvertsDifference) {
+  const std::vector<double> x = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto dx = difference(x);
+  const auto restored = integrate(dx, x.front());
+  ASSERT_EQ(restored.size(), x.size() - 1);
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored[i], x[i + 1]);
+  }
+}
+
+TEST(TimeSeries, AutocorrelationOfWhiteNoise) {
+  Rng rng(5);
+  std::vector<double> x(5000);
+  for (double& v : x) v = rng.normal();
+  EXPECT_NEAR(autocorrelation(x, 0), 1.0, 1e-12);
+  for (std::size_t k : {1u, 2u, 5u}) {
+    EXPECT_NEAR(autocorrelation(x, k), 0.0, 0.05) << k;
+  }
+}
+
+TEST(TimeSeries, AutocorrelationOfAr1) {
+  Rng rng(7);
+  std::vector<double> x(20000, 0.0);
+  const double phi = 0.7;
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    x[t] = phi * x[t - 1] + rng.normal();
+  }
+  EXPECT_NEAR(autocorrelation(x, 1), phi, 0.03);
+  EXPECT_NEAR(autocorrelation(x, 2), phi * phi, 0.04);
+}
+
+TEST(TimeSeries, AcfVector) {
+  Rng rng(9);
+  std::vector<double> x(1000);
+  for (double& v : x) v = rng.normal();
+  const auto a = acf(x, 5);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+TEST(TimeSeries, PacfCutsOffForAr1) {
+  Rng rng(11);
+  std::vector<double> x(20000, 0.0);
+  for (std::size_t t = 1; t < x.size(); ++t) {
+    x[t] = 0.6 * x[t - 1] + rng.normal();
+  }
+  const auto p = pacf(x, 4);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_NEAR(p[1], 0.6, 0.03);
+  // AR(1) has (near-)zero partial autocorrelation beyond lag 1.
+  EXPECT_NEAR(p[2], 0.0, 0.05);
+  EXPECT_NEAR(p[3], 0.0, 0.05);
+}
+
+TEST(TimeSeries, ConstantSeriesAcfSafe) {
+  const std::vector<double> x(50, 3.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(x, 0), 1.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(x, 1), 0.0);
+}
+
+TEST(TimeSeries, UnwrapU16Wraparound) {
+  const std::vector<double> raw = {65530, 65534, 2, 6, 65535, 3};
+  const auto u = unwrap_u16(raw);
+  ASSERT_EQ(u.size(), raw.size());
+  EXPECT_DOUBLE_EQ(u[0], 65530);
+  EXPECT_DOUBLE_EQ(u[1], 65534);
+  EXPECT_DOUBLE_EQ(u[2], 65538);   // wrapped once
+  EXPECT_DOUBLE_EQ(u[3], 65542);
+  EXPECT_DOUBLE_EQ(u[4], 131071);  // 65535 + one wrap offset
+  EXPECT_DOUBLE_EQ(u[5], 131075);  // 3 + two wrap offsets
+}
+
+TEST(TimeSeries, UnwrapMonotoneInputUnchanged) {
+  const std::vector<double> raw = {1, 5, 9, 10000};
+  EXPECT_EQ(unwrap_u16(raw), raw);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Tests for src/topology: the AS graph, customer cones, AS rank, clique
+// inference, and the synthetic topology generator's structural invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/as_graph.h"
+#include "topology/cone.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista::topology;
+using rovista::util::Rng;
+
+AsGraph diamond() {
+  // 1 (tier1) provides 2 and 3; both provide 4; 2--3 peer.
+  AsGraph g;
+  for (Asn a : {1u, 2u, 3u, 4u}) g.add_as({a, "AS" + std::to_string(a)});
+  g.add_p2c(1, 2);
+  g.add_p2c(1, 3);
+  g.add_p2c(2, 4);
+  g.add_p2c(3, 4);
+  g.add_p2p(2, 3);
+  return g;
+}
+
+TEST(AsGraph, AddAndLookup) {
+  AsGraph g;
+  EXPECT_TRUE(g.add_as({10, "ten", Rir::kRipeNcc, "NL", 2}));
+  EXPECT_FALSE(g.add_as({10, "dup"}));
+  EXPECT_TRUE(g.contains(10));
+  EXPECT_FALSE(g.contains(11));
+  ASSERT_NE(g.info(10), nullptr);
+  EXPECT_EQ(g.info(10)->name, "ten");
+  EXPECT_EQ(g.info(10)->rir, Rir::kRipeNcc);
+  EXPECT_EQ(g.info(11), nullptr);
+}
+
+TEST(AsGraph, RelationshipViews) {
+  const AsGraph g = diamond();
+  EXPECT_EQ(g.relationship(1, 2), NeighborKind::kCustomer);
+  EXPECT_EQ(g.relationship(2, 1), NeighborKind::kProvider);
+  EXPECT_EQ(g.relationship(2, 3), NeighborKind::kPeer);
+  EXPECT_EQ(g.relationship(3, 2), NeighborKind::kPeer);
+  EXPECT_EQ(g.relationship(1, 4), std::nullopt);
+}
+
+TEST(AsGraph, RejectsDuplicateAndSelfEdges) {
+  AsGraph g = diamond();
+  EXPECT_FALSE(g.add_p2c(1, 2));  // exists
+  EXPECT_FALSE(g.add_p2p(2, 3));  // exists
+  EXPECT_FALSE(g.add_p2c(2, 1));  // contradicts existing p2c
+  EXPECT_FALSE(g.add_p2c(1, 1));
+  EXPECT_FALSE(g.add_p2p(2, 2));
+  EXPECT_FALSE(g.add_p2c(1, 99));  // unknown AS
+}
+
+TEST(AsGraph, NeighborsAggregated) {
+  const AsGraph g = diamond();
+  const auto n2 = g.neighbors(2);
+  EXPECT_EQ(n2.size(), 3u);  // provider 1, customer 4, peer 3
+  std::set<Asn> seen;
+  for (const auto& nb : n2) seen.insert(nb.asn);
+  EXPECT_EQ(seen, (std::set<Asn>{1, 3, 4}));
+}
+
+TEST(AsGraph, TransitFree) {
+  const AsGraph g = diamond();
+  const auto tf = g.transit_free();
+  ASSERT_EQ(tf.size(), 1u);
+  EXPECT_EQ(tf[0], 1u);
+}
+
+TEST(AsGraph, SetRelationshipRewiresEdge) {
+  AsGraph g = diamond();
+  // 2--3 peer becomes 2 -> 3 (3 is 2's customer).
+  EXPECT_TRUE(g.set_relationship(2, 3, NeighborKind::kCustomer));
+  EXPECT_EQ(g.relationship(2, 3), NeighborKind::kCustomer);
+  EXPECT_EQ(g.relationship(3, 2), NeighborKind::kProvider);
+  // And a previously missing edge can be created.
+  EXPECT_TRUE(g.set_relationship(1, 4, NeighborKind::kCustomer));
+  EXPECT_EQ(g.relationship(4, 1), NeighborKind::kProvider);
+}
+
+TEST(AsGraph, RemoveEdge) {
+  AsGraph g = diamond();
+  EXPECT_TRUE(g.remove_edge(2, 3));
+  EXPECT_EQ(g.relationship(2, 3), std::nullopt);
+  EXPECT_FALSE(g.remove_edge(2, 3));
+}
+
+TEST(CustomerCones, DiamondCones) {
+  const AsGraph g = diamond();
+  const CustomerCones cones(g);
+  EXPECT_EQ(cones.cone_size(1), 4u);  // everyone
+  EXPECT_EQ(cones.cone_size(2), 2u);  // itself + 4
+  EXPECT_EQ(cones.cone_size(3), 2u);
+  EXPECT_EQ(cones.cone_size(4), 1u);
+  EXPECT_TRUE(cones.in_cone(1, 4));
+  EXPECT_FALSE(cones.in_cone(4, 1));
+  EXPECT_FALSE(cones.in_cone(2, 3));  // peers are not in each other's cone
+}
+
+TEST(CustomerCones, RankByConeAndRankMap) {
+  const AsGraph g = diamond();
+  const CustomerCones cones(g);
+  const auto ranked = rank_by_cone(g, cones);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0], 1u);
+  EXPECT_EQ(ranked[3], 4u);
+  const auto rmap = rank_map(ranked);
+  EXPECT_EQ(rmap.at(1), 1u);
+  EXPECT_EQ(rmap.at(4), 4u);
+}
+
+TEST(CustomerCones, InferCliqueFindsMutualPeers) {
+  AsGraph g;
+  for (Asn a : {1u, 2u, 3u, 10u}) g.add_as({a, ""});
+  g.add_p2p(1, 2);
+  g.add_p2p(1, 3);
+  g.add_p2p(2, 3);
+  g.add_p2c(1, 10);
+  const CustomerCones cones(g);
+  const auto clique = infer_clique(g, cones);
+  EXPECT_EQ(std::set<Asn>(clique.begin(), clique.end()),
+            (std::set<Asn>{1, 2, 3}));
+}
+
+// ---------- generator invariants ----------
+
+class GeneratorInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorInvariants, StructureHolds) {
+  Rng rng(GetParam());
+  TopologyParams params;
+  params.tier1_count = 8;
+  params.tier2_count = 30;
+  params.tier3_count = 80;
+  params.stub_count = 300;
+  const AsGraph g = generate_topology(params, rng);
+
+  EXPECT_EQ(g.size(), 8u + 30u + 80u + 300u);
+
+  int tier1_seen = 0;
+  for (const Asn asn : g.all_asns()) {
+    const AsInfo* info = g.info(asn);
+    ASSERT_NE(info, nullptr);
+    if (info->tier == 1) {
+      ++tier1_seen;
+      EXPECT_TRUE(g.providers(asn).empty()) << asn;
+    } else {
+      // Everyone below tier 1 has at least one provider.
+      EXPECT_FALSE(g.providers(asn).empty()) << asn;
+    }
+  }
+  EXPECT_EQ(tier1_seen, 8);
+
+  // Tier-1s form a full peering clique.
+  const CustomerCones cones(g);
+  const auto clique = infer_clique(g, cones);
+  EXPECT_EQ(clique.size(), 8u);
+
+  // Heavy tail: the largest cone should cover a large share of the graph.
+  const auto ranked = rank_by_cone(g, cones);
+  EXPECT_GT(cones.cone_size(ranked[0]), g.size() / 4);
+}
+
+TEST_P(GeneratorInvariants, DeterministicForSeed) {
+  TopologyParams params;
+  params.tier1_count = 4;
+  params.tier2_count = 10;
+  params.tier3_count = 20;
+  params.stub_count = 50;
+  Rng r1(GetParam());
+  Rng r2(GetParam());
+  const AsGraph a = generate_topology(params, r1);
+  const AsGraph b = generate_topology(params, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (const Asn asn : a.all_asns()) {
+    EXPECT_EQ(a.providers(asn), b.providers(asn));
+    EXPECT_EQ(a.customers(asn), b.customers(asn));
+    EXPECT_EQ(a.peers(asn), b.peers(asn));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorInvariants,
+                         ::testing::Values(1, 17, 4242));
+
+}  // namespace

@@ -1,0 +1,306 @@
+// Tests for src/util: RNG, strings, CSV, dates, logging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/date.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace rovista::util;
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentDrawCount) {
+  Rng p1(7);
+  Rng p2(7);
+  Rng c1 = p1.split(42);
+  Rng c2 = p2.split(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_u64(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanSmallLambda) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeLambdaUsesNormalApprox) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(29);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(43);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+// ---------- strings ----------
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, ParseU64Valid) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(Strings, ParseU64Invalid) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("1a", v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_FALSE(parse_double("3.25x", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("AS%u:%s", 42u, "x"), "AS42:x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+// ---------- csv ----------
+
+TEST(Csv, TextAndCsvRendering) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"33", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a,bb\n"), std::string::npos);
+  EXPECT_NE(csv.find("33,4\n"), std::string::npos);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("33"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  Table t({"x"});
+  t.add_row({"va,l"});
+  t.add_row({"q\"uote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"va,l\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(Csv, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+// ---------- date ----------
+
+TEST(Date, EpochIsZero) {
+  EXPECT_EQ(Date::from_ymd(1970, 1, 1).days_since_epoch(), 0);
+}
+
+TEST(Date, KnownDates) {
+  EXPECT_EQ(Date::from_ymd(2021, 12, 24).days_since_epoch(), 18985);
+  EXPECT_EQ(Date::from_ymd(2023, 9, 12).days_since_epoch(), 19612);
+}
+
+TEST(Date, RoundTripYmd) {
+  for (int y : {1999, 2000, 2020, 2023, 2024}) {
+    for (int m : {1, 2, 6, 12}) {
+      for (int d : {1, 15, 28}) {
+        const Date date = Date::from_ymd(y, m, d);
+        int yy, mm, dd;
+        date.to_ymd(yy, mm, dd);
+        EXPECT_EQ(yy, y);
+        EXPECT_EQ(mm, m);
+        EXPECT_EQ(dd, d);
+      }
+    }
+  }
+}
+
+TEST(Date, LeapYearHandling) {
+  const Date feb29 = Date::from_ymd(2024, 2, 29);
+  const Date mar1 = Date::from_ymd(2024, 3, 1);
+  EXPECT_EQ(mar1 - feb29, 1);
+}
+
+TEST(Date, ToString) {
+  EXPECT_EQ(Date::from_ymd(2022, 3, 14).to_string(), "2022-03-14");
+}
+
+TEST(Date, ParseValid) {
+  Date d;
+  ASSERT_TRUE(Date::parse("2022-05-27", d));
+  EXPECT_EQ(d, Date::from_ymd(2022, 5, 27));
+}
+
+TEST(Date, ParseInvalid) {
+  Date d;
+  EXPECT_FALSE(Date::parse("2022-13-01", d));
+  EXPECT_FALSE(Date::parse("2022-01-32", d));
+  EXPECT_FALSE(Date::parse("20220101", d));
+  EXPECT_FALSE(Date::parse("2022-01", d));
+  EXPECT_FALSE(Date::parse("", d));
+}
+
+TEST(Date, Arithmetic) {
+  const Date d = Date::from_ymd(2022, 1, 1);
+  EXPECT_EQ((d + 31).to_string(), "2022-02-01");
+  EXPECT_EQ((d - 1).to_string(), "2021-12-31");
+  EXPECT_LT(d, d + 1);
+}
+
+// ---------- logging ----------
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  log(LogLevel::kDebug, "should not crash, filtered");
+  log(LogLevel::kError, "visible");
+  set_log_level(before);
+}
+
+}  // namespace

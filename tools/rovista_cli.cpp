@@ -1,0 +1,247 @@
+// rovista — command-line front end.
+//
+// Subcommands:
+//   measure  --seed N --date YYYY-MM-DD --out DIR
+//            run one full measurement round against a simulated Internet
+//            and publish the per-AS scores as the daily CSV dataset
+//   query    --dir DIR [--asn N]
+//            query a published score dataset (latest scores, or one AS's
+//            full series)
+//   audit    --seed N --asn N [--date YYYY-MM-DD]
+//            audit one AS: score, per-tNode verdicts, leak paths
+//
+// Everything is deterministic in --seed; see README.md for the library
+// behind it.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include <fstream>
+
+#include "bgp/mrt.h"
+#include "core/publish.h"
+#include "core/rovista.h"
+#include "dataplane/traceroute.h"
+#include "scenario/scenario.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace rovista;
+
+struct Args {
+  std::map<std::string, std::string> options;
+
+  const char* get(const char* key, const char* fallback = nullptr) const {
+    const auto it = options.find(key);
+    return it != options.end() ? it->second.c_str() : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      args.options[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rovista <command> [options]\n"
+      "  measure --seed N --date YYYY-MM-DD --out DIR [--mrt FILE]\n"
+      "          run one round, publish scores, optionally archive the\n"
+      "          collector table as an MRT TABLE_DUMP_V2 file\n"
+      "  query   --dir DIR [--asn N]                    read a dataset\n"
+      "  audit   --seed N --asn N [--date YYYY-MM-DD]   audit one AS\n");
+  return 2;
+}
+
+struct MeasuredWorld {
+  std::unique_ptr<scenario::Scenario> scenario;
+  std::unique_ptr<scan::MeasurementClient> client_a;
+  std::unique_ptr<scan::MeasurementClient> client_b;
+  std::unique_ptr<core::Rovista> rovista;
+  std::vector<scan::Tnode> tnodes;
+};
+
+MeasuredWorld build_world(std::uint64_t seed, util::Date date) {
+  MeasuredWorld world;
+  scenario::ScenarioParams params;
+  params.seed = seed;
+  world.scenario = std::make_unique<scenario::Scenario>(std::move(params));
+  if (date < world.scenario->start()) date = world.scenario->start();
+  if (date > world.scenario->end()) date = world.scenario->end();
+  world.scenario->advance_to(date);
+  world.client_a = std::make_unique<scan::MeasurementClient>(
+      world.scenario->plane(), world.scenario->client_as_a(),
+      world.scenario->client_addr_a());
+  world.client_b = std::make_unique<scan::MeasurementClient>(
+      world.scenario->plane(), world.scenario->client_as_b(),
+      world.scenario->client_addr_b());
+  core::RovistaConfig config;
+  config.scoring.min_vvps_per_as = 2;
+  config.scoring.min_tnodes = 3;
+  world.rovista = std::make_unique<core::Rovista>(
+      world.scenario->plane(), *world.client_a, *world.client_b, config);
+  const auto view =
+      world.scenario->collector().snapshot(world.scenario->routing());
+  world.tnodes = world.rovista->acquire_tnodes(
+      view, world.scenario->current_vrps(),
+      world.scenario->rov_reference_ases(date, 10),
+      world.scenario->non_rov_reference_ases(date, 10));
+  return world;
+}
+
+int cmd_measure(const Args& args) {
+  const char* out = args.get("out");
+  if (out == nullptr) return usage();
+  std::uint64_t seed = 42;
+  if (const char* s = args.get("seed")) util::parse_u64(s, seed);
+  util::Date date = util::Date::from_ymd(2023, 9, 12);
+  if (const char* d = args.get("date")) util::Date::parse(d, date);
+
+  std::printf("building world (seed %llu) ...\n",
+              static_cast<unsigned long long>(seed));
+  MeasuredWorld world = build_world(seed, date);
+  std::printf("tNodes: %zu\n", world.tnodes.size());
+  const auto vvps =
+      world.rovista->acquire_vvps(world.scenario->vvp_candidates());
+  std::printf("vVPs: %zu\n", vvps.size());
+  const auto round = world.rovista->run_round(vvps, world.tnodes);
+  std::printf("experiments: %zu, ASes scored: %zu\n", round.experiments_run,
+              round.scores.size());
+
+  core::LongitudinalStore store;
+  store.record(world.scenario->current(), round.scores);
+  const auto written = core::publish_scores(store, out);
+  if (!written.has_value()) {
+    std::fprintf(stderr, "error: could not write %s\n", out);
+    return 1;
+  }
+  std::printf("published %zu snapshot(s) under %s\n", *written, out);
+
+  // Also archive the collector's table the way RouteViews would: an MRT
+  // TABLE_DUMP_V2 file next to the score dataset.
+  if (const char* mrt_path = args.get("mrt")) {
+    const auto view =
+        world.scenario->collector().snapshot(world.scenario->routing());
+    const auto bytes = bgp::mrt::export_table_dump(
+        view, static_cast<std::uint32_t>(
+                  world.scenario->current().days_since_epoch() * 86400));
+    std::ofstream f(mrt_path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (f) {
+      std::printf("wrote MRT table dump (%zu bytes, %zu entries) to %s\n",
+                  bytes.size(), view.entries.size(), mrt_path);
+    } else {
+      std::fprintf(stderr, "error: could not write %s\n", mrt_path);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  const char* dir = args.get("dir");
+  if (dir == nullptr) return usage();
+  const auto store = core::load_scores(dir);
+  if (!store.has_value()) {
+    std::fprintf(stderr, "error: no dataset at %s\n", dir);
+    return 1;
+  }
+  if (const char* asn_str = args.get("asn")) {
+    std::uint64_t asn = 0;
+    if (!util::parse_u64(asn_str, asn)) return usage();
+    const auto series = store->series(static_cast<core::Asn>(asn));
+    if (series.empty()) {
+      std::printf("AS%llu: no measurements\n",
+                  static_cast<unsigned long long>(asn));
+      return 0;
+    }
+    for (const auto& [date, score] : series) {
+      std::printf("%s  AS%llu  %.2f%%\n", date.to_string().c_str(),
+                  static_cast<unsigned long long>(asn), score);
+    }
+    return 0;
+  }
+  util::Table table({"ASN", "latest score"});
+  for (const auto asn : store->ases()) {
+    const auto score = store->latest_score(asn);
+    table.add_row({std::to_string(asn),
+                   score ? util::fmt_double(*score, 2) + "%" : "-"});
+  }
+  std::printf("%s", table.to_text().c_str());
+  return 0;
+}
+
+int cmd_audit(const Args& args) {
+  const char* asn_str = args.get("asn");
+  if (asn_str == nullptr) return usage();
+  std::uint64_t asn64 = 0;
+  if (!util::parse_u64(asn_str, asn64)) return usage();
+  const auto asn = static_cast<core::Asn>(asn64);
+  std::uint64_t seed = 42;
+  if (const char* s = args.get("seed")) util::parse_u64(s, seed);
+  util::Date date = util::Date::from_ymd(2023, 9, 12);
+  if (const char* d = args.get("date")) util::Date::parse(d, date);
+
+  MeasuredWorld world = build_world(seed, date);
+  auto& s = *world.scenario;
+  if (!s.graph().contains(asn)) {
+    std::fprintf(stderr, "error: AS%u does not exist in this world\n", asn);
+    return 1;
+  }
+
+  std::vector<net::Ipv4Address> candidates;
+  for (const auto addr : s.vvp_candidates()) {
+    if (s.plane().as_of(addr) == asn) candidates.push_back(addr);
+  }
+  const auto vvps = world.rovista->acquire_vvps(candidates);
+  if (vvps.empty()) {
+    std::printf("AS%u has no usable vVPs — unmeasurable from outside\n",
+                asn);
+    return 0;
+  }
+  const auto round = world.rovista->run_round(vvps, world.tnodes);
+  for (const auto& score : round.scores) {
+    if (score.asn != asn) continue;
+    std::printf("AS%u ROV protection score: %.1f%% (%d vVPs, %d tNodes)\n",
+                asn, score.score, score.vvp_count, score.tnodes_consistent);
+    if (score.score < 100.0) {
+      std::printf("reachable RPKI-invalid destinations:\n");
+      for (const auto& tnode : world.tnodes) {
+        const auto tr = dataplane::tcp_traceroute(s.plane(), asn,
+                                                  tnode.address, tnode.port);
+        if (!tr.reached) continue;
+        std::string path;
+        for (const auto hop : tr.hops) {
+          path += "AS" + std::to_string(hop) + " ";
+        }
+        std::printf("  %s via %s\n", tnode.address.to_string().c_str(),
+                    path.c_str());
+      }
+    }
+    return 0;
+  }
+  std::printf("AS%u: not enough conclusive measurements\n", asn);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const Args args = parse_args(argc, argv, 2);
+  if (std::strcmp(argv[1], "measure") == 0) return cmd_measure(args);
+  if (std::strcmp(argv[1], "query") == 0) return cmd_query(args);
+  if (std::strcmp(argv[1], "audit") == 0) return cmd_audit(args);
+  return usage();
+}
