@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rov_modes.dir/bench/bench_ablation_rov_modes.cpp.o"
+  "CMakeFiles/bench_ablation_rov_modes.dir/bench/bench_ablation_rov_modes.cpp.o.d"
+  "bench/bench_ablation_rov_modes"
+  "bench/bench_ablation_rov_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rov_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

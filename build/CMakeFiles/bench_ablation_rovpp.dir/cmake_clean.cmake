@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rovpp.dir/bench/bench_ablation_rovpp.cpp.o"
+  "CMakeFiles/bench_ablation_rovpp.dir/bench/bench_ablation_rovpp.cpp.o.d"
+  "bench/bench_ablation_rovpp"
+  "bench/bench_ablation_rovpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rovpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tnode_depletion.dir/bench/bench_ablation_tnode_depletion.cpp.o"
+  "CMakeFiles/bench_ablation_tnode_depletion.dir/bench/bench_ablation_tnode_depletion.cpp.o.d"
+  "bench/bench_ablation_tnode_depletion"
+  "bench/bench_ablation_tnode_depletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tnode_depletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_tnode_depletion.
+# This may be replaced when dependencies are built.

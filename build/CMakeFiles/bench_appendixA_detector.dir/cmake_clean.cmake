@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixA_detector.dir/bench/bench_appendixA_detector.cpp.o"
+  "CMakeFiles/bench_appendixA_detector.dir/bench/bench_appendixA_detector.cpp.o.d"
+  "bench/bench_appendixA_detector"
+  "bench/bench_appendixA_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixA_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

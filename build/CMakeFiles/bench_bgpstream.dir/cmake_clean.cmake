@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bgpstream.dir/bench/bench_bgpstream.cpp.o"
+  "CMakeFiles/bench_bgpstream.dir/bench/bench_bgpstream.cpp.o.d"
+  "bench/bench_bgpstream"
+  "bench/bench_bgpstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bgpstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

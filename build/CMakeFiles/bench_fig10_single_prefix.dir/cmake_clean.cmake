@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_single_prefix.dir/bench/bench_fig10_single_prefix.cpp.o"
+  "CMakeFiles/bench_fig10_single_prefix.dir/bench/bench_fig10_single_prefix.cpp.o.d"
+  "bench/bench_fig10_single_prefix"
+  "bench/bench_fig10_single_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_single_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

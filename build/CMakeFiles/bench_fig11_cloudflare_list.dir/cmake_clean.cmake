@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cloudflare_list.dir/bench/bench_fig11_cloudflare_list.cpp.o"
+  "CMakeFiles/bench_fig11_cloudflare_list.dir/bench/bench_fig11_cloudflare_list.cpp.o.d"
+  "bench/bench_fig11_cloudflare_list"
+  "bench/bench_fig11_cloudflare_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cloudflare_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ipid_patterns.dir/bench/bench_fig3_ipid_patterns.cpp.o"
+  "CMakeFiles/bench_fig3_ipid_patterns.dir/bench/bench_fig3_ipid_patterns.cpp.o.d"
+  "bench/bench_fig3_ipid_patterns"
+  "bench/bench_fig3_ipid_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ipid_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

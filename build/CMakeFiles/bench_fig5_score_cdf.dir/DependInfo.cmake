@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_score_cdf.cpp" "CMakeFiles/bench_fig5_score_cdf.dir/bench/bench_fig5_score_cdf.cpp.o" "gcc" "CMakeFiles/bench_fig5_score_cdf.dir/bench/bench_fig5_score_cdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/validation/CMakeFiles/rovista_validation.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpstream/CMakeFiles/rovista_bgpstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/rovista_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rovista_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/rovista_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/rovista_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rovista_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/rovista_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rovista_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rovista_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rovista_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

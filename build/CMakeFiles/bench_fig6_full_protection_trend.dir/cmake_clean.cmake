@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_full_protection_trend.dir/bench/bench_fig6_full_protection_trend.cpp.o"
+  "CMakeFiles/bench_fig6_full_protection_trend.dir/bench/bench_fig6_full_protection_trend.cpp.o.d"
+  "bench/bench_fig6_full_protection_trend"
+  "bench/bench_fig6_full_protection_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_full_protection_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rank_vs_score.dir/bench/bench_fig7_rank_vs_score.cpp.o"
+  "CMakeFiles/bench_fig7_rank_vs_score.dir/bench/bench_fig7_rank_vs_score.cpp.o.d"
+  "bench/bench_fig7_rank_vs_score"
+  "bench/bench_fig7_rank_vs_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rank_vs_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_rank_vs_score.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_collateral_benefit.dir/bench/bench_fig8_collateral_benefit.cpp.o"
+  "CMakeFiles/bench_fig8_collateral_benefit.dir/bench/bench_fig8_collateral_benefit.cpp.o.d"
+  "bench/bench_fig8_collateral_benefit"
+  "bench/bench_fig8_collateral_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_collateral_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

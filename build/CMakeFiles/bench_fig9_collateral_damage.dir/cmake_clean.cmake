@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_collateral_damage.dir/bench/bench_fig9_collateral_damage.cpp.o"
+  "CMakeFiles/bench_fig9_collateral_damage.dir/bench/bench_fig9_collateral_damage.cpp.o.d"
+  "bench/bench_fig9_collateral_damage"
+  "bench/bench_fig9_collateral_damage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_collateral_damage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

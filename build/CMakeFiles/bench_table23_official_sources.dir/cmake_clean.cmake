@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table23_official_sources.dir/bench/bench_table23_official_sources.cpp.o"
+  "CMakeFiles/bench_table23_official_sources.dir/bench/bench_table23_official_sources.cpp.o.d"
+  "bench/bench_table23_official_sources"
+  "bench/bench_table23_official_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table23_official_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

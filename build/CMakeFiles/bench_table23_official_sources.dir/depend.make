@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table23_official_sources.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traceroute_xval.dir/bench/bench_traceroute_xval.cpp.o"
+  "CMakeFiles/bench_traceroute_xval.dir/bench/bench_traceroute_xval.cpp.o.d"
+  "bench/bench_traceroute_xval"
+  "bench/bench_traceroute_xval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traceroute_xval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_traceroute_xval.
+# This may be replaced when dependencies are built.

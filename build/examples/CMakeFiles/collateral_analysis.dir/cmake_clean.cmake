@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collateral_analysis.dir/collateral_analysis.cpp.o"
+  "CMakeFiles/collateral_analysis.dir/collateral_analysis.cpp.o.d"
+  "collateral_analysis"
+  "collateral_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collateral_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_advisor.dir/deployment_advisor.cpp.o"
+  "CMakeFiles/deployment_advisor.dir/deployment_advisor.cpp.o.d"
+  "deployment_advisor"
+  "deployment_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

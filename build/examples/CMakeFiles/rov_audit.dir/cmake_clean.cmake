@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rov_audit.dir/rov_audit.cpp.o"
+  "CMakeFiles/rov_audit.dir/rov_audit.cpp.o.d"
+  "rov_audit"
+  "rov_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rov_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/collector.cpp" "src/bgp/CMakeFiles/rovista_bgp.dir/collector.cpp.o" "gcc" "src/bgp/CMakeFiles/rovista_bgp.dir/collector.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "src/bgp/CMakeFiles/rovista_bgp.dir/mrt.cpp.o" "gcc" "src/bgp/CMakeFiles/rovista_bgp.dir/mrt.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/rovista_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/rovista_bgp.dir/policy.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/rovista_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/rovista_bgp.dir/route.cpp.o.d"
+  "/root/repo/src/bgp/routing_system.cpp" "src/bgp/CMakeFiles/rovista_bgp.dir/routing_system.cpp.o" "gcc" "src/bgp/CMakeFiles/rovista_bgp.dir/routing_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rovista_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rovista_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/rovista_rpki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_bgp.dir/collector.cpp.o"
+  "CMakeFiles/rovista_bgp.dir/collector.cpp.o.d"
+  "CMakeFiles/rovista_bgp.dir/mrt.cpp.o"
+  "CMakeFiles/rovista_bgp.dir/mrt.cpp.o.d"
+  "CMakeFiles/rovista_bgp.dir/policy.cpp.o"
+  "CMakeFiles/rovista_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/rovista_bgp.dir/route.cpp.o"
+  "CMakeFiles/rovista_bgp.dir/route.cpp.o.d"
+  "CMakeFiles/rovista_bgp.dir/routing_system.cpp.o"
+  "CMakeFiles/rovista_bgp.dir/routing_system.cpp.o.d"
+  "librovista_bgp.a"
+  "librovista_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_bgpstream.dir/analysis.cpp.o"
+  "CMakeFiles/rovista_bgpstream.dir/analysis.cpp.o.d"
+  "CMakeFiles/rovista_bgpstream.dir/hijack.cpp.o"
+  "CMakeFiles/rovista_bgpstream.dir/hijack.cpp.o.d"
+  "librovista_bgpstream.a"
+  "librovista_bgpstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_bgpstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

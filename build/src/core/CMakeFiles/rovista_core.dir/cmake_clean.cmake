@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_core.dir/experiment.cpp.o"
+  "CMakeFiles/rovista_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/rovista_core.dir/longitudinal.cpp.o"
+  "CMakeFiles/rovista_core.dir/longitudinal.cpp.o.d"
+  "CMakeFiles/rovista_core.dir/publish.cpp.o"
+  "CMakeFiles/rovista_core.dir/publish.cpp.o.d"
+  "CMakeFiles/rovista_core.dir/rovista.cpp.o"
+  "CMakeFiles/rovista_core.dir/rovista.cpp.o.d"
+  "CMakeFiles/rovista_core.dir/scoring.cpp.o"
+  "CMakeFiles/rovista_core.dir/scoring.cpp.o.d"
+  "librovista_core.a"
+  "librovista_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

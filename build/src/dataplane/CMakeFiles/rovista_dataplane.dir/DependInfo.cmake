@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/dataplane.cpp" "src/dataplane/CMakeFiles/rovista_dataplane.dir/dataplane.cpp.o" "gcc" "src/dataplane/CMakeFiles/rovista_dataplane.dir/dataplane.cpp.o.d"
+  "/root/repo/src/dataplane/event_sim.cpp" "src/dataplane/CMakeFiles/rovista_dataplane.dir/event_sim.cpp.o" "gcc" "src/dataplane/CMakeFiles/rovista_dataplane.dir/event_sim.cpp.o.d"
+  "/root/repo/src/dataplane/host.cpp" "src/dataplane/CMakeFiles/rovista_dataplane.dir/host.cpp.o" "gcc" "src/dataplane/CMakeFiles/rovista_dataplane.dir/host.cpp.o.d"
+  "/root/repo/src/dataplane/ipid.cpp" "src/dataplane/CMakeFiles/rovista_dataplane.dir/ipid.cpp.o" "gcc" "src/dataplane/CMakeFiles/rovista_dataplane.dir/ipid.cpp.o.d"
+  "/root/repo/src/dataplane/traceroute.cpp" "src/dataplane/CMakeFiles/rovista_dataplane.dir/traceroute.cpp.o" "gcc" "src/dataplane/CMakeFiles/rovista_dataplane.dir/traceroute.cpp.o.d"
+  "/root/repo/src/dataplane/traffic.cpp" "src/dataplane/CMakeFiles/rovista_dataplane.dir/traffic.cpp.o" "gcc" "src/dataplane/CMakeFiles/rovista_dataplane.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rovista_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rovista_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rovista_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/rovista_rpki.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_dataplane.dir/dataplane.cpp.o"
+  "CMakeFiles/rovista_dataplane.dir/dataplane.cpp.o.d"
+  "CMakeFiles/rovista_dataplane.dir/event_sim.cpp.o"
+  "CMakeFiles/rovista_dataplane.dir/event_sim.cpp.o.d"
+  "CMakeFiles/rovista_dataplane.dir/host.cpp.o"
+  "CMakeFiles/rovista_dataplane.dir/host.cpp.o.d"
+  "CMakeFiles/rovista_dataplane.dir/ipid.cpp.o"
+  "CMakeFiles/rovista_dataplane.dir/ipid.cpp.o.d"
+  "CMakeFiles/rovista_dataplane.dir/traceroute.cpp.o"
+  "CMakeFiles/rovista_dataplane.dir/traceroute.cpp.o.d"
+  "CMakeFiles/rovista_dataplane.dir/traffic.cpp.o"
+  "CMakeFiles/rovista_dataplane.dir/traffic.cpp.o.d"
+  "librovista_dataplane.a"
+  "librovista_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_net.dir/headers.cpp.o"
+  "CMakeFiles/rovista_net.dir/headers.cpp.o.d"
+  "CMakeFiles/rovista_net.dir/ipv4.cpp.o"
+  "CMakeFiles/rovista_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/rovista_net.dir/packet.cpp.o"
+  "CMakeFiles/rovista_net.dir/packet.cpp.o.d"
+  "librovista_net.a"
+  "librovista_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

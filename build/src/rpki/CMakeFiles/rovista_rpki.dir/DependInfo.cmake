@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpki/cert.cpp" "src/rpki/CMakeFiles/rovista_rpki.dir/cert.cpp.o" "gcc" "src/rpki/CMakeFiles/rovista_rpki.dir/cert.cpp.o.d"
+  "/root/repo/src/rpki/relying_party.cpp" "src/rpki/CMakeFiles/rovista_rpki.dir/relying_party.cpp.o" "gcc" "src/rpki/CMakeFiles/rovista_rpki.dir/relying_party.cpp.o.d"
+  "/root/repo/src/rpki/repository.cpp" "src/rpki/CMakeFiles/rovista_rpki.dir/repository.cpp.o" "gcc" "src/rpki/CMakeFiles/rovista_rpki.dir/repository.cpp.o.d"
+  "/root/repo/src/rpki/roa.cpp" "src/rpki/CMakeFiles/rovista_rpki.dir/roa.cpp.o" "gcc" "src/rpki/CMakeFiles/rovista_rpki.dir/roa.cpp.o.d"
+  "/root/repo/src/rpki/rtr.cpp" "src/rpki/CMakeFiles/rovista_rpki.dir/rtr.cpp.o" "gcc" "src/rpki/CMakeFiles/rovista_rpki.dir/rtr.cpp.o.d"
+  "/root/repo/src/rpki/slurm.cpp" "src/rpki/CMakeFiles/rovista_rpki.dir/slurm.cpp.o" "gcc" "src/rpki/CMakeFiles/rovista_rpki.dir/slurm.cpp.o.d"
+  "/root/repo/src/rpki/validation.cpp" "src/rpki/CMakeFiles/rovista_rpki.dir/validation.cpp.o" "gcc" "src/rpki/CMakeFiles/rovista_rpki.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rovista_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rovista_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_rpki.dir/cert.cpp.o"
+  "CMakeFiles/rovista_rpki.dir/cert.cpp.o.d"
+  "CMakeFiles/rovista_rpki.dir/relying_party.cpp.o"
+  "CMakeFiles/rovista_rpki.dir/relying_party.cpp.o.d"
+  "CMakeFiles/rovista_rpki.dir/repository.cpp.o"
+  "CMakeFiles/rovista_rpki.dir/repository.cpp.o.d"
+  "CMakeFiles/rovista_rpki.dir/roa.cpp.o"
+  "CMakeFiles/rovista_rpki.dir/roa.cpp.o.d"
+  "CMakeFiles/rovista_rpki.dir/rtr.cpp.o"
+  "CMakeFiles/rovista_rpki.dir/rtr.cpp.o.d"
+  "CMakeFiles/rovista_rpki.dir/slurm.cpp.o"
+  "CMakeFiles/rovista_rpki.dir/slurm.cpp.o.d"
+  "CMakeFiles/rovista_rpki.dir/validation.cpp.o"
+  "CMakeFiles/rovista_rpki.dir/validation.cpp.o.d"
+  "librovista_rpki.a"
+  "librovista_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

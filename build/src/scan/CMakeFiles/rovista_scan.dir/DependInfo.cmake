@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/measurement_client.cpp" "src/scan/CMakeFiles/rovista_scan.dir/measurement_client.cpp.o" "gcc" "src/scan/CMakeFiles/rovista_scan.dir/measurement_client.cpp.o.d"
+  "/root/repo/src/scan/permutation.cpp" "src/scan/CMakeFiles/rovista_scan.dir/permutation.cpp.o" "gcc" "src/scan/CMakeFiles/rovista_scan.dir/permutation.cpp.o.d"
+  "/root/repo/src/scan/scanner.cpp" "src/scan/CMakeFiles/rovista_scan.dir/scanner.cpp.o" "gcc" "src/scan/CMakeFiles/rovista_scan.dir/scanner.cpp.o.d"
+  "/root/repo/src/scan/tnode_discovery.cpp" "src/scan/CMakeFiles/rovista_scan.dir/tnode_discovery.cpp.o" "gcc" "src/scan/CMakeFiles/rovista_scan.dir/tnode_discovery.cpp.o.d"
+  "/root/repo/src/scan/vvp_discovery.cpp" "src/scan/CMakeFiles/rovista_scan.dir/vvp_discovery.cpp.o" "gcc" "src/scan/CMakeFiles/rovista_scan.dir/vvp_discovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/rovista_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rovista_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rovista_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/rovista_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rovista_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rovista_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_scan.dir/measurement_client.cpp.o"
+  "CMakeFiles/rovista_scan.dir/measurement_client.cpp.o.d"
+  "CMakeFiles/rovista_scan.dir/permutation.cpp.o"
+  "CMakeFiles/rovista_scan.dir/permutation.cpp.o.d"
+  "CMakeFiles/rovista_scan.dir/scanner.cpp.o"
+  "CMakeFiles/rovista_scan.dir/scanner.cpp.o.d"
+  "CMakeFiles/rovista_scan.dir/tnode_discovery.cpp.o"
+  "CMakeFiles/rovista_scan.dir/tnode_discovery.cpp.o.d"
+  "CMakeFiles/rovista_scan.dir/vvp_discovery.cpp.o"
+  "CMakeFiles/rovista_scan.dir/vvp_discovery.cpp.o.d"
+  "librovista_scan.a"
+  "librovista_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_scenario.dir/fixtures.cpp.o"
+  "CMakeFiles/rovista_scenario.dir/fixtures.cpp.o.d"
+  "CMakeFiles/rovista_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/rovista_scenario.dir/scenario.cpp.o.d"
+  "librovista_scenario.a"
+  "librovista_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

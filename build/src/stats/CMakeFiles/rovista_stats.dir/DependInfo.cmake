@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/adf.cpp" "src/stats/CMakeFiles/rovista_stats.dir/adf.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/adf.cpp.o.d"
+  "/root/repo/src/stats/arima.cpp" "src/stats/CMakeFiles/rovista_stats.dir/arima.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/arima.cpp.o.d"
+  "/root/repo/src/stats/arma.cpp" "src/stats/CMakeFiles/rovista_stats.dir/arma.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/arma.cpp.o.d"
+  "/root/repo/src/stats/diagnostics.cpp" "src/stats/CMakeFiles/rovista_stats.dir/diagnostics.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/rovista_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/ols.cpp" "src/stats/CMakeFiles/rovista_stats.dir/ols.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/ols.cpp.o.d"
+  "/root/repo/src/stats/optimize.cpp" "src/stats/CMakeFiles/rovista_stats.dir/optimize.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/optimize.cpp.o.d"
+  "/root/repo/src/stats/spike.cpp" "src/stats/CMakeFiles/rovista_stats.dir/spike.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/spike.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/rovista_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/rovista_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_stats.dir/adf.cpp.o"
+  "CMakeFiles/rovista_stats.dir/adf.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/arima.cpp.o"
+  "CMakeFiles/rovista_stats.dir/arima.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/arma.cpp.o"
+  "CMakeFiles/rovista_stats.dir/arma.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/diagnostics.cpp.o"
+  "CMakeFiles/rovista_stats.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/distributions.cpp.o"
+  "CMakeFiles/rovista_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/ols.cpp.o"
+  "CMakeFiles/rovista_stats.dir/ols.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/optimize.cpp.o"
+  "CMakeFiles/rovista_stats.dir/optimize.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/spike.cpp.o"
+  "CMakeFiles/rovista_stats.dir/spike.cpp.o.d"
+  "CMakeFiles/rovista_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/rovista_stats.dir/timeseries.cpp.o.d"
+  "librovista_stats.a"
+  "librovista_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

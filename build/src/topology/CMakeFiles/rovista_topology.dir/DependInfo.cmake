@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/as_graph.cpp" "src/topology/CMakeFiles/rovista_topology.dir/as_graph.cpp.o" "gcc" "src/topology/CMakeFiles/rovista_topology.dir/as_graph.cpp.o.d"
+  "/root/repo/src/topology/cone.cpp" "src/topology/CMakeFiles/rovista_topology.dir/cone.cpp.o" "gcc" "src/topology/CMakeFiles/rovista_topology.dir/cone.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/topology/CMakeFiles/rovista_topology.dir/generator.cpp.o" "gcc" "src/topology/CMakeFiles/rovista_topology.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rovista_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_topology.dir/as_graph.cpp.o"
+  "CMakeFiles/rovista_topology.dir/as_graph.cpp.o.d"
+  "CMakeFiles/rovista_topology.dir/cone.cpp.o"
+  "CMakeFiles/rovista_topology.dir/cone.cpp.o.d"
+  "CMakeFiles/rovista_topology.dir/generator.cpp.o"
+  "CMakeFiles/rovista_topology.dir/generator.cpp.o.d"
+  "librovista_topology.a"
+  "librovista_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librovista_topology.a"
+)

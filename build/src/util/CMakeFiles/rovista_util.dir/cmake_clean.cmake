@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_util.dir/csv.cpp.o"
+  "CMakeFiles/rovista_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rovista_util.dir/date.cpp.o"
+  "CMakeFiles/rovista_util.dir/date.cpp.o.d"
+  "CMakeFiles/rovista_util.dir/logging.cpp.o"
+  "CMakeFiles/rovista_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rovista_util.dir/rng.cpp.o"
+  "CMakeFiles/rovista_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rovista_util.dir/strings.cpp.o"
+  "CMakeFiles/rovista_util.dir/strings.cpp.o.d"
+  "librovista_util.a"
+  "librovista_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

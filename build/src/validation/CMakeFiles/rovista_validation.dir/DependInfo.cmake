@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validation/apnic_dashboard.cpp" "src/validation/CMakeFiles/rovista_validation.dir/apnic_dashboard.cpp.o" "gcc" "src/validation/CMakeFiles/rovista_validation.dir/apnic_dashboard.cpp.o.d"
+  "/root/repo/src/validation/cloudflare_list.cpp" "src/validation/CMakeFiles/rovista_validation.dir/cloudflare_list.cpp.o" "gcc" "src/validation/CMakeFiles/rovista_validation.dir/cloudflare_list.cpp.o.d"
+  "/root/repo/src/validation/ground_truth.cpp" "src/validation/CMakeFiles/rovista_validation.dir/ground_truth.cpp.o" "gcc" "src/validation/CMakeFiles/rovista_validation.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/validation/single_prefix.cpp" "src/validation/CMakeFiles/rovista_validation.dir/single_prefix.cpp.o" "gcc" "src/validation/CMakeFiles/rovista_validation.dir/single_prefix.cpp.o.d"
+  "/root/repo/src/validation/traceroute_xval.cpp" "src/validation/CMakeFiles/rovista_validation.dir/traceroute_xval.cpp.o" "gcc" "src/validation/CMakeFiles/rovista_validation.dir/traceroute_xval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/rovista_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rovista_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/rovista_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rovista_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/rovista_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/rovista_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/rovista_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/rovista_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rovista_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rovista_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista_validation.dir/apnic_dashboard.cpp.o"
+  "CMakeFiles/rovista_validation.dir/apnic_dashboard.cpp.o.d"
+  "CMakeFiles/rovista_validation.dir/cloudflare_list.cpp.o"
+  "CMakeFiles/rovista_validation.dir/cloudflare_list.cpp.o.d"
+  "CMakeFiles/rovista_validation.dir/ground_truth.cpp.o"
+  "CMakeFiles/rovista_validation.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/rovista_validation.dir/single_prefix.cpp.o"
+  "CMakeFiles/rovista_validation.dir/single_prefix.cpp.o.d"
+  "CMakeFiles/rovista_validation.dir/traceroute_xval.cpp.o"
+  "CMakeFiles/rovista_validation.dir/traceroute_xval.cpp.o.d"
+  "librovista_validation.a"
+  "librovista_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgpstream.dir/test_bgpstream.cpp.o"
+  "CMakeFiles/test_bgpstream.dir/test_bgpstream.cpp.o.d"
+  "test_bgpstream"
+  "test_bgpstream.pdb"
+  "test_bgpstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgpstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataplane_extra.dir/test_dataplane_extra.cpp.o"
+  "CMakeFiles/test_dataplane_extra.dir/test_dataplane_extra.cpp.o.d"
+  "test_dataplane_extra"
+  "test_dataplane_extra.pdb"
+  "test_dataplane_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataplane_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_edge.dir/test_experiment_edge.cpp.o"
+  "CMakeFiles/test_experiment_edge.dir/test_experiment_edge.cpp.o.d"
+  "test_experiment_edge"
+  "test_experiment_edge.pdb"
+  "test_experiment_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_publish.dir/test_publish.cpp.o"
+  "CMakeFiles/test_publish.dir/test_publish.cpp.o.d"
+  "test_publish"
+  "test_publish.pdb"
+  "test_publish[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

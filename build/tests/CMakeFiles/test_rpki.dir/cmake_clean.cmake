@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpki.dir/test_rpki.cpp.o"
+  "CMakeFiles/test_rpki.dir/test_rpki.cpp.o.d"
+  "test_rpki"
+  "test_rpki.pdb"
+  "test_rpki[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

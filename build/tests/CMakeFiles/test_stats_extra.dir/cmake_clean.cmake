@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_extra.dir/test_stats_extra.cpp.o"
+  "CMakeFiles/test_stats_extra.dir/test_stats_extra.cpp.o.d"
+  "test_stats_extra"
+  "test_stats_extra.pdb"
+  "test_stats_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_prefix_trie[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_timeseries[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_rpki[1]_include.cmake")
+include("/root/repo/build/tests/test_rtr[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp[1]_include.cmake")
+include("/root/repo/build/tests/test_mrt[1]_include.cmake")
+include("/root/repo/build/tests/test_dataplane[1]_include.cmake")
+include("/root/repo/build/tests/test_dataplane_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_scan[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_publish[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_bgpstream[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_seed_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_case_studies[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_experiment_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnostics[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rovista.dir/rovista_cli.cpp.o"
+  "CMakeFiles/rovista.dir/rovista_cli.cpp.o.d"
+  "rovista"
+  "rovista.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rovista.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rovista.
+# This may be replaced when dependencies are built.
