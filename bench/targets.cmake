@@ -35,6 +35,7 @@ target_link_libraries(bench_perf_kernels PRIVATE
   rovista_rpki rovista_topology rovista_stats rovista_net rovista_util
   benchmark::benchmark)
 
+rovista_bench(bench_parallel_round)
 rovista_bench(bench_ablation_detection)
 rovista_bench(bench_ablation_tnode_depletion)
 rovista_bench(bench_ablation_rov_modes)

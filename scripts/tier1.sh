@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification:
+#   1. regular build + full test suite (the ROADMAP.md tier-1 command),
+#   2. ThreadSanitizer build (-DSANITIZE=thread) of the concurrency
+#      surface — the parallel-round determinism harness plus the thread
+#      pool / logging tests — and a TSan-clean run of it.
+# ctest gets -j consistently; override parallelism with JOBS=N.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+cmake -B build-tsan -S . -DSANITIZE=thread
+cmake --build build-tsan -j "$JOBS" \
+  --target test_parallel_round test_util test_ipid_properties
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ParallelRound|ThreadPool|Logging|IpIdArithmetic|Spike|BackgroundCutoff'
+
+echo "tier-1 OK (tests + TSan parallel round)"

@@ -1,0 +1,97 @@
+#include "core/parallel_round.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace rovista::core {
+
+dataplane::TimeUs experiment_slot_duration(const ExperimentConfig& config) {
+  // Mirrors run_experiment: t0 = now + 1000, background probes every
+  // `interval` ending at last_bg, phase (c) at last_bg + wait, final
+  // run_until at phase_c + observe·interval + tail.
+  const dataplane::TimeUs interval =
+      dataplane::microseconds(config.probe_interval_s);
+  return 1000 +
+         static_cast<dataplane::TimeUs>(config.background_probes - 1) *
+             interval +
+         dataplane::microseconds(config.wait_after_burst_s) +
+         static_cast<dataplane::TimeUs>(config.observe_probes) * interval +
+         dataplane::microseconds(config.tail_wait_s);
+}
+
+ParallelRoundRunner::ParallelRoundRunner(ReplicaFactory factory,
+                                         ParallelRoundConfig config)
+    : factory_(std::move(factory)), config_(std::move(config)) {}
+
+MeasurementRound ParallelRoundRunner::run(
+    std::span<const scan::Vvp> vvps,
+    std::span<const scan::Tnode> tnodes) const {
+  const std::size_t v_count = vvps.size();
+  const std::size_t t_count = tnodes.size();
+
+  MeasurementRound round;
+  round.observations.resize(v_count * t_count);
+  round.experiments_run = v_count * t_count;
+  if (round.experiments_run == 0) {
+    round.observations.clear();
+    round.scores = aggregate_scores(round.observations, config_.scoring);
+    return round;
+  }
+
+  const dataplane::TimeUs slot = experiment_slot_duration(config_.experiment);
+  const int shard_count = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, config_.num_threads)), v_count));
+  std::vector<std::size_t> shard_inconclusive(
+      static_cast<std::size_t>(shard_count), 0);
+
+  // One shard = vVP indices {s, s + N, s + 2N, ...} walked in increasing
+  // order on a private replica; run_until fast-forwards over the slots
+  // that belong to other shards. Assignment is a pure function of the
+  // vVP index, never of scheduling.
+  auto run_shard = [&](int shard) {
+    const std::unique_ptr<MeasurementReplica> replica = factory_();
+    dataplane::DataPlane& plane = replica->plane();
+    scan::MeasurementClient& client = replica->client();
+    const dataplane::TimeUs base = plane.sim().now();
+    for (std::size_t v = static_cast<std::size_t>(shard); v < v_count;
+         v += static_cast<std::size_t>(shard_count)) {
+      plane.sim().run_until(base + static_cast<dataplane::TimeUs>(v) *
+                                       static_cast<dataplane::TimeUs>(t_count) *
+                                       slot);
+      for (std::size_t t = 0; t < t_count; ++t) {
+        const ExperimentResult result = run_experiment(
+            plane, client, vvps[v], tnodes[t], config_.experiment);
+        if (result.verdict == FilteringVerdict::kInconclusive) {
+          ++shard_inconclusive[static_cast<std::size_t>(shard)];
+        }
+        PairObservation& obs = round.observations[v * t_count + t];
+        obs.vvp_as = vvps[v].asn;
+        obs.vvp = vvps[v].address;
+        obs.tnode = tnodes[t].address;
+        obs.verdict = result.verdict;
+      }
+    }
+  };
+
+  if (shard_count <= 1 || config_.num_threads <= 1) {
+    for (int s = 0; s < shard_count; ++s) run_shard(s);
+  } else {
+    util::ThreadPool pool(shard_count);
+    for (int s = 0; s < shard_count; ++s) {
+      pool.submit_to(s, [&run_shard, s] { run_shard(s); });
+    }
+    pool.wait_idle();
+  }
+
+  round.inconclusive = std::accumulate(shard_inconclusive.begin(),
+                                       shard_inconclusive.end(),
+                                       std::size_t{0});
+  round.scores = aggregate_scores(round.observations, config_.scoring);
+  return round;
+}
+
+}  // namespace rovista::core

@@ -1,0 +1,85 @@
+// Parallel measurement engine: deterministic vVP sharding over replicas.
+//
+// The §4.3 experiment matrix is embarrassingly parallel *between* vVPs —
+// a pair (vVP, tNode) only ever touches the vVP's host, the tNode's host
+// and the measurement client — but strictly ordered *within* one vVP:
+// the vVP's IP-ID counter and background-traffic RNG evolve with every
+// probe it answers. The engine therefore shards the pair matrix by vVP:
+//
+//   * every worker owns a full, independent dataplane replica built by a
+//     ReplicaFactory (replicas are bit-identical worlds sharing no
+//     mutable state — the event simulator stays single-threaded, there
+//     is simply one per worker),
+//   * pair (v, t) always executes in the same *canonical time slot*
+//     [base + (v·T + t)·Δ, ...) of its replica's simulation clock, where
+//     Δ is the fixed experiment duration — the exact schedule the serial
+//     engine produces by running pairs back to back,
+//   * shards are assigned statically (vVP index mod shard count) and each
+//     shard walks its vVPs in increasing index order, so the simulation
+//     clock never has to rewind,
+//   * a deterministic merge writes each observation at slot v·T + t of a
+//     pre-sized vector, restoring canonical (vVP, tNode) order before
+//     aggregate_scores.
+//
+// Net effect: the MeasurementRound is bit-identical to the serial
+// Rovista::run_round executed against one fresh replica, for any thread
+// count and any scheduling. See DESIGN.md, "Parallel measurement engine".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "core/experiment.h"
+#include "core/scoring.h"
+#include "scan/tnode_discovery.h"
+#include "scan/vvp_discovery.h"
+
+namespace rovista::core {
+
+/// One worker's private measurement world: a dataplane replica plus the
+/// measurement client registered inside it. All replicas produced by one
+/// factory must start bit-identical and share no mutable state, so they
+/// can run on different threads without synchronization.
+class MeasurementReplica {
+ public:
+  virtual ~MeasurementReplica() = default;
+  virtual dataplane::DataPlane& plane() = 0;
+  virtual scan::MeasurementClient& client() = 0;
+};
+
+/// Builds a fresh replica. Called once per non-empty shard, possibly
+/// concurrently from several worker threads — the factory itself must be
+/// safe to invoke concurrently (re-instantiating from immutable params
+/// is; handing out shared objects is not).
+using ReplicaFactory = std::function<std::unique_ptr<MeasurementReplica>()>;
+
+struct ParallelRoundConfig {
+  ExperimentConfig experiment;
+  ScoringConfig scoring;
+  int num_threads = 0;  // <= 1 → run shards inline on the calling thread
+};
+
+/// Duration Δ of one experiment on the canonical clock: exactly how far
+/// run_experiment advances the simulator, so back-to-back serial pairs
+/// and slot-scheduled parallel pairs see identical timelines.
+dataplane::TimeUs experiment_slot_duration(const ExperimentConfig& config);
+
+class ParallelRoundRunner {
+ public:
+  explicit ParallelRoundRunner(ReplicaFactory factory,
+                               ParallelRoundConfig config = {});
+
+  /// Run the full (vVP, tNode) matrix. Output is bit-identical across
+  /// thread counts (and to the serial engine on a fresh replica).
+  MeasurementRound run(std::span<const scan::Vvp> vvps,
+                       std::span<const scan::Tnode> tnodes) const;
+
+  const ParallelRoundConfig& config() const noexcept { return config_; }
+
+ private:
+  ReplicaFactory factory_;
+  ParallelRoundConfig config_;
+};
+
+}  // namespace rovista::core

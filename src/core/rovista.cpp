@@ -71,7 +71,7 @@ std::vector<scan::Vvp> Rovista::acquire_vvps(
 
   // Background-rate cutoff (§6.1): keep only quiet hosts.
   std::erase_if(qualified, [&](const scan::Vvp& v) {
-    return v.est_background_rate > config_.max_background_rate;
+    return !passes_background_cutoff(v, config_.max_background_rate);
   });
 
   // Per-AS cap: measuring more vVPs than needed just adds traffic.
@@ -111,6 +111,17 @@ MeasurementRound Rovista::run_round(std::span<const scan::Vvp> vvps,
   }
   round.scores = aggregate_scores(round.observations, config_.scoring);
   return round;
+}
+
+MeasurementRound Rovista::run_round_parallel(
+    const ReplicaFactory& factory, std::span<const scan::Vvp> vvps,
+    std::span<const scan::Tnode> tnodes) const {
+  ParallelRoundConfig config;
+  config.experiment = config_.experiment;
+  config.scoring = config_.scoring;
+  config.num_threads = config_.num_threads;
+  ParallelRoundRunner runner(factory, std::move(config));
+  return runner.run(vvps, tnodes);
 }
 
 }  // namespace rovista::core

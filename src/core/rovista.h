@@ -19,6 +19,7 @@
 
 #include "bgp/collector.h"
 #include "core/experiment.h"
+#include "core/parallel_round.h"
 #include "core/scoring.h"
 #include "scan/measurement_client.h"
 #include "scan/permutation.h"
@@ -36,15 +37,16 @@ struct RovistaConfig {
   double max_background_rate = 10.0;  // pkt/s vVP cutoff (§6.1)
   int max_vvps_per_as = 10;           // measurement budget per AS
   double tnode_reference_threshold = 0.9;
+  int num_threads = 0;  // run_round_parallel worker count (<= 1 → serial)
 };
 
-/// The outcome of one measurement round.
-struct MeasurementRound {
-  std::vector<PairObservation> observations;
-  std::vector<AsScore> scores;
-  std::size_t experiments_run = 0;
-  std::size_t inconclusive = 0;
-};
+/// §6.1 background-rate cutoff. Strictly-greater rejection: a vVP whose
+/// estimated rate sits exactly on the cutoff is *kept* (pinned by the
+/// property tests — changing this silently shifts vVP coverage).
+constexpr bool passes_background_cutoff(const scan::Vvp& vvp,
+                                        double max_rate) noexcept {
+  return !(vvp.est_background_rate > max_rate);
+}
 
 class Rovista {
  public:
@@ -69,9 +71,17 @@ class Rovista {
   std::vector<scan::Vvp> acquire_vvps(
       std::span<const net::Ipv4Address> candidates);
 
-  /// Pipeline step 3: run the full measurement round.
+  /// Pipeline step 3: run the full measurement round on the shared plane.
   MeasurementRound run_round(std::span<const scan::Vvp> vvps,
                              std::span<const scan::Tnode> tnodes);
+
+  /// Pipeline step 3, parallel engine: shard the round by vVP across
+  /// `config().num_threads` workers, each on a private replica from
+  /// `factory`. Bit-identical to run_round executed on one fresh replica
+  /// (see core/parallel_round.h for the determinism contract).
+  MeasurementRound run_round_parallel(
+      const ReplicaFactory& factory, std::span<const scan::Vvp> vvps,
+      std::span<const scan::Tnode> tnodes) const;
 
   /// Convenience: one experiment (exposed for case-study benches).
   ExperimentResult measure_pair(const scan::Vvp& vvp,

@@ -44,6 +44,14 @@ struct ScoringConfig {
   int min_tnodes = 3;        // minimum consistent tNodes to emit a score
 };
 
+/// The outcome of one measurement round (serial or parallel engine).
+struct MeasurementRound {
+  std::vector<PairObservation> observations;
+  std::vector<AsScore> scores;
+  std::size_t experiments_run = 0;
+  std::size_t inconclusive = 0;
+};
+
 /// Aggregate observations into per-AS scores.
 std::vector<AsScore> aggregate_scores(std::span<const PairObservation> obs,
                                       const ScoringConfig& config = {});

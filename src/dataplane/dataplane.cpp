@@ -6,7 +6,22 @@
 namespace rovista::dataplane {
 
 DataPlane::DataPlane(bgp::RoutingSystem& routing, std::uint64_t seed)
-    : routing_(routing), rng_(seed) {}
+    : routing_(routing), seed_(seed), rng_(seed) {}
+
+std::unique_ptr<DataPlane> DataPlane::clone_fresh(
+    bgp::RoutingSystem& routing) const {
+  auto replica = std::make_unique<DataPlane>(routing, seed_);
+  replica->filters_ = filters_;
+  replica->loss_prob_ = loss_prob_;
+  replica->hop_latency_ = hop_latency_;
+  // Hosts restart from their construction-time config: Host re-derives
+  // IP-ID and background state from the config seed, so replicas are
+  // bit-identical regardless of what the original has simulated since.
+  for (const auto& [addr, host] : hosts_) {
+    replica->add_host(host_as_.at(addr), host->config());
+  }
+  return replica;
+}
 
 Host* DataPlane::add_host(Asn asn, HostConfig config) {
   const std::uint32_t key = config.address.value();

@@ -131,6 +131,17 @@ class DataPlane {
   TimeUs hop_latency() const noexcept { return hop_latency_; }
   void set_hop_latency(TimeUs us) noexcept { hop_latency_ = us; }
 
+  // -- Replication --------------------------------------------------------
+
+  /// Re-instantiate this plane against `routing`: same seed, filters,
+  /// loss and latency, and a pristine copy of every host (fresh IP-ID
+  /// counters, background RNG and simulator clock, exactly as at
+  /// construction time). The replica shares no mutable state with the
+  /// original, so it may run on a different thread — but `routing` must
+  /// then be a private copy too, because path computation populates the
+  /// routing cache.
+  std::unique_ptr<DataPlane> clone_fresh(bgp::RoutingSystem& routing) const;
+
   // -- Statistics ---------------------------------------------------------
 
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
@@ -152,6 +163,7 @@ class DataPlane {
 
   bgp::RoutingSystem& routing_;
   Simulator sim_;
+  std::uint64_t seed_;
   util::Rng rng_;
   std::unordered_map<std::uint32_t, std::unique_ptr<Host>> hosts_;
   std::unordered_map<std::uint32_t, Asn> host_as_;

@@ -3,7 +3,12 @@
 // Time is microseconds from scenario start. Events fire in (time,
 // insertion-sequence) order, so simultaneous events are deterministic.
 // The engine is single-threaded by design: determinism beats parallelism
-// for a measurement-reproduction substrate.
+// for a measurement-reproduction substrate. Parallelism happens one
+// level up, under the *replica rule*: each worker thread owns an entire
+// private simulator (and dataplane) replica and never touches another
+// worker's — see core/parallel_round.h and DESIGN.md, "Parallel
+// measurement engine". A Simulator instance must therefore never be
+// shared across threads.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,14 @@
 #include "util/logging.h"
 
-#include <cstdio>
+#include <atomic>
+#include <mutex>
 
 namespace rovista::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;                // guards g_sink and the write
+std::FILE* g_sink = nullptr;            // nullptr → stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,12 +27,27 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_sink(std::FILE* sink) noexcept {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = sink;
+}
 
 void log(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[%s] %s\n", level_name(level), msg.c_str());
 }
 
 }  // namespace rovista::util

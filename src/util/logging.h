@@ -2,9 +2,13 @@
 //
 // The simulator is deterministic and benchmarks parse their own structured
 // output, so logging is intentionally sparse: a module asks for a level
-// check before formatting, nothing is global state beyond the level.
+// check before formatting. All entry points are thread-safe: the level is
+// atomic and emission takes a mutex around a single formatted write, so
+// concurrent workers (the parallel measurement engine) never interleave
+// mid-line.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 namespace rovista::util {
@@ -15,7 +19,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit a message to stderr if `level` >= the configured minimum.
+/// Redirect log output (nullptr restores the default, stderr). Intended
+/// for tests that want to inspect emitted lines.
+void set_log_sink(std::FILE* sink) noexcept;
+
+/// Emit a message if `level` >= the configured minimum. Each call
+/// produces exactly one complete output line.
 void log(LogLevel level, const std::string& msg);
 
 }  // namespace rovista::util

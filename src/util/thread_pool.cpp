@@ -1,0 +1,111 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rovista::util {
+
+namespace {
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::worker_index() noexcept { return tl_worker_index; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  submit_to(static_cast<int>(next_.fetch_add(1, std::memory_order_relaxed) %
+                             queues_.size()),
+            std::move(task));
+}
+
+void ThreadPool::submit_to(int home, std::function<void()> task) {
+  Queue& q = *queues_[static_cast<std::size_t>(home) % queues_.size()];
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> qlock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_acquire(int self, std::function<void()>& out) {
+  const std::size_t n = queues_.size();
+  // Own queue first (front: FIFO for the owner) ...
+  {
+    Queue& q = *queues_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // ... then steal from a sibling's back.
+  for (std::size_t off = 1; off < n; ++off) {
+    Queue& q = *queues_[(static_cast<std::size_t>(self) + off) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int index) {
+  tl_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    if (try_acquire(index, task)) {
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             queued_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_relaxed) &&
+        queued_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace rovista::util

@@ -1,0 +1,71 @@
+// Small work-stealing thread pool.
+//
+// Each worker owns a deque: it pops its own work from the front and, when
+// empty, steals from the back of a sibling's deque. Submission spreads
+// tasks round-robin (or to an explicit home queue via submit_to), so a
+// caller that partitions work deterministically keeps its partition —
+// stealing only moves *whole tasks*, never reorders work inside one.
+// The parallel measurement engine exploits exactly that: one task per
+// vVP shard, each internally ordered (see core/parallel_round.h).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rovista::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task (round-robin across worker deques).
+  void submit(std::function<void()> task);
+
+  /// Enqueue a task on worker `home % size()`'s deque. Idle siblings may
+  /// still steal it.
+  void submit_to(int home, std::function<void()> task);
+
+  /// Block until every submitted task has run to completion.
+  void wait_idle();
+
+  /// Index of the executing pool worker, or -1 on non-pool threads.
+  static int worker_index() noexcept;
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(int index);
+  bool try_acquire(int self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards the two condition variables
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> queued_{0};   // tasks sitting in deques
+  std::atomic<std::size_t> pending_{0};  // queued + currently executing
+  std::atomic<std::size_t> next_{0};     // round-robin cursor
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace rovista::util

@@ -1,0 +1,140 @@
+// Property tests for the IP-ID arithmetic under the measurement round:
+// uint16 wraparound in rate recovery and counter advancement, spike
+// detection against degenerate (zero-rate) vVPs, and the §6.1
+// background-rate cutoff boundary (strict >, rovista.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/rovista.h"
+#include "dataplane/ipid.h"
+#include "stats/spike.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista;
+using dataplane::TimeUs;
+
+std::vector<scan::IpIdSample> make_samples(
+    std::uint16_t start, const std::vector<std::uint32_t>& increments,
+    TimeUs interval = 500000) {
+  std::vector<scan::IpIdSample> samples;
+  samples.push_back({0, start});
+  std::uint16_t id = start;
+  TimeUs t = 0;
+  for (const std::uint32_t inc : increments) {
+    id = static_cast<std::uint16_t>(id + inc);
+    t += interval;
+    samples.push_back({t, id});
+  }
+  return samples;
+}
+
+TEST(IpIdArithmetic, RateRecoveryAcrossWraparound) {
+  // 65530 → 8 in 0.5 s: the unwrapped delta is 14, not −65522.
+  const auto samples = make_samples(65530, {14});
+  const auto rates = core::samples_to_rates(samples);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 28.0);
+}
+
+TEST(IpIdArithmetic, RateRecoveryPropertyUnderRandomWalks) {
+  // For any start value and any per-step increment < 2^16, the recovered
+  // rate equals increment / dt exactly — wraparound never shows through.
+  util::Rng rng(0x1d5eed);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto start =
+        static_cast<std::uint16_t>(rng.uniform_u64(0, 0xffff));
+    std::vector<std::uint32_t> increments;
+    for (int k = 0; k < 12; ++k) {
+      // Bias toward the wrap-prone region: large jumps included.
+      increments.push_back(
+          static_cast<std::uint32_t>(rng.uniform_u64(0, 0xfffe)));
+    }
+    const auto samples = make_samples(start, increments);
+    const auto rates = core::samples_to_rates(samples);
+    ASSERT_EQ(rates.size(), increments.size());
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      EXPECT_DOUBLE_EQ(rates[k], static_cast<double>(increments[k]) / 0.5)
+          << "trial " << trial << " step " << k << " start " << start;
+    }
+  }
+}
+
+TEST(IpIdArithmetic, ZeroTimeGapYieldsZeroRate) {
+  std::vector<scan::IpIdSample> samples{{1000, 10}, {1000, 30}};
+  const auto rates = core::samples_to_rates(samples);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+}
+
+TEST(IpIdArithmetic, GlobalCounterWrapsModulo65536) {
+  dataplane::IpIdGenerator gen(dataplane::IpIdPolicy::kGlobal, 65000, 1);
+  gen.advance(70000);  // background burst far past one wrap
+  EXPECT_EQ(gen.current(), static_cast<std::uint16_t>((65000 + 70000) % 65536));
+  dataplane::IpIdGenerator edge(dataplane::IpIdPolicy::kGlobal, 65535, 1);
+  EXPECT_EQ(edge.next(net::Ipv4Address(1)), 65535);
+  EXPECT_EQ(edge.next(net::Ipv4Address(1)), 0);  // wrapped
+}
+
+TEST(IpIdArithmetic, NonGlobalPoliciesIgnoreBackgroundAdvance) {
+  // Exactly why only global-counter hosts leak: advance() is a no-op.
+  for (const auto policy : {dataplane::IpIdPolicy::kPerDestination,
+                            dataplane::IpIdPolicy::kRandom,
+                            dataplane::IpIdPolicy::kZero}) {
+    dataplane::IpIdGenerator gen(policy, 100, 7);
+    gen.advance(12345);
+    EXPECT_EQ(gen.current(), 100) << ipid_policy_name(policy);
+  }
+}
+
+TEST(SpikeOnDegenerateBackground, ZeroRateVvpWithoutBurstStaysQuiet) {
+  // A vVP that sends nothing: background and observation both flat zero.
+  const std::vector<double> background(9, 0.0);
+  const std::vector<double> observed(8, 0.0);
+  const stats::SpikeDetector detector;
+  const auto analysis = detector.analyze(background, observed);
+  ASSERT_TRUE(analysis.has_value());
+  EXPECT_EQ(analysis->spike_count, 0u);
+}
+
+TEST(SpikeOnDegenerateBackground, ZeroRateVvpBurstIsUnmissable) {
+  // Against a silent host, the 10-packet burst (20 pkt/s over the 0.5 s
+  // interval) towers over the floored forecast stddev.
+  const std::vector<double> background(9, 0.0);
+  std::vector<double> observed(8, 0.0);
+  observed[0] = 20.0;
+  const stats::SpikeDetector detector;
+  const auto analysis = detector.analyze(background, observed);
+  ASSERT_TRUE(analysis.has_value());
+  ASSERT_FALSE(analysis->spike_at.empty());
+  EXPECT_TRUE(analysis->spike_at[0]);
+  for (std::size_t k = 1; k < analysis->spike_at.size(); ++k) {
+    EXPECT_FALSE(analysis->spike_at[k]) << "spurious spike at " << k;
+  }
+}
+
+TEST(BackgroundCutoff, StrictlyGreaterBoundary) {
+  // §6.1: "≤ 10 pkt/s" — a vVP sitting exactly on the cutoff is kept;
+  // one ULP above is rejected. acquire_vvps erases on the negation of
+  // this predicate, so this pins the production behaviour.
+  scan::Vvp vvp;
+  vvp.est_background_rate = 10.0;
+  EXPECT_TRUE(core::passes_background_cutoff(vvp, 10.0));
+  vvp.est_background_rate = std::nextafter(10.0, 11.0);
+  EXPECT_FALSE(core::passes_background_cutoff(vvp, 10.0));
+  vvp.est_background_rate = std::nextafter(10.0, 0.0);
+  EXPECT_TRUE(core::passes_background_cutoff(vvp, 10.0));
+  vvp.est_background_rate = 0.0;
+  EXPECT_TRUE(core::passes_background_cutoff(vvp, 10.0));
+}
+
+TEST(BackgroundCutoff, DefaultConfigMatchesPaperCutoff) {
+  EXPECT_DOUBLE_EQ(core::RovistaConfig{}.max_background_rate, 10.0);
+}
+
+}  // namespace

@@ -1,10 +1,13 @@
-// Tests for src/util: RNG, strings, CSV, dates, logging.
+// Tests for src/util: RNG, strings, CSV, dates, logging, thread pool.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/csv.h"
@@ -12,6 +15,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -301,6 +305,103 @@ TEST(Logging, LevelFiltering) {
   log(LogLevel::kDebug, "should not crash, filtered");
   log(LogLevel::kError, "visible");
   set_log_level(before);
+}
+
+TEST(Logging, ConcurrentWritersNeverInterleaveMidLine) {
+  // Smoke test for the logging mutex: many workers log distinctive
+  // payloads at once; every emitted line must be exactly one complete
+  // message (the pre-fix failure mode was torn lines on shared stderr).
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kInfo);
+  set_log_sink(sink);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log(LogLevel::kInfo, "worker-" + std::to_string(w) + "-msg-" +
+                                 std::to_string(i) + "-end");
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  set_log_sink(nullptr);
+  set_log_level(before);
+
+  std::rewind(sink);
+  char buffer[256];
+  int lines = 0;
+  while (std::fgets(buffer, sizeof(buffer), sink) != nullptr) {
+    ++lines;
+    const std::string line(buffer);
+    EXPECT_EQ(line.rfind("[INFO] worker-", 0), 0u) << "torn line: " << line;
+    EXPECT_NE(line.find("-end\n"), std::string::npos) << "torn line: " << line;
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+  std::fclose(sink);
+}
+
+// ---------- thread pool ----------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+  // The pool is reusable after wait_idle.
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1100);
+}
+
+TEST(ThreadPool, IdleWorkersStealFromLoadedQueue) {
+  // All tasks land on worker 0's deque; with enough work in flight the
+  // siblings steal. Each task records which worker ran it.
+  ThreadPool pool(4);
+  std::atomic<int> per_worker[4] = {};
+  std::atomic<int> total{0};
+  for (int i = 0; i < 2000; ++i) {
+    pool.submit_to(0, [&per_worker, &total] {
+      // A little spin so the producer outruns a single consumer.
+      volatile int x = 0;
+      for (int k = 0; k < 2000; ++k) x += k;
+      const int w = ThreadPool::worker_index();
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, 4);
+      per_worker[w].fetch_add(1, std::memory_order_relaxed);
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 2000);
+  int participating = 0;
+  for (const auto& n : per_worker) {
+    if (n.load() > 0) ++participating;
+  }
+  EXPECT_GE(participating, 2) << "no task was ever stolen";
+}
+
+TEST(ThreadPool, WorkerIndexIsMinusOneOutsidePool) {
+  EXPECT_EQ(ThreadPool::worker_index(), -1);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
 }
 
 }  // namespace

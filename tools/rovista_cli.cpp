@@ -56,14 +56,19 @@ int usage() {
       stderr,
       "usage: rovista <command> [options]\n"
       "  measure --seed N --date YYYY-MM-DD --out DIR [--mrt FILE]\n"
+      "          [--threads N]\n"
       "          run one round, publish scores, optionally archive the\n"
-      "          collector table as an MRT TABLE_DUMP_V2 file\n"
+      "          collector table as an MRT TABLE_DUMP_V2 file;\n"
+      "          --threads shards the round by vVP across worker\n"
+      "          replicas (output bit-identical for any count >= 1,\n"
+      "          see DESIGN.md)\n"
       "  query   --dir DIR [--asn N]                    read a dataset\n"
       "  audit   --seed N --asn N [--date YYYY-MM-DD]   audit one AS\n");
   return 2;
 }
 
 struct MeasuredWorld {
+  scenario::ScenarioParams params;
   std::unique_ptr<scenario::Scenario> scenario;
   std::unique_ptr<scan::MeasurementClient> client_a;
   std::unique_ptr<scan::MeasurementClient> client_b;
@@ -71,10 +76,12 @@ struct MeasuredWorld {
   std::vector<scan::Tnode> tnodes;
 };
 
-MeasuredWorld build_world(std::uint64_t seed, util::Date date) {
+MeasuredWorld build_world(std::uint64_t seed, util::Date date,
+                          int num_threads = 0) {
   MeasuredWorld world;
   scenario::ScenarioParams params;
   params.seed = seed;
+  world.params = params;
   world.scenario = std::make_unique<scenario::Scenario>(std::move(params));
   if (date < world.scenario->start()) date = world.scenario->start();
   if (date > world.scenario->end()) date = world.scenario->end();
@@ -88,6 +95,7 @@ MeasuredWorld build_world(std::uint64_t seed, util::Date date) {
   core::RovistaConfig config;
   config.scoring.min_vvps_per_as = 2;
   config.scoring.min_tnodes = 3;
+  config.num_threads = num_threads;
   world.rovista = std::make_unique<core::Rovista>(
       world.scenario->plane(), *world.client_a, *world.client_b, config);
   const auto view =
@@ -106,15 +114,30 @@ int cmd_measure(const Args& args) {
   if (const char* s = args.get("seed")) util::parse_u64(s, seed);
   util::Date date = util::Date::from_ymd(2023, 9, 12);
   if (const char* d = args.get("date")) util::Date::parse(d, date);
+  std::uint64_t threads = 0;
+  if (const char* t = args.get("threads")) util::parse_u64(t, threads);
 
   std::printf("building world (seed %llu) ...\n",
               static_cast<unsigned long long>(seed));
-  MeasuredWorld world = build_world(seed, date);
+  MeasuredWorld world = build_world(seed, date, static_cast<int>(threads));
   std::printf("tNodes: %zu\n", world.tnodes.size());
   const auto vvps =
       world.rovista->acquire_vvps(world.scenario->vvp_candidates());
   std::printf("vVPs: %zu\n", vvps.size());
-  const auto round = world.rovista->run_round(vvps, world.tnodes);
+  core::MeasurementRound round;
+  if (threads >= 1) {
+    // Replica engine for any explicit --threads (including 1, so thread
+    // counts stay comparable): vVP-sharded workers on private replica
+    // worlds, bit-identical output regardless of the count. Without
+    // --threads the round runs serially on the shared discovery world.
+    std::printf("measuring with %llu worker threads\n",
+                static_cast<unsigned long long>(threads));
+    const auto factory = scenario::make_replica_factory(
+        world.params, world.scenario->current());
+    round = world.rovista->run_round_parallel(factory, vvps, world.tnodes);
+  } else {
+    round = world.rovista->run_round(vvps, world.tnodes);
+  }
   std::printf("experiments: %zu, ASes scored: %zu\n", round.experiments_run,
               round.scores.size());
 
