@@ -1,0 +1,329 @@
+// bench_incremental_round — full recompute vs incremental engine over a
+// 10-round longitudinal scenario with bounded ROA churn.
+//
+// The scenario: a fixture-scale world, ten rounds two days apart inside
+// a quiet stretch of the timeline (no policy/announcement events, no
+// natural VRP churn — found by probing, not hard-coded, so it survives
+// parameter changes). Each round a small batch of ROAs in never-announced
+// space (198.18.0.0/15, the RFC 2544 benchmarking range) rolls over via
+// validity windows: the relying party emits a real announce+withdraw
+// delta every round — ≤ 5% of the VRP set — but no announced prefix's
+// validity can change. That is the incremental engine's best case and
+// the paper's common one: most days the ROA feed churns at the margins
+// while the measured world holds still.
+//
+// Every incremental round is checked bit-identical to the full
+// recompute, so the reported speedup can never come from skipped work
+// that mattered. Results go to BENCH_incremental.json; exits non-zero
+// if outputs diverge or the 10-round speedup falls below 5x.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/incremental_runner.h"
+#include "incremental/vrp_delta.h"
+
+namespace {
+
+using namespace rovista;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRounds = 10;
+constexpr int kIntervalDays = 2;
+constexpr int kChurnRoasPerRound = 4;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+scenario::ScenarioParams fixture_params() {
+  scenario::ScenarioParams params;
+  params.seed = 11;
+  params.topology.tier1_count = 6;
+  params.topology.tier2_count = 20;
+  params.topology.tier3_count = 50;
+  params.topology.stub_count = 180;
+  params.tnode_prefix_count = 6;
+  params.measured_as_count = 24;
+  params.hosts_per_measured_as = 4;
+  return params;
+}
+
+// First date d such that [d, d + days_needed) sees no timeline events
+// and no natural VRP churn when advanced day by day.
+std::optional<util::Date> find_quiet_window(
+    const scenario::ScenarioParams& params, int days_needed) {
+  scenario::Scenario probe(params);
+  int quiet_run = 0;
+  for (util::Date d = params.start + 1; d <= params.end; d += 1) {
+    bool vrp_churn = false;
+    const scenario::AdvanceStats stats = probe.advance_to(
+        d, [&](bgp::RoutingSystem& routing, const rpki::VrpSet& prev,
+               rpki::VrpSet next) {
+          vrp_churn = !incremental::VrpDeltaComputer::diff(prev, next).empty();
+          routing.set_vrps(std::move(next));
+        });
+    if (stats.events() == 0 && !vrp_churn) {
+      if (++quiet_run >= days_needed) return d - (days_needed - 1);
+    } else {
+      quiet_run = 0;
+    }
+  }
+  return std::nullopt;
+}
+
+// The churn source: one CA certificate over 198.18.0.0/15 per tracking
+// world; each round publishes kChurnRoasPerRound ROAs on a round-specific
+// /24 whose validity window closes before the next round, so every
+// subsequent relying-party run sees both announcements and withdrawals.
+struct ChurnFeed {
+  rpki::Repository* repo = nullptr;
+  std::uint64_t cert_serial = 0;
+
+  explicit ChurnFeed(scenario::Scenario& world) {
+    repo = &world.repositories().repository(topology::Rir::kArin);
+    rpki::ResourceSet resources;
+    resources.prefixes.push_back(
+        net::Ipv4Prefix(net::Ipv4Address((198u << 24) | (18u << 16)), 15));
+    const auto serial = repo->issue_certificate(
+        "bench-churn", std::move(resources), world.params().start - 3650,
+        world.params().end + 3650);
+    if (!serial.has_value()) {
+      std::fprintf(stderr, "FAIL: churn certificate refused\n");
+      std::exit(1);
+    }
+    cert_serial = *serial;
+  }
+
+  void publish_round(int round, util::Date date) {
+    const net::Ipv4Prefix prefix(
+        net::Ipv4Address((198u << 24) | (18u << 16) |
+                         (static_cast<std::uint32_t>(round) << 8)),
+        24);
+    for (int k = 0; k < kChurnRoasPerRound; ++k) {
+      repo->publish_roa(cert_serial, 64496u + static_cast<std::uint32_t>(k),
+                        {{prefix, prefix.length()}}, date,
+                        date + (kIntervalDays - 1));
+    }
+  }
+};
+
+bool rounds_identical(const core::MeasurementRound& a,
+                      const core::MeasurementRound& b) {
+  if (a.experiments_run != b.experiments_run ||
+      a.inconclusive != b.inconclusive ||
+      a.observations.size() != b.observations.size() ||
+      a.scores.size() != b.scores.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.observations.size(); ++i) {
+    const auto& x = a.observations[i];
+    const auto& y = b.observations[i];
+    if (x.vvp_as != y.vvp_as || x.vvp.value() != y.vvp.value() ||
+        x.tnode.value() != y.tnode.value() || x.verdict != y.verdict) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    const auto& x = a.scores[i];
+    const auto& y = b.scores[i];
+    if (x.asn != y.asn ||
+        std::memcmp(&x.score, &y.score, sizeof(double)) != 0 ||
+        x.vvp_count != y.vvp_count ||
+        x.tnodes_consistent != y.tnodes_consistent ||
+        x.tnodes_outbound != y.tnodes_outbound ||
+        x.tnodes_inconsistent != y.tnodes_inconsistent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct RoundSample {
+  util::Date date;
+  double full_s = 0.0;
+  double incr_s = 0.0;
+  std::size_t vrp_announced = 0;
+  std::size_t vrp_withdrawn = 0;
+  double churn_fraction = 0.0;
+  std::size_t dirty_rows = 0;
+  std::size_t total_rows = 0;
+  std::size_t executed_pairs = 0;
+  std::size_t reused_pairs = 0;
+  bool discovery_reused = false;
+  bool identical = false;
+};
+
+void write_json(const std::string& path,
+                const scenario::ScenarioParams& params, int threads,
+                const std::vector<RoundSample>& samples, double full_total,
+                double incr_total) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"scenario\": {\"seed\": %llu, \"rounds\": %d, "
+               "\"interval_days\": %d, \"threads\": %d, "
+               "\"churn_roas_per_round\": %d},\n",
+               static_cast<unsigned long long>(params.seed), kRounds,
+               kIntervalDays, threads, kChurnRoasPerRound);
+  std::fprintf(f, "  \"rounds\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const RoundSample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"date\": \"%s\", \"full_s\": %.6f, \"incremental_s\": %.6f, "
+        "\"speedup\": %.2f, \"vrp_announced\": %zu, \"vrp_withdrawn\": %zu, "
+        "\"churn_fraction\": %.4f, \"dirty_rows\": %zu, \"total_rows\": %zu, "
+        "\"executed_pairs\": %zu, \"reused_pairs\": %zu, "
+        "\"discovery_reused\": %s, \"identical\": %s}%s\n",
+        s.date.to_string().c_str(), s.full_s, s.incr_s,
+        s.incr_s > 0.0 ? s.full_s / s.incr_s : 0.0, s.vrp_announced,
+        s.vrp_withdrawn, s.churn_fraction, s.dirty_rows, s.total_rows,
+        s.executed_pairs, s.reused_pairs,
+        s.discovery_reused ? "true" : "false",
+        s.identical ? "true" : "false",
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Steady state excludes round 0, where the incremental engine is by
+  // definition a cold full recompute.
+  double full_steady = 0.0;
+  double incr_steady = 0.0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    full_steady += samples[i].full_s;
+    incr_steady += samples[i].incr_s;
+  }
+  std::fprintf(f,
+               "  \"total\": {\"full_s\": %.6f, \"incremental_s\": %.6f, "
+               "\"speedup\": %.2f},\n",
+               full_total, incr_total,
+               incr_total > 0.0 ? full_total / incr_total : 0.0);
+  std::fprintf(f,
+               "  \"steady_state\": {\"full_s\": %.6f, "
+               "\"incremental_s\": %.6f, \"speedup\": %.2f}\n",
+               full_steady, incr_steady,
+               incr_steady > 0.0 ? full_steady / incr_steady : 0.0);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const scenario::ScenarioParams params = fixture_params();
+  constexpr int kThreads = 4;
+
+  rovista::bench::print_header(
+      "bench_incremental_round — VRP-delta-driven recomputation",
+      "incremental engine contract (DESIGN.md, \"Incremental longitudinal "
+      "engine\")");
+
+  std::printf("probing the timeline for a %d-day quiet stretch ...\n",
+              kRounds * kIntervalDays);
+  const auto quiet =
+      find_quiet_window(params, kRounds * kIntervalDays);
+  if (!quiet.has_value()) {
+    std::fprintf(stderr, "FAIL: no quiet window in the scenario timeline\n");
+    return 1;
+  }
+  std::printf("quiet window starts %s\n", quiet->to_string().c_str());
+
+  core::IncrementalConfig full_config;
+  full_config.params = params;
+  full_config.rovista.scoring.min_vvps_per_as = 2;
+  full_config.rovista.scoring.min_tnodes = 2;
+  full_config.rovista.num_threads = kThreads;
+  full_config.incremental = false;
+  core::IncrementalConfig incr_config = full_config;
+  incr_config.incremental = true;
+
+  core::IncrementalLongitudinalRunner full(full_config);
+  core::IncrementalLongitudinalRunner incr(incr_config);
+  ChurnFeed full_feed(full.world());
+  ChurnFeed incr_feed(incr.world());
+
+  std::vector<RoundSample> samples;
+  double full_total = 0.0;
+  double incr_total = 0.0;
+  bool all_identical = true;
+  bool churn_bounded = true;
+
+  for (int r = 0; r < kRounds; ++r) {
+    const util::Date date = *quiet + r * kIntervalDays;
+    full_feed.publish_round(r, date);
+    incr_feed.publish_round(r, date);
+
+    auto start = Clock::now();
+    const core::RoundReport full_report = full.run_round(date);
+    const double full_s = seconds_since(start);
+
+    start = Clock::now();
+    const core::RoundReport incr_report = incr.run_round(date);
+    const double incr_s = seconds_since(start);
+
+    RoundSample s;
+    s.date = date;
+    s.full_s = full_s;
+    s.incr_s = incr_s;
+    s.vrp_announced = incr_report.vrp_announced;
+    s.vrp_withdrawn = incr_report.vrp_withdrawn;
+    const std::size_t vrp_total =
+        incremental::VrpDeltaComputer::flatten(incr.world().current_vrps())
+            .size();
+    s.churn_fraction =
+        vrp_total == 0 ? 0.0
+                       : static_cast<double>(s.vrp_announced +
+                                             s.vrp_withdrawn) /
+                             static_cast<double>(vrp_total);
+    s.dirty_rows = incr_report.dirty_rows;
+    s.total_rows = incr_report.total_rows;
+    s.executed_pairs = incr_report.executed_pairs;
+    s.reused_pairs = incr_report.reused_pairs;
+    s.discovery_reused = incr_report.discovery_reused;
+    s.identical = rounds_identical(full_report.round, incr_report.round);
+    samples.push_back(s);
+
+    all_identical = all_identical && s.identical;
+    // Round 0 has no prior snapshot, so its delta is the whole feed.
+    churn_bounded = churn_bounded && (r == 0 || s.churn_fraction <= 0.05);
+    full_total += full_s;
+    incr_total += incr_s;
+
+    std::printf(
+        "round %2d %s  full %7.3fs  incr %7.3fs  speedup %6.2fx  "
+        "delta +%zu/-%zu (%.1f%%)  dirty rows %zu/%zu  %s\n",
+        r, date.to_string().c_str(), full_s, incr_s,
+        incr_s > 0.0 ? full_s / incr_s : 0.0, s.vrp_announced,
+        s.vrp_withdrawn, 100.0 * s.churn_fraction, s.dirty_rows,
+        s.total_rows, s.identical ? "bit-identical" : "MISMATCH");
+  }
+
+  const double speedup = incr_total > 0.0 ? full_total / incr_total : 0.0;
+  std::printf("10-round totals: full %.3fs  incremental %.3fs  %.2fx\n",
+              full_total, incr_total, speedup);
+  write_json("BENCH_incremental.json", params, kThreads, samples, full_total,
+             incr_total);
+  std::printf("wrote BENCH_incremental.json\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: incremental output diverged from full\n");
+    return 1;
+  }
+  if (!churn_bounded) {
+    std::fprintf(stderr, "FAIL: per-round ROA churn exceeded 5%%\n");
+    return 1;
+  }
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: 10-round speedup %.2fx below 5x\n", speedup);
+    return 1;
+  }
+  return 0;
+}

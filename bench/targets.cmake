@@ -3,7 +3,8 @@ function(rovista_bench name)
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
   target_link_libraries(${name} PRIVATE
-    rovista_validation rovista_bgpstream rovista_scenario rovista_core
+    rovista_validation rovista_bgpstream rovista_incremental
+    rovista_scenario rovista_core
     rovista_scan rovista_dataplane rovista_bgp rovista_rpki
     rovista_topology rovista_stats rovista_net rovista_util)
 endfunction()
@@ -36,6 +37,7 @@ target_link_libraries(bench_perf_kernels PRIVATE
   benchmark::benchmark)
 
 rovista_bench(bench_parallel_round)
+rovista_bench(bench_incremental_round)
 rovista_bench(bench_ablation_detection)
 rovista_bench(bench_ablation_tnode_depletion)
 rovista_bench(bench_ablation_rov_modes)

@@ -3,7 +3,10 @@
 #   1. regular build + full test suite (the ROADMAP.md tier-1 command),
 #   2. ThreadSanitizer build (-DSANITIZE=thread) of the concurrency
 #      surface — the parallel-round determinism harness plus the thread
-#      pool / logging tests — and a TSan-clean run of it.
+#      pool / logging tests — and a TSan-clean run of it,
+#   3. ASan+UBSan build (-DSANITIZE=address+undefined) of the
+#      incremental-engine surface — delta computation, the longitudinal
+#      index, and the cache-reuse rounds — and a clean run of it.
 # ctest gets -j consistently; override parallelism with JOBS=N.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,4 +23,10 @@ cmake --build build-tsan -j "$JOBS" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ParallelRound|ThreadPool|Logging|IpIdArithmetic|Spike|BackgroundCutoff'
 
-echo "tier-1 OK (tests + TSan parallel round)"
+cmake -B build-asan -S . -DSANITIZE=address+undefined
+cmake --build build-asan -j "$JOBS" \
+  --target test_vrp_delta test_longitudinal_index test_incremental_round
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'VrpDelta|LongitudinalIndex|IncrementalRound'
+
+echo "tier-1 OK (tests + TSan parallel round + ASan/UBSan incremental)"

@@ -25,6 +25,7 @@ RoutingSystem::RoutingSystem(const topology::AsGraph& graph) : graph_(graph) {}
 
 void RoutingSystem::set_policy(Asn asn, AsPolicy policy) {
   policies_[asn] = std::move(policy);
+  ++policy_epochs_[asn];
   slurm_views_.erase(asn);
   // ROV (and prefer-valid / SLURM) can only change route propagation for
   // prefixes whose announcements are not uniformly Valid; drop those.
@@ -41,10 +42,33 @@ const AsPolicy& RoutingSystem::policy(Asn asn) const noexcept {
   return it != policies_.end() ? it->second : default_policy_;
 }
 
+std::uint64_t RoutingSystem::policy_epoch(Asn asn) const noexcept {
+  const auto it = policy_epochs_.find(asn);
+  return it != policy_epochs_.end() ? it->second : 0;
+}
+
 void RoutingSystem::set_vrps(rpki::VrpSet vrps) {
   base_vrps_ = std::move(vrps);
   slurm_views_.clear();
   invalidate_all();
+}
+
+void RoutingSystem::apply_vrp_delta(rpki::VrpSet vrps,
+                                    std::span<const net::Ipv4Prefix> dirty) {
+  base_vrps_ = std::move(vrps);
+  bool any_slurm = !slurm_views_.empty();
+  for (const auto& [asn, pol] : policies_) {
+    if (pol.has_slurm()) {
+      any_slurm = true;
+      break;
+    }
+  }
+  if (any_slurm) {
+    slurm_views_.clear();
+    invalidate_all();
+    return;
+  }
+  for (const net::Ipv4Prefix& prefix : dirty) cache_.erase(prefix);
 }
 
 rpki::RouteValidity RoutingSystem::base_validity(const net::Ipv4Prefix& prefix,

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -48,12 +49,27 @@ class RoutingSystem {
   void set_policy(Asn asn, AsPolicy policy);
   const AsPolicy& policy(Asn asn) const noexcept;
 
+  /// Monotonic counter bumped every time `asn`'s policy is (re)installed.
+  /// Lets callers detect configuration changes without comparing policies
+  /// structurally (incremental/score_cache.h fingerprints depend on it).
+  std::uint64_t policy_epoch(Asn asn) const noexcept;
+
   // -- RPKI -----------------------------------------------------------
 
   /// Set the relying-party VRP output all ASes validate against
   /// (per-AS SLURM still applies on top). Invalidates the cache.
   void set_vrps(rpki::VrpSet vrps);
   const rpki::VrpSet& vrps() const noexcept { return base_vrps_; }
+
+  /// Replace the VRP output like set_vrps(), but keep converged routes for
+  /// every prefix not listed in `dirty`. Sound only when `dirty` holds all
+  /// announced prefixes whose validity flipped for some announced origin
+  /// (incremental::DirtyPrefixTracker::dirty_prefixes) — route selection
+  /// consults the VRP set exclusively through those validities. If any AS
+  /// runs SLURM the per-AS views derive from the base VRPs too, so this
+  /// falls back to a full invalidation.
+  void apply_vrp_delta(rpki::VrpSet vrps,
+                       std::span<const net::Ipv4Prefix> dirty);
 
   /// Validity of (prefix, origin) from `asn`'s point of view (applies
   /// that AS's SLURM file if it has one).
@@ -110,6 +126,7 @@ class RoutingSystem {
 
   const topology::AsGraph& graph_;
   std::unordered_map<Asn, AsPolicy> policies_;
+  std::unordered_map<Asn, std::uint64_t> policy_epochs_;
   AsPolicy default_policy_;
   rpki::VrpSet base_vrps_;
 

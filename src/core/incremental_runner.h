@@ -1,0 +1,16 @@
+// Forwarding header: the incremental longitudinal runner lives in
+// src/incremental (it must link against scenario, which core cannot),
+// but is part of the measurement core's public surface — alias it into
+// rovista::core so framework-level callers need not know the split.
+#pragma once
+
+#include "incremental/longitudinal_engine.h"
+
+namespace rovista::core {
+
+using IncrementalConfig = incremental::IncrementalConfig;
+using IncrementalLongitudinalRunner =
+    incremental::IncrementalLongitudinalRunner;
+using RoundReport = incremental::RoundReport;
+
+}  // namespace rovista::core

@@ -6,8 +6,42 @@ namespace rovista::core {
 
 void LongitudinalStore::record(Date date, std::span<const AsScore> scores) {
   for (const AsScore& s : scores) {
-    by_as_[s.asn][date] = s.score;
+    std::map<Date, double>& series = by_as_[s.asn];
+    const auto existing = series.find(date);
+    const bool overwrite = existing != series.end();
+    const double old_score = overwrite ? existing->second : 0.0;
+    const auto it = overwrite
+                        ? (existing->second = s.score, existing)
+                        : series.emplace(date, s.score).first;
     by_date_[date].push_back(s.asn);
+
+    const auto latest = latest_.find(s.asn);
+    if (latest == latest_.end() || date >= latest->second.first) {
+      latest_[s.asn] = {date, s.score};
+    }
+
+    std::vector<double>& sorted = by_date_sorted_[date];
+    if (overwrite) {
+      const auto pos =
+          std::lower_bound(sorted.begin(), sorted.end(), old_score);
+      if (pos != sorted.end() && *pos == old_score) sorted.erase(pos);
+    }
+    sorted.insert(std::upper_bound(sorted.begin(), sorted.end(), s.score),
+                  s.score);
+
+    // Re-derive the (at most two) consecutive pairs the insert changed.
+    std::map<Date, std::pair<double, double>>& edges = rising_[s.asn];
+    const auto refresh_edge = [&](std::map<Date, double>::iterator to) {
+      if (to == series.end() || to == series.begin()) return;
+      const auto from = std::prev(to);
+      if (to->second > from->second) {
+        edges[to->first] = {from->second, to->second};
+      } else {
+        edges.erase(to->first);
+      }
+    };
+    refresh_edge(it);
+    refresh_edge(std::next(it));
   }
 }
 
@@ -26,9 +60,9 @@ std::vector<Asn> LongitudinalStore::ases() const {
 }
 
 std::optional<double> LongitudinalStore::latest_score(Asn asn) const {
-  const auto it = by_as_.find(asn);
-  if (it == by_as_.end() || it->second.empty()) return std::nullopt;
-  return it->second.rbegin()->second;
+  const auto it = latest_.find(asn);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second.second;
 }
 
 std::optional<double> LongitudinalStore::score_on(Asn asn, Date date) const {
@@ -50,30 +84,39 @@ std::vector<std::pair<Date, double>> LongitudinalStore::series(
 
 std::vector<double> LongitudinalStore::latest_scores() const {
   std::vector<double> out;
-  out.reserve(by_as_.size());
-  for (const auto& [asn, series] : by_as_) {
-    if (!series.empty()) out.push_back(series.rbegin()->second);
-  }
+  out.reserve(latest_.size());
+  for (const auto& [asn, entry] : latest_) out.push_back(entry.second);
   return out;
 }
 
 double LongitudinalStore::fraction_at_least(Date date,
                                             double threshold) const {
-  std::size_t total = 0;
-  std::size_t hit = 0;
-  for (const auto& [asn, series] : by_as_) {
-    const auto it = series.find(date);
-    if (it == series.end()) continue;
-    ++total;
-    if (it->second >= threshold) ++hit;
-  }
-  return total == 0 ? 0.0
-                    : static_cast<double>(hit) / static_cast<double>(total);
+  const auto it = by_date_sorted_.find(date);
+  if (it == by_date_sorted_.end() || it->second.empty()) return 0.0;
+  const std::vector<double>& sorted = it->second;
+  const auto first_hit =
+      std::lower_bound(sorted.begin(), sorted.end(), threshold);
+  return static_cast<double>(sorted.end() - first_hit) /
+         static_cast<double>(sorted.size());
 }
 
 std::vector<std::pair<Asn, Date>> LongitudinalStore::score_jumps(
     double low, double high) const {
   std::vector<std::pair<Asn, Date>> out;
+  if (low < high) {
+    // Any qualifying pair has prev <= low < high <= score, i.e. strictly
+    // rises — scan only the rising-pair index.
+    for (const auto& [asn, edges] : rising_) {
+      for (const auto& [date, scores] : edges) {
+        if (scores.first <= low && scores.second >= high) {
+          out.emplace_back(asn, date);
+        }
+      }
+    }
+    return out;
+  }
+  // Degenerate thresholds (low >= high) can match flat or falling pairs;
+  // keep the exact walk.
   for (const auto& [asn, series] : by_as_) {
     double prev = -1.0;
     bool have_prev = false;

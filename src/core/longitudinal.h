@@ -73,6 +73,23 @@ class LongitudinalStore {
  private:
   std::map<Asn, std::map<Date, double>> by_as_;
   std::map<Date, std::vector<Asn>> by_date_;
+
+  // Query indexes, maintained by record(). The paper-scale store holds
+  // ~28k ASes × ~600 dates; the dashboard queries below used to walk all
+  // of it per call. Each index preserves the exact answers (and output
+  // order) of the brute-force walk over by_as_ — pinned by
+  // tests/test_longitudinal_index.cpp.
+  //
+  // Per AS: its most recent (date, score).
+  std::map<Asn, std::pair<Date, double>> latest_;
+  // Per date: the scores measured that date, kept sorted (one entry per
+  // AS; re-recording an (AS, date) replaces the old value).
+  std::map<Date, std::vector<double>> by_date_sorted_;
+  // Per AS: the strictly-rising consecutive pairs of its series, keyed
+  // by the later date, value = (previous score, score). For low < high a
+  // jump pair satisfies prev <= low < high <= score, i.e. it rises —
+  // so score_jumps only scans these; low >= high falls back to the walk.
+  std::map<Asn, std::map<Date, std::pair<double, double>>> rising_;
 };
 
 }  // namespace rovista::core

@@ -42,23 +42,40 @@ MeasurementRound ParallelRoundRunner::run(
     return round;
   }
 
+  std::vector<std::size_t> rows(v_count);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  round.inconclusive = run_rows(vvps, tnodes, rows, round.observations);
+  round.scores = aggregate_scores(round.observations, config_.scoring);
+  return round;
+}
+
+std::size_t ParallelRoundRunner::run_rows(
+    std::span<const scan::Vvp> vvps, std::span<const scan::Tnode> tnodes,
+    std::span<const std::size_t> rows,
+    std::span<PairObservation> out) const {
+  const std::size_t t_count = tnodes.size();
+  if (rows.empty() || t_count == 0) return 0;
+
   const dataplane::TimeUs slot = experiment_slot_duration(config_.experiment);
   const int shard_count = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(std::max(1, config_.num_threads)), v_count));
+      static_cast<std::size_t>(std::max(1, config_.num_threads)),
+      rows.size()));
   std::vector<std::size_t> shard_inconclusive(
       static_cast<std::size_t>(shard_count), 0);
 
-  // One shard = vVP indices {s, s + N, s + 2N, ...} walked in increasing
+  // One shard = rows {rows[s], rows[s + N], ...} walked in increasing
   // order on a private replica; run_until fast-forwards over the slots
-  // that belong to other shards. Assignment is a pure function of the
-  // vVP index, never of scheduling.
+  // that belong to other shards' rows *and* to rows not being executed
+  // at all. Assignment is a pure function of the position in `rows`,
+  // never of scheduling.
   auto run_shard = [&](int shard) {
     const std::unique_ptr<MeasurementReplica> replica = factory_();
     dataplane::DataPlane& plane = replica->plane();
     scan::MeasurementClient& client = replica->client();
     const dataplane::TimeUs base = plane.sim().now();
-    for (std::size_t v = static_cast<std::size_t>(shard); v < v_count;
-         v += static_cast<std::size_t>(shard_count)) {
+    for (std::size_t i = static_cast<std::size_t>(shard); i < rows.size();
+         i += static_cast<std::size_t>(shard_count)) {
+      const std::size_t v = rows[i];
       plane.sim().run_until(base + static_cast<dataplane::TimeUs>(v) *
                                        static_cast<dataplane::TimeUs>(t_count) *
                                        slot);
@@ -68,7 +85,7 @@ MeasurementRound ParallelRoundRunner::run(
         if (result.verdict == FilteringVerdict::kInconclusive) {
           ++shard_inconclusive[static_cast<std::size_t>(shard)];
         }
-        PairObservation& obs = round.observations[v * t_count + t];
+        PairObservation& obs = out[v * t_count + t];
         obs.vvp_as = vvps[v].asn;
         obs.vvp = vvps[v].address;
         obs.tnode = tnodes[t].address;
@@ -87,11 +104,8 @@ MeasurementRound ParallelRoundRunner::run(
     pool.wait_idle();
   }
 
-  round.inconclusive = std::accumulate(shard_inconclusive.begin(),
-                                       shard_inconclusive.end(),
-                                       std::size_t{0});
-  round.scores = aggregate_scores(round.observations, config_.scoring);
-  return round;
+  return std::accumulate(shard_inconclusive.begin(),
+                         shard_inconclusive.end(), std::size_t{0});
 }
 
 }  // namespace rovista::core

@@ -75,6 +75,21 @@ class ParallelRoundRunner {
   MeasurementRound run(std::span<const scan::Vvp> vvps,
                        std::span<const scan::Tnode> tnodes) const;
 
+  /// Run only the vVP rows listed in `rows` (indices into `vvps`,
+  /// strictly ascending), writing each executed pair's observation at
+  /// out[v * tnodes.size() + t]; other slots of `out` are untouched.
+  /// Every row still executes in its canonical time slots, so the
+  /// observations are bit-identical to the same rows of a full run() —
+  /// rows are independent worlds apart from the shared clock, which
+  /// run_until fast-forwards identically whether the skipped rows ran
+  /// elsewhere or not. Returns the number of inconclusive verdicts among
+  /// the executed pairs. This is the engine under the incremental
+  /// longitudinal runner (incremental/longitudinal_engine.h).
+  std::size_t run_rows(std::span<const scan::Vvp> vvps,
+                       std::span<const scan::Tnode> tnodes,
+                       std::span<const std::size_t> rows,
+                       std::span<PairObservation> out) const;
+
   const ParallelRoundConfig& config() const noexcept { return config_; }
 
  private:

@@ -112,6 +112,7 @@ class DataPlane {
 
   /// Uniform per-packet loss probability (failure injection; default 0).
   void set_loss_probability(double p) noexcept { loss_prob_ = p; }
+  double loss_probability() const noexcept { return loss_prob_; }
 
   // -- Sending -----------------------------------------------------------
 

@@ -1,0 +1,78 @@
+#include "dataplane/fingerprint.h"
+
+#include <bit>
+
+#include "rpki/validation.h"
+
+namespace rovista::dataplane {
+
+namespace {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+
+  std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+void mix_journey(Fnv1a& h, DataPlane& plane, Asn from_as,
+                 net::Ipv4Address dst) {
+  const PathResult path = plane.compute_path(from_as, dst);
+  h.mix(path.delivered ? 1 : 0);
+  h.mix(static_cast<std::uint64_t>(path.reason));
+  h.mix(path.hops.size());
+  const bgp::RoutingSystem& routing = plane.routing();
+  for (const Asn hop : path.hops) {
+    const FilterConfig& f = plane.filter(hop);
+    h.mix(hop);
+    h.mix((f.sav_egress ? 1u : 0u) | (f.egress_drop_invalid_source ? 2u : 0u) |
+          (f.ingress_drop_external ? 4u : 0u));
+    h.mix(routing.policy_epoch(hop));
+  }
+}
+
+void mix_address_context(Fnv1a& h, const bgp::RoutingSystem& routing,
+                         net::Ipv4Address addr) {
+  h.mix(addr.value());
+  const auto prefixes = routing.candidate_prefixes(addr);
+  h.mix(prefixes.size());
+  for (const net::Ipv4Prefix& prefix : prefixes) {
+    h.mix(prefix.address().value());
+    h.mix(prefix.length());
+    for (const Asn origin : routing.origins_of(prefix)) {
+      h.mix(origin);
+      h.mix(static_cast<std::uint64_t>(routing.base_validity(prefix, origin)));
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t pair_fingerprint(DataPlane& plane, Asn client_as,
+                               net::Ipv4Address client_addr, Asn vvp_as,
+                               net::Ipv4Address vvp_addr, Asn tnode_as,
+                               net::Ipv4Address tnode_addr) {
+  Fnv1a h;
+  mix_journey(h, plane, client_as, vvp_addr);
+  mix_journey(h, plane, vvp_as, client_addr);
+  mix_journey(h, plane, client_as, tnode_addr);
+  mix_journey(h, plane, tnode_as, vvp_addr);
+  mix_journey(h, plane, vvp_as, tnode_addr);
+  mix_address_context(h, plane.routing(), client_addr);
+  mix_address_context(h, plane.routing(), vvp_addr);
+  mix_address_context(h, plane.routing(), tnode_addr);
+  // Global knobs any journey is subject to.
+  h.mix(static_cast<std::uint64_t>(plane.hop_latency()));
+  h.mix(std::bit_cast<std::uint64_t>(plane.loss_probability()));
+  return h.value();
+}
+
+}  // namespace rovista::dataplane

@@ -1,0 +1,37 @@
+// Reachability fingerprint of one (vVP, tNode) measurement pair.
+//
+// The experiment's packets traverse exactly five directed journeys:
+//
+//   client AS → vVP        (SYN/ACK probes)
+//   vVP AS    → client     (the probes' RSTs)
+//   client AS → tNode      (the spoofed burst; source = vVP address)
+//   tNode AS  → vVP        (the burst's SYN/ACKs, plus RTO retransmits)
+//   vVP AS    → tNode      (the vVP's RSTs answering those SYN/ACKs)
+//
+// Given a fixed canonical time slot, host construction seeds and probe
+// schedule (all functions of the scenario parameters and the pair's
+// matrix position), the experiment outcome is a deterministic function
+// of how those journeys forward and filter. The fingerprint digests,
+// per journey: the control-plane path (delivered / drop reason / hop
+// list) and each hop's FilterConfig and policy epoch; plus, for each of
+// the three addresses involved, its covering announced prefixes with
+// their origins and base validities (these feed source-invalid egress
+// filtering and LPM); plus the global loss probability and hop latency.
+//
+// Equal fingerprints across two worlds ⇒ the pair's packets see
+// identical treatment ⇒ the observation can be reused. Hash collisions
+// are the usual 64-bit FNV caveat and are ignored by design.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/dataplane.h"
+
+namespace rovista::dataplane {
+
+std::uint64_t pair_fingerprint(DataPlane& plane, Asn client_as,
+                               net::Ipv4Address client_addr, Asn vvp_as,
+                               net::Ipv4Address vvp_addr, Asn tnode_as,
+                               net::Ipv4Address tnode_addr);
+
+}  // namespace rovista::dataplane

@@ -1,0 +1,49 @@
+#include "incremental/dirty_prefix.h"
+
+#include <algorithm>
+
+namespace rovista::incremental {
+
+DirtyPrefixTracker::DirtyPrefixTracker(const VrpDelta& delta) {
+  for (const rpki::Vrp& v : delta.announced) changed_.insert(v.prefix, true);
+  for (const rpki::Vrp& v : delta.withdrawn) changed_.insert(v.prefix, true);
+}
+
+bool DirtyPrefixTracker::touches(const net::Ipv4Prefix& prefix) const {
+  return !changed_.covering(prefix).empty();
+}
+
+std::size_t DirtyPrefixTracker::touched_announced(
+    const bgp::RoutingSystem& routing) const {
+  if (changed_.empty()) return 0;
+  std::size_t count = 0;
+  for (const net::Ipv4Prefix& prefix : routing.all_prefixes()) {
+    if (touches(prefix)) ++count;
+  }
+  return count;
+}
+
+std::vector<net::Ipv4Prefix> DirtyPrefixTracker::dirty_prefixes(
+    const rpki::VrpSet& prev, const rpki::VrpSet& next,
+    const bgp::RoutingSystem& routing) const {
+  std::vector<net::Ipv4Prefix> dirty;
+  if (changed_.empty()) return dirty;
+  for (const net::Ipv4Prefix& prefix : routing.all_prefixes()) {
+    if (!touches(prefix)) continue;
+    for (const topology::Asn origin : routing.origins_of(prefix)) {
+      if (prev.validate(prefix, origin) != next.validate(prefix, origin)) {
+        dirty.push_back(prefix);
+        break;
+      }
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const net::Ipv4Prefix& a, const net::Ipv4Prefix& b) {
+              return a.address().value() != b.address().value()
+                         ? a.address().value() < b.address().value()
+                         : a.length() < b.length();
+            });
+  return dirty;
+}
+
+}  // namespace rovista::incremental

@@ -1,0 +1,49 @@
+// Maps a VRP delta to the announced prefixes whose RFC 6811 validation
+// state actually flipped — the "dirty" prefixes that need BGP
+// re-convergence; everything else keeps its converged RIB entries.
+//
+// Two notions, with different uses:
+//   * touched   — some changed VRP *covers* the prefix. Coverage is the
+//                 precondition for any validation change, so a prefix
+//                 that is not touched provably kept its validity. Used
+//                 as the conservative gate (e.g. may discovery results
+//                 be reused at all).
+//   * dirty     — touched AND validate(prefix, origin) differs between
+//                 the old and new VRP sets for at least one announced
+//                 origin. Route computation consults validity only
+//                 through these (prefix, origin) pairs, so non-dirty
+//                 prefixes converge to bit-identical RouteMaps — the
+//                 contract behind RoutingSystem::apply_vrp_delta.
+#pragma once
+
+#include <vector>
+
+#include "bgp/routing_system.h"
+#include "incremental/vrp_delta.h"
+#include "net/prefix_trie.h"
+
+namespace rovista::incremental {
+
+class DirtyPrefixTracker {
+ public:
+  explicit DirtyPrefixTracker(const VrpDelta& delta);
+
+  /// True if some changed VRP covers `prefix` (equal or less specific).
+  bool touches(const net::Ipv4Prefix& prefix) const;
+
+  /// Number of currently announced prefixes touched by the delta.
+  std::size_t touched_announced(const bgp::RoutingSystem& routing) const;
+
+  /// Announced prefixes whose validity flipped for at least one origin
+  /// between `prev` and `next`. Sorted by (address, length).
+  std::vector<net::Ipv4Prefix> dirty_prefixes(
+      const rpki::VrpSet& prev, const rpki::VrpSet& next,
+      const bgp::RoutingSystem& routing) const;
+
+  bool empty() const noexcept { return changed_.empty(); }
+
+ private:
+  net::PrefixTrie<bool> changed_;  // prefixes of announced+withdrawn VRPs
+};
+
+}  // namespace rovista::incremental

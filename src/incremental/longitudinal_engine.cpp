@@ -1,0 +1,187 @@
+#include "incremental/longitudinal_engine.h"
+
+#include <utility>
+
+#include "dataplane/fingerprint.h"
+#include "incremental/dirty_prefix.h"
+#include "scan/measurement_client.h"
+
+namespace rovista::incremental {
+
+namespace {
+
+struct RoundInputs {
+  std::vector<scan::Vvp> vvps;
+  std::vector<scan::Tnode> tnodes;
+};
+
+// Acquisition mutates host state (probes advance IP-ID counters and
+// background RNG streams), so it always runs on a throwaway world built
+// fresh at the round date — never on the tracking world.
+RoundInputs acquire_inputs(const scenario::ScenarioParams& params, Date date,
+                           const core::RovistaConfig& config) {
+  scenario::Scenario s(params);
+  s.advance_to(date);
+  scan::MeasurementClient client_a(s.plane(), s.client_as_a(),
+                                   s.client_addr_a());
+  scan::MeasurementClient client_b(s.plane(), s.client_as_b(),
+                                   s.client_addr_b());
+  core::Rovista rovista(s.plane(), client_a, client_b, config);
+  const auto snapshot = s.collector().snapshot(s.routing());
+  RoundInputs inputs;
+  inputs.tnodes = rovista.acquire_tnodes(
+      snapshot, s.current_vrps(), s.rov_reference_ases(s.current(), 10),
+      s.non_rov_reference_ases(s.current(), 10));
+  inputs.vvps = rovista.acquire_vvps(s.vvp_candidates());
+  return inputs;
+}
+
+std::size_t count_inconclusive(
+    const std::vector<core::PairObservation>& observations) {
+  std::size_t n = 0;
+  for (const core::PairObservation& obs : observations) {
+    if (obs.verdict == core::FilteringVerdict::kInconclusive) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+IncrementalLongitudinalRunner::IncrementalLongitudinalRunner(
+    IncrementalConfig config)
+    : config_(std::move(config)),
+      world_(std::make_unique<scenario::Scenario>(config_.params)) {}
+
+IncrementalLongitudinalRunner::~IncrementalLongitudinalRunner() = default;
+
+RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
+  RoundReport report;
+  report.date = date;
+
+  // 1. Advance the tracking world, installing the new VRPs by delta.
+  VrpDelta delta;
+  std::vector<net::Ipv4Prefix> dirty;
+  const bool incremental = config_.incremental;
+  const scenario::AdvanceStats stats = world_->advance_to(
+      date, [&](bgp::RoutingSystem& routing, const rpki::VrpSet& prev,
+                rpki::VrpSet next) {
+        delta = VrpDeltaComputer::diff(prev, next);
+        const DirtyPrefixTracker tracker(delta);
+        report.touched_announced = tracker.touched_announced(routing);
+        dirty = tracker.dirty_prefixes(prev, next, routing);
+        if (incremental) {
+          routing.apply_vrp_delta(std::move(next), dirty);
+        } else {
+          routing.set_vrps(std::move(next));
+        }
+      });
+  report.events = stats.events();
+  report.vrp_announced = delta.announced.size();
+  report.vrp_withdrawn = delta.withdrawn.size();
+  report.dirty_prefix_count = dirty.size();
+
+  // 2. Discovery: reuse the previous round's lists only when nothing the
+  // acquisition pipeline reads can have changed — no timeline events and
+  // no announced prefix touched by the VRP delta.
+  const bool can_reuse_discovery = incremental && have_round_ &&
+                                   report.events == 0 &&
+                                   report.touched_announced == 0;
+  if (!can_reuse_discovery) {
+    RoundInputs inputs = acquire_inputs(config_.params, date, config_.rovista);
+    vvps_ = std::move(inputs.vvps);
+    tnodes_ = std::move(inputs.tnodes);
+  }
+  report.discovery_reused = can_reuse_discovery;
+
+  const std::size_t v_count = vvps_.size();
+  const std::size_t t_count = tnodes_.size();
+  report.total_rows = v_count;
+  report.total_pairs = v_count * t_count;
+
+  const core::ParallelRoundRunner runner(
+      scenario::make_replica_factory(config_.params, date),
+      {config_.rovista.experiment, config_.rovista.scoring,
+       config_.rovista.num_threads});
+
+  if (!incremental) {
+    report.matrix_reset = true;
+    report.dirty_rows = v_count;
+    report.executed_pairs = report.total_pairs;
+    report.round = runner.run(vvps_, tnodes_);
+    store_.record(date, report.round.scores);
+    have_round_ = true;
+    return report;
+  }
+
+  // 3. Fingerprint every pair on the tracking world and find dirty rows.
+  const topology::Asn client_as = world_->client_as_a();
+  const net::Ipv4Address client_addr = world_->client_addr_a();
+  dataplane::DataPlane& plane = world_->plane();
+
+  std::vector<std::uint64_t> fingerprints(v_count * t_count, 0);
+  for (std::size_t v = 0; v < v_count; ++v) {
+    for (std::size_t t = 0; t < t_count; ++t) {
+      fingerprints[v * t_count + t] = dataplane::pair_fingerprint(
+          plane, client_as, client_addr, vvps_[v].asn, vvps_[v].address,
+          plane.as_of(tnodes_[t].address), tnodes_[t].address);
+    }
+  }
+
+  const bool cache_usable = cache_.matches(vvps_, tnodes_);
+  if (!cache_usable) {
+    cache_.reset(vvps_, tnodes_);
+    report.matrix_reset = true;
+  }
+
+  std::vector<std::size_t> dirty_rows;
+  dirty_rows.reserve(v_count);
+  for (std::size_t v = 0; v < v_count; ++v) {
+    bool row_dirty = !cache_usable;
+    for (std::size_t t = 0; !row_dirty && t < t_count; ++t) {
+      const CacheEntry* entry = cache_.lookup(v, t);
+      row_dirty =
+          entry == nullptr || entry->fingerprint != fingerprints[v * t_count + t];
+    }
+    if (row_dirty) dirty_rows.push_back(v);
+  }
+  report.dirty_rows = dirty_rows.size();
+  report.executed_pairs = dirty_rows.size() * t_count;
+  report.reused_pairs = report.total_pairs - report.executed_pairs;
+
+  // 4. Execute dirty rows in their canonical slots; merge cached
+  // observations for the clean rows.
+  core::MeasurementRound round;
+  round.observations.resize(v_count * t_count);
+  round.experiments_run = v_count * t_count;
+  if (round.experiments_run == 0) round.observations.clear();
+
+  runner.run_rows(vvps_, tnodes_, dirty_rows, round.observations);
+
+  std::size_t next_dirty = 0;
+  for (std::size_t v = 0; v < v_count; ++v) {
+    const bool executed =
+        next_dirty < dirty_rows.size() && dirty_rows[next_dirty] == v;
+    if (executed) {
+      ++next_dirty;
+      for (std::size_t t = 0; t < t_count; ++t) {
+        cache_.store(v, t, fingerprints[v * t_count + t],
+                     round.observations[v * t_count + t]);
+      }
+    } else {
+      for (std::size_t t = 0; t < t_count; ++t) {
+        round.observations[v * t_count + t] =
+            cache_.lookup(v, t)->observation;
+      }
+    }
+  }
+
+  round.inconclusive = count_inconclusive(round.observations);
+  round.scores =
+      core::aggregate_scores(round.observations, config_.rovista.scoring);
+  store_.record(date, round.scores);
+  report.round = std::move(round);
+  have_round_ = true;
+  return report;
+}
+
+}  // namespace rovista::incremental

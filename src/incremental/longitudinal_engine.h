@@ -1,0 +1,104 @@
+// Incremental longitudinal engine: runs a dated sequence of measurement
+// rounds against one evolving scenario, recomputing only what each
+// round's VRP delta actually dirtied.
+//
+// Per round the engine
+//   1. advances a long-lived *tracking* scenario to the round date,
+//      installing the new relying-party output via
+//      RoutingSystem::apply_vrp_delta so only dirty prefixes lose their
+//      converged routes (VrpDeltaComputer + DirtyPrefixTracker),
+//   2. reuses the previous round's vVP/tNode lists when provably nothing
+//      the acquisition pipeline reads changed (no timeline events and no
+//      announced prefix touched by the delta); otherwise re-acquires on
+//      a throwaway world exactly like a from-scratch round,
+//   3. fingerprints every (vVP, tNode) pair on the tracking world
+//      (dataplane/fingerprint.h) and re-runs — through the parallel
+//      engine's canonical slots (ParallelRoundRunner::run_rows) — only
+//      the vVP rows containing some pair whose fingerprint changed,
+//      merging cached observations for the rest (ScoreCache),
+//   4. aggregates and records the scores into a LongitudinalStore.
+//
+// Contract: every round's MeasurementRound is bit-identical to a full
+// from-scratch recompute at that date, for any thread count. Whenever a
+// precondition for reuse fails (lists changed, cache shape mismatch),
+// the engine falls back to the full path rather than guess — the cache
+// only ever skips work it can prove redundant. See DESIGN.md,
+// "Incremental longitudinal engine".
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/longitudinal.h"
+#include "core/rovista.h"
+#include "incremental/score_cache.h"
+#include "incremental/vrp_delta.h"
+#include "scenario/scenario.h"
+
+namespace rovista::incremental {
+
+using util::Date;
+
+struct IncrementalConfig {
+  scenario::ScenarioParams params;
+  core::RovistaConfig rovista;
+  /// false → every round is a plain full recompute (baseline mode; the
+  /// bench and the CLI's --incremental flag toggle this).
+  bool incremental = true;
+};
+
+/// What one round did and what it cost.
+struct RoundReport {
+  Date date;
+  std::size_t events = 0;            // timeline events applied this round
+  std::size_t vrp_announced = 0;     // VRP delta vs the previous round
+  std::size_t vrp_withdrawn = 0;
+  std::size_t touched_announced = 0; // announced prefixes covered by delta
+  std::size_t dirty_prefix_count = 0;  // announced prefixes whose validity
+                                       // flipped (re-converged in BGP)
+  bool discovery_reused = false;     // vVP/tNode lists carried over
+  bool matrix_reset = false;         // score cache had to start over
+  std::size_t total_rows = 0;        // vVP rows in the matrix
+  std::size_t dirty_rows = 0;        // rows actually re-measured
+  std::size_t total_pairs = 0;
+  std::size_t executed_pairs = 0;
+  std::size_t reused_pairs = 0;
+  core::MeasurementRound round;      // bit-identical to a full recompute
+};
+
+class IncrementalLongitudinalRunner {
+ public:
+  explicit IncrementalLongitudinalRunner(IncrementalConfig config);
+  ~IncrementalLongitudinalRunner();
+
+  /// Run the round at `date` (dates must be non-decreasing across calls)
+  /// and record its scores into the store.
+  RoundReport run_round(Date date);
+
+  const core::LongitudinalStore& store() const noexcept { return store_; }
+  const IncrementalConfig& config() const noexcept { return config_; }
+
+  /// Inputs of the most recent round (empty before the first).
+  const std::vector<scan::Vvp>& vvps() const noexcept { return vvps_; }
+  const std::vector<scan::Tnode>& tnodes() const noexcept { return tnodes_; }
+
+  /// The long-lived tracking world. Exposed so scenario-evolution
+  /// harnesses (bench_incremental_round) can feed extra repository
+  /// content — e.g. ROA churn in never-announced space — between
+  /// rounds. Mutate only the repositories: touching routing or host
+  /// state directly would invalidate the cache-soundness argument,
+  /// which assumes all control-plane change flows through advance_to.
+  scenario::Scenario& world() noexcept { return *world_; }
+
+ private:
+  IncrementalConfig config_;
+  std::unique_ptr<scenario::Scenario> world_;  // long-lived tracking world
+  ScoreCache cache_;
+  core::LongitudinalStore store_;
+  std::vector<scan::Vvp> vvps_;
+  std::vector<scan::Tnode> tnodes_;
+  bool have_round_ = false;
+};
+
+}  // namespace rovista::incremental

@@ -1,0 +1,62 @@
+#include "incremental/score_cache.h"
+
+#include <algorithm>
+
+namespace rovista::incremental {
+
+bool ScoreCache::matches(std::span<const scan::Vvp> vvps,
+                         std::span<const scan::Tnode> tnodes) const {
+  if (vvps.size() != vvp_addrs_.size() ||
+      tnodes.size() != tnode_addrs_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < vvps.size(); ++i) {
+    if (vvps[i].address.value() != vvp_addrs_[i]) return false;
+  }
+  for (std::size_t i = 0; i < tnodes.size(); ++i) {
+    if (tnodes[i].address.value() != tnode_addrs_[i]) return false;
+  }
+  return true;
+}
+
+void ScoreCache::reset(std::span<const scan::Vvp> vvps,
+                       std::span<const scan::Tnode> tnodes) {
+  vvp_addrs_.clear();
+  tnode_addrs_.clear();
+  vvp_addrs_.reserve(vvps.size());
+  tnode_addrs_.reserve(tnodes.size());
+  for (const scan::Vvp& v : vvps) vvp_addrs_.push_back(v.address.value());
+  for (const scan::Tnode& t : tnodes) {
+    tnode_addrs_.push_back(t.address.value());
+  }
+  entries_.assign(vvps.size() * tnodes.size(), std::nullopt);
+}
+
+const CacheEntry* ScoreCache::lookup(std::size_t v, std::size_t t) const {
+  const std::size_t index = v * tnode_addrs_.size() + t;
+  if (v >= vvp_addrs_.size() || t >= tnode_addrs_.size()) return nullptr;
+  const auto& entry = entries_[index];
+  return entry.has_value() ? &*entry : nullptr;
+}
+
+void ScoreCache::store(std::size_t v, std::size_t t,
+                       std::uint64_t fingerprint,
+                       const core::PairObservation& observation) {
+  const std::size_t index = v * tnode_addrs_.size() + t;
+  if (v >= vvp_addrs_.size() || t >= tnode_addrs_.size()) return;
+  entries_[index] = CacheEntry{fingerprint, observation};
+}
+
+std::size_t ScoreCache::entries() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const auto& e) { return e.has_value(); }));
+}
+
+void ScoreCache::clear() {
+  vvp_addrs_.clear();
+  tnode_addrs_.clear();
+  entries_.clear();
+}
+
+}  // namespace rovista::incremental

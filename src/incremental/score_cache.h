@@ -1,0 +1,63 @@
+// Reachability-aware cache of (vVP, tNode) measurement outcomes.
+//
+// A pair's experiment is a deterministic function of (a) the replica
+// world's control-plane state along the five directed paths the packets
+// traverse and (b) the pair's canonical time slot (core/parallel_round.h).
+// The cache therefore keys each prior observation by the pair's matrix
+// position and a reachability fingerprint (dataplane/fingerprint.h);
+// while the (vVP, tNode) matrix is unchanged and a pair's fingerprint
+// matches, the cached verdict equals what a fresh replica would measure,
+// so the pair (in fact its whole vVP row — rows are the atomic execution
+// unit, see DESIGN.md) can be skipped.
+//
+// Matrix identity is strict: any change to the vVP or tNode lists shifts
+// canonical slots, so the cache resets rather than guess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/scoring.h"
+#include "scan/tnode_discovery.h"
+#include "scan/vvp_discovery.h"
+
+namespace rovista::incremental {
+
+struct CacheEntry {
+  std::uint64_t fingerprint = 0;
+  core::PairObservation observation;
+};
+
+class ScoreCache {
+ public:
+  /// True if the cache currently describes exactly this (vVP, tNode)
+  /// matrix (same addresses, same order).
+  bool matches(std::span<const scan::Vvp> vvps,
+               std::span<const scan::Tnode> tnodes) const;
+
+  /// Reset to an empty cache shaped for this matrix.
+  void reset(std::span<const scan::Vvp> vvps,
+             std::span<const scan::Tnode> tnodes);
+
+  /// Entry for pair (v, t), or nullptr if never stored.
+  const CacheEntry* lookup(std::size_t v, std::size_t t) const;
+
+  /// Store (overwrite) the entry for pair (v, t).
+  void store(std::size_t v, std::size_t t, std::uint64_t fingerprint,
+             const core::PairObservation& observation);
+
+  std::size_t vvp_count() const noexcept { return vvp_addrs_.size(); }
+  std::size_t tnode_count() const noexcept { return tnode_addrs_.size(); }
+  std::size_t entries() const noexcept;
+
+  void clear();
+
+ private:
+  std::vector<std::uint32_t> vvp_addrs_;
+  std::vector<std::uint32_t> tnode_addrs_;
+  std::vector<std::optional<CacheEntry>> entries_;  // v * T + t
+};
+
+}  // namespace rovista::incremental

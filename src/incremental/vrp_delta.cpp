@@ -1,0 +1,32 @@
+#include "incremental/vrp_delta.h"
+
+#include <algorithm>
+#include <iterator>
+
+namespace rovista::incremental {
+
+std::vector<rpki::Vrp> VrpDeltaComputer::flatten(const rpki::VrpSet& vrps) {
+  std::vector<rpki::Vrp> out;
+  out.reserve(vrps.size());
+  vrps.for_each([&](const rpki::Vrp& v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+VrpDelta VrpDeltaComputer::diff(const rpki::VrpSet& prev,
+                                const rpki::VrpSet& next) {
+  return diff_sorted(flatten(prev), flatten(next));
+}
+
+VrpDelta VrpDeltaComputer::diff_sorted(std::span<const rpki::Vrp> prev,
+                                       std::span<const rpki::Vrp> next) {
+  VrpDelta delta;
+  std::set_difference(next.begin(), next.end(), prev.begin(), prev.end(),
+                      std::back_inserter(delta.announced));
+  std::set_difference(prev.begin(), prev.end(), next.begin(), next.end(),
+                      std::back_inserter(delta.withdrawn));
+  return delta;
+}
+
+}  // namespace rovista::incremental

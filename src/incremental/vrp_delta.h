@@ -1,0 +1,47 @@
+// VRP snapshot deltas — the announce/withdraw sets between two relying-
+// party runs.
+//
+// This is the same diff the RTR protocol (rpki/rtr.h) serves on the
+// wire: flatten both snapshots to sorted unique VRP vectors and take the
+// two set differences. rpki::rtr::Cache::publish computes it per serial
+// for routers; the incremental longitudinal engine computes it per
+// measurement round to decide what actually changed between consecutive
+// simulated days. A property test (tests/test_vrp_delta.cpp) pins the
+// two implementations to identical semantics.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rpki/validation.h"
+
+namespace rovista::incremental {
+
+/// The change-set between two VRP snapshots.
+struct VrpDelta {
+  std::vector<rpki::Vrp> announced;  // in next, not in prev (sorted)
+  std::vector<rpki::Vrp> withdrawn;  // in prev, not in next (sorted)
+
+  bool empty() const noexcept {
+    return announced.empty() && withdrawn.empty();
+  }
+  std::size_t size() const noexcept {
+    return announced.size() + withdrawn.size();
+  }
+};
+
+class VrpDeltaComputer {
+ public:
+  /// Flatten a VrpSet into the canonical sorted-unique vector form —
+  /// the exact normalization rtr::Cache::publish applies before diffing.
+  static std::vector<rpki::Vrp> flatten(const rpki::VrpSet& vrps);
+
+  /// Diff two snapshots (any internal order).
+  static VrpDelta diff(const rpki::VrpSet& prev, const rpki::VrpSet& next);
+
+  /// Diff two already-flattened (sorted unique) snapshots.
+  static VrpDelta diff_sorted(std::span<const rpki::Vrp> prev,
+                              std::span<const rpki::Vrp> next);
+};
+
+}  // namespace rovista::incremental

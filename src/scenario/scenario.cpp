@@ -71,11 +71,18 @@ Scenario::Scenario(ScenarioParams params)
 }
 
 void Scenario::advance_to(Date date) {
+  advance_to(date, [](bgp::RoutingSystem& routing, const rpki::VrpSet&,
+                      rpki::VrpSet next) { routing.set_vrps(std::move(next)); });
+}
+
+AdvanceStats Scenario::advance_to(Date date, const VrpInstaller& installer) {
   assert(date >= current_);
+  AdvanceStats stats;
   while (policy_applied_ < policy_events_.size() &&
          policy_events_[policy_applied_].date <= date) {
     const PolicyEvent& ev = policy_events_[policy_applied_++];
     routing_->set_policy(ev.asn, ev.policy);
+    ++stats.policy_events;
   }
   while (announce_applied_ < announce_events_.size() &&
          announce_events_[announce_applied_].date <= date) {
@@ -85,6 +92,7 @@ void Scenario::advance_to(Date date) {
     } else {
       routing_->withdraw(ev.announcement);
     }
+    ++stats.announce_events;
   }
   while (relationship_applied_ < relationship_events_.size() &&
          relationship_events_[relationship_applied_].date <= date) {
@@ -92,10 +100,13 @@ void Scenario::advance_to(Date date) {
         relationship_events_[relationship_applied_++];
     graph_.set_relationship(ev.a, ev.b, ev.kind_of_b);
     routing_->invalidate_all();
+    ++stats.relationship_events;
   }
   current_ = date;
-  vrps_ = rpki::run_relying_party(*repos_, date).vrps;
-  routing_->set_vrps(vrps_);
+  rpki::VrpSet next = rpki::run_relying_party(*repos_, date).vrps;
+  installer(*routing_, vrps_, next);
+  vrps_ = std::move(next);
+  return stats;
 }
 
 bgp::RovMode Scenario::true_mode(Asn asn, Date date) const {

@@ -9,6 +9,7 @@
 // (who really deploys ROV when) for the validation harness only.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -125,6 +126,26 @@ struct ScenarioParams {
   int collector_peer_count = 40;
 };
 
+/// What an advance_to() call actually changed (event counts by kind).
+struct AdvanceStats {
+  std::size_t policy_events = 0;
+  std::size_t announce_events = 0;
+  std::size_t relationship_events = 0;
+
+  std::size_t events() const noexcept {
+    return policy_events + announce_events + relationship_events;
+  }
+};
+
+/// Hook deciding how a fresh relying-party output reaches the routing
+/// system. Receives the previous VRP set (still installed) and the new
+/// one (by value — the scenario keeps its own copy). The default simply
+/// calls RoutingSystem::set_vrps; the incremental engine substitutes a
+/// delta-driven apply_vrp_delta instead (incremental/longitudinal_engine
+/// .cpp) without scenario depending on the incremental subsystem.
+using VrpInstaller = std::function<void(
+    bgp::RoutingSystem&, const rpki::VrpSet& prev, rpki::VrpSet next)>;
+
 class Scenario {
  public:
   explicit Scenario(ScenarioParams params);
@@ -149,6 +170,10 @@ class Scenario {
   /// announcement churn, re-runs the relying party, and refreshes the
   /// routing system's VRP view.
   void advance_to(Date date);
+
+  /// Same, but the new relying-party output is handed to `installer`
+  /// instead of set_vrps. Returns how many timeline events were applied.
+  AdvanceStats advance_to(Date date, const VrpInstaller& installer);
 
   /// The relying-party output at the current date.
   const rpki::VrpSet& current_vrps() const noexcept { return vrps_; }

@@ -1,0 +1,196 @@
+// The incremental engine's strict contract (incremental/
+// longitudinal_engine.h): every round's MeasurementRound — observations,
+// scores, counters — is bit-identical to a from-scratch full recompute
+// at that date, for any thread count, and the published CSV datasets
+// match byte for byte. Also pins that the machinery actually engages:
+// a repeated date reuses everything.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/incremental_runner.h"
+#include "core/publish.h"
+#include "round_fixture.h"
+
+namespace {
+
+using namespace rovista;
+
+std::vector<util::Date> round_dates(const scenario::ScenarioParams& params) {
+  // Spread over the window so the timeline contributes ROV enablements
+  // and announcement churn between rounds.
+  return {params.start + 150, params.start + 171, params.start + 215};
+}
+
+core::IncrementalConfig engine_config(bool incremental, int num_threads) {
+  core::IncrementalConfig config;
+  config.params = testfx::round_params();
+  const core::RovistaConfig rovista = testfx::round_config();
+  config.rovista = rovista;
+  config.rovista.num_threads = num_threads;
+  config.incremental = incremental;
+  return config;
+}
+
+void expect_bit_identical(const core::MeasurementRound& a,
+                          const core::MeasurementRound& b,
+                          const char* label) {
+  EXPECT_EQ(a.experiments_run, b.experiments_run) << label;
+  EXPECT_EQ(a.inconclusive, b.inconclusive) << label;
+  ASSERT_EQ(a.observations.size(), b.observations.size()) << label;
+  for (std::size_t i = 0; i < a.observations.size(); ++i) {
+    const core::PairObservation& x = a.observations[i];
+    const core::PairObservation& y = b.observations[i];
+    ASSERT_EQ(x.vvp_as, y.vvp_as) << label << " observation " << i;
+    ASSERT_EQ(x.vvp.value(), y.vvp.value()) << label << " observation " << i;
+    ASSERT_EQ(x.tnode.value(), y.tnode.value())
+        << label << " observation " << i;
+    ASSERT_EQ(x.verdict, y.verdict) << label << " observation " << i;
+  }
+  ASSERT_EQ(a.scores.size(), b.scores.size()) << label;
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    const core::AsScore& x = a.scores[i];
+    const core::AsScore& y = b.scores[i];
+    ASSERT_EQ(x.asn, y.asn) << label;
+    ASSERT_EQ(std::memcmp(&x.score, &y.score, sizeof(double)), 0)
+        << label << " AS" << x.asn << ": " << x.score << " vs " << y.score;
+    ASSERT_EQ(x.vvp_count, y.vvp_count) << label;
+    ASSERT_EQ(x.tnodes_consistent, y.tnodes_consistent) << label;
+    ASSERT_EQ(x.tnodes_outbound, y.tnodes_outbound) << label;
+    ASSERT_EQ(x.tnodes_inconsistent, y.tnodes_inconsistent) << label;
+  }
+}
+
+std::map<std::string, std::string> read_dir(
+    const std::filesystem::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream f(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    files[entry.path().filename().string()] = buf.str();
+  }
+  return files;
+}
+
+class IncrementalRound : public ::testing::Test {
+ protected:
+  // One full-recompute baseline per date, shared across the per-thread-
+  // count test cases.
+  static void SetUpTestSuite() {
+    baseline_ = new core::IncrementalLongitudinalRunner(
+        engine_config(/*incremental=*/false, /*num_threads=*/0));
+    baseline_rounds_ = new std::vector<core::RoundReport>();
+    for (const util::Date date : round_dates(baseline_->config().params)) {
+      baseline_rounds_->push_back(baseline_->run_round(date));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete baseline_rounds_;
+    delete baseline_;
+    baseline_rounds_ = nullptr;
+    baseline_ = nullptr;
+  }
+
+  static void expect_incremental_matches_baseline(int num_threads) {
+    core::IncrementalLongitudinalRunner runner(
+        engine_config(/*incremental=*/true, num_threads));
+    const auto dates = round_dates(runner.config().params);
+    for (std::size_t i = 0; i < dates.size(); ++i) {
+      const core::RoundReport report = runner.run_round(dates[i]);
+      const std::string label = dates[i].to_string() + " @ " +
+                                std::to_string(num_threads) + " threads";
+      expect_bit_identical((*baseline_rounds_)[i].round, report.round,
+                           label.c_str());
+    }
+  }
+
+  static core::IncrementalLongitudinalRunner* baseline_;
+  static std::vector<core::RoundReport>* baseline_rounds_;
+};
+
+core::IncrementalLongitudinalRunner* IncrementalRound::baseline_ = nullptr;
+std::vector<core::RoundReport>* IncrementalRound::baseline_rounds_ = nullptr;
+
+TEST_F(IncrementalRound, FixtureIsNonTrivial) {
+  ASSERT_EQ(baseline_rounds_->size(), 3u);
+  for (const core::RoundReport& report : *baseline_rounds_) {
+    EXPECT_GE(report.total_rows, 9u);
+    EXPECT_GT(report.total_pairs, 0u);
+    EXPECT_FALSE(report.round.scores.empty());
+  }
+  // The window between rounds must exercise real change, or the
+  // incremental comparison would be vacuous.
+  EXPECT_GT((*baseline_rounds_)[1].events + (*baseline_rounds_)[1].vrp_announced +
+                (*baseline_rounds_)[2].events +
+                (*baseline_rounds_)[2].vrp_announced,
+            0u);
+}
+
+TEST_F(IncrementalRound, SerialMatchesFullRecompute) {
+  expect_incremental_matches_baseline(1);
+}
+
+TEST_F(IncrementalRound, TwoThreadsMatchFullRecompute) {
+  expect_incremental_matches_baseline(2);
+}
+
+TEST_F(IncrementalRound, FourThreadsMatchFullRecompute) {
+  expect_incremental_matches_baseline(4);
+}
+
+TEST_F(IncrementalRound, EightThreadsMatchFullRecompute) {
+  expect_incremental_matches_baseline(8);
+}
+
+TEST_F(IncrementalRound, PublishedDatasetsAreByteIdentical) {
+  core::IncrementalLongitudinalRunner runner(
+      engine_config(/*incremental=*/true, /*num_threads=*/4));
+  for (const util::Date date : round_dates(runner.config().params)) {
+    runner.run_round(date);
+  }
+
+  const auto tmp = std::filesystem::temp_directory_path();
+  const auto full_dir = tmp / "rovista_incr_test_full";
+  const auto incr_dir = tmp / "rovista_incr_test_incr";
+  std::filesystem::remove_all(full_dir);
+  std::filesystem::remove_all(incr_dir);
+  ASSERT_TRUE(core::publish_scores(baseline_->store(), full_dir.string())
+                  .has_value());
+  ASSERT_TRUE(
+      core::publish_scores(runner.store(), incr_dir.string()).has_value());
+
+  const auto full_files = read_dir(full_dir);
+  const auto incr_files = read_dir(incr_dir);
+  EXPECT_EQ(full_files, incr_files);  // same file names, same bytes
+
+  std::filesystem::remove_all(full_dir);
+  std::filesystem::remove_all(incr_dir);
+}
+
+TEST_F(IncrementalRound, RepeatedDateReusesEverything) {
+  core::IncrementalLongitudinalRunner runner(
+      engine_config(/*incremental=*/true, /*num_threads=*/2));
+  const auto dates = round_dates(runner.config().params);
+  const core::RoundReport first = runner.run_round(dates[0]);
+  EXPECT_EQ(first.dirty_rows, first.total_rows);  // cold cache: all rows
+
+  const core::RoundReport again = runner.run_round(dates[0]);
+  EXPECT_TRUE(again.discovery_reused);
+  EXPECT_FALSE(again.matrix_reset);
+  EXPECT_EQ(again.events, 0u);
+  EXPECT_EQ(again.vrp_announced + again.vrp_withdrawn, 0u);
+  EXPECT_EQ(again.dirty_rows, 0u);
+  EXPECT_EQ(again.executed_pairs, 0u);
+  EXPECT_EQ(again.reused_pairs, again.total_pairs);
+  expect_bit_identical(first.round, again.round, "repeated date");
+}
+
+}  // namespace

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -365,16 +366,29 @@ TEST(ThreadPool, RunsEverySubmittedTask) {
 }
 
 TEST(ThreadPool, IdleWorkersStealFromLoadedQueue) {
-  // All tasks land on worker 0's deque; with enough work in flight the
-  // siblings steal. Each task records which worker ran it.
+  // Pin one worker in a gate task, then load that worker's own queue:
+  // the gated worker can't touch it, so every counted task that runs
+  // was stolen by a sibling. (A gate task's home queue is only a hint —
+  // the gate itself may be stolen — so the test asks the gate which
+  // worker it landed on instead of assuming worker 0.)
   ThreadPool pool(4);
   std::atomic<int> per_worker[4] = {};
   std::atomic<int> total{0};
+  std::atomic<int> gate_worker{-1};
+  std::atomic<bool> release{false};
+  pool.submit_to(0, [&gate_worker, &release] {
+    gate_worker.store(ThreadPool::worker_index(),
+                      std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (gate_worker.load(std::memory_order_acquire) < 0) {
+    std::this_thread::yield();
+  }
+  const int gated = gate_worker.load(std::memory_order_relaxed);
   for (int i = 0; i < 2000; ++i) {
-    pool.submit_to(0, [&per_worker, &total] {
-      // A little spin so the producer outruns a single consumer.
-      volatile int x = 0;
-      for (int k = 0; k < 2000; ++k) x += k;
+    pool.submit_to(gated, [&per_worker, &total] {
       const int w = ThreadPool::worker_index();
       ASSERT_GE(w, 0);
       ASSERT_LT(w, 4);
@@ -382,13 +396,22 @@ TEST(ThreadPool, IdleWorkersStealFromLoadedQueue) {
       total.fetch_add(1, std::memory_order_relaxed);
     });
   }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (total.load(std::memory_order_relaxed) < 2000 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  const int stolen = total.load(std::memory_order_relaxed);
+  release.store(true, std::memory_order_release);
   pool.wait_idle();
-  EXPECT_EQ(total.load(), 2000);
+  EXPECT_EQ(stolen, 2000) << "siblings never drained the loaded queue";
+  EXPECT_EQ(per_worker[gated].load(), 0);
   int participating = 0;
   for (const auto& n : per_worker) {
     if (n.load() > 0) ++participating;
   }
-  EXPECT_GE(participating, 2) << "no task was ever stolen";
+  EXPECT_GE(participating, 1) << "no task was ever stolen";
 }
 
 TEST(ThreadPool, WorkerIndexIsMinusOneOutsidePool) {

@@ -1,0 +1,166 @@
+// VrpDeltaComputer unit tests plus the protocol property: the delta the
+// computer derives for a snapshot pair is exactly the announce/withdraw
+// PDU stream an RFC 8210 cache serves a router holding the old serial.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "incremental/vrp_delta.h"
+#include "rpki/rtr.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rovista;
+using rovista::incremental::VrpDelta;
+using rovista::incremental::VrpDeltaComputer;
+
+net::Ipv4Prefix pfx(const char* s) { return *net::Ipv4Prefix::parse(s); }
+
+rpki::Vrp vrp(const char* prefix, std::uint8_t max_len, std::uint32_t asn) {
+  return rpki::Vrp{pfx(prefix), max_len, asn};
+}
+
+rpki::VrpSet make_set(const std::vector<rpki::Vrp>& vrps) {
+  rpki::VrpSet set;
+  for (const rpki::Vrp& v : vrps) set.add(v);
+  return set;
+}
+
+TEST(VrpDelta, IdenticalSnapshotsYieldEmptyDelta) {
+  const auto set = make_set({vrp("10.0.0.0/16", 24, 65001),
+                             vrp("10.1.0.0/16", 16, 65002)});
+  const VrpDelta delta = VrpDeltaComputer::diff(set, set);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(delta.size(), 0u);
+}
+
+TEST(VrpDelta, PureAnnouncement) {
+  const auto prev = make_set({vrp("10.0.0.0/16", 24, 65001)});
+  const auto next = make_set(
+      {vrp("10.0.0.0/16", 24, 65001), vrp("10.1.0.0/16", 16, 65002)});
+  const VrpDelta delta = VrpDeltaComputer::diff(prev, next);
+  ASSERT_EQ(delta.announced.size(), 1u);
+  EXPECT_EQ(delta.announced[0], vrp("10.1.0.0/16", 16, 65002));
+  EXPECT_TRUE(delta.withdrawn.empty());
+}
+
+TEST(VrpDelta, PureWithdrawal) {
+  const auto prev = make_set(
+      {vrp("10.0.0.0/16", 24, 65001), vrp("10.1.0.0/16", 16, 65002)});
+  const auto next = make_set({vrp("10.0.0.0/16", 24, 65001)});
+  const VrpDelta delta = VrpDeltaComputer::diff(prev, next);
+  EXPECT_TRUE(delta.announced.empty());
+  ASSERT_EQ(delta.withdrawn.size(), 1u);
+  EXPECT_EQ(delta.withdrawn[0], vrp("10.1.0.0/16", 16, 65002));
+}
+
+TEST(VrpDelta, MaxLengthChangeIsWithdrawPlusAnnounce) {
+  // Same (prefix, asn) with a new max_length is a different VRP — RFC
+  // 8210 has no "update" PDU, so it must appear on both sides.
+  const auto prev = make_set({vrp("10.0.0.0/16", 16, 65001)});
+  const auto next = make_set({vrp("10.0.0.0/16", 24, 65001)});
+  const VrpDelta delta = VrpDeltaComputer::diff(prev, next);
+  ASSERT_EQ(delta.announced.size(), 1u);
+  ASSERT_EQ(delta.withdrawn.size(), 1u);
+  EXPECT_EQ(delta.announced[0].max_length, 24);
+  EXPECT_EQ(delta.withdrawn[0].max_length, 16);
+}
+
+TEST(VrpDelta, FlattenDeduplicates) {
+  rpki::VrpSet set;
+  set.add(vrp("10.0.0.0/16", 24, 65001));
+  set.add(vrp("10.0.0.0/16", 24, 65001));  // duplicate entry in the trie
+  const auto flat = VrpDeltaComputer::flatten(set);
+  EXPECT_EQ(flat.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(flat.begin(), flat.end()));
+}
+
+// ---------- property: delta ≡ rtr::Cache serial diff ----------
+
+std::vector<rpki::Vrp> random_vrps(util::Rng& rng, std::size_t count) {
+  std::vector<rpki::Vrp> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // A deliberately small space so snapshots overlap and collide.
+    const std::uint32_t octet2 = static_cast<std::uint32_t>(
+        rng.uniform_u64(0, 7));
+    const std::uint8_t length = rng.bernoulli(0.5) ? 16 : 20;
+    const net::Ipv4Address addr((10u << 24) | (octet2 << 16));
+    const net::Ipv4Prefix prefix(addr, length);
+    const std::uint8_t max_length = static_cast<std::uint8_t>(
+        rng.uniform_u64(length, 24));
+    const std::uint32_t asn =
+        static_cast<std::uint32_t>(rng.uniform_u64(65000, 65007));
+    out.push_back(rpki::Vrp{prefix, max_length, asn});
+  }
+  return out;
+}
+
+// Serve the router's Serial Query for the pre-`next` serial and split the
+// resulting Prefix PDUs by their announce flag.
+VrpDelta delta_via_rtr(const rpki::VrpSet& prev, const rpki::VrpSet& next) {
+  rpki::rtr::Cache cache(0x5157);
+  const std::uint32_t serial_prev = cache.publish(prev);
+  cache.publish(next);
+
+  std::vector<rpki::rtr::Pdu> response;
+  cache.handle(rpki::rtr::make_serial_query(cache.session_id(), serial_prev),
+               response);
+
+  VrpDelta delta;
+  bool saw_cache_response = false;
+  bool saw_end_of_data = false;
+  for (const rpki::rtr::Pdu& pdu : response) {
+    switch (pdu.type) {
+      case rpki::rtr::PduType::kCacheResponse:
+        saw_cache_response = true;
+        break;
+      case rpki::rtr::PduType::kIpv4Prefix: {
+        const rpki::Vrp v{net::Ipv4Prefix(pdu.prefix, pdu.prefix_length),
+                          pdu.max_length, pdu.asn};
+        (pdu.announce ? delta.announced : delta.withdrawn).push_back(v);
+        break;
+      }
+      case rpki::rtr::PduType::kEndOfData:
+        saw_end_of_data = true;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected PDU type in serial response";
+    }
+  }
+  EXPECT_TRUE(saw_cache_response);
+  EXPECT_TRUE(saw_end_of_data);
+  std::sort(delta.announced.begin(), delta.announced.end());
+  std::sort(delta.withdrawn.begin(), delta.withdrawn.end());
+  return delta;
+}
+
+TEST(VrpDeltaProperty, MatchesRtrSerialDiff) {
+  util::Rng rng(20230912);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto prev_vrps =
+        random_vrps(rng, static_cast<std::size_t>(rng.uniform_u64(0, 24)));
+    auto next_vrps = prev_vrps;
+    // Mutate: drop a suffix, then add fresh draws.
+    if (!next_vrps.empty()) {
+      next_vrps.resize(static_cast<std::size_t>(
+          rng.uniform_u64(0, next_vrps.size())));
+    }
+    const auto added =
+        random_vrps(rng, static_cast<std::size_t>(rng.uniform_u64(0, 12)));
+    next_vrps.insert(next_vrps.end(), added.begin(), added.end());
+
+    const rpki::VrpSet prev = make_set(prev_vrps);
+    const rpki::VrpSet next = make_set(next_vrps);
+
+    const VrpDelta computed = VrpDeltaComputer::diff(prev, next);
+    const VrpDelta via_rtr = delta_via_rtr(prev, next);
+
+    EXPECT_EQ(computed.announced, via_rtr.announced) << "trial " << trial;
+    EXPECT_EQ(computed.withdrawn, via_rtr.withdrawn) << "trial " << trial;
+  }
+}
+
+}  // namespace

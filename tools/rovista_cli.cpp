@@ -9,6 +9,12 @@
 //            full series)
 //   audit    --seed N --asn N [--date YYYY-MM-DD]
 //            audit one AS: score, per-tNode verdicts, leak paths
+//   longitudinal
+//            --seed N --rounds N [--interval-days N] [--threads N]
+//            [--incremental on|off] [--out FILE] [--publish DIR]
+//            run a dated sequence of rounds through the incremental
+//            engine (or full recompute per round with --incremental
+//            off) and emit a per-round CSV series
 //
 // Everything is deterministic in --seed; see README.md for the library
 // behind it.
@@ -21,6 +27,7 @@
 #include <fstream>
 
 #include "bgp/mrt.h"
+#include "core/incremental_runner.h"
 #include "core/publish.h"
 #include "core/rovista.h"
 #include "dataplane/traceroute.h"
@@ -63,7 +70,15 @@ int usage() {
       "          replicas (output bit-identical for any count >= 1,\n"
       "          see DESIGN.md)\n"
       "  query   --dir DIR [--asn N]                    read a dataset\n"
-      "  audit   --seed N --asn N [--date YYYY-MM-DD]   audit one AS\n");
+      "  audit   --seed N --asn N [--date YYYY-MM-DD]   audit one AS\n"
+      "  longitudinal --seed N --rounds N [--interval-days N]\n"
+      "          [--threads N] [--incremental on|off] [--out FILE]\n"
+      "          [--publish DIR]\n"
+      "          run a dated round sequence; VRP deltas drive dirty-\n"
+      "          prefix recomputation and a reachability-aware score\n"
+      "          cache unless --incremental off forces full recompute\n"
+      "          per round (scores identical either way); the per-round\n"
+      "          series goes to --out as CSV\n");
   return 2;
 }
 
@@ -258,6 +273,88 @@ int cmd_audit(const Args& args) {
   return 0;
 }
 
+int cmd_longitudinal(const Args& args) {
+  std::uint64_t seed = 42;
+  if (const char* s = args.get("seed")) util::parse_u64(s, seed);
+  std::uint64_t rounds = 0;
+  if (const char* r = args.get("rounds")) util::parse_u64(r, rounds);
+  if (rounds == 0) return usage();
+  std::uint64_t interval_days = 30;
+  if (const char* i = args.get("interval-days")) {
+    util::parse_u64(i, interval_days);
+  }
+  if (interval_days == 0) interval_days = 1;
+  std::uint64_t threads = 0;
+  if (const char* t = args.get("threads")) util::parse_u64(t, threads);
+  const char* mode = args.get("incremental", "on");
+  if (std::strcmp(mode, "on") != 0 && std::strcmp(mode, "off") != 0) {
+    return usage();
+  }
+
+  core::IncrementalConfig config;
+  config.params.seed = seed;
+  config.rovista.scoring.min_vvps_per_as = 2;
+  config.rovista.scoring.min_tnodes = 3;
+  config.rovista.num_threads = static_cast<int>(threads);
+  config.incremental = std::strcmp(mode, "on") == 0;
+
+  util::Date date = config.params.start;
+  if (const char* d = args.get("start")) util::Date::parse(d, date);
+
+  std::printf("running %llu rounds (seed %llu, incremental %s) ...\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(seed), mode);
+  core::IncrementalLongitudinalRunner runner(config);
+  std::string csv =
+      "date,events,vrp_announced,vrp_withdrawn,dirty_prefixes,"
+      "discovery_reused,dirty_rows,total_rows,executed_pairs,reused_pairs,"
+      "ases_scored\n";
+  for (std::uint64_t i = 0; i < rounds; ++i) {
+    util::Date end = config.params.end;
+    if (date > end) date = end;
+    const core::RoundReport report = runner.run_round(date);
+    std::printf(
+        "%s  events=%zu vrp+%zu/-%zu dirty_prefixes=%zu rows %zu/%zu "
+        "pairs %zu run / %zu cached  ases=%zu\n",
+        report.date.to_string().c_str(), report.events, report.vrp_announced,
+        report.vrp_withdrawn, report.dirty_prefix_count, report.dirty_rows,
+        report.total_rows, report.executed_pairs, report.reused_pairs,
+        report.round.scores.size());
+    csv += report.date.to_string() + ',' + std::to_string(report.events) +
+           ',' + std::to_string(report.vrp_announced) + ',' +
+           std::to_string(report.vrp_withdrawn) + ',' +
+           std::to_string(report.dirty_prefix_count) + ',' +
+           (report.discovery_reused ? "1" : "0") + ',' +
+           std::to_string(report.dirty_rows) + ',' +
+           std::to_string(report.total_rows) + ',' +
+           std::to_string(report.executed_pairs) + ',' +
+           std::to_string(report.reused_pairs) + ',' +
+           std::to_string(report.round.scores.size()) + '\n';
+    date = date + static_cast<int>(interval_days);
+  }
+
+  if (const char* out = args.get("out")) {
+    std::ofstream f(out);
+    f << csv;
+    if (!f) {
+      std::fprintf(stderr, "error: could not write %s\n", out);
+      return 1;
+    }
+    std::printf("wrote round series to %s\n", out);
+  } else {
+    std::printf("%s", csv.c_str());
+  }
+  if (const char* publish = args.get("publish")) {
+    const auto written = core::publish_scores(runner.store(), publish);
+    if (!written.has_value()) {
+      std::fprintf(stderr, "error: could not write %s\n", publish);
+      return 1;
+    }
+    std::printf("published %zu snapshot(s) under %s\n", *written, publish);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,5 +363,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "measure") == 0) return cmd_measure(args);
   if (std::strcmp(argv[1], "query") == 0) return cmd_query(args);
   if (std::strcmp(argv[1], "audit") == 0) return cmd_audit(args);
+  if (std::strcmp(argv[1], "longitudinal") == 0) {
+    return cmd_longitudinal(args);
+  }
   return usage();
 }
