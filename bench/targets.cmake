@@ -38,6 +38,7 @@ target_link_libraries(bench_perf_kernels PRIVATE
 
 rovista_bench(bench_parallel_round)
 rovista_bench(bench_incremental_round)
+rovista_bench(bench_checkpoint)
 rovista_bench(bench_ablation_detection)
 rovista_bench(bench_ablation_tnode_depletion)
 rovista_bench(bench_ablation_rov_modes)

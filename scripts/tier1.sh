@@ -6,7 +6,13 @@
 #      pool / logging tests — and a TSan-clean run of it,
 #   3. ASan+UBSan build (-DSANITIZE=address+undefined) of the
 #      incremental-engine surface — delta computation, the longitudinal
-#      index, and the cache-reuse rounds — and a clean run of it.
+#      index, the cache-reuse rounds, and the checkpoint codec's
+#      corruption/truncation battery (the loader must stay clean on
+#      attacker-grade input) — and a clean run of it,
+#   4. crash/resume end-to-end: a 6-round series killed after round 3
+#      (--die-after simulates SIGKILL: no destructors, no exit
+#      checkpoint), resumed from its checkpoint at a different thread
+#      count, must publish CSVs byte-identical to an uninterrupted run.
 # ctest gets -j consistently; override parallelism with JOBS=N.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,8 +31,33 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 
 cmake -B build-asan -S . -DSANITIZE=address+undefined
 cmake --build build-asan -j "$JOBS" \
-  --target test_vrp_delta test_longitudinal_index test_incremental_round
+  --target test_vrp_delta test_longitudinal_index test_incremental_round \
+           test_checkpoint
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'VrpDelta|LongitudinalIndex|IncrementalRound'
+  -R 'VrpDelta|LongitudinalIndex|IncrementalRound|Wire|Checkpoint|ScoreCacheRestore'
 
-echo "tier-1 OK (tests + TSan parallel round + ASan/UBSan incremental)"
+CK_TMP="$(mktemp -d)"
+trap 'rm -rf "$CK_TMP"' EXIT
+CLI=build/tools/rovista
+set +e
+"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
+  --checkpoint-dir "$CK_TMP/ck" --die-after 3 >/dev/null
+status=$?
+set -e
+if [ "$status" -ne 137 ]; then
+  echo "expected the --die-after run to die with 137, got $status" >&2
+  exit 1
+fi
+"$CLI" checkpoint inspect --dir "$CK_TMP/ck" >/dev/null
+"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
+  --checkpoint-dir "$CK_TMP/ck" --resume --threads 4 \
+  --publish "$CK_TMP/resumed" >/dev/null
+"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
+  --publish "$CK_TMP/uninterrupted" >/dev/null
+diff -r "$CK_TMP/resumed" "$CK_TMP/uninterrupted" >/dev/null || {
+  echo "resumed series published different CSV bytes" >&2
+  exit 1
+}
+
+echo "tier-1 OK (tests + TSan parallel round + ASan/UBSan incremental" \
+     "+ checkpoint corruption battery + crash/resume byte-diff)"

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace rovista::core {
@@ -50,50 +51,86 @@ std::optional<std::size_t> publish_scores(const LongitudinalStore& store,
 
 namespace {
 
-std::optional<std::vector<std::vector<std::string>>> read_csv(
-    const std::string& path) {
+struct CsvRow {
+  int line = 0;  // 1-based physical line in the file (for diagnostics)
+  std::vector<std::string> fields;
+};
+
+std::optional<std::vector<CsvRow>> read_csv(const std::string& path) {
   std::ifstream f(path);
   if (!f) return std::nullopt;
-  std::vector<std::vector<std::string>> rows;
+  std::vector<CsvRow> rows;
   std::string line;
+  int lineno = 0;
   while (std::getline(f, line)) {
+    ++lineno;
     if (line.empty()) continue;
-    std::vector<std::string> fields;
+    CsvRow row;
+    row.line = lineno;
     // The published files contain no quoted fields; a plain split works.
     for (const auto part : util::split(line, ',')) {
-      fields.emplace_back(part);
+      row.fields.emplace_back(part);
     }
-    rows.push_back(std::move(fields));
+    rows.push_back(std::move(row));
   }
   if (rows.empty()) return std::nullopt;
   return rows;
 }
 
+// Every load_scores refusal names the offending file (and line, when
+// there is one) through the logging sink, so a corrupted dataset is
+// diagnosable instead of a bare nullopt.
+void reject(const std::string& path, int line, const std::string& why) {
+  std::string msg = "publish: " + path;
+  if (line > 0) msg += ":" + std::to_string(line);
+  util::log(util::LogLevel::kWarn, msg + ": " + why);
+}
+
 }  // namespace
 
 std::optional<LongitudinalStore> load_scores(const std::string& directory) {
-  const auto index = read_csv((fs::path(directory) / "index.csv").string());
-  if (!index.has_value()) return std::nullopt;
+  const std::string index_path = (fs::path(directory) / "index.csv").string();
+  const auto index = read_csv(index_path);
+  if (!index.has_value()) {
+    reject(index_path, 0, "missing, unreadable or empty");
+    return std::nullopt;
+  }
 
   LongitudinalStore store;
   for (std::size_t i = 1; i < index->size(); ++i) {  // skip header
-    const auto& row = (*index)[i];
-    if (row.empty()) return std::nullopt;
+    const CsvRow& row = (*index)[i];
     util::Date date;
-    if (!util::Date::parse(row[0], date)) return std::nullopt;
+    if (!util::Date::parse(row.fields[0], date)) {
+      reject(index_path, row.line,
+             "bad date '" + row.fields[0] + "' (want YYYY-MM-DD)");
+      return std::nullopt;
+    }
 
-    const std::string filename = "scores-" + row[0] + ".csv";
-    const auto rows = read_csv((fs::path(directory) / filename).string());
-    if (!rows.has_value()) return std::nullopt;
+    const std::string snapshot_path =
+        (fs::path(directory) / ("scores-" + row.fields[0] + ".csv")).string();
+    const auto rows = read_csv(snapshot_path);
+    if (!rows.has_value()) {
+      reject(snapshot_path, 0, "missing, unreadable or empty");
+      return std::nullopt;
+    }
 
     std::vector<AsScore> scores;
     for (std::size_t r = 1; r < rows->size(); ++r) {
-      const auto& fields = (*rows)[r];
-      if (fields.size() < 2) return std::nullopt;
+      const CsvRow& entry = (*rows)[r];
+      if (entry.fields.size() < 2) {
+        reject(snapshot_path, entry.line, "expected at least asn,score");
+        return std::nullopt;
+      }
       std::uint64_t asn = 0;
       double score = 0.0;
-      if (!util::parse_u64(fields[0], asn) ||
-          !util::parse_double(fields[1], score)) {
+      if (!util::parse_u64(entry.fields[0], asn)) {
+        reject(snapshot_path, entry.line,
+               "bad asn '" + entry.fields[0] + "'");
+        return std::nullopt;
+      }
+      if (!util::parse_double(entry.fields[1], score)) {
+        reject(snapshot_path, entry.line,
+               "bad score '" + entry.fields[1] + "'");
         return std::nullopt;
       }
       AsScore s;

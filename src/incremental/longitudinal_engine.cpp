@@ -1,12 +1,18 @@
 #include "incremental/longitudinal_engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "dataplane/fingerprint.h"
 #include "incremental/dirty_prefix.h"
+#include "persist/checkpoint_io.h"
+#include "persist/wire.h"
 #include "scan/measurement_client.h"
+#include "util/logging.h"
 
 namespace rovista::incremental {
+
+using util::LogLevel;
 
 namespace {
 
@@ -45,6 +51,105 @@ std::size_t count_inconclusive(
   return n;
 }
 
+// The one VRP install path, shared by run_round and checkpoint replay:
+// resume bit-identity rests on the replayed world evolving through the
+// very same delta/dirty computation and install call as the original
+// process did. `report` is optional (replay has none).
+scenario::VrpInstaller make_vrp_installer(bool incremental,
+                                          RoundReport* report) {
+  return [incremental, report](bgp::RoutingSystem& routing,
+                               const rpki::VrpSet& prev, rpki::VrpSet next) {
+    const VrpDelta delta = VrpDeltaComputer::diff(prev, next);
+    const DirtyPrefixTracker tracker(delta);
+    const std::size_t touched = tracker.touched_announced(routing);
+    std::vector<net::Ipv4Prefix> dirty =
+        tracker.dirty_prefixes(prev, next, routing);
+    if (report != nullptr) {
+      report->vrp_announced = delta.announced.size();
+      report->vrp_withdrawn = delta.withdrawn.size();
+      report->touched_announced = touched;
+      report->dirty_prefix_count = dirty.size();
+    }
+    if (incremental) {
+      routing.apply_vrp_delta(std::move(next), dirty);
+    } else {
+      routing.set_vrps(std::move(next));
+    }
+  };
+}
+
+// Digest helpers: every field that can change measurement output feeds
+// the writer. kDigestSchema bumps whenever the field set changes, so an
+// old checkpoint meets a clean digest mismatch instead of a stale hash
+// collision (docs/FORMATS.md, "Compatibility").
+constexpr std::uint8_t kDigestSchema = 1;
+
+void digest_params(persist::ByteWriter& w,
+                   const scenario::ScenarioParams& p) {
+  w.u64(p.seed);
+  w.u32(static_cast<std::uint32_t>(p.topology.tier1_count));
+  w.u32(static_cast<std::uint32_t>(p.topology.tier2_count));
+  w.u32(static_cast<std::uint32_t>(p.topology.tier3_count));
+  w.u32(static_cast<std::uint32_t>(p.topology.stub_count));
+  w.f64(p.topology.tier2_peer_prob);
+  w.f64(p.topology.tier3_peer_prob);
+  w.f64(p.topology.stub_multihome_prob);
+  w.u32(p.topology.first_asn);
+  w.i64(p.start.days_since_epoch());
+  w.i64(p.end.days_since_epoch());
+  w.f64(p.roa_fraction_start);
+  w.f64(p.roa_fraction_end);
+  w.f64(p.rov_end_tier1);
+  w.f64(p.rov_end_tier2);
+  w.f64(p.rov_end_tier3);
+  w.f64(p.rov_end_stub);
+  w.f64(p.exempt_customers_fraction);
+  w.f64(p.prefer_valid_fraction);
+  w.u32(static_cast<std::uint32_t>(p.tnode_prefix_count));
+  w.u32(static_cast<std::uint32_t>(p.tnode_hosts_per_prefix));
+  w.u32(static_cast<std::uint32_t>(p.moas_invalid_count));
+  w.u32(static_cast<std::uint32_t>(p.surge_invalid_count));
+  w.u32(static_cast<std::uint32_t>(p.measured_as_count));
+  w.u32(static_cast<std::uint32_t>(p.hosts_per_measured_as));
+  w.f64(p.global_ipid_fraction);
+  w.f64(p.background_pareto_xm);
+  w.f64(p.background_pareto_alpha);
+  w.f64(p.nonstationary_traffic_fraction);
+  w.u32(static_cast<std::uint32_t>(p.collector_peer_count));
+}
+
+void digest_rovista(persist::ByteWriter& w, const core::RovistaConfig& c) {
+  w.f64(c.experiment.probe_interval_s);
+  w.u32(static_cast<std::uint32_t>(c.experiment.background_probes));
+  w.u32(static_cast<std::uint32_t>(c.experiment.spoof_count));
+  w.f64(c.experiment.wait_after_burst_s);
+  w.u32(static_cast<std::uint32_t>(c.experiment.observe_probes));
+  w.f64(c.experiment.tail_wait_s);
+  w.u16(c.experiment.vvp_port);
+  w.f64(c.experiment.detector.alpha);
+  w.u32(static_cast<std::uint32_t>(c.experiment.detector.max_p));
+  w.u32(static_cast<std::uint32_t>(c.experiment.detector.max_q));
+  w.f64(c.experiment.detector.spike_packets);
+  w.f64(c.experiment.detector.spike_stddev);
+  w.u32(static_cast<std::uint32_t>(c.experiment.detector.planned_index));
+  w.u8(c.experiment.detector.check_residual_whiteness ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(c.vvp_protocol.probes_per_phase));
+  w.f64(c.vvp_protocol.probe_interval_s);
+  w.u32(static_cast<std::uint32_t>(c.vvp_protocol.burst_count));
+  w.u16(c.vvp_protocol.target_port);
+  w.f64(c.vvp_protocol.tail_wait_s);
+  w.f64(c.tnode_protocol.rto_min_s);
+  w.f64(c.tnode_protocol.rto_max_s);
+  w.f64(c.tnode_protocol.observe_s);
+  w.u32(static_cast<std::uint32_t>(c.scoring.min_vvps_per_as));
+  w.u32(static_cast<std::uint32_t>(c.scoring.min_tnodes));
+  w.f64(c.max_background_rate);
+  w.u32(static_cast<std::uint32_t>(c.max_vvps_per_as));
+  w.f64(c.tnode_reference_threshold);
+  // num_threads deliberately excluded: output is thread-invariant and a
+  // series may resume at a different parallelism.
+}
+
 }  // namespace
 
 IncrementalLongitudinalRunner::IncrementalLongitudinalRunner(
@@ -52,37 +157,188 @@ IncrementalLongitudinalRunner::IncrementalLongitudinalRunner(
     : config_(std::move(config)),
       world_(std::make_unique<scenario::Scenario>(config_.params)) {}
 
-IncrementalLongitudinalRunner::~IncrementalLongitudinalRunner() = default;
+IncrementalLongitudinalRunner::~IncrementalLongitudinalRunner() {
+  // Exit checkpoint: anything recorded since the last periodic write is
+  // persisted so a clean shutdown never loses completed rounds. (A
+  // crash loses at most checkpoint_every - 1 rounds.)
+  if (!config_.checkpoint_dir.empty() && rounds_since_checkpoint_ > 0) {
+    write_checkpoint();
+  }
+}
+
+std::uint64_t IncrementalLongitudinalRunner::config_digest(
+    const IncrementalConfig& config) {
+  persist::ByteWriter w;
+  w.u8(kDigestSchema);
+  digest_params(w, config.params);
+  digest_rovista(w, config.rovista);
+  w.u8(config.incremental ? 1 : 0);
+  return persist::fnv1a64(w.data());
+}
+
+persist::CheckpointState IncrementalLongitudinalRunner::checkpoint_state()
+    const {
+  persist::CheckpointState state;
+  state.config_digest = config_digest(config_);
+  state.user_tag = config_.checkpoint_user_tag;
+  state.incremental = config_.incremental;
+  state.have_round = have_round_;
+  state.rounds = history_;
+  state.vvps = vvps_;
+  state.tnodes = tnodes_;
+  state.cache_vvp_addrs.assign(cache_.vvp_addrs().begin(),
+                               cache_.vvp_addrs().end());
+  state.cache_tnode_addrs.assign(cache_.tnode_addrs().begin(),
+                                 cache_.tnode_addrs().end());
+  state.cache_entries.reserve(cache_.raw_entries().size());
+  for (const std::optional<CacheEntry>& e : cache_.raw_entries()) {
+    if (e.has_value()) {
+      state.cache_entries.emplace_back(
+          persist::CacheEntryState{e->fingerprint, e->observation});
+    } else {
+      state.cache_entries.emplace_back(std::nullopt);
+    }
+  }
+  state.vrps = VrpDeltaComputer::flatten(world_->current_vrps());
+  return state;
+}
+
+bool IncrementalLongitudinalRunner::restore(
+    const persist::CheckpointState& state) {
+  if (state.config_digest != config_digest(config_)) {
+    util::log(LogLevel::kWarn,
+              "checkpoint: config digest mismatch (different scenario/"
+              "measurement parameters) — cold start");
+    return false;
+  }
+  if (state.user_tag != config_.checkpoint_user_tag) {
+    util::log(LogLevel::kWarn,
+              "checkpoint: series tag mismatch (checkpoint belongs to a "
+              "differently-shaped series) — cold start");
+    return false;
+  }
+  if (state.incremental != config_.incremental) {
+    util::log(LogLevel::kWarn,
+              "checkpoint: incremental-mode mismatch — cold start");
+    return false;
+  }
+  for (std::size_t i = 1; i < state.rounds.size(); ++i) {
+    if (state.rounds[i].date < state.rounds[i - 1].date) {
+      util::log(LogLevel::kWarn,
+                "checkpoint: round dates not monotone — cold start");
+      return false;
+    }
+  }
+
+  // Replay the tracking world over the recorded dates, through the same
+  // install path run_round uses. Deterministic and measurement-free:
+  // only BGP/RP work, no probing.
+  auto world = std::make_unique<scenario::Scenario>(config_.params);
+  for (const persist::RoundRecord& r : state.rounds) {
+    world->advance_to(r.date,
+                      make_vrp_installer(config_.incremental, nullptr));
+  }
+
+  // Oracle check: the replayed relying-party output must equal the
+  // snapshot taken when the checkpoint was written. flatten() is sorted
+  // unique, so equality is positional.
+  const std::vector<rpki::Vrp> replayed =
+      VrpDeltaComputer::flatten(world->current_vrps());
+  std::vector<rpki::Vrp> stored = state.vrps;
+  std::sort(stored.begin(), stored.end());
+  if (replayed != stored) {
+    util::log(LogLevel::kWarn,
+              "checkpoint: replayed VRP state disagrees with stored "
+              "snapshot — cold start");
+    return false;
+  }
+
+  // All checks passed — install. Nothing below can fail in a way that
+  // breaks soundness: a cache shape mismatch just clears the cache,
+  // which only costs recomputation.
+  world_ = std::move(world);
+  store_ = core::LongitudinalStore();
+  for (const persist::RoundRecord& r : state.rounds) {
+    std::vector<core::AsScore> scores;
+    scores.reserve(r.scores.size());
+    for (const auto& [asn, score] : r.scores) {
+      core::AsScore s;
+      s.asn = asn;
+      s.score = score;
+      scores.push_back(s);
+    }
+    store_.record(r.date, scores);
+  }
+  vvps_ = state.vvps;
+  tnodes_ = state.tnodes;
+  have_round_ = state.have_round;
+  history_ = state.rounds;
+
+  std::vector<std::optional<CacheEntry>> entries;
+  entries.reserve(state.cache_entries.size());
+  for (const std::optional<persist::CacheEntryState>& e :
+       state.cache_entries) {
+    if (e.has_value()) {
+      entries.emplace_back(CacheEntry{e->fingerprint, e->observation});
+    } else {
+      entries.emplace_back(std::nullopt);
+    }
+  }
+  if (!cache_.restore(state.cache_vvp_addrs, state.cache_tnode_addrs,
+                      std::move(entries))) {
+    util::log(LogLevel::kWarn,
+              "checkpoint: score-cache shape mismatch — cache dropped, "
+              "next round recomputes in full");
+  }
+  rounds_since_checkpoint_ = 0;
+  return true;
+}
+
+bool IncrementalLongitudinalRunner::resume_from_checkpoint() {
+  if (config_.checkpoint_dir.empty()) return false;
+  const auto state = persist::load_checkpoint_file(config_.checkpoint_dir);
+  if (!state.has_value()) {
+    util::log(LogLevel::kWarn, "checkpoint: no usable checkpoint in " +
+                                   config_.checkpoint_dir + " — cold start");
+    return false;
+  }
+  return restore(*state);
+}
+
+bool IncrementalLongitudinalRunner::write_checkpoint() {
+  if (config_.checkpoint_dir.empty()) return false;
+  const bool ok =
+      persist::write_checkpoint_file(config_.checkpoint_dir,
+                                     checkpoint_state());
+  if (ok) rounds_since_checkpoint_ = 0;
+  return ok;
+}
+
+void IncrementalLongitudinalRunner::maybe_checkpoint() {
+  ++rounds_since_checkpoint_;
+  if (config_.checkpoint_dir.empty() || config_.checkpoint_every <= 0) {
+    return;
+  }
+  if (rounds_since_checkpoint_ >=
+      static_cast<std::size_t>(config_.checkpoint_every)) {
+    write_checkpoint();
+  }
+}
 
 RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
   RoundReport report;
   report.date = date;
 
-  // 1. Advance the tracking world, installing the new VRPs by delta.
-  VrpDelta delta;
-  std::vector<net::Ipv4Prefix> dirty;
-  const bool incremental = config_.incremental;
+  // 1. Advance the tracking world, installing the new VRPs by delta
+  // (the shared installer also fills the delta fields of the report).
   const scenario::AdvanceStats stats = world_->advance_to(
-      date, [&](bgp::RoutingSystem& routing, const rpki::VrpSet& prev,
-                rpki::VrpSet next) {
-        delta = VrpDeltaComputer::diff(prev, next);
-        const DirtyPrefixTracker tracker(delta);
-        report.touched_announced = tracker.touched_announced(routing);
-        dirty = tracker.dirty_prefixes(prev, next, routing);
-        if (incremental) {
-          routing.apply_vrp_delta(std::move(next), dirty);
-        } else {
-          routing.set_vrps(std::move(next));
-        }
-      });
+      date, make_vrp_installer(config_.incremental, &report));
   report.events = stats.events();
-  report.vrp_announced = delta.announced.size();
-  report.vrp_withdrawn = delta.withdrawn.size();
-  report.dirty_prefix_count = dirty.size();
 
   // 2. Discovery: reuse the previous round's lists only when nothing the
   // acquisition pipeline reads can have changed — no timeline events and
   // no announced prefix touched by the VRP delta.
+  const bool incremental = config_.incremental;
   const bool can_reuse_discovery = incremental && have_round_ &&
                                    report.events == 0 &&
                                    report.touched_announced == 0;
@@ -109,7 +365,15 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
     report.executed_pairs = report.total_pairs;
     report.round = runner.run(vvps_, tnodes_);
     store_.record(date, report.round.scores);
+    persist::RoundRecord record;
+    record.date = date;
+    record.scores.reserve(report.round.scores.size());
+    for (const core::AsScore& s : report.round.scores) {
+      record.scores.emplace_back(s.asn, s.score);
+    }
+    history_.push_back(std::move(record));
     have_round_ = true;
+    maybe_checkpoint();
     return report;
   }
 
@@ -179,8 +443,16 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
   round.scores =
       core::aggregate_scores(round.observations, config_.rovista.scoring);
   store_.record(date, round.scores);
+  persist::RoundRecord record;
+  record.date = date;
+  record.scores.reserve(round.scores.size());
+  for (const core::AsScore& s : round.scores) {
+    record.scores.emplace_back(s.asn, s.score);
+  }
+  history_.push_back(std::move(record));
   report.round = std::move(round);
   have_round_ = true;
+  maybe_checkpoint();
   return report;
 }
 

@@ -27,13 +27,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/longitudinal.h"
 #include "core/rovista.h"
 #include "incremental/score_cache.h"
 #include "incremental/vrp_delta.h"
+#include "persist/checkpoint.h"
 #include "scenario/scenario.h"
 
 namespace rovista::incremental {
@@ -46,6 +49,19 @@ struct IncrementalConfig {
   /// false → every round is a plain full recompute (baseline mode; the
   /// bench and the CLI's --incremental flag toggle this).
   bool incremental = true;
+
+  /// Non-empty → run_round writes a crash-safe checkpoint (RVCP format,
+  /// docs/FORMATS.md) under this directory every `checkpoint_every`
+  /// completed rounds, and the destructor writes a final one if rounds
+  /// ran since the last write. resume_from_checkpoint() restores from
+  /// the same directory.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  /// Embedder-chosen guard stored in the checkpoint and compared on
+  /// resume (the CLI hashes its series arguments — start date, interval,
+  /// round count scale — into it, so a checkpoint cannot silently resume
+  /// a differently-shaped series). Zero means "no extra guard".
+  std::uint64_t checkpoint_user_tag = 0;
 };
 
 /// What one round did and what it cost.
@@ -79,6 +95,42 @@ class IncrementalLongitudinalRunner {
   const core::LongitudinalStore& store() const noexcept { return store_; }
   const IncrementalConfig& config() const noexcept { return config_; }
 
+  // --- checkpoint / resume (src/persist, docs/FORMATS.md) ---
+  //
+  // Resume contract: a runner restored from the checkpoint written after
+  // round k produces, for every subsequent round, scores / store indexes
+  // / published CSVs byte-identical to an uninterrupted runner, at any
+  // thread count. The tracking world is not serialized: restore()
+  // *replays* Scenario::advance_to over the recorded round dates with
+  // the exact install path run_round uses (deterministic, measurement-
+  // free, so far cheaper than re-running rounds), then oracle-checks the
+  // replayed relying-party output against the stored VRP snapshot and
+  // refuses to resume on any mismatch.
+
+  /// Digest over every config field that determines measurement output
+  /// (num_threads and the checkpoint knobs excluded — resuming at a
+  /// different thread count is explicitly supported).
+  static std::uint64_t config_digest(const IncrementalConfig& config);
+
+  /// Snapshot the runner's complete resumable state.
+  persist::CheckpointState checkpoint_state() const;
+
+  /// Adopt `state`: verify digests, replay the tracking world, rebuild
+  /// the store from the recorded rounds, and restore cache + discovery
+  /// lists. On any refusal the runner is left untouched (still a valid
+  /// cold start) and false is returned, with the reason logged.
+  bool restore(const persist::CheckpointState& state);
+
+  /// Load the best checkpoint from config().checkpoint_dir and
+  /// restore() it. False (logged) → caller proceeds with a cold start.
+  bool resume_from_checkpoint();
+
+  /// Write a checkpoint to config().checkpoint_dir now.
+  bool write_checkpoint();
+
+  /// Rounds recorded so far (monotone; restored by resume).
+  std::size_t completed_rounds() const noexcept { return history_.size(); }
+
   /// Inputs of the most recent round (empty before the first).
   const std::vector<scan::Vvp>& vvps() const noexcept { return vvps_; }
   const std::vector<scan::Tnode>& tnodes() const noexcept { return tnodes_; }
@@ -92,6 +144,8 @@ class IncrementalLongitudinalRunner {
   scenario::Scenario& world() noexcept { return *world_; }
 
  private:
+  void maybe_checkpoint();
+
   IncrementalConfig config_;
   std::unique_ptr<scenario::Scenario> world_;  // long-lived tracking world
   ScoreCache cache_;
@@ -99,6 +153,10 @@ class IncrementalLongitudinalRunner {
   std::vector<scan::Vvp> vvps_;
   std::vector<scan::Tnode> tnodes_;
   bool have_round_ = false;
+  // The exact LongitudinalStore::record() history: checkpoint payload
+  // (store replay log) and tracking-world replay recipe in one.
+  std::vector<persist::RoundRecord> history_;
+  std::size_t rounds_since_checkpoint_ = 0;
 };
 
 }  // namespace rovista::incremental

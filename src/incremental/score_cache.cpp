@@ -59,4 +59,17 @@ void ScoreCache::clear() {
   entries_.clear();
 }
 
+bool ScoreCache::restore(std::vector<std::uint32_t> vvp_addrs,
+                         std::vector<std::uint32_t> tnode_addrs,
+                         std::vector<std::optional<CacheEntry>> entries) {
+  if (entries.size() != vvp_addrs.size() * tnode_addrs.size()) {
+    clear();
+    return false;
+  }
+  vvp_addrs_ = std::move(vvp_addrs);
+  tnode_addrs_ = std::move(tnode_addrs);
+  entries_ = std::move(entries);
+  return true;
+}
+
 }  // namespace rovista::incremental

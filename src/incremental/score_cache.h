@@ -54,6 +54,24 @@ class ScoreCache {
 
   void clear();
 
+  // Serialization support (src/persist checkpoints, docs/FORMATS.md).
+  std::span<const std::uint32_t> vvp_addrs() const noexcept {
+    return vvp_addrs_;
+  }
+  std::span<const std::uint32_t> tnode_addrs() const noexcept {
+    return tnode_addrs_;
+  }
+  const std::vector<std::optional<CacheEntry>>& raw_entries() const noexcept {
+    return entries_;
+  }
+
+  /// Adopt a deserialized image. Returns false — leaving the cache
+  /// cleared, which is always sound (everything recomputes) — when the
+  /// entry matrix does not match the address lists' shape.
+  bool restore(std::vector<std::uint32_t> vvp_addrs,
+               std::vector<std::uint32_t> tnode_addrs,
+               std::vector<std::optional<CacheEntry>> entries);
+
  private:
   std::vector<std::uint32_t> vvp_addrs_;
   std::vector<std::uint32_t> tnode_addrs_;

@@ -1,0 +1,54 @@
+// Crash-safe checkpoint files.
+//
+// A checkpoint directory holds at most three files:
+//   checkpoint.bin     the current checkpoint
+//   checkpoint.bin.1   the rotated predecessor (one generation kept)
+//   checkpoint.tmp     in-flight write (never read; deleted on success)
+//
+// Writes never put the current checkpoint at risk: the new image is
+// serialized to checkpoint.tmp, fsync'd, the old current is renamed to
+// the predecessor slot, the temp is atomically renamed into place, and
+// the directory entry is fsync'd. A crash at any point leaves either the
+// old current or (between the two renames) the predecessor readable.
+// Loads therefore try checkpoint.bin first and fall back to
+// checkpoint.bin.1, logging every rejection; only when both fail does
+// the caller cold-start.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.h"
+
+namespace rovista::persist {
+
+/// The file layout inside a checkpoint directory.
+struct CheckpointPaths {
+  std::string current;   // <dir>/checkpoint.bin
+  std::string previous;  // <dir>/checkpoint.bin.1
+  std::string temp;      // <dir>/checkpoint.tmp
+
+  static CheckpointPaths in(const std::string& directory);
+};
+
+/// Serialize `state` and durably install it as <dir>/checkpoint.bin
+/// (creating the directory if needed, rotating the old current to
+/// checkpoint.bin.1). Returns false — with the failure logged — if any
+/// step fails; the previously current checkpoint is left intact.
+bool write_checkpoint_file(const std::string& directory,
+                           const CheckpointState& state);
+
+/// Load the best available checkpoint from `directory`: the current
+/// file, else the rotated predecessor. Every rejected candidate is
+/// logged with the decoder's diagnostic. nullopt when nothing usable
+/// exists (the caller's cue for a cold start).
+std::optional<CheckpointState> load_checkpoint_file(
+    const std::string& directory);
+
+/// Whole-file read helper (also used by `rovista checkpoint inspect`).
+std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path);
+
+}  // namespace rovista::persist

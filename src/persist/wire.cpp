@@ -1,0 +1,131 @@
+#include "persist/wire.h"
+
+#include <array>
+#include <bit>
+
+namespace rovista::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                      std::uint64_t basis) noexcept {
+  std::uint64_t h = basis;
+  for (const std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::i64(std::int64_t v) {
+  u64(static_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+bool ByteReader::take(std::size_t n, const std::uint8_t*& out) noexcept {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::u8(std::uint8_t& out) noexcept {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, p)) return false;
+  out = p[0];
+  return true;
+}
+
+bool ByteReader::u16(std::uint16_t& out) noexcept {
+  const std::uint8_t* p = nullptr;
+  if (!take(2, p)) return false;
+  out = static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+  return true;
+}
+
+bool ByteReader::u32(std::uint32_t& out) noexcept {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, p)) return false;
+  out = 0;
+  for (int i = 3; i >= 0; --i) out = (out << 8) | p[i];
+  return true;
+}
+
+bool ByteReader::u64(std::uint64_t& out) noexcept {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, p)) return false;
+  out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | p[i];
+  return true;
+}
+
+bool ByteReader::i64(std::int64_t& out) noexcept {
+  std::uint64_t v = 0;
+  if (!u64(v)) return false;
+  out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool ByteReader::f64(double& out) noexcept {
+  std::uint64_t v = 0;
+  if (!u64(v)) return false;
+  out = std::bit_cast<double>(v);
+  return true;
+}
+
+bool ByteReader::skip(std::size_t n) noexcept {
+  const std::uint8_t* p = nullptr;
+  return take(n, p);
+}
+
+}  // namespace rovista::persist

@@ -1,0 +1,696 @@
+// Checkpoint subsystem tests (src/persist + engine resume):
+//
+//  - wire primitives: round trips, known CRC32/FNV vectors, reader
+//    bounds latching,
+//  - container: encode→decode→re-encode is byte-identical (canonical
+//    encoding), every strict prefix is rejected (truncation at every
+//    byte, which covers every section boundary), every single-byte
+//    corruption is rejected (header, table and payload CRCs leave no
+//    unprotected byte), per-section CRC diagnostics name the section,
+//  - crash-safe files: write/rotate/load, fallback to the rotated
+//    predecessor, corrupted-everything → logged nullopt,
+//  - engine resume: a runner restored from the round-k checkpoint
+//    finishes the series bit-identically to an uninterrupted run at
+//    1/2/4/8 threads (scores, observations, and published CSV bytes),
+//    and every refusal path (digest / tag / mode mismatch, corrupt
+//    file) degrades to a logged cold start.
+//
+// The container and corruption cases run under ASan+UBSan in
+// scripts/tier1.sh — the loader must stay clean on attacker-grade input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/incremental_runner.h"
+#include "core/publish.h"
+#include "incremental/score_cache.h"
+#include "persist/checkpoint.h"
+#include "persist/checkpoint_io.h"
+#include "persist/wire.h"
+#include "round_fixture.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace rovista;
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("rovista-ckpt-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++));
+  }
+  ~TempDir() { fs::remove_all(path); }
+  static int counter;
+};
+int TempDir::counter = 0;
+
+// Capture everything the logging sink emits while `fn` runs.
+template <typename Fn>
+std::string capture_log(Fn&& fn) {
+  std::FILE* sink = std::tmpfile();
+  EXPECT_NE(sink, nullptr);
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::kWarn);
+  util::set_log_sink(sink);
+  fn();
+  util::set_log_sink(nullptr);
+  util::set_log_level(before);
+  std::string out;
+  std::rewind(sink);
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, sink) != nullptr) out += buf;
+  std::fclose(sink);
+  return out;
+}
+
+std::vector<std::uint8_t> read_bytes(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  std::vector<std::uint8_t> out;
+  char c;
+  while (f.get(c)) out.push_back(static_cast<std::uint8_t>(c));
+  return out;
+}
+
+void write_bytes(const fs::path& p, std::span<const std::uint8_t> bytes) {
+  std::ofstream f(p, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------- wire primitives ----------
+
+TEST(Wire, WriterReaderRoundTrip) {
+  persist::ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-1234567890123LL);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+
+  persist::ByteReader r(w.data());
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t d = 0;
+  std::int64_t e = 0;
+  double f = 0.0;
+  double g = 1.0;
+  EXPECT_TRUE(r.u8(a));
+  EXPECT_TRUE(r.u16(b));
+  EXPECT_TRUE(r.u32(c));
+  EXPECT_TRUE(r.u64(d));
+  EXPECT_TRUE(r.i64(e));
+  EXPECT_TRUE(r.f64(f));
+  EXPECT_TRUE(r.f64(g));
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xBEEF);
+  EXPECT_EQ(c, 0xDEADBEEFu);
+  EXPECT_EQ(d, 0x0123456789ABCDEFull);
+  EXPECT_EQ(e, -1234567890123LL);
+  EXPECT_EQ(f, 3.141592653589793);
+  EXPECT_EQ(std::signbit(g), true);  // -0.0 round-trips bit-exactly
+  EXPECT_TRUE(r.exhausted_ok());
+}
+
+TEST(Wire, NanPayloadRoundTripsBitExactly) {
+  double weird;
+  std::uint64_t bits = 0x7FF80000DEADBEEFull;  // NaN with a payload
+  std::memcpy(&weird, &bits, sizeof weird);
+  persist::ByteWriter w;
+  w.f64(weird);
+  persist::ByteReader r(w.data());
+  double out = 0.0;
+  ASSERT_TRUE(r.f64(out));
+  std::uint64_t out_bits = 0;
+  std::memcpy(&out_bits, &out, sizeof out);
+  EXPECT_EQ(out_bits, bits);
+}
+
+TEST(Wire, LittleEndianOnDisk) {
+  persist::ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[1], 0x03);
+  EXPECT_EQ(w.data()[2], 0x02);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Wire, ReaderLatchesOnOverread) {
+  persist::ByteWriter w;
+  w.u16(7);
+  persist::ByteReader r(w.data());
+  std::uint32_t v = 0;
+  EXPECT_FALSE(r.u32(v));  // 4 > 2 remaining
+  EXPECT_TRUE(r.failed());
+  std::uint8_t b = 0;
+  EXPECT_FALSE(r.u8(b));  // latched: even a fitting read now fails
+}
+
+TEST(Wire, Crc32KnownVector) {
+  // The standard CRC-32 check value.
+  const char* s = "123456789";
+  EXPECT_EQ(persist::crc32(std::span(
+                reinterpret_cast<const std::uint8_t*>(s), 9)),
+            0xCBF43926u);
+}
+
+TEST(Wire, Fnv1a64KnownVectors) {
+  EXPECT_EQ(persist::fnv1a64({}), 0xcbf29ce484222325ull);
+  const char* a = "a";
+  EXPECT_EQ(persist::fnv1a64(std::span(
+                reinterpret_cast<const std::uint8_t*>(a), 1)),
+            0xaf63dc4c8601ec8cull);
+}
+
+// ---------- container encode/decode ----------
+
+persist::CheckpointState sample_state() {
+  persist::CheckpointState s;
+  s.config_digest = 0x1122334455667788ull;
+  s.user_tag = 0x99AABBCCDDEEFF00ull;
+  s.incremental = true;
+  s.have_round = true;
+
+  persist::RoundRecord r1;
+  r1.date = util::Date::from_ymd(2022, 3, 1);
+  r1.scores = {{65001u, 100.0}, {65002u, 37.5}};
+  persist::RoundRecord r2;
+  r2.date = util::Date::from_ymd(2022, 3, 21);
+  r2.scores = {{65001u, 50.0}};
+  s.rounds = {r1, r2};
+
+  scan::Vvp v;
+  v.address = net::Ipv4Address(0x0A000001);
+  v.asn = 65001;
+  v.est_background_rate = 2.5;
+  s.vvps = {v};
+
+  scan::Tnode t;
+  t.address = net::Ipv4Address(0xC0A80001);
+  t.port = 80;
+  t.prefix = net::Ipv4Prefix(net::Ipv4Address(0xC0A80000), 24);
+  t.origin = 65003;
+  s.tnodes = {t, t};
+
+  s.cache_vvp_addrs = {0x0A000001};
+  s.cache_tnode_addrs = {0xC0A80001, 0xC0A80002};
+  persist::CacheEntryState e;
+  e.fingerprint = 0xF00DF00DF00DF00Dull;
+  e.observation.vvp_as = 65001;
+  e.observation.vvp = net::Ipv4Address(0x0A000001);
+  e.observation.tnode = net::Ipv4Address(0xC0A80001);
+  e.observation.verdict = core::FilteringVerdict::kOutboundFiltering;
+  s.cache_entries = {e, std::nullopt};
+
+  rpki::Vrp vrp;
+  vrp.prefix = net::Ipv4Prefix(net::Ipv4Address(0xC0A80000), 24);
+  vrp.max_length = 24;
+  vrp.asn = 65003;
+  s.vrps = {vrp};
+  return s;
+}
+
+void expect_states_equal(const persist::CheckpointState& a,
+                         const persist::CheckpointState& b) {
+  EXPECT_EQ(a.config_digest, b.config_digest);
+  EXPECT_EQ(a.user_tag, b.user_tag);
+  EXPECT_EQ(a.incremental, b.incremental);
+  EXPECT_EQ(a.have_round, b.have_round);
+  EXPECT_EQ(a.rounds, b.rounds);
+  ASSERT_EQ(a.vvps.size(), b.vvps.size());
+  for (std::size_t i = 0; i < a.vvps.size(); ++i) {
+    EXPECT_EQ(a.vvps[i].address.value(), b.vvps[i].address.value());
+    EXPECT_EQ(a.vvps[i].asn, b.vvps[i].asn);
+    EXPECT_EQ(a.vvps[i].est_background_rate, b.vvps[i].est_background_rate);
+  }
+  ASSERT_EQ(a.tnodes.size(), b.tnodes.size());
+  for (std::size_t i = 0; i < a.tnodes.size(); ++i) {
+    EXPECT_EQ(a.tnodes[i].address.value(), b.tnodes[i].address.value());
+    EXPECT_EQ(a.tnodes[i].port, b.tnodes[i].port);
+    EXPECT_EQ(a.tnodes[i].prefix, b.tnodes[i].prefix);
+    EXPECT_EQ(a.tnodes[i].origin, b.tnodes[i].origin);
+  }
+  EXPECT_EQ(a.cache_vvp_addrs, b.cache_vvp_addrs);
+  EXPECT_EQ(a.cache_tnode_addrs, b.cache_tnode_addrs);
+  ASSERT_EQ(a.cache_entries.size(), b.cache_entries.size());
+  for (std::size_t i = 0; i < a.cache_entries.size(); ++i) {
+    ASSERT_EQ(a.cache_entries[i].has_value(), b.cache_entries[i].has_value());
+    if (!a.cache_entries[i].has_value()) continue;
+    EXPECT_EQ(a.cache_entries[i]->fingerprint,
+              b.cache_entries[i]->fingerprint);
+    EXPECT_EQ(a.cache_entries[i]->observation.verdict,
+              b.cache_entries[i]->observation.verdict);
+  }
+  EXPECT_EQ(a.vrps, b.vrps);
+}
+
+TEST(Checkpoint, EncodeDecodeReencodeIsByteIdentical) {
+  const persist::CheckpointState s = sample_state();
+  const auto bytes = persist::encode_checkpoint(s);
+  const auto decoded = persist::decode_checkpoint(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  expect_states_equal(s, *decoded);
+  EXPECT_EQ(persist::encode_checkpoint(*decoded), bytes);  // canonical
+}
+
+TEST(Checkpoint, EmptyStateRoundTrips) {
+  const persist::CheckpointState s;  // pre-first-round checkpoint
+  const auto bytes = persist::encode_checkpoint(s);
+  const auto decoded = persist::decode_checkpoint(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  expect_states_equal(s, *decoded);
+  EXPECT_EQ(persist::encode_checkpoint(*decoded), bytes);
+}
+
+TEST(Checkpoint, RejectsBadMagicVersionAndTrailingBytes) {
+  const auto bytes = persist::encode_checkpoint(sample_state());
+  std::string error;
+
+  auto bad = bytes;
+  bad[0] = 'X';
+  EXPECT_FALSE(persist::decode_checkpoint(bad, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  bad = bytes;
+  bad[4] = 0xFF;  // format version
+  EXPECT_FALSE(persist::decode_checkpoint(bad, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  bad = bytes;
+  bad.push_back(0);
+  EXPECT_FALSE(persist::decode_checkpoint(bad, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(Checkpoint, EveryTruncationIsRejected) {
+  // Strict prefixes cover truncation at every section boundary and
+  // everywhere in between; none may decode, none may crash.
+  const auto bytes = persist::encode_checkpoint(sample_state());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto prefix = std::span(bytes).first(len);
+    EXPECT_FALSE(persist::decode_checkpoint(prefix).has_value())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(Checkpoint, EverySingleByteCorruptionIsRejected) {
+  // Header fields, the section table, and every payload byte sit under
+  // some checksum (or structural check); a flip anywhere must fail.
+  const auto bytes = persist::encode_checkpoint(sample_state());
+  auto corrupt = bytes;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    corrupt[i] = bytes[i] ^ 0x5A;
+    EXPECT_FALSE(persist::decode_checkpoint(corrupt).has_value())
+        << "flip at byte " << i << " decoded";
+    corrupt[i] = bytes[i];
+  }
+}
+
+TEST(Checkpoint, DeterministicBitFlipFuzz) {
+  // A cheap deterministic fuzzer: LCG-driven single-bit flips. Nothing
+  // may crash (this binary runs under ASan+UBSan in tier-1) and nothing
+  // may decode.
+  const auto bytes = persist::encode_checkpoint(sample_state());
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto corrupt = bytes;
+  for (int iter = 0; iter < 2000; ++iter) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t byte = (rng >> 16) % bytes.size();
+    const int bit = static_cast<int>((rng >> 8) & 7);
+    corrupt[byte] = bytes[byte] ^ static_cast<std::uint8_t>(1u << bit);
+    EXPECT_FALSE(persist::decode_checkpoint(corrupt).has_value())
+        << "bit " << bit << " of byte " << byte << " decoded";
+    corrupt[byte] = bytes[byte];
+  }
+}
+
+TEST(Checkpoint, PayloadCorruptionNamesTheSection) {
+  const auto bytes = persist::encode_checkpoint(sample_state());
+  const auto info = persist::inspect_checkpoint(bytes);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_EQ(info->sections.size(), 5u);
+  for (const auto& section : info->sections) {
+    if (section.length == 0) continue;
+    auto corrupt = bytes;
+    const std::size_t target = section.offset + section.length / 2;
+    corrupt[target] ^= 0xFF;
+    std::string error;
+    EXPECT_FALSE(persist::decode_checkpoint(corrupt, &error).has_value());
+    EXPECT_NE(error.find(persist::section_name(section.id)),
+              std::string::npos)
+        << "corrupting " << persist::section_name(section.id)
+        << " reported: " << error;
+  }
+}
+
+TEST(Checkpoint, InspectReportsPerSectionIntegrity) {
+  const auto bytes = persist::encode_checkpoint(sample_state());
+  const auto clean = persist::inspect_checkpoint(bytes);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_TRUE(clean->magic_ok);
+  EXPECT_TRUE(clean->version_supported);
+  EXPECT_TRUE(clean->table_crc_ok);
+  EXPECT_TRUE(clean->decodes);
+  ASSERT_EQ(clean->sections.size(), 5u);
+  for (const auto& s : clean->sections) {
+    EXPECT_TRUE(s.in_bounds);
+    EXPECT_TRUE(s.crc_ok) << persist::section_name(s.id);
+  }
+
+  // Corrupt one payload byte: exactly that section must flag, and the
+  // overall verdict must flip — but inspection still walks everything.
+  auto corrupt = bytes;
+  const auto& target = clean->sections[2];  // DISCOVERY
+  corrupt[target.offset] ^= 0xFF;
+  const auto dirty = persist::inspect_checkpoint(corrupt);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_TRUE(dirty->table_crc_ok);
+  EXPECT_FALSE(dirty->decodes);
+  for (const auto& s : dirty->sections) {
+    EXPECT_EQ(s.crc_ok, s.id != persist::kSectionDiscovery)
+        << persist::section_name(s.id);
+  }
+
+  // Too short for a header → nullopt, not UB.
+  EXPECT_FALSE(
+      persist::inspect_checkpoint(std::span(bytes).first(8)).has_value());
+}
+
+// ---------- crash-safe files ----------
+
+TEST(CheckpointIo, WriteLoadRotateAndFallBack) {
+  TempDir dir;
+  const auto paths = persist::CheckpointPaths::in(dir.path.string());
+
+  persist::CheckpointState first = sample_state();
+  first.user_tag = 1;
+  ASSERT_TRUE(persist::write_checkpoint_file(dir.path.string(), first));
+  EXPECT_TRUE(fs::exists(paths.current));
+  EXPECT_FALSE(fs::exists(paths.temp));
+
+  persist::CheckpointState second = sample_state();
+  second.user_tag = 2;
+  ASSERT_TRUE(persist::write_checkpoint_file(dir.path.string(), second));
+  EXPECT_TRUE(fs::exists(paths.previous));  // rotated generation
+
+  auto loaded = persist::load_checkpoint_file(dir.path.string());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->user_tag, 2u);
+
+  // Corrupt the current file: the loader must log the rejection and
+  // fall back to the rotated predecessor.
+  auto bytes = read_bytes(paths.current);
+  bytes[bytes.size() / 2] ^= 0xFF;
+  write_bytes(paths.current, bytes);
+  std::string log;
+  std::optional<persist::CheckpointState> fallback;
+  log = capture_log([&] {
+    fallback = persist::load_checkpoint_file(dir.path.string());
+  });
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->user_tag, 1u);
+  EXPECT_NE(log.find("checkpoint"), std::string::npos) << log;
+
+  // Corrupt the predecessor too: nothing usable left.
+  auto prev = read_bytes(paths.previous);
+  prev.resize(prev.size() / 2);  // truncate
+  write_bytes(paths.previous, prev);
+  log = capture_log([&] {
+    fallback = persist::load_checkpoint_file(dir.path.string());
+  });
+  EXPECT_FALSE(fallback.has_value());
+}
+
+TEST(CheckpointIo, MissingDirectoryIsColdStart) {
+  const std::string log = capture_log([] {
+    EXPECT_FALSE(
+        persist::load_checkpoint_file("/nonexistent/rovista-ckpt-xyz")
+            .has_value());
+  });
+}
+
+// ---------- engine resume ----------
+
+std::vector<util::Date> series_dates(const scenario::ScenarioParams& params) {
+  // Same spread as test_incremental_round: real timeline churn between
+  // rounds, so resume must replay actual change, not a no-op.
+  return {params.start + 150, params.start + 171, params.start + 215};
+}
+
+core::IncrementalConfig engine_config(int num_threads) {
+  core::IncrementalConfig config;
+  config.params = testfx::round_params();
+  config.rovista = testfx::round_config();
+  config.rovista.num_threads = num_threads;
+  config.incremental = true;
+  return config;
+}
+
+void expect_rounds_bit_identical(const core::MeasurementRound& a,
+                                 const core::MeasurementRound& b,
+                                 const char* label) {
+  EXPECT_EQ(a.experiments_run, b.experiments_run) << label;
+  EXPECT_EQ(a.inconclusive, b.inconclusive) << label;
+  ASSERT_EQ(a.observations.size(), b.observations.size()) << label;
+  for (std::size_t i = 0; i < a.observations.size(); ++i) {
+    ASSERT_EQ(a.observations[i].vvp_as, b.observations[i].vvp_as) << label;
+    ASSERT_EQ(a.observations[i].vvp.value(), b.observations[i].vvp.value())
+        << label;
+    ASSERT_EQ(a.observations[i].tnode.value(),
+              b.observations[i].tnode.value())
+        << label;
+    ASSERT_EQ(a.observations[i].verdict, b.observations[i].verdict) << label;
+  }
+  ASSERT_EQ(a.scores.size(), b.scores.size()) << label;
+  for (std::size_t i = 0; i < a.scores.size(); ++i) {
+    ASSERT_EQ(a.scores[i].asn, b.scores[i].asn) << label;
+    ASSERT_EQ(std::memcmp(&a.scores[i].score, &b.scores[i].score,
+                          sizeof(double)),
+              0)
+        << label;
+  }
+}
+
+std::map<std::string, std::string> read_dir(const fs::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ifstream f(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    files[entry.path().filename().string()] = buf.str();
+  }
+  return files;
+}
+
+class CheckpointResume : public ::testing::Test {
+ protected:
+  // One uninterrupted 3-round series and one 2-round checkpoint state,
+  // shared by the per-thread-count resume cases.
+  static void SetUpTestSuite() {
+    uninterrupted_ = new core::IncrementalLongitudinalRunner(engine_config(0));
+    final_rounds_ = new std::vector<core::RoundReport>();
+    for (const util::Date date : series_dates(uninterrupted_->config().params)) {
+      final_rounds_->push_back(uninterrupted_->run_round(date));
+    }
+
+    core::IncrementalLongitudinalRunner partial(engine_config(0));
+    const auto dates = series_dates(partial.config().params);
+    partial.run_round(dates[0]);
+    partial.run_round(dates[1]);
+    after_two_ = new persist::CheckpointState(partial.checkpoint_state());
+  }
+
+  static void TearDownTestSuite() {
+    delete after_two_;
+    delete final_rounds_;
+    delete uninterrupted_;
+    after_two_ = nullptr;
+    final_rounds_ = nullptr;
+    uninterrupted_ = nullptr;
+  }
+
+  static void expect_resume_matches(int num_threads) {
+    core::IncrementalLongitudinalRunner resumed(engine_config(num_threads));
+    ASSERT_TRUE(resumed.restore(*after_two_));
+    EXPECT_EQ(resumed.completed_rounds(), 2u);
+
+    const auto dates = series_dates(resumed.config().params);
+    const core::RoundReport last = resumed.run_round(dates[2]);
+    const std::string label =
+        "resumed final round @ " + std::to_string(num_threads) + " threads";
+    expect_rounds_bit_identical((*final_rounds_)[2].round, last.round,
+                                label.c_str());
+
+    // The store (rebuilt from the checkpoint + the resumed round) must
+    // publish byte-identical CSVs.
+    TempDir full_dir;
+    TempDir resumed_dir;
+    ASSERT_TRUE(core::publish_scores(uninterrupted_->store(),
+                                     full_dir.path.string())
+                    .has_value());
+    ASSERT_TRUE(
+        core::publish_scores(resumed.store(), resumed_dir.path.string())
+            .has_value());
+    EXPECT_EQ(read_dir(full_dir.path), read_dir(resumed_dir.path)) << label;
+  }
+
+  static core::IncrementalLongitudinalRunner* uninterrupted_;
+  static std::vector<core::RoundReport>* final_rounds_;
+  static persist::CheckpointState* after_two_;
+};
+
+core::IncrementalLongitudinalRunner* CheckpointResume::uninterrupted_ =
+    nullptr;
+std::vector<core::RoundReport>* CheckpointResume::final_rounds_ = nullptr;
+persist::CheckpointState* CheckpointResume::after_two_ = nullptr;
+
+TEST_F(CheckpointResume, StateSurvivesEncodeDecode) {
+  const auto bytes = persist::encode_checkpoint(*after_two_);
+  const auto decoded = persist::decode_checkpoint(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  expect_states_equal(*after_two_, *decoded);
+  EXPECT_EQ(persist::encode_checkpoint(*decoded), bytes);
+  EXPECT_FALSE(after_two_->rounds.empty());
+  EXPECT_FALSE(after_two_->vvps.empty());
+  EXPECT_FALSE(after_two_->vrps.empty());
+}
+
+TEST_F(CheckpointResume, SerialResumeMatchesUninterrupted) {
+  expect_resume_matches(1);
+}
+
+TEST_F(CheckpointResume, TwoThreadResumeMatchesUninterrupted) {
+  expect_resume_matches(2);
+}
+
+TEST_F(CheckpointResume, FourThreadResumeMatchesUninterrupted) {
+  expect_resume_matches(4);
+}
+
+TEST_F(CheckpointResume, EightThreadResumeMatchesUninterrupted) {
+  expect_resume_matches(8);
+}
+
+TEST_F(CheckpointResume, FileRoundTripResumesIdentically) {
+  // Through the actual file layer, not just in-memory state.
+  TempDir dir;
+  ASSERT_TRUE(persist::write_checkpoint_file(dir.path.string(), *after_two_));
+
+  core::IncrementalConfig config = engine_config(2);
+  config.checkpoint_dir = dir.path.string();
+  core::IncrementalLongitudinalRunner resumed(config);
+  ASSERT_TRUE(resumed.resume_from_checkpoint());
+  EXPECT_EQ(resumed.completed_rounds(), 2u);
+
+  const auto dates = series_dates(resumed.config().params);
+  const core::RoundReport last = resumed.run_round(dates[2]);
+  expect_rounds_bit_identical((*final_rounds_)[2].round, last.round,
+                              "file round trip");
+}
+
+TEST_F(CheckpointResume, DigestMismatchIsLoggedColdStart) {
+  core::IncrementalConfig other = engine_config(0);
+  other.params.seed = 999;  // different world
+  core::IncrementalLongitudinalRunner runner(other);
+  std::string log = capture_log([&] {
+    EXPECT_FALSE(runner.restore(*after_two_));
+  });
+  EXPECT_EQ(runner.completed_rounds(), 0u);  // untouched
+  EXPECT_NE(log.find("digest mismatch"), std::string::npos) << log;
+}
+
+TEST_F(CheckpointResume, UserTagMismatchIsLoggedColdStart) {
+  core::IncrementalConfig tagged = engine_config(0);
+  tagged.checkpoint_user_tag = 0xDEAD;
+  core::IncrementalLongitudinalRunner runner(tagged);
+  std::string log = capture_log([&] {
+    EXPECT_FALSE(runner.restore(*after_two_));
+  });
+  EXPECT_NE(log.find("tag mismatch"), std::string::npos) << log;
+}
+
+TEST_F(CheckpointResume, ModeMismatchIsLoggedColdStart) {
+  core::IncrementalConfig full = engine_config(0);
+  full.incremental = false;
+  core::IncrementalLongitudinalRunner runner(full);
+  std::string log = capture_log([&] {
+    EXPECT_FALSE(runner.restore(*after_two_));
+  });
+  EXPECT_NE(log.find("mismatch"), std::string::npos) << log;
+}
+
+TEST_F(CheckpointResume, CorruptCheckpointFilesAreLoggedColdStart) {
+  TempDir dir;
+  ASSERT_TRUE(persist::write_checkpoint_file(dir.path.string(), *after_two_));
+  const auto paths = persist::CheckpointPaths::in(dir.path.string());
+  auto bytes = read_bytes(paths.current);
+  bytes[bytes.size() / 3] ^= 0xFF;
+  write_bytes(paths.current, bytes);
+
+  core::IncrementalConfig config = engine_config(0);
+  config.checkpoint_dir = dir.path.string();
+  core::IncrementalLongitudinalRunner runner(config);
+  std::string log = capture_log([&] {
+    EXPECT_FALSE(runner.resume_from_checkpoint());
+  });
+  EXPECT_EQ(runner.completed_rounds(), 0u);
+  EXPECT_NE(log.find("checkpoint"), std::string::npos) << log;
+  // The runner is still a perfectly good cold start.
+  const auto dates = series_dates(runner.config().params);
+  const core::RoundReport first = runner.run_round(dates[0]);
+  expect_rounds_bit_identical((*final_rounds_)[0].round, first.round,
+                              "cold start after corrupt checkpoint");
+  // The destructor writes an exit checkpoint into config.checkpoint_dir;
+  // let it — TempDir cleans up.
+}
+
+TEST_F(CheckpointResume, PeriodicCheckpointsAreWritten) {
+  TempDir dir;
+  core::IncrementalConfig config = engine_config(0);
+  config.checkpoint_dir = dir.path.string();
+  config.checkpoint_every = 1;
+  const auto paths = persist::CheckpointPaths::in(dir.path.string());
+  {
+    core::IncrementalLongitudinalRunner runner(config);
+    const auto dates = series_dates(runner.config().params);
+    runner.run_round(dates[0]);
+    ASSERT_TRUE(fs::exists(paths.current));
+    const auto one = persist::load_checkpoint_file(dir.path.string());
+    ASSERT_TRUE(one.has_value());
+    EXPECT_EQ(one->rounds.size(), 1u);
+    runner.run_round(dates[1]);
+  }
+  const auto two = persist::load_checkpoint_file(dir.path.string());
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ(two->rounds.size(), 2u);
+  EXPECT_TRUE(fs::exists(paths.previous));
+}
+
+TEST(ScoreCacheRestore, ShapeMismatchClearsAndRefuses) {
+  incremental::ScoreCache cache;
+  EXPECT_FALSE(cache.restore({1, 2}, {3}, {}));  // 2x1 needs 2 entries
+  EXPECT_EQ(cache.vvp_count(), 0u);
+  EXPECT_TRUE(cache.restore({1, 2}, {3},
+                            std::vector<std::optional<incremental::CacheEntry>>(
+                                2, std::nullopt)));
+  EXPECT_EQ(cache.vvp_count(), 2u);
+  EXPECT_EQ(cache.tnode_count(), 1u);
+}
+
+}  // namespace

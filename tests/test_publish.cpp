@@ -2,12 +2,14 @@
 // cyclic scan permutation.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 
 #include "core/publish.h"
 #include "scan/permutation.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -163,6 +165,36 @@ TEST(Publish, LoadRejectsBadIndexDate) {
   f << "date,ases_scored\nnot-a-date,1\n";
   f.close();
   EXPECT_FALSE(core::load_scores(dir.path.string()).has_value());
+}
+
+TEST(Publish, LoadFailureNamesFileAndLine) {
+  // A refused dataset must say *which* file and line broke, through the
+  // logging sink — a bare nullopt is undiagnosable at paper scale.
+  core::LongitudinalStore store;
+  store.record(util::Date::from_ymd(2022, 1, 1),
+               std::vector<core::AsScore>{make_score(10, 50.0)});
+  TempDir dir;
+  ASSERT_TRUE(core::publish_scores(store, dir.path.string()).has_value());
+  {
+    std::ofstream f(dir.path / "scores-2022-01-01.csv");
+    f << "asn,score,vvp_count,tnodes_consistent,tnodes_outbound\n"
+      << "10,50.00,0,0,0\n"
+      << "not_a_number,oops,0,0,0\n";
+  }
+
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  util::set_log_sink(sink);
+  EXPECT_FALSE(core::load_scores(dir.path.string()).has_value());
+  util::set_log_sink(nullptr);
+
+  std::string log;
+  std::rewind(sink);
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, sink) != nullptr) log += buf;
+  std::fclose(sink);
+  EXPECT_NE(log.find("scores-2022-01-01.csv:3"), std::string::npos) << log;
+  EXPECT_NE(log.find("not_a_number"), std::string::npos) << log;
 }
 
 }  // namespace

@@ -26,11 +26,16 @@
 
 #include <fstream>
 
+#include <cstdlib>
+
 #include "bgp/mrt.h"
 #include "core/incremental_runner.h"
 #include "core/publish.h"
 #include "core/rovista.h"
 #include "dataplane/traceroute.h"
+#include "persist/checkpoint.h"
+#include "persist/checkpoint_io.h"
+#include "persist/wire.h"
 #include "scenario/scenario.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -46,13 +51,20 @@ struct Args {
     const auto it = options.find(key);
     return it != options.end() ? it->second.c_str() : fallback;
   }
+  bool has(const char* key) const { return options.count(key) != 0; }
 };
 
 Args parse_args(int argc, char** argv, int from) {
   Args args;
-  for (int i = from; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
+  for (int i = from; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    // A flag followed by another flag (or nothing) is a bare switch,
+    // e.g. --resume; otherwise the next token is its value.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      args.options[argv[i] + 2] = "";
     }
   }
   return args;
@@ -73,12 +85,19 @@ int usage() {
       "  audit   --seed N --asn N [--date YYYY-MM-DD]   audit one AS\n"
       "  longitudinal --seed N --rounds N [--interval-days N]\n"
       "          [--threads N] [--incremental on|off] [--out FILE]\n"
-      "          [--publish DIR]\n"
+      "          [--publish DIR] [--scale small|paper]\n"
+      "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
       "          run a dated round sequence; VRP deltas drive dirty-\n"
       "          prefix recomputation and a reachability-aware score\n"
       "          cache unless --incremental off forces full recompute\n"
       "          per round (scores identical either way); the per-round\n"
-      "          series goes to --out as CSV\n");
+      "          series goes to --out as CSV. With --checkpoint-dir the\n"
+      "          series writes crash-safe RVCP checkpoints (see\n"
+      "          docs/FORMATS.md) and --resume continues an interrupted\n"
+      "          series bit-identically\n"
+      "  checkpoint inspect (--dir DIR | --file FILE)\n"
+      "          print the header, section table and integrity verdict\n"
+      "          of a checkpoint without restoring it\n");
   return 2;
 }
 
@@ -290,6 +309,10 @@ int cmd_longitudinal(const Args& args) {
   if (std::strcmp(mode, "on") != 0 && std::strcmp(mode, "off") != 0) {
     return usage();
   }
+  const char* scale = args.get("scale", "paper");
+  if (std::strcmp(scale, "paper") != 0 && std::strcmp(scale, "small") != 0) {
+    return usage();
+  }
 
   core::IncrementalConfig config;
   config.params.seed = seed;
@@ -297,22 +320,82 @@ int cmd_longitudinal(const Args& args) {
   config.rovista.scoring.min_tnodes = 3;
   config.rovista.num_threads = static_cast<int>(threads);
   config.incremental = std::strcmp(mode, "on") == 0;
+  if (std::strcmp(scale, "small") == 0) {
+    // The tests' standard small world (tests/round_fixture.h) — fast
+    // enough for CI series like the tier-1 kill/resume stage.
+    config.params.topology.tier1_count = 4;
+    config.params.topology.tier2_count = 14;
+    config.params.topology.tier3_count = 36;
+    config.params.topology.stub_count = 120;
+    config.params.tnode_prefix_count = 4;
+    config.params.measured_as_count = 12;
+    config.params.hosts_per_measured_as = 3;
+    config.params.collector_peer_count = 30;
+    config.rovista.scoring.min_tnodes = 2;
+  }
 
-  util::Date date = config.params.start;
-  if (const char* d = args.get("start")) util::Date::parse(d, date);
+  util::Date start_date = config.params.start;
+  if (const char* d = args.get("start")) util::Date::parse(d, start_date);
+
+  // Round i measures at min(start + i * interval, scenario end) — the
+  // closed form makes the date sequence a function of the round index,
+  // so a resumed process recomputes exactly the dates it skips.
+  const util::Date series_end = config.params.end;
+  const auto round_date = [&](std::uint64_t i) {
+    util::Date d = start_date + static_cast<int>(i * interval_days);
+    if (d > series_end) d = series_end;
+    return d;
+  };
+
+  if (args.has("checkpoint-dir")) {
+    config.checkpoint_dir = args.get("checkpoint-dir", "");
+    if (config.checkpoint_dir.empty()) return usage();
+    std::uint64_t every = 1;
+    if (const char* e = args.get("checkpoint-every")) {
+      util::parse_u64(e, every);
+    }
+    config.checkpoint_every = static_cast<int>(every);
+    // Series-shape guard: the engine digest covers the world and the
+    // measurement config; this covers the CLI-level schedule, so a
+    // checkpoint from a differently-paced series is refused on resume.
+    persist::ByteWriter tag;
+    tag.i64(start_date.days_since_epoch());
+    tag.u64(interval_days);
+    tag.u8(std::strcmp(scale, "small") == 0 ? 1 : 0);
+    config.checkpoint_user_tag = persist::fnv1a64(tag.data());
+  } else if (args.has("resume") || args.has("checkpoint-every")) {
+    std::fprintf(stderr,
+                 "error: --resume/--checkpoint-every need --checkpoint-dir\n");
+    return usage();
+  }
+
+  // Test hook for the tier-1 crash-safety stage: simulate a process
+  // death (no destructors, no exit checkpoint) after N completed rounds.
+  std::uint64_t die_after = 0;
+  if (const char* d = args.get("die-after")) util::parse_u64(d, die_after);
 
   std::printf("running %llu rounds (seed %llu, incremental %s) ...\n",
               static_cast<unsigned long long>(rounds),
               static_cast<unsigned long long>(seed), mode);
   core::IncrementalLongitudinalRunner runner(config);
+
+  std::uint64_t first_round = 0;
+  if (args.has("resume")) {
+    if (runner.resume_from_checkpoint()) {
+      first_round = runner.completed_rounds();
+      std::printf("resumed from checkpoint: %llu round(s) already done\n",
+                  static_cast<unsigned long long>(first_round));
+    } else {
+      std::printf("no usable checkpoint — starting from scratch\n");
+    }
+  }
+
   std::string csv =
       "date,events,vrp_announced,vrp_withdrawn,dirty_prefixes,"
       "discovery_reused,dirty_rows,total_rows,executed_pairs,reused_pairs,"
       "ases_scored\n";
-  for (std::uint64_t i = 0; i < rounds; ++i) {
-    util::Date end = config.params.end;
-    if (date > end) date = end;
-    const core::RoundReport report = runner.run_round(date);
+  for (std::uint64_t i = first_round; i < rounds; ++i) {
+    const core::RoundReport report = runner.run_round(round_date(i));
     std::printf(
         "%s  events=%zu vrp+%zu/-%zu dirty_prefixes=%zu rows %zu/%zu "
         "pairs %zu run / %zu cached  ases=%zu\n",
@@ -330,7 +413,11 @@ int cmd_longitudinal(const Args& args) {
            std::to_string(report.executed_pairs) + ',' +
            std::to_string(report.reused_pairs) + ',' +
            std::to_string(report.round.scores.size()) + '\n';
-    date = date + static_cast<int>(interval_days);
+    if (die_after > 0 && runner.completed_rounds() >= die_after) {
+      // Death, not exit: skip destructors so nothing gets flushed or
+      // checkpointed beyond what run_round already persisted.
+      std::_Exit(137);
+    }
   }
 
   if (const char* out = args.get("out")) {
@@ -355,10 +442,93 @@ int cmd_longitudinal(const Args& args) {
   return 0;
 }
 
+int cmd_checkpoint_inspect(const Args& args) {
+  std::string path;
+  if (const char* file = args.get("file")) {
+    path = file;
+  } else if (const char* dir = args.get("dir")) {
+    path = persist::CheckpointPaths::in(dir).current;
+  } else {
+    return usage();
+  }
+
+  const auto bytes = persist::read_file_bytes(path);
+  if (!bytes.has_value()) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const auto info = persist::inspect_checkpoint(*bytes);
+  if (!info.has_value()) {
+    std::printf("%s: %zu bytes — too short to contain an RVCP header\n",
+                path.c_str(), bytes->size());
+    return 1;
+  }
+
+  std::printf("%s: %llu bytes\n", path.c_str(),
+              static_cast<unsigned long long>(info->file_size));
+  std::printf("  magic            %s\n", info->magic_ok ? "RVCP" : "BAD");
+  std::printf("  format version   %u%s\n", info->format_version,
+              info->version_supported ? "" : " (unsupported)");
+  std::printf("  sections         %u (table CRC %s)\n", info->section_count,
+              info->table_crc_ok ? "ok" : "BAD");
+  util::Table table(
+      {"section", "id", "offset", "length", "crc stored", "crc actual", "ok"});
+  for (const auto& s : info->sections) {
+    char stored[16];
+    char actual[16];
+    std::snprintf(stored, sizeof stored, "%08x", s.stored_crc);
+    std::snprintf(actual, sizeof actual, "%08x",
+                  s.in_bounds ? s.computed_crc : 0);
+    table.add_row({persist::section_name(s.id), std::to_string(s.id),
+                   std::to_string(s.offset), std::to_string(s.length), stored,
+                   s.in_bounds ? actual : "-",
+                   !s.in_bounds ? "OUT OF BOUNDS"
+                                : (s.crc_ok ? "ok" : "BAD")});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  if (!info->decodes) {
+    std::string error;
+    persist::decode_checkpoint(*bytes, &error);
+    std::printf("verdict: NOT loadable — %s\n", error.c_str());
+    return 1;
+  }
+  const auto state = persist::decode_checkpoint(*bytes);
+  std::size_t cached = 0;
+  for (const auto& e : state->cache_entries) {
+    if (e.has_value()) ++cached;
+  }
+  std::printf("verdict: loadable\n");
+  std::printf("  config digest    %016llx\n",
+              static_cast<unsigned long long>(state->config_digest));
+  std::printf("  series tag       %016llx\n",
+              static_cast<unsigned long long>(state->user_tag));
+  std::printf("  mode             %s\n",
+              state->incremental ? "incremental" : "full recompute");
+  std::string round_span;
+  if (!state->rounds.empty()) {
+    round_span = "  (" + state->rounds.front().date.to_string() + " .. " +
+                 state->rounds.back().date.to_string() + ")";
+  }
+  std::printf("  rounds           %zu%s\n", state->rounds.size(),
+              round_span.c_str());
+  std::printf("  discovery        %zu vVPs, %zu tNodes\n",
+              state->vvps.size(), state->tnodes.size());
+  std::printf("  score cache      %zu x %zu matrix, %zu cached\n",
+              state->cache_vvp_addrs.size(), state->cache_tnode_addrs.size(),
+              cached);
+  std::printf("  VRP snapshot     %zu VRPs\n", state->vrps.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "checkpoint") == 0) {
+    if (argc < 3 || std::strcmp(argv[2], "inspect") != 0) return usage();
+    return cmd_checkpoint_inspect(parse_args(argc, argv, 3));
+  }
   const Args args = parse_args(argc, argv, 2);
   if (std::strcmp(argv[1], "measure") == 0) return cmd_measure(args);
   if (std::strcmp(argv[1], "query") == 0) return cmd_query(args);
