@@ -12,10 +12,16 @@
 // the paper's common one: most days the ROA feed churns at the margins
 // while the measured world holds still.
 //
+// The comparison runs twice: once on the plain world and once with a
+// slice of ROV deployers carrying SLURM files (slurm_fraction), which
+// forces every delta install through the per-view dirty-set path of
+// RoutingSystem::apply_vrp_delta. The SLURM columns pin that local
+// exceptions no longer cost a full invalidation.
+//
 // Every incremental round is checked bit-identical to the full
 // recompute, so the reported speedup can never come from skipped work
 // that mattered. Results go to BENCH_incremental.json; exits non-zero
-// if outputs diverge or the 10-round speedup falls below 5x.
+// if outputs diverge or either 10-round speedup falls below 5x.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +41,8 @@ using Clock = std::chrono::steady_clock;
 constexpr int kRounds = 10;
 constexpr int kIntervalDays = 2;
 constexpr int kChurnRoasPerRound = 4;
+constexpr int kThreads = 4;
+constexpr double kSlurmFraction = 0.3;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -54,7 +62,9 @@ scenario::ScenarioParams fixture_params() {
 }
 
 // First date d such that [d, d + days_needed) sees no timeline events
-// and no natural VRP churn when advanced day by day.
+// and no natural VRP churn when advanced day by day. SLURM exceptions
+// change policy contents only — never event dates or the ROA feed — so
+// a window probed on the base params is quiet for the SLURM run too.
 std::optional<util::Date> find_quiet_window(
     const scenario::ScenarioParams& params, int days_needed) {
   scenario::Scenario probe(params);
@@ -158,84 +168,23 @@ struct RoundSample {
   bool identical = false;
 };
 
-void write_json(const std::string& path,
-                const scenario::ScenarioParams& params, int threads,
-                const std::vector<RoundSample>& samples, double full_total,
-                double incr_total) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
-    std::exit(1);
+struct ConfigResult {
+  std::vector<RoundSample> samples;
+  double full_total = 0.0;
+  double incr_total = 0.0;
+  bool all_identical = true;
+  bool churn_bounded = true;
+
+  double speedup() const {
+    return incr_total > 0.0 ? full_total / incr_total : 0.0;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f,
-               "  \"scenario\": {\"seed\": %llu, \"rounds\": %d, "
-               "\"interval_days\": %d, \"threads\": %d, "
-               "\"churn_roas_per_round\": %d},\n",
-               static_cast<unsigned long long>(params.seed), kRounds,
-               kIntervalDays, threads, kChurnRoasPerRound);
-  std::fprintf(f, "  \"rounds\": [\n");
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const RoundSample& s = samples[i];
-    std::fprintf(
-        f,
-        "    {\"date\": \"%s\", \"full_s\": %.6f, \"incremental_s\": %.6f, "
-        "\"speedup\": %.2f, \"vrp_announced\": %zu, \"vrp_withdrawn\": %zu, "
-        "\"churn_fraction\": %.4f, \"dirty_rows\": %zu, \"total_rows\": %zu, "
-        "\"executed_pairs\": %zu, \"reused_pairs\": %zu, "
-        "\"discovery_reused\": %s, \"identical\": %s}%s\n",
-        s.date.to_string().c_str(), s.full_s, s.incr_s,
-        s.incr_s > 0.0 ? s.full_s / s.incr_s : 0.0, s.vrp_announced,
-        s.vrp_withdrawn, s.churn_fraction, s.dirty_rows, s.total_rows,
-        s.executed_pairs, s.reused_pairs,
-        s.discovery_reused ? "true" : "false",
-        s.identical ? "true" : "false",
-        i + 1 < samples.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-  // Steady state excludes round 0, where the incremental engine is by
-  // definition a cold full recompute.
-  double full_steady = 0.0;
-  double incr_steady = 0.0;
-  for (std::size_t i = 1; i < samples.size(); ++i) {
-    full_steady += samples[i].full_s;
-    incr_steady += samples[i].incr_s;
-  }
-  std::fprintf(f,
-               "  \"total\": {\"full_s\": %.6f, \"incremental_s\": %.6f, "
-               "\"speedup\": %.2f},\n",
-               full_total, incr_total,
-               incr_total > 0.0 ? full_total / incr_total : 0.0);
-  std::fprintf(f,
-               "  \"steady_state\": {\"full_s\": %.6f, "
-               "\"incremental_s\": %.6f, \"speedup\": %.2f}\n",
-               full_steady, incr_steady,
-               incr_steady > 0.0 ? full_steady / incr_steady : 0.0);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-}
+};
 
-}  // namespace
-
-int main() {
-  const scenario::ScenarioParams params = fixture_params();
-  constexpr int kThreads = 4;
-
-  rovista::bench::print_header(
-      "bench_incremental_round — VRP-delta-driven recomputation",
-      "incremental engine contract (DESIGN.md, \"Incremental longitudinal "
-      "engine\")");
-
-  std::printf("probing the timeline for a %d-day quiet stretch ...\n",
-              kRounds * kIntervalDays);
-  const auto quiet =
-      find_quiet_window(params, kRounds * kIntervalDays);
-  if (!quiet.has_value()) {
-    std::fprintf(stderr, "FAIL: no quiet window in the scenario timeline\n");
-    return 1;
-  }
-  std::printf("quiet window starts %s\n", quiet->to_string().c_str());
-
+// One full-vs-incremental comparison: kRounds rounds from `quiet`, both
+// engines fed the same churn, every round checked bit-identical.
+ConfigResult run_config(const char* label,
+                        const scenario::ScenarioParams& params,
+                        util::Date quiet) {
   core::IncrementalConfig full_config;
   full_config.params = params;
   full_config.rovista.scoring.min_vvps_per_as = 2;
@@ -250,14 +199,9 @@ int main() {
   ChurnFeed full_feed(full.world());
   ChurnFeed incr_feed(incr.world());
 
-  std::vector<RoundSample> samples;
-  double full_total = 0.0;
-  double incr_total = 0.0;
-  bool all_identical = true;
-  bool churn_bounded = true;
-
+  ConfigResult result;
   for (int r = 0; r < kRounds; ++r) {
-    const util::Date date = *quiet + r * kIntervalDays;
+    const util::Date date = quiet + r * kIntervalDays;
     full_feed.publish_round(r, date);
     incr_feed.publish_round(r, date);
 
@@ -289,41 +233,150 @@ int main() {
     s.reused_pairs = incr_report.reused_pairs;
     s.discovery_reused = incr_report.discovery_reused;
     s.identical = rounds_identical(full_report.round, incr_report.round);
-    samples.push_back(s);
+    result.samples.push_back(s);
 
-    all_identical = all_identical && s.identical;
+    result.all_identical = result.all_identical && s.identical;
     // Round 0 has no prior snapshot, so its delta is the whole feed.
-    churn_bounded = churn_bounded && (r == 0 || s.churn_fraction <= 0.05);
-    full_total += full_s;
-    incr_total += incr_s;
+    result.churn_bounded =
+        result.churn_bounded && (r == 0 || s.churn_fraction <= 0.05);
+    result.full_total += full_s;
+    result.incr_total += incr_s;
 
     std::printf(
-        "round %2d %s  full %7.3fs  incr %7.3fs  speedup %6.2fx  "
+        "%s round %2d %s  full %7.3fs  incr %7.3fs  speedup %6.2fx  "
         "delta +%zu/-%zu (%.1f%%)  dirty rows %zu/%zu  %s\n",
-        r, date.to_string().c_str(), full_s, incr_s,
+        label, r, date.to_string().c_str(), full_s, incr_s,
         incr_s > 0.0 ? full_s / incr_s : 0.0, s.vrp_announced,
         s.vrp_withdrawn, 100.0 * s.churn_fraction, s.dirty_rows,
         s.total_rows, s.identical ? "bit-identical" : "MISMATCH");
   }
+  std::printf("%s 10-round totals: full %.3fs  incremental %.3fs  %.2fx\n",
+              label, result.full_total, result.incr_total, result.speedup());
+  return result;
+}
 
-  const double speedup = incr_total > 0.0 ? full_total / incr_total : 0.0;
-  std::printf("10-round totals: full %.3fs  incremental %.3fs  %.2fx\n",
-              full_total, incr_total, speedup);
-  write_json("BENCH_incremental.json", params, kThreads, samples, full_total,
-             incr_total);
+void write_samples(std::FILE* f, const char* indent,
+                   const std::vector<RoundSample>& samples) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const RoundSample& s = samples[i];
+    std::fprintf(
+        f,
+        "%s{\"date\": \"%s\", \"full_s\": %.6f, \"incremental_s\": %.6f, "
+        "\"speedup\": %.2f, \"vrp_announced\": %zu, \"vrp_withdrawn\": %zu, "
+        "\"churn_fraction\": %.4f, \"dirty_rows\": %zu, \"total_rows\": %zu, "
+        "\"executed_pairs\": %zu, \"reused_pairs\": %zu, "
+        "\"discovery_reused\": %s, \"identical\": %s}%s\n",
+        indent, s.date.to_string().c_str(), s.full_s, s.incr_s,
+        s.incr_s > 0.0 ? s.full_s / s.incr_s : 0.0, s.vrp_announced,
+        s.vrp_withdrawn, s.churn_fraction, s.dirty_rows, s.total_rows,
+        s.executed_pairs, s.reused_pairs,
+        s.discovery_reused ? "true" : "false",
+        s.identical ? "true" : "false",
+        i + 1 < samples.size() ? "," : "");
+  }
+}
+
+void write_totals(std::FILE* f, const char* indent,
+                  const ConfigResult& result, bool trailing_comma) {
+  // Steady state excludes round 0, where the incremental engine is by
+  // definition a cold full recompute.
+  double full_steady = 0.0;
+  double incr_steady = 0.0;
+  for (std::size_t i = 1; i < result.samples.size(); ++i) {
+    full_steady += result.samples[i].full_s;
+    incr_steady += result.samples[i].incr_s;
+  }
+  std::fprintf(f,
+               "%s\"total\": {\"full_s\": %.6f, \"incremental_s\": %.6f, "
+               "\"speedup\": %.2f},\n",
+               indent, result.full_total, result.incr_total,
+               result.speedup());
+  std::fprintf(f,
+               "%s\"steady_state\": {\"full_s\": %.6f, "
+               "\"incremental_s\": %.6f, \"speedup\": %.2f}%s\n",
+               indent, full_steady, incr_steady,
+               incr_steady > 0.0 ? full_steady / incr_steady : 0.0,
+               trailing_comma ? "," : "");
+}
+
+void write_json(const std::string& path,
+                const scenario::ScenarioParams& params,
+                const ConfigResult& base, const ConfigResult& slurm) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"scenario\": {\"seed\": %llu, \"rounds\": %d, "
+               "\"interval_days\": %d, \"threads\": %d, "
+               "\"churn_roas_per_round\": %d},\n",
+               static_cast<unsigned long long>(params.seed), kRounds,
+               kIntervalDays, kThreads, kChurnRoasPerRound);
+  std::fprintf(f, "  \"rounds\": [\n");
+  write_samples(f, "    ", base.samples);
+  std::fprintf(f, "  ],\n");
+  write_totals(f, "  ", base, /*trailing_comma=*/true);
+  std::fprintf(f, "  \"slurm\": {\n");
+  std::fprintf(f, "    \"slurm_fraction\": %.2f,\n", kSlurmFraction);
+  std::fprintf(f, "    \"rounds\": [\n");
+  write_samples(f, "      ", slurm.samples);
+  std::fprintf(f, "    ],\n");
+  write_totals(f, "    ", slurm, /*trailing_comma=*/false);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const scenario::ScenarioParams params = fixture_params();
+
+  rovista::bench::print_header(
+      "bench_incremental_round — VRP-delta-driven recomputation",
+      "incremental engine contract (DESIGN.md, \"Incremental longitudinal "
+      "engine\")");
+
+  std::printf("probing the timeline for a %d-day quiet stretch ...\n",
+              kRounds * kIntervalDays);
+  const auto quiet =
+      find_quiet_window(params, kRounds * kIntervalDays);
+  if (!quiet.has_value()) {
+    std::fprintf(stderr, "FAIL: no quiet window in the scenario timeline\n");
+    return 1;
+  }
+  std::printf("quiet window starts %s\n", quiet->to_string().c_str());
+
+  const ConfigResult base = run_config("base ", params, *quiet);
+
+  scenario::ScenarioParams slurm_params = params;
+  slurm_params.slurm_fraction = kSlurmFraction;
+  const ConfigResult slurm = run_config("slurm", slurm_params, *quiet);
+
+  write_json("BENCH_incremental.json", params, base, slurm);
   std::printf("wrote BENCH_incremental.json\n");
 
-  if (!all_identical) {
-    std::fprintf(stderr, "FAIL: incremental output diverged from full\n");
-    return 1;
-  }
-  if (!churn_bounded) {
-    std::fprintf(stderr, "FAIL: per-round ROA churn exceeded 5%%\n");
-    return 1;
-  }
-  if (speedup < 5.0) {
-    std::fprintf(stderr, "FAIL: 10-round speedup %.2fx below 5x\n", speedup);
-    return 1;
-  }
-  return 0;
+  int rc = 0;
+  const auto gate = [&](const char* label, const ConfigResult& r) {
+    if (!r.all_identical) {
+      std::fprintf(stderr, "FAIL(%s): incremental output diverged from full\n",
+                   label);
+      rc = 1;
+    }
+    if (!r.churn_bounded) {
+      std::fprintf(stderr, "FAIL(%s): per-round ROA churn exceeded 5%%\n",
+                   label);
+      rc = 1;
+    }
+    if (r.speedup() < 5.0) {
+      std::fprintf(stderr, "FAIL(%s): 10-round speedup %.2fx below 5x\n",
+                   label, r.speedup());
+      rc = 1;
+    }
+  };
+  gate("base", base);
+  gate("slurm", slurm);
+  return rc;
 }

@@ -12,7 +12,13 @@
 #   4. crash/resume end-to-end: a 6-round series killed after round 3
 #      (--die-after simulates SIGKILL: no destructors, no exit
 #      checkpoint), resumed from its checkpoint at a different thread
-#      count, must publish CSVs byte-identical to an uninterrupted run.
+#      count, must publish CSVs byte-identical to an uninterrupted run,
+#   5. the same crash/resume plus an incremental-vs-full byte-diff on a
+#      SLURM-policy series (--slurm-fraction): delta installs must run
+#      through the per-view dirty-set path of apply_vrp_delta, and the
+#      published CSVs may not depend on incremental mode, thread count,
+#      or where the series was interrupted. (The ASan stage already
+#      covers the SlurmIncrementalRound suite via the regex.)
 # ctest gets -j consistently; override parallelism with JOBS=N.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,5 +65,35 @@ diff -r "$CK_TMP/resumed" "$CK_TMP/uninterrupted" >/dev/null || {
   exit 1
 }
 
+# SLURM-policy series: crash/resume and incremental-vs-full byte-identity
+# with local exceptions in play.
+set +e
+"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
+  --slurm-fraction 0.35 --checkpoint-dir "$CK_TMP/slurm-ck" --die-after 2 \
+  >/dev/null
+status=$?
+set -e
+if [ "$status" -ne 137 ]; then
+  echo "expected the SLURM --die-after run to die with 137, got $status" >&2
+  exit 1
+fi
+"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
+  --slurm-fraction 0.35 --checkpoint-dir "$CK_TMP/slurm-ck" --resume \
+  --threads 4 --publish "$CK_TMP/slurm-resumed" >/dev/null
+"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
+  --slurm-fraction 0.35 --publish "$CK_TMP/slurm-incr" >/dev/null
+"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
+  --slurm-fraction 0.35 --incremental off \
+  --publish "$CK_TMP/slurm-full" >/dev/null
+diff -r "$CK_TMP/slurm-resumed" "$CK_TMP/slurm-incr" >/dev/null || {
+  echo "SLURM resumed series published different CSV bytes" >&2
+  exit 1
+}
+diff -r "$CK_TMP/slurm-incr" "$CK_TMP/slurm-full" >/dev/null || {
+  echo "SLURM incremental series diverged from full recompute" >&2
+  exit 1
+}
+
 echo "tier-1 OK (tests + TSan parallel round + ASan/UBSan incremental" \
-     "+ checkpoint corruption battery + crash/resume byte-diff)"
+     "+ checkpoint corruption battery + crash/resume byte-diff" \
+     "+ SLURM incremental/resume byte-diff)"

@@ -24,9 +24,19 @@ topology::NeighborKind invert(topology::NeighborKind kind) noexcept {
 RoutingSystem::RoutingSystem(const topology::AsGraph& graph) : graph_(graph) {}
 
 void RoutingSystem::set_policy(Asn asn, AsPolicy policy) {
+  const bool had_slurm = this->policy(asn).has_slurm();
+  if (had_slurm) --slurm_policy_count_;
+  if (policy.has_slurm()) ++slurm_policy_count_;
   policies_[asn] = std::move(policy);
   ++policy_epochs_[asn];
   slurm_views_.erase(asn);
+  if (had_slurm) {
+    // The replaced policy's SLURM view may have shaped any cached route
+    // (including Unknown-only prefixes an assertion turned Valid), and
+    // rov_sensitive() reasons from the *current* policies only.
+    invalidate_all();
+    return;
+  }
   // ROV (and prefer-valid / SLURM) can only change route propagation for
   // prefixes whose announcements are not uniformly Valid; drop those.
   std::vector<net::Ipv4Prefix> drop;
@@ -54,21 +64,69 @@ void RoutingSystem::set_vrps(rpki::VrpSet vrps) {
 }
 
 void RoutingSystem::apply_vrp_delta(rpki::VrpSet vrps,
-                                    std::span<const net::Ipv4Prefix> dirty) {
-  base_vrps_ = std::move(vrps);
-  bool any_slurm = !slurm_views_.empty();
+                                    std::span<const net::Ipv4Prefix> dirty,
+                                    std::span<const rpki::Vrp> announced,
+                                    std::span<const rpki::Vrp> withdrawn) {
+  std::vector<Asn> slurm_ases;
   for (const auto& [asn, pol] : policies_) {
-    if (pol.has_slurm()) {
-      any_slurm = true;
-      break;
-    }
+    if (pol.has_slurm()) slurm_ases.push_back(asn);
   }
-  if (any_slurm) {
-    slurm_views_.clear();
-    invalidate_all();
+  if (slurm_ases.empty()) {
+    slurm_views_.clear();  // set_policy keeps this empty; stay defensive
+    base_vrps_ = std::move(vrps);
+    for (const net::Ipv4Prefix& prefix : dirty) cache_.erase(prefix);
     return;
   }
+  std::sort(slurm_ases.begin(), slurm_ases.end());
+
+  // Per-view dirty derivation, phase 1: for every announced prefix the
+  // delta can have changed *as seen through this AS's filters and
+  // assertions*, record the view's validity per origin under the old
+  // base (materializing the view from it if no query has yet).
+  struct ViewProbe {
+    Asn asn;
+    net::Ipv4Prefix prefix;
+    Asn origin;
+    rpki::RouteValidity before;
+  };
+  std::vector<ViewProbe> probes;
+  for (const Asn asn : slurm_ases) {
+    const rpki::SlurmFile& slurm = policy(asn).slurm;
+    const std::vector<net::Ipv4Prefix> changed =
+        slurm.view_changed_prefixes(announced, withdrawn);
+    if (changed.empty()) continue;  // fully filtered delta: view is inert
+    net::PrefixTrie<bool> touch;
+    for (const net::Ipv4Prefix& p : changed) touch.insert(p, true);
+    const rpki::VrpSet& view = slurm_view(asn);
+    announcements_.for_each(
+        [&](const net::Ipv4Prefix& prefix, const std::vector<Asn>& origins) {
+          if (touch.covering(prefix).empty()) return;
+          for (const Asn origin : origins) {
+            probes.push_back(
+                {asn, prefix, origin, view.validate(prefix, origin)});
+          }
+        });
+  }
+
+  // Phase 2: patch every materialized view in place (a view an AS has
+  // not queried yet stays lazy and will be built from the new base),
+  // then install the new base.
+  for (const Asn asn : slurm_ases) {
+    const auto it = slurm_views_.find(asn);
+    if (it == slurm_views_.end()) continue;
+    policy(asn).slurm.apply_delta(it->second, announced, withdrawn);
+  }
+  base_vrps_ = std::move(vrps);
+
+  // Phase 3: erase the base dirty set plus every probed (prefix, origin)
+  // whose per-view validity actually flipped.
   for (const net::Ipv4Prefix& prefix : dirty) cache_.erase(prefix);
+  for (const ViewProbe& probe : probes) {
+    const rpki::VrpSet& view = slurm_view(probe.asn);
+    if (view.validate(probe.prefix, probe.origin) != probe.before) {
+      cache_.erase(probe.prefix);
+    }
+  }
 }
 
 rpki::RouteValidity RoutingSystem::base_validity(const net::Ipv4Prefix& prefix,
@@ -79,13 +137,16 @@ rpki::RouteValidity RoutingSystem::base_validity(const net::Ipv4Prefix& prefix,
 rpki::RouteValidity RoutingSystem::validity_for(Asn asn,
                                                 const net::Ipv4Prefix& prefix,
                                                 Asn origin) const {
-  const AsPolicy& pol = policy(asn);
-  if (!pol.has_slurm()) return base_validity(prefix, origin);
+  if (!policy(asn).has_slurm()) return base_validity(prefix, origin);
+  return slurm_view(asn).validate(prefix, origin);
+}
+
+rpki::VrpSet& RoutingSystem::slurm_view(Asn asn) const {
   auto it = slurm_views_.find(asn);
   if (it == slurm_views_.end()) {
-    it = slurm_views_.emplace(asn, pol.slurm.apply(base_vrps_)).first;
+    it = slurm_views_.emplace(asn, policy(asn).slurm.apply(base_vrps_)).first;
   }
-  return it->second.validate(prefix, origin);
+  return it->second;
 }
 
 void RoutingSystem::announce(const OriginAnnouncement& a) {
@@ -112,11 +173,7 @@ bool RoutingSystem::withdraw(const OriginAnnouncement& a) {
 
 std::vector<Asn> RoutingSystem::origins_of(
     const net::Ipv4Prefix& prefix) const {
-  const std::vector<Asn>* origins = nullptr;
-  // PrefixTrie::find is non-const only; use covering and exact-match.
-  for (const auto& [p, vec] : announcements_.covering(prefix)) {
-    if (p == prefix) origins = vec;
-  }
+  const std::vector<Asn>* origins = announcements_.find(prefix);
   return origins != nullptr ? *origins : std::vector<Asn>{};
 }
 
@@ -141,24 +198,21 @@ std::vector<net::Ipv4Prefix> RoutingSystem::all_prefixes() const {
 }
 
 bool RoutingSystem::rov_sensitive(const net::Ipv4Prefix& prefix) const {
-  for (Asn origin : origins_of(prefix)) {
-    if (base_validity(prefix, origin) != rpki::RouteValidity::kValid) {
-      // Unknown-only prefixes are insensitive unless some AS runs SLURM
-      // (which could flip them); be conservative only about Invalid.
-      if (base_validity(prefix, origin) == rpki::RouteValidity::kInvalid) {
-        return true;
-      }
+  // A SLURM exception can flip any (prefix, origin) validity, Unknown
+  // included; decided from the configured policies, not from which views
+  // happen to be materialized, so the answer is query-order-independent.
+  if (slurm_policy_count_ > 0) return true;
+  std::optional<rpki::RouteValidity> first;
+  for (const Asn origin : origins_of(prefix)) {
+    const rpki::RouteValidity v = base_validity(prefix, origin);
+    if (v == rpki::RouteValidity::kInvalid) return true;
+    if (!first.has_value()) {
+      first = v;
+    } else if (v != *first) {
+      return true;  // MOAS with mixed validity: prefer-valid-sensitive
     }
   }
-  // MOAS with mixed validity is prefer-valid-sensitive.
-  const std::vector<Asn> origins = origins_of(prefix);
-  if (origins.size() > 1) {
-    const auto v0 = base_validity(prefix, origins.front());
-    for (Asn o : origins) {
-      if (base_validity(prefix, o) != v0) return true;
-    }
-  }
-  return !slurm_views_.empty();
+  return false;
 }
 
 const RouteMap& RoutingSystem::routes_for(const net::Ipv4Prefix& prefix) {

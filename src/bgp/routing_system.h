@@ -62,14 +62,25 @@ class RoutingSystem {
   const rpki::VrpSet& vrps() const noexcept { return base_vrps_; }
 
   /// Replace the VRP output like set_vrps(), but keep converged routes for
-  /// every prefix not listed in `dirty`. Sound only when `dirty` holds all
-  /// announced prefixes whose validity flipped for some announced origin
-  /// (incremental::DirtyPrefixTracker::dirty_prefixes) — route selection
-  /// consults the VRP set exclusively through those validities. If any AS
-  /// runs SLURM the per-AS views derive from the base VRPs too, so this
-  /// falls back to a full invalidation.
+  /// every prefix whose validity provably did not change for any AS.
+  /// `dirty` must hold all announced prefixes whose *base* validity
+  /// flipped for some announced origin
+  /// (incremental::DirtyPrefixTracker::dirty_prefixes); `announced` /
+  /// `withdrawn` are the VRP-level delta between the old and new output
+  /// (incremental::VrpDeltaComputer). ASes with SLURM files are handled
+  /// per view: each view's delta *as seen through its filters and
+  /// assertions* yields a per-view dirty-prefix set
+  /// (rpki::SlurmFile::view_changed_prefixes + validity re-probe), the
+  /// union of those with `dirty` is erased from the route cache, and the
+  /// materialized views are patched in place
+  /// (rpki::SlurmFile::apply_delta) instead of rebuilt — no policy epoch
+  /// moves, so only genuinely affected prefixes re-converge. Sound
+  /// because route selection consults VRPs exclusively through
+  /// per-(prefix, origin) validities, base or per-view.
   void apply_vrp_delta(rpki::VrpSet vrps,
-                       std::span<const net::Ipv4Prefix> dirty);
+                       std::span<const net::Ipv4Prefix> dirty,
+                       std::span<const rpki::Vrp> announced,
+                       std::span<const rpki::Vrp> withdrawn);
 
   /// Validity of (prefix, origin) from `asn`'s point of view (applies
   /// that AS's SLURM file if it has one).
@@ -117,18 +128,34 @@ class RoutingSystem {
   void invalidate_all();
   std::size_t cached_prefixes() const noexcept { return cache_.size(); }
 
+  /// SLURM views currently materialized (apply_vrp_delta patches these in
+  /// place; set_vrps / set_policy discard them). Observability hook for
+  /// the incremental tests: a surviving view across a delta install is
+  /// proof the engine did not fall back to a full rebuild.
+  std::size_t slurm_view_count() const noexcept { return slurm_views_.size(); }
+
+  /// Can ROV/SLURM policy affect this prefix's routes? True when some
+  /// origin's base validity is Invalid, when MOAS origins have mixed
+  /// validity (prefer-valid territory), or when any *configured* policy
+  /// carries a SLURM file (local exceptions can flip any validity).
+  /// Decided from the configured policies alone, so the answer is
+  /// independent of which validity_for() queries happened to have
+  /// materialized views first.
+  bool rov_sensitive(const net::Ipv4Prefix& prefix) const;
+
  private:
   RouteMap compute_routes(const net::Ipv4Prefix& prefix) const;
 
-  /// Does any origin of `prefix` make some AS's validity non-Valid?
-  /// (Only those prefixes' routes depend on ROV policy.)
-  bool rov_sensitive(const net::Ipv4Prefix& prefix) const;
+  /// The SLURM-adjusted view of `asn` (materializing it from the current
+  /// base VRPs if needed). Pre: policy(asn).has_slurm().
+  rpki::VrpSet& slurm_view(Asn asn) const;
 
   const topology::AsGraph& graph_;
   std::unordered_map<Asn, AsPolicy> policies_;
   std::unordered_map<Asn, std::uint64_t> policy_epochs_;
   AsPolicy default_policy_;
   rpki::VrpSet base_vrps_;
+  std::size_t slurm_policy_count_ = 0;  // configured policies with SLURM
 
   // SLURM-adjusted VRP views, built lazily per AS that has a SLURM file.
   mutable std::unordered_map<Asn, rpki::VrpSet> slurm_views_;

@@ -14,6 +14,13 @@
 //                 through these (prefix, origin) pairs, so non-dirty
 //                 prefixes converge to bit-identical RouteMaps — the
 //                 contract behind RoutingSystem::apply_vrp_delta.
+//
+// Both notions are computed against the *base* relying-party output.
+// ASes with SLURM files validate through locally adjusted views;
+// apply_vrp_delta derives each view's own dirty set from the delta
+// (rpki::SlurmFile::view_changed_prefixes + per-view validity probes)
+// and unions it with the base dirty set, so the tracker stays
+// SLURM-agnostic and the combined contract still holds.
 #pragma once
 
 #include <vector>

@@ -71,7 +71,8 @@ scenario::VrpInstaller make_vrp_installer(bool incremental,
       report->dirty_prefix_count = dirty.size();
     }
     if (incremental) {
-      routing.apply_vrp_delta(std::move(next), dirty);
+      routing.apply_vrp_delta(std::move(next), dirty, delta.announced,
+                              delta.withdrawn);
     } else {
       routing.set_vrps(std::move(next));
     }
@@ -82,7 +83,7 @@ scenario::VrpInstaller make_vrp_installer(bool incremental,
 // the writer. kDigestSchema bumps whenever the field set changes, so an
 // old checkpoint meets a clean digest mismatch instead of a stale hash
 // collision (docs/FORMATS.md, "Compatibility").
-constexpr std::uint8_t kDigestSchema = 1;
+constexpr std::uint8_t kDigestSchema = 2;  // 2: + slurm_fraction
 
 void digest_params(persist::ByteWriter& w,
                    const scenario::ScenarioParams& p) {
@@ -105,6 +106,7 @@ void digest_params(persist::ByteWriter& w,
   w.f64(p.rov_end_stub);
   w.f64(p.exempt_customers_fraction);
   w.f64(p.prefer_valid_fraction);
+  w.f64(p.slurm_fraction);
   w.u32(static_cast<std::uint32_t>(p.tnode_prefix_count));
   w.u32(static_cast<std::uint32_t>(p.tnode_hosts_per_prefix));
   w.u32(static_cast<std::uint32_t>(p.moas_invalid_count));

@@ -13,14 +13,56 @@ bool SlurmPrefixFilter::matches(const Vrp& vrp) const noexcept {
 VrpSet SlurmFile::apply(const VrpSet& input) const {
   VrpSet out;
   input.for_each([&](const Vrp& vrp) {
-    const bool filtered = std::any_of(
-        filters.begin(), filters.end(),
-        [&](const SlurmPrefixFilter& f) { return f.matches(vrp); });
-    if (!filtered) out.add(vrp);
+    if (!filters_vrp(vrp)) out.add(vrp);
   });
-  for (const SlurmPrefixAssertion& a : assertions) {
-    out.add(Vrp{a.prefix, a.max_length.value_or(a.prefix.length()), a.asn});
+  for (const SlurmPrefixAssertion& a : assertions) out.add(a.vrp());
+  return out;
+}
+
+bool SlurmFile::filters_vrp(const Vrp& vrp) const noexcept {
+  return std::any_of(filters.begin(), filters.end(),
+                     [&](const SlurmPrefixFilter& f) { return f.matches(vrp); });
+}
+
+bool SlurmFile::asserts_vrp(const Vrp& vrp) const noexcept {
+  return std::any_of(
+      assertions.begin(), assertions.end(),
+      [&](const SlurmPrefixAssertion& a) { return a.vrp() == vrp; });
+}
+
+void SlurmFile::apply_delta(VrpSet& view, std::span<const Vrp> announced,
+                            std::span<const Vrp> withdrawn) const {
+  for (const Vrp& v : withdrawn) {
+    if (filters_vrp(v)) continue;  // never entered the view
+    view.remove(v);
+    // remove() drops every equal instance, including one an assertion
+    // contributed; the assertion outlives the base VRP, so put it back.
+    if (asserts_vrp(v)) view.add(v);
   }
+  for (const Vrp& v : announced) {
+    if (!filters_vrp(v)) view.add(v);
+  }
+}
+
+std::vector<net::Ipv4Prefix> SlurmFile::view_changed_prefixes(
+    std::span<const Vrp> announced, std::span<const Vrp> withdrawn) const {
+  std::vector<net::Ipv4Prefix> out;
+  const auto add_unfiltered = [&](const Vrp& v) {
+    if (!filters_vrp(v)) out.push_back(v.prefix);
+  };
+  for (const Vrp& v : announced) add_unfiltered(v);
+  for (const Vrp& v : withdrawn) add_unfiltered(v);
+  for (const SlurmPrefixAssertion& a : assertions) {
+    const auto overlaps = [&](const Vrp& v) {
+      return a.prefix.covers(v.prefix) || v.prefix.covers(a.prefix);
+    };
+    if (std::any_of(announced.begin(), announced.end(), overlaps) ||
+        std::any_of(withdrawn.begin(), withdrawn.end(), overlaps)) {
+      out.push_back(a.prefix);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "rpki/validation.h"
@@ -27,6 +28,11 @@ struct SlurmPrefixAssertion {
   net::Ipv4Prefix prefix;
   std::optional<std::uint8_t> max_length;
   Asn asn = 0;
+
+  /// The VRP this assertion contributes to the view.
+  Vrp vrp() const noexcept {
+    return Vrp{prefix, max_length.value_or(prefix.length()), asn};
+  }
 };
 
 /// One operator's local exception file.
@@ -36,6 +42,33 @@ struct SlurmFile {
 
   /// Apply to relying-party output: drop filtered VRPs, add assertions.
   VrpSet apply(const VrpSet& input) const;
+
+  /// True if some filter removes `vrp` from this operator's view.
+  bool filters_vrp(const Vrp& vrp) const noexcept;
+
+  /// True if some assertion contributes exactly `vrp` to the view.
+  bool asserts_vrp(const Vrp& vrp) const noexcept;
+
+  /// Patch `view` (previously produced by apply() on the old relying-
+  /// party output) so it equals apply() on the new output, given the
+  /// announce/withdraw delta between the two. Filtered delta VRPs never
+  /// entered the view and are skipped; a withdrawn VRP that an assertion
+  /// re-contributes stays present. Equality is exact as a VRP *set*
+  /// (sorted-unique flatten), which is all validate() observes —
+  /// duplicate multiplicities may differ.
+  void apply_delta(VrpSet& view, std::span<const Vrp> announced,
+                   std::span<const Vrp> withdrawn) const;
+
+  /// The prefixes under which this operator's *view* can have changed
+  /// for the given delta: the prefixes of unfiltered delta VRPs, plus
+  /// any assertion prefix overlapping a delta VRP's prefix (assertions
+  /// never change, but their interaction with churned base VRPs is
+  /// included conservatively). RFC 6811 validity through the view is
+  /// provably unchanged for every announced prefix not covered by one
+  /// of these — the per-view dirty-set precondition in
+  /// bgp::RoutingSystem::apply_vrp_delta. Sorted, deduplicated.
+  std::vector<net::Ipv4Prefix> view_changed_prefixes(
+      std::span<const Vrp> announced, std::span<const Vrp> withdrawn) const;
 };
 
 }  // namespace rovista::rpki

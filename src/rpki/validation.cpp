@@ -1,5 +1,7 @@
 #include "rpki/validation.h"
 
+#include <algorithm>
+
 namespace rovista::rpki {
 
 VrpSet::VrpSet(const std::vector<Vrp>& vrps) {
@@ -14,6 +16,17 @@ void VrpSet::add(const Vrp& vrp) {
     slot->push_back(vrp);
   }
   ++count_;
+}
+
+std::size_t VrpSet::remove(const Vrp& vrp) {
+  std::vector<Vrp>* slot = trie_.find(vrp.prefix);
+  if (slot == nullptr) return 0;
+  const std::size_t before = slot->size();
+  slot->erase(std::remove(slot->begin(), slot->end(), vrp), slot->end());
+  const std::size_t removed = before - slot->size();
+  if (slot->empty()) trie_.erase(vrp.prefix);
+  count_ -= removed;
+  return removed;
 }
 
 std::vector<Vrp> VrpSet::covering(const net::Ipv4Prefix& prefix) const {

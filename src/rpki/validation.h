@@ -40,6 +40,12 @@ class VrpSet {
 
   void add(const Vrp& vrp);
 
+  /// Remove every stored instance equal to `vrp`; returns how many were
+  /// removed. Duplicates (the relying party may emit the same VRP from
+  /// several ROAs) are all dropped, so after removal the set provably no
+  /// longer contains `vrp` — the property the SLURM delta patch relies on.
+  std::size_t remove(const Vrp& vrp);
+
   /// All VRPs whose prefix covers `prefix` (equal or less specific).
   std::vector<Vrp> covering(const net::Ipv4Prefix& prefix) const;
 

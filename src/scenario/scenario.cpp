@@ -54,6 +54,13 @@ Scenario::Scenario(ScenarioParams params)
   build_operator_claims();
   build_collector(rng);
 
+  // Last build step, gated so the default (no SLURM) draws nothing from
+  // `rng` and stays byte-identical to pre-SLURM scenario builds.
+  if (params_.slurm_fraction > 0.0) {
+    util::Rng slurm_rng = rng.split(0x51e8);
+    build_slurm_exceptions(slurm_rng);
+  }
+
   std::stable_sort(policy_events_.begin(), policy_events_.end(),
                    [](const PolicyEvent& a, const PolicyEvent& b) {
                      return a.date < b.date;
@@ -505,6 +512,43 @@ void Scenario::build_hosts(util::Rng& rng) {
         bad.retransmit_after_rst = true;  // fails condition (c)
       }
       plane_->add_host(attacker, bad);
+    }
+  }
+}
+
+void Scenario::build_slurm_exceptions(util::Rng& rng) {
+  // A slice of ROV deployers carries RFC 8416 local exceptions scoped to
+  // the exclusively-invalid (tNode) prefixes — the §7.1 operators who
+  // filter in general yet accept specific invalid routes. Exceptions are
+  // attached to the existing enablement events (no new events, no date
+  // changes), so the timeline shape is untouched.
+  if (tnode_prefixes_.empty()) return;
+  for (PolicyEvent& ev : policy_events_) {
+    if (ev.policy.rov == bgp::RovMode::kNone) continue;
+    if (ev.asn == client_as_a_ || ev.asn == client_as_b_) continue;
+    if (!rng.bernoulli(params_.slurm_fraction)) continue;
+
+    const std::uint64_t pick = rng();
+    const auto& [invalid, attacker] =
+        tnode_prefixes_[pick % tnode_prefixes_.size()];
+    // The victim's dark /16 the invalid /24 was carved from: filtering it
+    // drops the covering ROA VRPs, turning the invalid route Unknown.
+    const net::Ipv4Prefix dark(invalid.address(), 16);
+    switch (pick % 3) {
+      case 0:
+        ev.policy.slurm.filters.push_back({dark, std::nullopt});
+        break;
+      case 1:
+        // Locally trusted VRP for the wrong-origin announcement: the
+        // invalid route becomes Valid in this operator's view.
+        ev.policy.slurm.assertions.push_back(
+            {invalid, invalid.length(), attacker});
+        break;
+      default:
+        ev.policy.slurm.filters.push_back({dark, std::nullopt});
+        ev.policy.slurm.assertions.push_back(
+            {invalid, invalid.length(), attacker});
+        break;
     }
   }
 }

@@ -104,6 +104,11 @@ struct ScenarioParams {
   double rov_end_stub = 0.03;
   double exempt_customers_fraction = 0.15;  // of deployers
   double prefer_valid_fraction = 0.03;      // of deployers
+  // Fraction of ROV deployers that carry a SLURM file (RFC 8416 local
+  // exceptions — §7.1's "ROV ASes still accepting specific invalids").
+  // 0 keeps the build byte-identical to pre-SLURM scenarios: no RNG
+  // stream is split and no policies change.
+  double slurm_fraction = 0.0;
 
   // Exclusively-invalid announcements that persist (tNode prefixes).
   int tnode_prefix_count = 10;
@@ -268,6 +273,7 @@ class Scenario {
   void build_hosts(util::Rng& rng);
   void build_operator_claims();
   void build_collector(util::Rng& rng);
+  void build_slurm_exceptions(util::Rng& rng);
 
   ScenarioParams params_;
   topology::AsGraph graph_;

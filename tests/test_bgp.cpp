@@ -8,6 +8,8 @@
 #include "bgp/collector.h"
 #include "bgp/policy.h"
 #include "bgp/routing_system.h"
+#include "incremental/dirty_prefix.h"
+#include "incremental/vrp_delta.h"
 #include "topology/generator.h"
 #include "util/rng.h"
 
@@ -309,6 +311,115 @@ TEST(Routing, SlurmGivesPerAsValidityView) {
             RouteValidity::kValid);
   // So AS 2 keeps the route despite full ROV.
   EXPECT_TRUE(routing.routes_for(pfx("10.3.0.0/16")).contains(2));
+}
+
+TEST(Routing, RovSensitiveIsQueryOrderIndependent) {
+  // Regression: rov_sensitive() used to answer from the lazily built
+  // SLURM view map, so the same prefix got different answers depending
+  // on whether any validity_for() call had warmed a view first.
+  const AsGraph g = line_graph();
+  RoutingSystem routing(g);
+  VrpSet vrps;
+  vrps.add({pfx("10.3.0.0/16"), 16, 3});
+  routing.set_vrps(std::move(vrps));
+  routing.announce({pfx("10.3.0.0/16"), 3});  // valid
+  routing.announce({pfx("10.4.0.0/16"), 4});  // unknown
+
+  AsPolicy with_slurm;
+  with_slurm.rov = RovMode::kFull;
+  with_slurm.slurm.filters.push_back({pfx("10.4.0.0/16"), std::nullopt});
+  routing.set_policy(2, with_slurm);
+
+  // Cold: no view materialized yet.
+  const bool cold_valid = routing.rov_sensitive(pfx("10.3.0.0/16"));
+  const bool cold_unknown = routing.rov_sensitive(pfx("10.4.0.0/16"));
+  // Warm AS 2's view, then ask again.
+  (void)routing.validity_for(2, pfx("10.3.0.0/16"), 3);
+  EXPECT_EQ(routing.slurm_view_count(), 1u);
+  EXPECT_EQ(routing.rov_sensitive(pfx("10.3.0.0/16")), cold_valid);
+  EXPECT_EQ(routing.rov_sensitive(pfx("10.4.0.0/16")), cold_unknown);
+  // With a SLURM policy configured, every prefix is sensitive (local
+  // exceptions can flip even Unknown-only validity).
+  EXPECT_TRUE(cold_valid);
+  EXPECT_TRUE(cold_unknown);
+
+  // Without SLURM, a uniformly valid prefix is insensitive and a mixed/
+  // invalid one is not.
+  RoutingSystem plain(g);
+  VrpSet base;
+  base.add({pfx("10.3.0.0/16"), 16, 3});
+  plain.set_vrps(std::move(base));
+  plain.announce({pfx("10.3.0.0/16"), 3});
+  plain.announce({pfx("10.4.0.0/16"), 4});
+  EXPECT_FALSE(plain.rov_sensitive(pfx("10.3.0.0/16")));
+  EXPECT_FALSE(plain.rov_sensitive(pfx("10.4.0.0/16")));
+  plain.announce({pfx("10.3.0.0/16"), 4});  // MOAS: valid + invalid
+  EXPECT_TRUE(plain.rov_sensitive(pfx("10.3.0.0/16")));
+}
+
+TEST(Routing, SlurmDeltaInstallMatchesFreshWorld) {
+  // apply_vrp_delta with SLURM-bearing policies must land on the same
+  // routing state a fresh world built on the new VRPs computes, without
+  // dropping the whole cache or the materialized views.
+  const AsGraph g = line_graph();
+  const auto configure = [&](RoutingSystem& r) {
+    AsPolicy with_slurm;
+    with_slurm.rov = RovMode::kFull;
+    with_slurm.slurm.assertions.push_back({pfx("10.3.0.0/16"), 16, 3});
+    r.set_policy(2, with_slurm);
+    AsPolicy full;
+    full.rov = RovMode::kFull;
+    r.set_policy(5, full);
+    r.announce({pfx("10.3.0.0/16"), 3});
+    r.announce({pfx("10.4.0.0/16"), 4});
+  };
+
+  VrpSet old_vrps;
+  old_vrps.add({pfx("10.3.0.0/16"), 16, 99});  // 3's announcement invalid
+  VrpSet new_vrps;  // the VRP is withdrawn: 10.3.0.0/16 becomes unknown
+
+  RoutingSystem tracked(g);
+  configure(tracked);
+  tracked.set_vrps(old_vrps);
+  (void)tracked.routes_for(pfx("10.3.0.0/16"));
+  (void)tracked.routes_for(pfx("10.4.0.0/16"));
+  ASSERT_EQ(tracked.cached_prefixes(), 2u);
+  ASSERT_EQ(tracked.slurm_view_count(), 1u);
+
+  using rovista::incremental::DirtyPrefixTracker;
+  using rovista::incremental::VrpDeltaComputer;
+  const auto delta = VrpDeltaComputer::diff(old_vrps, new_vrps);
+  const DirtyPrefixTracker tracker(delta);
+  const auto dirty = tracker.dirty_prefixes(old_vrps, new_vrps, tracked);
+  tracked.apply_vrp_delta(new_vrps, dirty, delta.announced, delta.withdrawn);
+
+  // The untouched prefix stayed cached and the view survived — proof the
+  // install did not fall back to invalidate_all.
+  EXPECT_EQ(tracked.slurm_view_count(), 1u);
+  EXPECT_GE(tracked.cached_prefixes(), 1u);
+
+  RoutingSystem fresh(g);
+  configure(fresh);
+  fresh.set_vrps(new_vrps);
+  for (const char* p : {"10.3.0.0/16", "10.4.0.0/16"}) {
+    const RouteMap& a = tracked.routes_for(pfx(p));
+    const RouteMap& b = fresh.routes_for(pfx(p));
+    ASSERT_EQ(a.size(), b.size()) << p;
+    for (const auto& [asn, ea] : a) {
+      const auto it = b.find(asn);
+      ASSERT_NE(it, b.end()) << p << " AS " << asn;
+      EXPECT_EQ(ea.next_hop, it->second.next_hop) << p << " AS " << asn;
+      EXPECT_EQ(ea.origin, it->second.origin) << p << " AS " << asn;
+      EXPECT_EQ(ea.learned_from, it->second.learned_from) << p;
+      EXPECT_EQ(ea.validity, it->second.validity) << p << " AS " << asn;
+      EXPECT_EQ(ea.path_len, it->second.path_len) << p << " AS " << asn;
+    }
+  }
+  // AS 5 (plain full ROV) regained the now-unknown route; AS 2's
+  // asserted view kept it valid throughout.
+  EXPECT_TRUE(tracked.routes_for(pfx("10.3.0.0/16")).contains(5));
+  EXPECT_EQ(tracked.validity_for(2, pfx("10.3.0.0/16"), 3),
+            RouteValidity::kValid);
 }
 
 // ---------- collectors ----------

@@ -4,11 +4,13 @@
 
 #include <algorithm>
 
+#include "incremental/vrp_delta.h"
 #include "rpki/relying_party.h"
 #include "rpki/repository.h"
 #include "rpki/slurm.h"
 #include "rpki/validation.h"
 #include "util/date.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -256,6 +258,108 @@ TEST(Slurm, EmptyFileIsIdentity) {
   const VrpSet out = slurm.apply(vrps);
   EXPECT_EQ(out.size(), 1u);
   EXPECT_EQ(out.validate(pfx("10.1.0.0/16"), 65001), RouteValidity::kValid);
+}
+
+TEST(Slurm, AssertionReAddsFilteredVrp) {
+  // A filter and an assertion can name the same VRP: RFC 8416 applies
+  // filters to relying-party output only, so the locally asserted copy
+  // must survive.
+  VrpSet vrps;
+  vrps.add({pfx("10.1.0.0/16"), 16, 65001});
+  SlurmFile slurm;
+  slurm.filters.push_back({pfx("10.1.0.0/16"), std::nullopt});
+  slurm.assertions.push_back({pfx("10.1.0.0/16"), 16, 65001});
+  const VrpSet out = slurm.apply(vrps);
+  EXPECT_EQ(out.validate(pfx("10.1.0.0/16"), 65001), RouteValidity::kValid);
+}
+
+TEST(Slurm, AssertionMaxLengthFollowsRfc6811) {
+  // Default maxLength is the prefix length (RFC 8416 §3.4.2): more
+  // specifics are Invalid. An explicit maxLength loosens that.
+  VrpSet vrps;
+  SlurmFile tight;
+  tight.assertions.push_back({pfx("10.9.0.0/16"), std::nullopt, 65009});
+  const VrpSet t = tight.apply(vrps);
+  EXPECT_EQ(t.validate(pfx("10.9.0.0/16"), 65009), RouteValidity::kValid);
+  EXPECT_EQ(t.validate(pfx("10.9.1.0/24"), 65009), RouteValidity::kInvalid);
+
+  SlurmFile loose;
+  loose.assertions.push_back({pfx("10.9.0.0/16"), 24, 65009});
+  const VrpSet l = loose.apply(vrps);
+  EXPECT_EQ(l.validate(pfx("10.9.1.0/24"), 65009), RouteValidity::kValid);
+  EXPECT_EQ(l.validate(pfx("10.9.1.0/25"), 65009), RouteValidity::kInvalid);
+  // Wrong origin under the asserted space stays Invalid either way.
+  EXPECT_EQ(l.validate(pfx("10.9.0.0/16"), 65010), RouteValidity::kInvalid);
+}
+
+TEST(Slurm, ApplyDeltaMatchesFullApplyOnRandomChurn) {
+  // Property: for random base sets, random churn and a random SLURM
+  // file, patching the old view with the delta gives the same VRP *set*
+  // as applying the file to the new base. A small 10.x universe forces
+  // prefix collisions, duplicate VRPs and filter/assertion overlap.
+  rovista::util::Rng rng(20260805);
+  const auto random_vrp = [&](rovista::util::Rng& r) {
+    const std::uint32_t block = static_cast<std::uint32_t>(r.uniform_u64(0, 3));
+    const std::uint32_t sub = static_cast<std::uint32_t>(r.uniform_u64(0, 3));
+    const std::uint8_t len = r.bernoulli(0.5) ? 16 : 24;
+    const Ipv4Prefix p(Ipv4Address((10u << 24) | (block << 16) | (sub << 8)),
+                       len);
+    const std::uint8_t maxlen =
+        static_cast<std::uint8_t>(r.uniform_u64(len, 24));
+    const Asn asn = static_cast<Asn>(65000 + r.uniform_u64(0, 3));
+    return Vrp{p, maxlen, asn};
+  };
+
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Vrp> prev_list;
+    const std::size_t n = rng.uniform_u64(0, 12);
+    for (std::size_t i = 0; i < n; ++i) prev_list.push_back(random_vrp(rng));
+    // Churn: drop a random subset, add fresh VRPs (duplicates allowed).
+    std::vector<Vrp> next_list;
+    for (const Vrp& v : prev_list) {
+      if (!rng.bernoulli(0.35)) next_list.push_back(v);
+    }
+    const std::size_t added = rng.uniform_u64(0, 6);
+    for (std::size_t i = 0; i < added; ++i) {
+      next_list.push_back(random_vrp(rng));
+    }
+
+    SlurmFile slurm;
+    const std::size_t nf = rng.uniform_u64(0, 2);
+    for (std::size_t i = 0; i < nf; ++i) {
+      const Vrp v = random_vrp(rng);
+      SlurmPrefixFilter f;
+      if (rng.bernoulli(0.7)) f.prefix = v.prefix;
+      if (!f.prefix.has_value() || rng.bernoulli(0.3)) f.asn = v.asn;
+      slurm.filters.push_back(f);
+    }
+    const std::size_t na = rng.uniform_u64(0, 2);
+    for (std::size_t i = 0; i < na; ++i) {
+      const Vrp v = random_vrp(rng);
+      slurm.assertions.push_back({v.prefix, v.max_length, v.asn});
+    }
+
+    const VrpSet prev(prev_list);
+    const VrpSet next(next_list);
+    using rovista::incremental::VrpDeltaComputer;
+    const auto delta = VrpDeltaComputer::diff(prev, next);
+
+    VrpSet patched = slurm.apply(prev);
+    slurm.apply_delta(patched, delta.announced, delta.withdrawn);
+    const VrpSet full = slurm.apply(next);
+    ASSERT_EQ(VrpDeltaComputer::flatten(patched),
+              VrpDeltaComputer::flatten(full))
+        << "iteration " << iter;
+
+    // Spot-check: validation agrees at a few addresses.
+    for (const char* probe : {"10.0.0.0/16", "10.1.1.0/24", "10.2.2.0/24"}) {
+      for (Asn asn = 65000; asn < 65004; ++asn) {
+        ASSERT_EQ(patched.validate(pfx(probe), asn),
+                  full.validate(pfx(probe), asn))
+            << "iteration " << iter << " probe " << probe;
+      }
+    }
+  }
 }
 
 TEST(Roa, DigestChangesWithContent) {

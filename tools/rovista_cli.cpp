@@ -86,6 +86,7 @@ int usage() {
       "  longitudinal --seed N --rounds N [--interval-days N]\n"
       "          [--threads N] [--incremental on|off] [--out FILE]\n"
       "          [--publish DIR] [--scale small|paper]\n"
+      "          [--slurm-fraction F]\n"
       "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
       "          run a dated round sequence; VRP deltas drive dirty-\n"
       "          prefix recomputation and a reachability-aware score\n"
@@ -332,6 +333,17 @@ int cmd_longitudinal(const Args& args) {
     config.params.hosts_per_measured_as = 3;
     config.params.collector_peer_count = 30;
     config.rovista.scoring.min_tnodes = 2;
+  }
+  if (const char* sf = args.get("slurm-fraction")) {
+    // Fraction of ROV deployers carrying RFC 8416 local exceptions;
+    // exercises the per-view delta-invalidation path of apply_vrp_delta.
+    double slurm_fraction = 0.0;
+    if (!util::parse_double(sf, slurm_fraction) || slurm_fraction < 0.0 ||
+        slurm_fraction > 1.0) {
+      std::fprintf(stderr, "error: --slurm-fraction must be in [0,1]\n");
+      return usage();
+    }
+    config.params.slurm_fraction = slurm_fraction;
   }
 
   util::Date start_date = config.params.start;
