@@ -4,7 +4,7 @@ function(rovista_bench name)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
   target_link_libraries(${name} PRIVATE
     rovista_validation rovista_bgpstream rovista_incremental
-    rovista_scenario rovista_core
+    rovista_scenario rovista_faults rovista_core
     rovista_scan rovista_dataplane rovista_bgp rovista_rpki
     rovista_topology rovista_stats rovista_net rovista_util)
 endfunction()
@@ -39,6 +39,7 @@ target_link_libraries(bench_perf_kernels PRIVATE
 rovista_bench(bench_parallel_round)
 rovista_bench(bench_incremental_round)
 rovista_bench(bench_checkpoint)
+rovista_bench(bench_faults)
 rovista_bench(bench_ablation_detection)
 rovista_bench(bench_ablation_tnode_depletion)
 rovista_bench(bench_ablation_rov_modes)

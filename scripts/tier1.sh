@@ -9,57 +9,88 @@
 #      index, the cache-reuse rounds, and the checkpoint codec's
 #      corruption/truncation battery (the loader must stay clean on
 #      attacker-grade input) — and a clean run of it,
-#   4. crash/resume end-to-end: a 6-round series killed after round 3
+#   4. ASan/UBSan fault soak: the RTR wire-error and lifecycle suites
+#      plus the fault-injection suites, including the 200-day
+#      high-fault-rate soak (FaultSoak) that drives relying-party runs,
+#      corrupt-PDU teardowns, and per-AS view installs hot,
+#   5. crash/resume end-to-end: a 6-round series killed after round 3
 #      (--die-after simulates SIGKILL: no destructors, no exit
 #      checkpoint), resumed from its checkpoint at a different thread
 #      count, must publish CSVs byte-identical to an uninterrupted run,
-#   5. the same crash/resume plus an incremental-vs-full byte-diff on a
+#   6. the same crash/resume plus an incremental-vs-full byte-diff on a
 #      SLURM-policy series (--slurm-fraction): delta installs must run
 #      through the per-view dirty-set path of apply_vrp_delta, and the
 #      published CSVs may not depend on incremental mode, thread count,
-#      or where the series was interrupted. (The ASan stage already
-#      covers the SlurmIncrementalRound suite via the regex.)
-# ctest gets -j consistently; override parallelism with JOBS=N.
+#      or where the series was interrupted,
+#   7. the same contract under fault injection (--rp-failure-rate /
+#      --rp-divergence-fraction / --rtr-drop-rate): kill mid-series,
+#      resume at a different thread count, and byte-diff against both an
+#      uninterrupted incremental run and a full recompute.
+#
+# Every stage runs under its own timeout and the script fails fast: the
+# first stage to fail (or hang past its budget) stops the run with a
+# labeled message. ctest gets -j consistently; override parallelism with
+# JOBS=N.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B build -S .
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+STAGE=""
+stage() {
+  STAGE="$1"
+  echo "=== tier1: $STAGE ==="
+}
+trap '[ -n "$STAGE" ] && echo "tier-1 FAILED during: $STAGE" >&2' ERR
 
-cmake -B build-tsan -S . -DSANITIZE=thread
-cmake --build build-tsan -j "$JOBS" \
+# Per-stage timeout (seconds as $1); 124/137 from `timeout` means hung.
+t() { timeout --kill-after=30 "$@"; }
+
+stage "build + full test suite"
+t 900 cmake -B build -S .
+t 1800 cmake --build build -j "$JOBS"
+t 1800 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+stage "TSan parallel-round surface"
+t 900 cmake -B build-tsan -S . -DSANITIZE=thread
+t 1800 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_round test_util test_ipid_properties
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+t 1800 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ParallelRound|ThreadPool|Logging|IpIdArithmetic|Spike|BackgroundCutoff'
 
-cmake -B build-asan -S . -DSANITIZE=address+undefined
-cmake --build build-asan -j "$JOBS" \
+stage "ASan/UBSan incremental + checkpoint surface"
+t 900 cmake -B build-asan -S . -DSANITIZE=address+undefined
+t 1800 cmake --build build-asan -j "$JOBS" \
   --target test_vrp_delta test_longitudinal_index test_incremental_round \
-           test_checkpoint
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+           test_checkpoint test_rtr test_faults
+t 1800 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
   -R 'VrpDelta|LongitudinalIndex|IncrementalRound|Wire|Checkpoint|ScoreCacheRestore'
+
+stage "ASan/UBSan fault soak (RTR lifecycle + fault injection)"
+t 1800 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'RtrLifecycle|FaultSchedule|FaultChainScenario|FaultSoak|FaultedIncremental'
 
 CK_TMP="$(mktemp -d)"
 trap 'rm -rf "$CK_TMP"' EXIT
 CLI=build/tools/rovista
-set +e
-"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
-  --checkpoint-dir "$CK_TMP/ck" --die-after 3 >/dev/null
-status=$?
-set -e
+
+stage "crash/resume byte-diff"
+# `|| status=$?` (not `set +e`) — the ERR trap fires even with -e off,
+# and this kill is supposed to happen.
+status=0
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small --checkpoint-dir "$CK_TMP/ck" --die-after 3 >/dev/null \
+  || status=$?
 if [ "$status" -ne 137 ]; then
   echo "expected the --die-after run to die with 137, got $status" >&2
   exit 1
 fi
-"$CLI" checkpoint inspect --dir "$CK_TMP/ck" >/dev/null
-"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
-  --checkpoint-dir "$CK_TMP/ck" --resume --threads 4 \
+t 300 "$CLI" checkpoint inspect --dir "$CK_TMP/ck" >/dev/null
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small --checkpoint-dir "$CK_TMP/ck" --resume --threads 4 \
   --publish "$CK_TMP/resumed" >/dev/null
-"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
-  --publish "$CK_TMP/uninterrupted" >/dev/null
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small --publish "$CK_TMP/uninterrupted" >/dev/null
 diff -r "$CK_TMP/resumed" "$CK_TMP/uninterrupted" >/dev/null || {
   echo "resumed series published different CSV bytes" >&2
   exit 1
@@ -67,23 +98,23 @@ diff -r "$CK_TMP/resumed" "$CK_TMP/uninterrupted" >/dev/null || {
 
 # SLURM-policy series: crash/resume and incremental-vs-full byte-identity
 # with local exceptions in play.
-set +e
-"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
-  --slurm-fraction 0.35 --checkpoint-dir "$CK_TMP/slurm-ck" --die-after 2 \
-  >/dev/null
-status=$?
-set -e
+stage "SLURM crash/resume + incremental-vs-full byte-diff"
+status=0
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small --slurm-fraction 0.35 --checkpoint-dir "$CK_TMP/slurm-ck" \
+  --die-after 2 >/dev/null || status=$?
 if [ "$status" -ne 137 ]; then
   echo "expected the SLURM --die-after run to die with 137, got $status" >&2
   exit 1
 fi
-"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
-  --slurm-fraction 0.35 --checkpoint-dir "$CK_TMP/slurm-ck" --resume \
-  --threads 4 --publish "$CK_TMP/slurm-resumed" >/dev/null
-"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
-  --slurm-fraction 0.35 --publish "$CK_TMP/slurm-incr" >/dev/null
-"$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 --scale small \
-  --slurm-fraction 0.35 --incremental off \
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small --slurm-fraction 0.35 --checkpoint-dir "$CK_TMP/slurm-ck" \
+  --resume --threads 4 --publish "$CK_TMP/slurm-resumed" >/dev/null
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small --slurm-fraction 0.35 --publish "$CK_TMP/slurm-incr" \
+  >/dev/null
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small --slurm-fraction 0.35 --incremental off \
   --publish "$CK_TMP/slurm-full" >/dev/null
 diff -r "$CK_TMP/slurm-resumed" "$CK_TMP/slurm-incr" >/dev/null || {
   echo "SLURM resumed series published different CSV bytes" >&2
@@ -94,6 +125,48 @@ diff -r "$CK_TMP/slurm-incr" "$CK_TMP/slurm-full" >/dev/null || {
   exit 1
 }
 
+# Fault-injected series: the checkpoint lands mid-failure-window (the
+# RVCP version-2 container), the resume replays the same fault world,
+# and neither incremental mode, thread count, nor the interruption point
+# may change a published byte — degradation.csv included.
+stage "fault-injection crash/resume + incremental-vs-full byte-diff"
+FAULT_KNOBS="--rp-failure-rate 0.3 --rp-divergence-fraction 0.25 \
+  --rtr-drop-rate 0.3"
+status=0
+# shellcheck disable=SC2086
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small $FAULT_KNOBS --checkpoint-dir "$CK_TMP/fault-ck" \
+  --die-after 3 >/dev/null || status=$?
+if [ "$status" -ne 137 ]; then
+  echo "expected the faulted --die-after run to die with 137, got $status" >&2
+  exit 1
+fi
+t 300 "$CLI" checkpoint inspect --dir "$CK_TMP/fault-ck" >/dev/null
+# shellcheck disable=SC2086
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small $FAULT_KNOBS --checkpoint-dir "$CK_TMP/fault-ck" \
+  --resume --threads 4 --publish "$CK_TMP/fault-resumed" >/dev/null
+# shellcheck disable=SC2086
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small $FAULT_KNOBS --publish "$CK_TMP/fault-incr" >/dev/null
+# shellcheck disable=SC2086
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small $FAULT_KNOBS --incremental off \
+  --publish "$CK_TMP/fault-full" >/dev/null
+if [ ! -s "$CK_TMP/fault-incr/degradation.csv" ]; then
+  echo "faulted series published no degradation.csv" >&2
+  exit 1
+fi
+diff -r "$CK_TMP/fault-resumed" "$CK_TMP/fault-incr" >/dev/null || {
+  echo "faulted resumed series published different CSV bytes" >&2
+  exit 1
+}
+diff -r "$CK_TMP/fault-incr" "$CK_TMP/fault-full" >/dev/null || {
+  echo "faulted incremental series diverged from full recompute" >&2
+  exit 1
+}
+
+STAGE=""
 echo "tier-1 OK (tests + TSan parallel round + ASan/UBSan incremental" \
-     "+ checkpoint corruption battery + crash/resume byte-diff" \
-     "+ SLURM incremental/resume byte-diff)"
+     "+ checkpoint corruption battery + ASan fault soak" \
+     "+ crash/resume byte-diff + SLURM byte-diff + fault byte-diff)"

@@ -60,6 +60,8 @@ std::uint64_t RoutingSystem::policy_epoch(Asn asn) const noexcept {
 void RoutingSystem::set_vrps(rpki::VrpSet vrps) {
   base_vrps_ = std::move(vrps);
   slurm_views_.clear();
+  effective_views_.clear();
+  effective_bindings_.clear();
   invalidate_all();
 }
 
@@ -91,6 +93,9 @@ void RoutingSystem::apply_vrp_delta(rpki::VrpSet vrps,
   };
   std::vector<ViewProbe> probes;
   for (const Asn asn : slurm_ases) {
+    // An AS bound to an effective view reads the base only through that
+    // frozen/diverged view, which this base delta does not touch.
+    if (bound_to_view(asn)) continue;
     const rpki::SlurmFile& slurm = policy(asn).slurm;
     const std::vector<net::Ipv4Prefix> changed =
         slurm.view_changed_prefixes(announced, withdrawn);
@@ -112,6 +117,7 @@ void RoutingSystem::apply_vrp_delta(rpki::VrpSet vrps,
   // not queried yet stays lazy and will be built from the new base),
   // then install the new base.
   for (const Asn asn : slurm_ases) {
+    if (bound_to_view(asn)) continue;  // view derives from its effective base
     const auto it = slurm_views_.find(asn);
     if (it == slurm_views_.end()) continue;
     policy(asn).slurm.apply_delta(it->second, announced, withdrawn);
@@ -137,16 +143,119 @@ rpki::RouteValidity RoutingSystem::base_validity(const net::Ipv4Prefix& prefix,
 rpki::RouteValidity RoutingSystem::validity_for(Asn asn,
                                                 const net::Ipv4Prefix& prefix,
                                                 Asn origin) const {
-  if (!policy(asn).has_slurm()) return base_validity(prefix, origin);
+  if (!policy(asn).has_slurm()) {
+    return effective_base(asn).validate(prefix, origin);
+  }
   return slurm_view(asn).validate(prefix, origin);
 }
 
 rpki::VrpSet& RoutingSystem::slurm_view(Asn asn) const {
   auto it = slurm_views_.find(asn);
   if (it == slurm_views_.end()) {
-    it = slurm_views_.emplace(asn, policy(asn).slurm.apply(base_vrps_)).first;
+    it = slurm_views_.emplace(asn, policy(asn).slurm.apply(effective_base(asn)))
+             .first;
   }
   return it->second;
+}
+
+const rpki::VrpSet& RoutingSystem::effective_base(Asn asn) const {
+  const auto it = effective_bindings_.find(asn);
+  if (it != effective_bindings_.end() && it->second != 0 &&
+      it->second <= effective_views_.size()) {
+    return effective_views_[it->second - 1];
+  }
+  return base_vrps_;
+}
+
+bool RoutingSystem::bound_to_view(Asn asn) const {
+  const auto it = effective_bindings_.find(asn);
+  return it != effective_bindings_.end() && it->second != 0;
+}
+
+void RoutingSystem::set_effective_views(
+    std::vector<rpki::VrpSet> views,
+    std::vector<std::pair<Asn, std::uint32_t>> bindings) {
+  if (views.empty() && bindings.empty() && effective_views_.empty() &&
+      effective_bindings_.empty()) {
+    return;  // fault-free worlds never touch the machinery below
+  }
+
+  // Every AS bound before or after is affected: even an unchanged view
+  // id points at content rebuilt for the new date.
+  std::vector<Asn> affected;
+  affected.reserve(effective_bindings_.size() + bindings.size());
+  for (const auto& [asn, id] : effective_bindings_) affected.push_back(asn);
+  for (const auto& [asn, id] : bindings) affected.push_back(asn);
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+
+  std::unordered_map<Asn, std::uint32_t> new_bindings(bindings.begin(),
+                                                      bindings.end());
+  const auto resolve = [this](const std::unordered_map<Asn, std::uint32_t>& b,
+                              const std::vector<rpki::VrpSet>& v,
+                              Asn asn) -> const rpki::VrpSet& {
+    const auto it = b.find(asn);
+    if (it != b.end() && it->second != 0 && it->second <= v.size()) {
+      return v[it->second - 1];
+    }
+    return base_vrps_;
+  };
+
+  // Probe cached announced prefixes: erase exactly those where some
+  // affected AS's effective validity flips old → new. Materialized
+  // SLURM views sit on top of the effective base, so slurm-bearing ASes
+  // are probed through applied views on both legs.
+  struct AsViews {
+    Asn asn;
+    const rpki::VrpSet* before;
+    const rpki::VrpSet* after;
+  };
+  std::deque<rpki::VrpSet> scratch;  // owns materialized SLURM probes
+  std::vector<AsViews> probes;
+  if (!cache_.empty()) {
+    probes.reserve(affected.size());
+    for (const Asn asn : affected) {
+      const rpki::VrpSet& before_base =
+          resolve(effective_bindings_, effective_views_, asn);
+      const rpki::VrpSet& after_base = resolve(new_bindings, views, asn);
+      if (&before_base == &after_base) continue;  // base → base: inert here
+      if (!policy(asn).has_slurm()) {
+        probes.push_back({asn, &before_base, &after_base});
+        continue;
+      }
+      const auto it = slurm_views_.find(asn);
+      const rpki::VrpSet* before =
+          it != slurm_views_.end()
+              ? &it->second
+              : &scratch.emplace_back(policy(asn).slurm.apply(before_base));
+      const rpki::VrpSet* after =
+          &scratch.emplace_back(policy(asn).slurm.apply(after_base));
+      probes.push_back({asn, before, after});
+    }
+    std::vector<net::Ipv4Prefix> drop;
+    announcements_.for_each(
+        [&](const net::Ipv4Prefix& prefix, const std::vector<Asn>& origins) {
+          if (cache_.find(prefix) == cache_.end()) return;
+          for (const AsViews& p : probes) {
+            for (const Asn origin : origins) {
+              if (p.before->validate(prefix, origin) !=
+                  p.after->validate(prefix, origin)) {
+                drop.push_back(prefix);
+                return;
+              }
+            }
+          }
+        });
+    for (const net::Ipv4Prefix& p : drop) cache_.erase(p);
+  }
+
+  // Materialized SLURM views of affected ASes were built over the old
+  // effective base; rebuild lazily from the new one.
+  for (const Asn asn : affected) slurm_views_.erase(asn);
+
+  effective_views_ = std::move(views);
+  effective_bindings_ = std::move(new_bindings);
 }
 
 void RoutingSystem::announce(const OriginAnnouncement& a) {
@@ -202,15 +311,27 @@ bool RoutingSystem::rov_sensitive(const net::Ipv4Prefix& prefix) const {
   // included; decided from the configured policies, not from which views
   // happen to be materialized, so the answer is query-order-independent.
   if (slurm_policy_count_ > 0) return true;
+  // Scan the base and every installed effective view: a validity that is
+  // Invalid anywhere, or that differs across origins *or views*, makes
+  // the prefix policy-sensitive. Installed views only, not per-query
+  // state, so the answer stays query-order-independent.
+  const std::vector<Asn> origins = origins_of(prefix);
   std::optional<rpki::RouteValidity> first;
-  for (const Asn origin : origins_of(prefix)) {
-    const rpki::RouteValidity v = base_validity(prefix, origin);
-    if (v == rpki::RouteValidity::kInvalid) return true;
-    if (!first.has_value()) {
-      first = v;
-    } else if (v != *first) {
-      return true;  // MOAS with mixed validity: prefer-valid-sensitive
+  const auto sensitive_in = [&](const rpki::VrpSet& set) {
+    for (const Asn origin : origins) {
+      const rpki::RouteValidity v = set.validate(prefix, origin);
+      if (v == rpki::RouteValidity::kInvalid) return true;
+      if (!first.has_value()) {
+        first = v;
+      } else if (v != *first) {
+        return true;  // mixed validity: prefer-valid-sensitive
+      }
     }
+    return false;
+  };
+  if (sensitive_in(base_vrps_)) return true;
+  for (const rpki::VrpSet& view : effective_views_) {
+    if (sensitive_in(view)) return true;
   }
   return false;
 }

@@ -82,8 +82,37 @@ class RoutingSystem {
                        std::span<const rpki::Vrp> announced,
                        std::span<const rpki::Vrp> withdrawn);
 
-  /// Validity of (prefix, origin) from `asn`'s point of view (applies
-  /// that AS's SLURM file if it has one).
+  /// Bind per-AS *effective* relying-party views (fault degradation:
+  /// stale serials, expired sessions, divergent RP implementations —
+  /// see faults/fault_chain.h). View ids are 1-based indices into
+  /// `views`; an AS absent from `bindings` (or bound to id 0) keeps
+  /// consuming the base VRPs. Replaces any previous binding set.
+  ///
+  /// Cached routes survive except where an affected AS's effective
+  /// validity actually flips for an announced (prefix, origin): every
+  /// AS bound before or after is probed old-view vs new-view over the
+  /// cached announced prefixes, mirroring the apply_vrp_delta()
+  /// strategy. The base leg of each comparison uses the *current* base
+  /// on both sides — base→base flips from the same round's VRP delta
+  /// are already in the dirty set that install erased — so call this
+  /// after the round's VRP install. SLURM views of affected ASes are
+  /// rebuilt over their new effective base; set_vrps() clears all
+  /// bindings. With no views bound before or after this is a no-op.
+  void set_effective_views(
+      std::vector<rpki::VrpSet> views,
+      std::vector<std::pair<Asn, std::uint32_t>> bindings);
+
+  /// Shared effective views currently installed / ASes bound to one.
+  std::size_t effective_view_count() const noexcept {
+    return effective_views_.size();
+  }
+  std::size_t effective_binding_count() const noexcept {
+    return effective_bindings_.size();
+  }
+
+  /// Validity of (prefix, origin) from `asn`'s point of view: the AS's
+  /// bound effective view (if fault degradation installed one) else the
+  /// base VRPs, with that AS's SLURM file applied on top if it has one.
   rpki::RouteValidity validity_for(Asn asn, const net::Ipv4Prefix& prefix,
                                    Asn origin) const;
 
@@ -135,20 +164,26 @@ class RoutingSystem {
   std::size_t slurm_view_count() const noexcept { return slurm_views_.size(); }
 
   /// Can ROV/SLURM policy affect this prefix's routes? True when some
-  /// origin's base validity is Invalid, when MOAS origins have mixed
-  /// validity (prefer-valid territory), or when any *configured* policy
-  /// carries a SLURM file (local exceptions can flip any validity).
-  /// Decided from the configured policies alone, so the answer is
-  /// independent of which validity_for() queries happened to have
-  /// materialized views first.
+  /// origin's validity is Invalid under the base or any installed
+  /// effective view, when origins have mixed validity within or across
+  /// those sets (prefer-valid territory), or when any *configured*
+  /// policy carries a SLURM file (local exceptions can flip any
+  /// validity). Decided from the configured policies and installed
+  /// views alone, so the answer is independent of which validity_for()
+  /// queries happened to have materialized SLURM views first.
   bool rov_sensitive(const net::Ipv4Prefix& prefix) const;
 
  private:
   RouteMap compute_routes(const net::Ipv4Prefix& prefix) const;
 
-  /// The SLURM-adjusted view of `asn` (materializing it from the current
-  /// base VRPs if needed). Pre: policy(asn).has_slurm().
+  /// The SLURM-adjusted view of `asn` (materializing it from the AS's
+  /// effective base if needed). Pre: policy(asn).has_slurm().
   rpki::VrpSet& slurm_view(Asn asn) const;
+
+  /// The VRP set `asn` validates against before SLURM: its bound
+  /// effective view if any, else the base VRPs.
+  const rpki::VrpSet& effective_base(Asn asn) const;
+  bool bound_to_view(Asn asn) const;
 
   const topology::AsGraph& graph_;
   std::unordered_map<Asn, AsPolicy> policies_;
@@ -159,6 +194,12 @@ class RoutingSystem {
 
   // SLURM-adjusted VRP views, built lazily per AS that has a SLURM file.
   mutable std::unordered_map<Asn, rpki::VrpSet> slurm_views_;
+
+  // Fault-degraded effective views shared across ASes, plus the AS →
+  // 1-based view-id binding (faults/fault_chain.h groups ASes by
+  // degradation state). Empty in fault-free worlds.
+  std::vector<rpki::VrpSet> effective_views_;
+  std::unordered_map<Asn, std::uint32_t> effective_bindings_;
 
   net::PrefixTrie<std::vector<Asn>> announcements_;
   std::unordered_map<net::Ipv4Prefix, RouteMap> cache_;

@@ -7,6 +7,7 @@
 // benefit signal of §7.3.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -19,10 +20,41 @@ namespace rovista::core {
 
 using util::Date;
 
+/// Distribution-chain health of one round, recorded by fault-injection
+/// worlds (mirrors faults::DegradationStats without core depending on
+/// src/faults). Fault-free runs never record health, so the store — and
+/// everything published from it — stays byte-identical to pre-fault
+/// builds.
+struct RoundHealth {
+  std::uint64_t stale_ases = 0;    // acting on frozen, unexpired data
+  std::uint64_t expired_ases = 0;  // past expire: no validation at all
+  std::uint64_t diverged_ases = 0;  // divergent RP implementation
+  std::int64_t max_staleness_days = 0;  // worst serial distance (days)
+  std::uint64_t error_reports = 0;  // Error Report PDUs raised
+
+  bool operator==(const RoundHealth&) const = default;
+
+  bool degraded() const noexcept {
+    return stale_ases != 0 || expired_ases != 0 || diverged_ases != 0;
+  }
+};
+
 class LongitudinalStore {
  public:
   /// Record one measurement round's scores for `date`.
   void record(Date date, std::span<const AsScore> scores);
+
+  /// Record the distribution-chain health of the round at `date`
+  /// (replaces any previous entry for the date).
+  void record_health(Date date, const RoundHealth& health) {
+    health_[date] = health;
+  }
+
+  /// Per-date round health; empty unless a fault-injection world
+  /// recorded it.
+  const std::map<Date, RoundHealth>& health() const noexcept {
+    return health_;
+  }
 
   /// All measurement dates, ascending.
   std::vector<Date> dates() const;
@@ -73,6 +105,7 @@ class LongitudinalStore {
  private:
   std::map<Asn, std::map<Date, double>> by_as_;
   std::map<Date, std::vector<Asn>> by_date_;
+  std::map<Date, RoundHealth> health_;  // fault-injection rounds only
 
   // Query indexes, maintained by record(). The paper-scale store holds
   // ~28k ASes × ~600 dates; the dashboard queries below used to walk all

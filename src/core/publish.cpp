@@ -46,6 +46,23 @@ std::optional<std::size_t> publish_scores(const LongitudinalStore& store,
   if (!index.write_csv((fs::path(directory) / "index.csv").string())) {
     return std::nullopt;
   }
+
+  // Round-health report, written only when some round recorded health —
+  // fault-free datasets keep the exact pre-fault file set.
+  if (!store.health().empty()) {
+    util::Table health({"date", "stale_ases", "expired_ases", "diverged_ases",
+                        "max_staleness_days", "error_reports"});
+    for (const auto& [date, h] : store.health()) {
+      health.add_row({date.to_string(), std::to_string(h.stale_ases),
+                      std::to_string(h.expired_ases),
+                      std::to_string(h.diverged_ases),
+                      std::to_string(h.max_staleness_days),
+                      std::to_string(h.error_reports)});
+    }
+    if (!health.write_csv((fs::path(directory) / "degradation.csv").string())) {
+      return std::nullopt;
+    }
+  }
   return written;
 }
 
@@ -139,6 +156,43 @@ std::optional<LongitudinalStore> load_scores(const std::string& directory) {
       scores.push_back(s);
     }
     store.record(date, scores);
+  }
+
+  // Optional round-health report (fault-injection datasets only).
+  const std::string health_path =
+      (fs::path(directory) / "degradation.csv").string();
+  if (fs::exists(health_path)) {
+    const auto rows = read_csv(health_path);
+    if (!rows.has_value()) {
+      reject(health_path, 0, "unreadable or empty");
+      return std::nullopt;
+    }
+    for (std::size_t r = 1; r < rows->size(); ++r) {
+      const CsvRow& entry = (*rows)[r];
+      util::Date date;
+      if (entry.fields.size() < 6 ||
+          !util::Date::parse(entry.fields[0], date)) {
+        reject(health_path, entry.line, "expected date + 5 counters");
+        return std::nullopt;
+      }
+      RoundHealth h;
+      std::uint64_t stale = 0, expired = 0, diverged = 0, staleness = 0,
+                    reports = 0;
+      if (!util::parse_u64(entry.fields[1], stale) ||
+          !util::parse_u64(entry.fields[2], expired) ||
+          !util::parse_u64(entry.fields[3], diverged) ||
+          !util::parse_u64(entry.fields[4], staleness) ||
+          !util::parse_u64(entry.fields[5], reports)) {
+        reject(health_path, entry.line, "bad counter value");
+        return std::nullopt;
+      }
+      h.stale_ases = stale;
+      h.expired_ases = expired;
+      h.diverged_ases = diverged;
+      h.max_staleness_days = static_cast<std::int64_t>(staleness);
+      h.error_reports = reports;
+      store.record_health(date, h);
+    }
   }
   return store;
 }

@@ -1,0 +1,180 @@
+#include "faults/fault_chain.h"
+
+#include <limits>
+#include <tuple>
+
+namespace rovista::faults {
+
+namespace {
+
+constexpr std::int64_t kSecondsPerDay = 86400;
+
+// Sentinel freeze key for groups acting on fresh data (divergence only).
+constexpr std::int64_t kFreshKey = std::numeric_limits<std::int64_t>::min();
+
+std::uint16_t session_id_for(util::Date as_of) noexcept {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint64_t>(as_of.days_since_epoch()) * 0x9e3779b9ull) &
+      0xffffu);
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t views_digest(const EffectiveViews& views) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv_mix(h, views.bindings.size());
+  for (const auto& [asn, view] : views.bindings) {
+    h = fnv_mix(h, asn);
+    h = fnv_mix(h, view);
+  }
+  h = fnv_mix(h, views.views.size());
+  for (const rpki::VrpSet& view : views.views) {
+    h = fnv_mix(h, view.size());
+    view.for_each([&](const rpki::Vrp& v) {
+      h = fnv_mix(h, v.prefix.address().value());
+      h = fnv_mix(h, v.prefix.length());
+      h = fnv_mix(h, v.max_length);
+      h = fnv_mix(h, v.asn);
+    });
+  }
+  return h;
+}
+
+const rpki::VrpSet& FaultChain::stale_base(
+    const rpki::RepositorySystem& repos, util::Date freeze) {
+  const std::int64_t key = freeze.days_since_epoch();
+  const auto it = stale_cache_.find(key);
+  if (it != stale_cache_.end()) return it->second;
+  if (stale_cache_.size() > 32) stale_cache_.clear();
+  return stale_cache_
+      .emplace(key, rpki::run_relying_party(repos, freeze).vrps)
+      .first->second;
+}
+
+rpki::VrpSet FaultChain::divergent_run(
+    const rpki::VrpSet& base, const rpki::RepositorySystem& repos) const {
+  rpki::VrpSet out = base;
+  const rpki::Repository& repo =
+      repos.repository(schedule_.divergent_rir());
+  for (const rpki::Roa& roa : repo.roas()) {
+    for (const rpki::RoaPrefix& rp : roa.prefixes) {
+      out.remove(rpki::Vrp{rp.prefix, rp.effective_max_length(), roa.asn});
+    }
+  }
+  return out;
+}
+
+rpki::VrpSet FaultChain::sync_via_rtr(const rpki::VrpSet& published,
+                                      util::Date as_of, util::Date now,
+                                      bool corrupt,
+                                      DegradationStats& stats) const {
+  const rpki::rtr::TimeSec sync_time = as_of.days_since_epoch() * kSecondsPerDay;
+  const rpki::rtr::TimeSec now_time = now.days_since_epoch() * kSecondsPerDay;
+
+  rpki::rtr::Cache cache(session_id_for(as_of), /*history_limit=*/4);
+  cache.set_timers(
+      /*refresh=*/kSecondsPerDay, /*retry=*/3600,
+      /*expire=*/static_cast<std::uint32_t>(
+          schedule_.params().rtr_expire_days * kSecondsPerDay));
+  cache.publish(published);
+
+  rpki::rtr::RouterSession session;
+  if (corrupt) {
+    // The first handshake dies on a corrupt prefix PDU: the session
+    // answers with an Error Report (delivered to the cache) and tears
+    // the transport down; the retry below recovers via Reset Query.
+    std::vector<std::uint8_t> poisoned =
+        rpki::rtr::make_cache_response(cache.session_id()).serialize();
+    std::vector<std::uint8_t> bad_prefix =
+        rpki::rtr::make_ipv4_prefix(true, rpki::Vrp{}).serialize();
+    bad_prefix[9] = 40;  // prefix length 40 > 32
+    poisoned.insert(poisoned.end(), bad_prefix.begin(), bad_prefix.end());
+    if (!session.consume_stream(poisoned, sync_time) &&
+        session.take_error_report().has_value()) {
+      ++stats.error_reports;
+    }
+  }
+
+  // Handshake (twice is enough to absorb one Cache Reset on the way).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::vector<rpki::rtr::Pdu> response;
+    cache.handle(session.next_query(), response);
+    std::vector<std::uint8_t> bytes;
+    for (const rpki::rtr::Pdu& pdu : response) {
+      const auto b = pdu.serialize();
+      bytes.insert(bytes.end(), b.begin(), b.end());
+    }
+    if (session.consume_stream(bytes, sync_time)) break;
+  }
+
+  // Past the expire interval the session surfaces *nothing*: the router
+  // falls back to no validation rather than acting on arbitrary stale
+  // data.
+  return session.effective_vrps(now_time).value_or(rpki::VrpSet{});
+}
+
+EffectiveViews FaultChain::compute(const rpki::RepositorySystem& repos,
+                                   util::Date date,
+                                   const rpki::VrpSet& fresh) {
+  EffectiveViews out;
+  // Armed-but-idle schedules (enabled knobs, nothing ever drawn) skip
+  // the per-AS walk entirely: every AS consumes the fresh base forever.
+  if (schedule_.empty() || !schedule_.ever_degrades()) return out;
+
+  using GroupKey = std::tuple<std::int64_t, bool, bool, bool>;
+  std::map<GroupKey, std::uint32_t> group_ids;
+  std::vector<GroupKey> group_order;
+
+  for (const Asn asn : schedule_.ases()) {
+    const FaultSchedule::AsState st = schedule_.query(asn, date);
+    if (st.diverged) ++out.stats.diverged_ases;
+    if (st.outage) {
+      const std::int64_t staleness = date - st.freeze;
+      if (st.expired) {
+        ++out.stats.expired_ases;
+      } else {
+        ++out.stats.stale_ases;
+      }
+      if (staleness > out.stats.max_staleness_days) {
+        out.stats.max_staleness_days = staleness;
+      }
+    }
+    if (!st.outage && !st.diverged) continue;  // fresh reference view
+
+    const GroupKey key{st.outage ? st.freeze.days_since_epoch() : kFreshKey,
+                       st.expired, st.diverged, st.corrupt};
+    auto [it, inserted] = group_ids.emplace(
+        key, static_cast<std::uint32_t>(group_order.size() + 1));
+    if (inserted) group_order.push_back(key);
+    out.bindings.emplace_back(asn, it->second);
+  }
+
+  out.views.reserve(group_order.size());
+  for (const GroupKey& key : group_order) {
+    const auto [freeze_day, expired, diverged, corrupt] = key;
+    const bool outage = freeze_day != kFreshKey;
+    const util::Date as_of =
+        outage ? util::Date(freeze_day) : date;
+    const rpki::VrpSet& base =
+        outage ? stale_base(repos, as_of) : fresh;
+    if (diverged) {
+      out.views.push_back(
+          sync_via_rtr(divergent_run(base, repos), as_of, date, corrupt,
+                       out.stats));
+    } else {
+      out.views.push_back(
+          sync_via_rtr(base, as_of, date, corrupt, out.stats));
+    }
+  }
+  return out;
+}
+
+}  // namespace rovista::faults

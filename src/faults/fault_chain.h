@@ -1,0 +1,93 @@
+// Turns a FaultSchedule into per-AS *effective* VRP views for one date.
+//
+// Each distinct degradation group — (freeze date, expired, diverged,
+// corrupt) — is materialized by actually running the RPKI distribution
+// chain for it: the group's relying-party output (fresh, frozen at the
+// freeze date, or the divergent implementation's run) is published into
+// an rtr::Cache and pulled through an rtr::RouterSession at simulated
+// wall time. Corrupt-PDU groups see their handshake die with an Error
+// Report and recover through the Reset Query path; expired groups get
+// nothing back (effective_vrps is empty past the expire interval), so
+// their ASes fall back to *no validation*.
+//
+// compute() is a pure function of (repositories, date, fresh VRPs) given
+// the schedule, so stepped and jumped worlds converge; the stale-
+// snapshot cache is only a memoization of rpki::run_relying_party.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_schedule.h"
+#include "rpki/relying_party.h"
+#include "rpki/rtr.h"
+
+namespace rovista::faults {
+
+/// Per-round health of the distribution chain (satellite: round health
+/// observability — degraded rounds must be visible, not silently
+/// blended).
+struct DegradationStats {
+  std::uint64_t stale_ases = 0;    // acting on frozen, unexpired data
+  std::uint64_t expired_ases = 0;  // past expire: no validation at all
+  std::uint64_t diverged_ases = 0;  // divergent RP implementation
+  std::int64_t max_staleness_days = 0;  // worst serial distance (days)
+  std::uint64_t error_reports = 0;  // Error Report PDUs raised
+
+  bool degraded() const noexcept {
+    return stale_ases != 0 || expired_ases != 0 || diverged_ases != 0;
+  }
+};
+
+/// Shared views plus the AS → view binding. View ids are 1-based; an AS
+/// absent from `bindings` (or bound to 0) consumes the fresh base set.
+struct EffectiveViews {
+  std::vector<rpki::VrpSet> views;
+  std::vector<std::pair<Asn, std::uint32_t>> bindings;  // sorted by ASN
+  DegradationStats stats;
+};
+
+/// Deterministic digest over an EffectiveViews value — the AS → view
+/// bindings plus every view's VRP content. Consecutive rounds of the
+/// same world rebuild their views by the identical procedure, so equal
+/// worlds yield equal digests; the incremental engine compares them to
+/// detect per-AS view changes (a window opening, stale data crossing
+/// the expire threshold) that arrive with zero delta in the fresh VRP
+/// base.
+std::uint64_t views_digest(const EffectiveViews& views);
+
+class FaultChain {
+ public:
+  explicit FaultChain(FaultSchedule schedule)
+      : schedule_(std::move(schedule)) {}
+
+  const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+  /// Effective views at `date`. `fresh` is the reference relying-party
+  /// output already installed as the routing base.
+  EffectiveViews compute(const rpki::RepositorySystem& repos,
+                         util::Date date, const rpki::VrpSet& fresh);
+
+  /// The divergent implementation's output for a given reference run: it
+  /// persistently fails to retrieve the divergent RIR's publication
+  /// point, so every VRP asserted there is missing from its run.
+  rpki::VrpSet divergent_run(const rpki::VrpSet& base,
+                             const rpki::RepositorySystem& repos) const;
+
+ private:
+  const rpki::VrpSet& stale_base(const rpki::RepositorySystem& repos,
+                                 util::Date freeze);
+  rpki::VrpSet sync_via_rtr(const rpki::VrpSet& published, util::Date as_of,
+                            util::Date now, bool corrupt,
+                            DegradationStats& stats) const;
+
+  FaultSchedule schedule_;
+  // Memoized frozen relying-party runs, keyed by freeze day. Bounded:
+  // outage windows are coarse, so only a handful of freeze dates are
+  // live at any date.
+  std::map<std::int64_t, rpki::VrpSet> stale_cache_;
+};
+
+}  // namespace rovista::faults

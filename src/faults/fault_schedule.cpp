@@ -1,0 +1,188 @@
+#include "faults/fault_schedule.h"
+
+#include <algorithm>
+
+namespace rovista::faults {
+
+namespace {
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Slice [start, end] into fault windows and run one bernoulli per slot;
+// consecutive degraded slots merge into one outage whose served data
+// froze the day before it began.
+std::vector<OutageWindow> draw_windows(util::Rng& rng, double rate,
+                                       double corrupt_fraction,
+                                       util::Date start, util::Date end,
+                                       int window_days) {
+  std::vector<OutageWindow> out;
+  bool down_prev = false;
+  for (util::Date slot = start; slot <= end; slot += window_days) {
+    const bool down = rng.bernoulli(rate);
+    if (down) {
+      util::Date slot_end = slot + window_days;
+      if (slot_end > end + 1) slot_end = end + 1;
+      if (down_prev) {
+        out.back().end = slot_end;
+      } else {
+        OutageWindow w;
+        w.begin = slot;
+        w.end = slot_end;
+        w.freeze = slot - 1;
+        w.corrupt =
+            corrupt_fraction > 0.0 && rng.bernoulli(corrupt_fraction);
+        out.push_back(w);
+      }
+    }
+    down_prev = down;
+  }
+  return out;
+}
+
+const OutageWindow* window_at(const std::vector<OutageWindow>& windows,
+                              util::Date date) {
+  for (const OutageWindow& w : windows) {
+    if (w.begin <= date && date < w.end) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::build(const FaultParams& params,
+                                   std::vector<Asn> rov_ases,
+                                   util::Date start, util::Date end,
+                                   util::Rng& rng) {
+  FaultSchedule s;
+  s.params_ = params;
+  if (!params.enabled() || rov_ases.empty()) return s;
+  s.ases_ = std::move(rov_ases);
+
+  // Independent child streams so each fault category's draw count never
+  // perturbs the others.
+  util::Rng crash_rng = rng.split(0xc4a5);
+  util::Rng assign_rng = rng.split(0xa551);
+  util::Rng drop_rng = rng.split(0xd409);
+
+  const int window_days = std::max(1, params.fault_window_days);
+  const std::uint32_t instances =
+      static_cast<std::uint32_t>(std::max(1, params.rp_instance_count));
+
+  s.instance_windows_.resize(instances);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    s.instance_windows_[i] =
+        draw_windows(crash_rng, params.rp_failure_rate,
+                     /*corrupt_fraction=*/0.0, start, end, window_days);
+  }
+
+  s.divergent_rir_ = static_cast<topology::Rir>(assign_rng.index(5));
+  s.instance_of_.reserve(s.ases_.size());
+  s.diverged_.reserve(s.ases_.size());
+  for (std::size_t i = 0; i < s.ases_.size(); ++i) {
+    s.instance_of_.push_back(
+        static_cast<std::uint32_t>(assign_rng.index(instances)));
+    s.diverged_.push_back(
+        params.rp_divergence_fraction > 0.0 &&
+                assign_rng.bernoulli(params.rp_divergence_fraction)
+            ? 1
+            : 0);
+  }
+
+  s.as_windows_.resize(s.ases_.size());
+  if (params.rtr_drop_rate > 0.0) {
+    for (std::size_t i = 0; i < s.ases_.size(); ++i) {
+      s.as_windows_[i] =
+          draw_windows(drop_rng, params.rtr_drop_rate,
+                       params.rtr_corrupt_fraction, start, end, window_days);
+    }
+  }
+
+  for (const std::uint8_t d : s.diverged_) {
+    if (d != 0) s.ever_degrades_ = true;
+  }
+  for (const auto& ws : s.instance_windows_) {
+    if (!ws.empty()) s.ever_degrades_ = true;
+  }
+  for (const auto& ws : s.as_windows_) {
+    if (!ws.empty()) s.ever_degrades_ = true;
+  }
+  return s;
+}
+
+FaultSchedule::AsState FaultSchedule::query(Asn asn, util::Date date) const {
+  AsState state;
+  const auto it = std::lower_bound(ases_.begin(), ases_.end(), asn);
+  if (it == ases_.end() || *it != asn) return state;
+  const std::size_t i = static_cast<std::size_t>(it - ases_.begin());
+  state.tracked = true;
+  state.diverged = diverged_[i] != 0;
+
+  // An AS is degraded if its RP instance is down or its own RTR session
+  // dropped; when both, the data it still holds is the older freeze.
+  const OutageWindow* instance_w =
+      window_at(instance_windows_[instance_of_[i]], date);
+  const OutageWindow* session_w = window_at(as_windows_[i], date);
+  const OutageWindow* w = instance_w;
+  if (session_w != nullptr &&
+      (w == nullptr || session_w->freeze < w->freeze)) {
+    w = session_w;
+  }
+  if (w != nullptr) {
+    state.outage = true;
+    state.freeze = w->freeze;
+    state.corrupt = session_w != nullptr && session_w->corrupt;
+    state.expired = date - w->freeze > params_.rtr_expire_days;
+  }
+  return state;
+}
+
+std::uint32_t FaultSchedule::instance_of(Asn asn) const {
+  const auto it = std::lower_bound(ases_.begin(), ases_.end(), asn);
+  if (it == ases_.end() || *it != asn) return 0;
+  return instance_of_[static_cast<std::size_t>(it - ases_.begin())];
+}
+
+std::size_t FaultSchedule::diverged_count() const {
+  std::size_t n = 0;
+  for (const std::uint8_t d : diverged_) n += d;
+  return n;
+}
+
+std::uint64_t FaultSchedule::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv_mix(h, static_cast<std::uint64_t>(params_.rp_failure_rate * 1e9));
+  h = fnv_mix(h,
+              static_cast<std::uint64_t>(params_.rp_divergence_fraction * 1e9));
+  h = fnv_mix(h, static_cast<std::uint64_t>(params_.rtr_drop_rate * 1e9));
+  h = fnv_mix(h,
+              static_cast<std::uint64_t>(params_.rtr_corrupt_fraction * 1e9));
+  h = fnv_mix(h, static_cast<std::uint64_t>(params_.rp_instance_count));
+  h = fnv_mix(h, static_cast<std::uint64_t>(params_.fault_window_days));
+  h = fnv_mix(h, static_cast<std::uint64_t>(params_.rtr_expire_days));
+  h = fnv_mix(h, static_cast<std::uint64_t>(divergent_rir_));
+  h = fnv_mix(h, ases_.size());
+  for (std::size_t i = 0; i < ases_.size(); ++i) {
+    h = fnv_mix(h, ases_[i]);
+    h = fnv_mix(h, instance_of_[i]);
+    h = fnv_mix(h, diverged_[i]);
+  }
+  const auto mix_windows = [&](const std::vector<OutageWindow>& ws) {
+    h = fnv_mix(h, ws.size());
+    for (const OutageWindow& w : ws) {
+      h = fnv_mix(h, static_cast<std::uint64_t>(w.begin.days_since_epoch()));
+      h = fnv_mix(h, static_cast<std::uint64_t>(w.end.days_since_epoch()));
+      h = fnv_mix(h, w.corrupt ? 1u : 0u);
+    }
+  };
+  for (const auto& ws : instance_windows_) mix_windows(ws);
+  for (const auto& ws : as_windows_) mix_windows(ws);
+  return h;
+}
+
+}  // namespace rovista::faults

@@ -1,0 +1,127 @@
+// Deterministic fault schedule for the RPKI distribution chain.
+//
+// CURE (arXiv:2312.01872) documents that the supply chain between a CA
+// and a router fails in practice: relying-party instances crash and keep
+// serving frozen VRP sets, RTR sessions drop or die on corrupt PDUs, and
+// different RP implementations disagree about what a validation run
+// produces. The schedule models those modes: each ROV deployer is
+// assigned to one of a small fleet of RP instances; instances crash for
+// whole maintenance windows (their caches freeze at the day before the
+// window); individual RTR sessions additionally drop per-window, some
+// torn down by a corrupt PDU; and a fraction of ASes run a divergent RP
+// implementation whose run disagrees with the reference one.
+//
+// The schedule is a *pure function* of (params, AS set, window, seed):
+// it is fully precomputed at scenario build, so a tracking world stepped
+// day-by-day and a replica world jumped straight to date D agree on
+// every AS's effective view — the property the incremental engine's
+// bit-identity contract rests on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "util/date.h"
+#include "util/rng.h"
+
+namespace rovista::faults {
+
+using Asn = topology::Asn;
+
+/// Fault-injection knobs. Every rate defaults to 0 and the scenario
+/// gates the RNG stream on enabled(), so a default world draws nothing
+/// and stays byte-identical to pre-fault builds (the --slurm-fraction
+/// pattern).
+struct FaultParams {
+  /// Probability an RP instance is down for any given maintenance
+  /// window. While down, its cache serves the VRP set frozen at the day
+  /// before the window began.
+  double rp_failure_rate = 0.0;
+  /// Fraction of ROV deployers running the divergent RP implementation
+  /// (it persistently fails to retrieve one RIR's publication point, so
+  /// its validation runs disagree with the reference RP, CURE-style).
+  double rp_divergence_fraction = 0.0;
+  /// Probability an AS's own RTR session drops during any given window.
+  double rtr_drop_rate = 0.0;
+  /// Given a dropped session, probability the cause is a corrupt PDU
+  /// (answered with an Error Report) rather than silent transport loss.
+  double rtr_corrupt_fraction = 0.5;
+
+  int rp_instance_count = 4;   // fleet size ASes are assigned across
+  int fault_window_days = 15;  // maintenance-window granularity
+  int rtr_expire_days = 7;     // RFC 8210 expire interval, in days
+
+  bool enabled() const noexcept {
+    return rp_failure_rate > 0.0 || rp_divergence_fraction > 0.0 ||
+           rtr_drop_rate > 0.0;
+  }
+};
+
+/// A contiguous run of degraded days. `end` is exclusive; `freeze` is
+/// the last day the affected party saw fresh relying-party output.
+struct OutageWindow {
+  util::Date begin;
+  util::Date end;
+  util::Date freeze;
+  bool corrupt = false;  // RTR drops only: torn down by a corrupt PDU
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Precompute the whole schedule. `rov_ases` must be sorted unique —
+  /// only ROV deployers hold RTR sessions, so only they can degrade.
+  /// Draws from three split child streams (crash/assign/drop) in a fixed
+  /// order, so the schedule is deterministic in (params, ases, rng).
+  static FaultSchedule build(const FaultParams& params,
+                             std::vector<Asn> rov_ases, util::Date start,
+                             util::Date end, util::Rng& rng);
+
+  bool empty() const noexcept { return ases_.empty(); }
+
+  /// True if some AS is degraded on at least one date — i.e. any outage
+  /// window was drawn or any AS runs the divergent implementation. An
+  /// armed-but-idle schedule (enabled knobs, nothing drawn) answers
+  /// false, letting per-date consumers skip the whole per-AS walk.
+  bool ever_degrades() const noexcept { return ever_degrades_; }
+
+  const FaultParams& params() const noexcept { return params_; }
+  const std::vector<Asn>& ases() const noexcept { return ases_; }
+  topology::Rir divergent_rir() const noexcept { return divergent_rir_; }
+
+  /// What the supply chain looks like from `asn` on `date`.
+  struct AsState {
+    bool tracked = false;   // the AS appears in the schedule
+    bool outage = false;    // acting on a frozen VRP set
+    bool expired = false;   // frozen past the expire interval: no data
+    bool corrupt = false;   // this outage was opened by a corrupt PDU
+    bool diverged = false;  // runs the divergent RP implementation
+    util::Date freeze;      // valid when `outage`
+  };
+  AsState query(Asn asn, util::Date date) const;
+
+  /// Stable digest over the whole schedule — the checkpoint container's
+  /// guard that a resumed series replays the same fault world.
+  std::uint64_t digest() const;
+
+  // Introspection for tests.
+  std::uint32_t instance_of(Asn asn) const;
+  std::size_t diverged_count() const;
+  const std::vector<OutageWindow>& instance_windows(std::uint32_t i) const {
+    return instance_windows_[i];
+  }
+
+ private:
+  FaultParams params_;
+  std::vector<Asn> ases_;                     // sorted unique
+  std::vector<std::uint32_t> instance_of_;    // parallel to ases_
+  std::vector<std::uint8_t> diverged_;        // parallel to ases_
+  std::vector<std::vector<OutageWindow>> instance_windows_;  // per instance
+  std::vector<std::vector<OutageWindow>> as_windows_;        // per AS
+  topology::Rir divergent_rir_ = topology::Rir::kRipeNcc;
+  bool ever_degrades_ = false;
+};
+
+}  // namespace rovista::faults

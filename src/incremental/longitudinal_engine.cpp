@@ -82,8 +82,22 @@ scenario::VrpInstaller make_vrp_installer(bool incremental,
 // Digest helpers: every field that can change measurement output feeds
 // the writer. kDigestSchema bumps whenever the field set changes, so an
 // old checkpoint meets a clean digest mismatch instead of a stale hash
-// collision (docs/FORMATS.md, "Compatibility").
-constexpr std::uint8_t kDigestSchema = 2;  // 2: + slurm_fraction
+// collision (docs/FORMATS.md, "Compatibility"). Fault knobs join the
+// digest only when enabled — knob-0 configs keep producing the schema-2
+// bytes, so their digests (and checkpoints) stay byte-identical to
+// pre-fault builds.
+constexpr std::uint8_t kDigestSchema = 2;        // 2: + slurm_fraction
+constexpr std::uint8_t kDigestSchemaFaults = 3;  // 3: + fault knobs
+
+void digest_fault_params(persist::ByteWriter& w, const faults::FaultParams& f) {
+  w.f64(f.rp_failure_rate);
+  w.f64(f.rp_divergence_fraction);
+  w.f64(f.rtr_drop_rate);
+  w.f64(f.rtr_corrupt_fraction);
+  w.u32(static_cast<std::uint32_t>(f.rp_instance_count));
+  w.u32(static_cast<std::uint32_t>(f.fault_window_days));
+  w.u32(static_cast<std::uint32_t>(f.rtr_expire_days));
+}
 
 void digest_params(persist::ByteWriter& w,
                    const scenario::ScenarioParams& p) {
@@ -171,8 +185,10 @@ IncrementalLongitudinalRunner::~IncrementalLongitudinalRunner() {
 std::uint64_t IncrementalLongitudinalRunner::config_digest(
     const IncrementalConfig& config) {
   persist::ByteWriter w;
-  w.u8(kDigestSchema);
+  const bool faulted = config.params.faults.enabled();
+  w.u8(faulted ? kDigestSchemaFaults : kDigestSchema);
   digest_params(w, config.params);
+  if (faulted) digest_fault_params(w, config.params.faults);
   digest_rovista(w, config.rovista);
   w.u8(config.incremental ? 1 : 0);
   return persist::fnv1a64(w.data());
@@ -202,6 +218,10 @@ persist::CheckpointState IncrementalLongitudinalRunner::checkpoint_state()
     }
   }
   state.vrps = VrpDeltaComputer::flatten(world_->current_vrps());
+  if (world_->fault_chain() != nullptr) {
+    state.faulted = true;
+    state.fault_digest = world_->fault_chain()->schedule().digest();
+  }
   return state;
 }
 
@@ -222,6 +242,11 @@ bool IncrementalLongitudinalRunner::restore(
   if (state.incremental != config_.incremental) {
     util::log(LogLevel::kWarn,
               "checkpoint: incremental-mode mismatch — cold start");
+    return false;
+  }
+  if (state.faulted != config_.params.faults.enabled()) {
+    util::log(LogLevel::kWarn,
+              "checkpoint: fault-injection mode mismatch — cold start");
     return false;
   }
   for (std::size_t i = 1; i < state.rounds.size(); ++i) {
@@ -255,6 +280,20 @@ bool IncrementalLongitudinalRunner::restore(
     return false;
   }
 
+  // Fault oracle: the rebuilt world must carry the very fault schedule
+  // the checkpoint was written under — including mid-failure-window
+  // resumes, since the schedule is precomputed and date-independent.
+  if (state.faulted) {
+    const faults::FaultChain* chain = world->fault_chain();
+    if (chain == nullptr ||
+        chain->schedule().digest() != state.fault_digest) {
+      util::log(LogLevel::kWarn,
+                "checkpoint: replayed fault schedule disagrees with "
+                "stored digest — cold start");
+      return false;
+    }
+  }
+
   // All checks passed — install. Nothing below can fail in a way that
   // breaks soundness: a cache shape mismatch just clears the cache,
   // which only costs recomputation.
@@ -270,11 +309,17 @@ bool IncrementalLongitudinalRunner::restore(
       scores.push_back(s);
     }
     store_.record(r.date, scores);
+    if (state.faulted) store_.record_health(r.date, r.health);
   }
   vvps_ = state.vvps;
   tnodes_ = state.tnodes;
   have_round_ = state.have_round;
   history_ = state.rounds;
+  // run_round keeps views_digest_ equal to the latest round's digest
+  // (reuse is only ever granted while it is unchanged), so the replayed
+  // world's digest is exactly the one the restored lists were last
+  // validated against. Zero — hence a no-op — in fault-free worlds.
+  views_digest_ = world_->effective_views_digest();
 
   std::vector<std::optional<CacheEntry>> entries;
   entries.reserve(state.cache_entries.size());
@@ -337,18 +382,37 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
       date, make_vrp_installer(config_.incremental, &report));
   report.events = stats.events();
 
+  // Round health: only fault-injection worlds record it, keeping the
+  // store (and everything published from it) byte-identical otherwise.
+  if (world_->fault_chain() != nullptr) {
+    const faults::DegradationStats& d = world_->degradation();
+    report.health.stale_ases = d.stale_ases;
+    report.health.expired_ases = d.expired_ases;
+    report.health.diverged_ases = d.diverged_ases;
+    report.health.max_staleness_days = d.max_staleness_days;
+    report.health.error_reports = d.error_reports;
+    store_.record_health(date, report.health);
+  }
+
   // 2. Discovery: reuse the previous round's lists only when nothing the
-  // acquisition pipeline reads can have changed — no timeline events and
-  // no announced prefix touched by the VRP delta.
+  // acquisition pipeline reads can have changed — no timeline events, no
+  // announced prefix touched by the VRP delta, and (under fault
+  // injection) no change to any per-AS effective view. The last guard
+  // matters because a failure window opening or stale data crossing the
+  // expire threshold flips reference-AS ROV behaviour with a VRP delta
+  // of exactly zero.
   const bool incremental = config_.incremental;
+  const std::uint64_t views_digest = world_->effective_views_digest();
   const bool can_reuse_discovery = incremental && have_round_ &&
                                    report.events == 0 &&
-                                   report.touched_announced == 0;
+                                   report.touched_announced == 0 &&
+                                   views_digest == views_digest_;
   if (!can_reuse_discovery) {
     RoundInputs inputs = acquire_inputs(config_.params, date, config_.rovista);
     vvps_ = std::move(inputs.vvps);
     tnodes_ = std::move(inputs.tnodes);
   }
+  views_digest_ = views_digest;
   report.discovery_reused = can_reuse_discovery;
 
   const std::size_t v_count = vvps_.size();
@@ -369,6 +433,7 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
     store_.record(date, report.round.scores);
     persist::RoundRecord record;
     record.date = date;
+    record.health = report.health;
     record.scores.reserve(report.round.scores.size());
     for (const core::AsScore& s : report.round.scores) {
       record.scores.emplace_back(s.asn, s.score);
@@ -447,6 +512,7 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
   store_.record(date, round.scores);
   persist::RoundRecord record;
   record.date = date;
+  record.health = report.health;
   record.scores.reserve(round.scores.size());
   for (const core::AsScore& s : round.scores) {
     record.scores.emplace_back(s.asn, s.score);

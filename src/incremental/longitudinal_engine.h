@@ -80,6 +80,8 @@ struct RoundReport {
   std::size_t total_pairs = 0;
   std::size_t executed_pairs = 0;
   std::size_t reused_pairs = 0;
+  core::RoundHealth health;          // distribution-chain health (all
+                                     // zeros in fault-free worlds)
   core::MeasurementRound round;      // bit-identical to a full recompute
 };
 
@@ -153,6 +155,12 @@ class IncrementalLongitudinalRunner {
   std::vector<scan::Vvp> vvps_;
   std::vector<scan::Tnode> tnodes_;
   bool have_round_ = false;
+  // Effective-views digest of the round vvps_/tnodes_ were acquired on.
+  // Under fault injection a window opening or stale data expiring
+  // changes per-AS ROV behaviour with zero VRP delta, so discovery
+  // reuse must also demand the digest be unchanged. Always 0 (and thus
+  // trivially unchanged) in fault-free worlds.
+  std::uint64_t views_digest_ = 0;
   // The exact LongitudinalStore::record() history: checkpoint payload
   // (store replay log) and tracking-world replay recipe in one.
   std::vector<persist::RoundRecord> history_;

@@ -17,9 +17,14 @@ namespace {
 constexpr std::size_t kHeaderSize = 16;
 constexpr std::size_t kTableEntrySize = 24;
 constexpr std::uint32_t kSectionIds[] = {
-    kSectionMeta, kSectionCursor, kSectionDiscovery, kSectionScoreCache,
-    kSectionVrpSnapshot};
-constexpr std::size_t kSectionCount = std::size(kSectionIds);
+    kSectionMeta,       kSectionCursor, kSectionDiscovery, kSectionScoreCache,
+    kSectionVrpSnapshot, kSectionFaults};
+constexpr std::size_t kSectionCountV1 = 5;  // through VRPSNAPSHOT
+constexpr std::size_t kSectionCountV2 = std::size(kSectionIds);
+
+std::size_t section_count_for(std::uint32_t version) {
+  return version >= kFormatVersionFaults ? kSectionCountV2 : kSectionCountV1;
+}
 
 bool fail(std::string* error, const char* msg) {
   if (error != nullptr) *error = msg;
@@ -37,7 +42,8 @@ std::vector<std::uint8_t> encode_meta(const CheckpointState& s) {
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_cursor(const CheckpointState& s) {
+std::vector<std::uint8_t> encode_cursor(const CheckpointState& s,
+                                        std::uint32_t version) {
   ByteWriter w;
   w.u8(s.have_round ? 1 : 0);
   w.u64(s.rounds.size());
@@ -47,6 +53,13 @@ std::vector<std::uint8_t> encode_cursor(const CheckpointState& s) {
     for (const auto& [asn, score] : r.scores) {
       w.u32(asn);
       w.f64(score);
+    }
+    if (version >= kFormatVersionFaults) {
+      w.u64(r.health.stale_ases);
+      w.u64(r.health.expired_ases);
+      w.u64(r.health.diverged_ases);
+      w.i64(r.health.max_staleness_days);
+      w.u64(r.health.error_reports);
     }
   }
   return w.take();
@@ -108,6 +121,12 @@ std::vector<std::uint8_t> encode_vrps(const CheckpointState& s) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_faults(const CheckpointState& s) {
+  ByteWriter w;
+  w.u64(s.fault_digest);
+  return w.take();
+}
+
 // ---- section payload decoders ----
 //
 // Every count is checked against the bytes actually remaining before
@@ -132,7 +151,8 @@ bool decode_meta(ByteReader& r, CheckpointState& s, std::string* error) {
   return true;
 }
 
-bool decode_cursor(ByteReader& r, CheckpointState& s, std::string* error) {
+bool decode_cursor(ByteReader& r, CheckpointState& s, std::uint32_t version,
+                   std::string* error) {
   std::uint8_t have_round = 0;
   std::uint64_t round_count = 0;
   if (!r.u8(have_round) || !r.u64(round_count)) {
@@ -164,6 +184,15 @@ bool decode_cursor(ByteReader& r, CheckpointState& s, std::string* error) {
         return fail(error, "CURSOR: truncated score");
       }
       rec.scores.emplace_back(asn, score);
+    }
+    if (version >= kFormatVersionFaults) {
+      std::int64_t staleness = 0;
+      if (!r.u64(rec.health.stale_ases) || !r.u64(rec.health.expired_ases) ||
+          !r.u64(rec.health.diverged_ases) || !r.i64(staleness) ||
+          !r.u64(rec.health.error_reports)) {
+        return fail(error, "CURSOR: truncated round health");
+      }
+      rec.health.max_staleness_days = staleness;
     }
     s.rounds.push_back(std::move(rec));
   }
@@ -302,6 +331,12 @@ bool decode_vrps(ByteReader& r, CheckpointState& s, std::string* error) {
   return true;
 }
 
+bool decode_faults(ByteReader& r, CheckpointState& s, std::string* error) {
+  if (!r.u64(s.fault_digest)) return fail(error, "FAULTS: truncated");
+  s.faulted = true;  // the section only exists in faulted containers
+  return true;
+}
+
 }  // namespace
 
 const char* section_name(std::uint32_t id) noexcept {
@@ -316,18 +351,31 @@ const char* section_name(std::uint32_t id) noexcept {
       return "SCORECACHE";
     case kSectionVrpSnapshot:
       return "VRPSNAPSHOT";
+    case kSectionFaults:
+      return "FAULTS";
   }
   return "?";
 }
 
 std::vector<std::uint8_t> encode_checkpoint(const CheckpointState& state) {
-  const std::vector<std::uint8_t> payloads[kSectionCount] = {
-      encode_meta(state), encode_cursor(state), encode_discovery(state),
-      encode_score_cache(state), encode_vrps(state)};
+  // Lowest version able to represent the state: fault-free series keep
+  // writing version 1, byte-identical to pre-fault builds.
+  const std::uint32_t version =
+      state.faulted ? kFormatVersionFaults : kFormatVersion;
+  const std::size_t section_count = section_count_for(version);
+
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(section_count);
+  payloads.push_back(encode_meta(state));
+  payloads.push_back(encode_cursor(state, version));
+  payloads.push_back(encode_discovery(state));
+  payloads.push_back(encode_score_cache(state));
+  payloads.push_back(encode_vrps(state));
+  if (version >= kFormatVersionFaults) payloads.push_back(encode_faults(state));
 
   ByteWriter table;
-  std::uint64_t offset = kHeaderSize + kSectionCount * kTableEntrySize;
-  for (std::size_t i = 0; i < kSectionCount; ++i) {
+  std::uint64_t offset = kHeaderSize + section_count * kTableEntrySize;
+  for (std::size_t i = 0; i < section_count; ++i) {
     table.u32(kSectionIds[i]);
     table.u32(crc32(payloads[i]));
     table.u64(offset);
@@ -337,8 +385,8 @@ std::vector<std::uint8_t> encode_checkpoint(const CheckpointState& state) {
 
   ByteWriter out;
   out.bytes(kMagic);
-  out.u32(kFormatVersion);
-  out.u32(static_cast<std::uint32_t>(kSectionCount));
+  out.u32(version);
+  out.u32(static_cast<std::uint32_t>(section_count));
   out.u32(crc32(table.data()));
   out.bytes(table.data());
   for (const std::vector<std::uint8_t>& p : payloads) out.bytes(p);
@@ -363,13 +411,14 @@ std::optional<CheckpointState> decode_checkpoint(
   header.u32(version);
   header.u32(section_count);
   header.u32(table_crc);
-  if (version != kFormatVersion) {
+  if (version != kFormatVersion && version != kFormatVersionFaults) {
     return reject("unsupported format version (bump → cold start)");
   }
-  if (section_count != kSectionCount) {
+  const std::size_t expected_sections = section_count_for(version);
+  if (section_count != expected_sections) {
     return reject("unexpected section count");
   }
-  const std::size_t table_size = kSectionCount * kTableEntrySize;
+  const std::size_t table_size = expected_sections * kTableEntrySize;
   if (bytes.size() < kHeaderSize + table_size) {
     return reject("file truncated inside section table");
   }
@@ -381,7 +430,7 @@ std::optional<CheckpointState> decode_checkpoint(
   ByteReader table(table_bytes);
   CheckpointState state;
   std::uint64_t expected_offset = kHeaderSize + table_size;
-  for (std::size_t i = 0; i < kSectionCount; ++i) {
+  for (std::size_t i = 0; i < expected_sections; ++i) {
     std::uint32_t id = 0;
     std::uint32_t payload_crc = 0;
     std::uint64_t offset = 0;
@@ -408,8 +457,10 @@ std::optional<CheckpointState> decode_checkpoint(
           return reject("DISCOVERY payload CRC mismatch");
         case kSectionScoreCache:
           return reject("SCORECACHE payload CRC mismatch");
-        default:
+        case kSectionVrpSnapshot:
           return reject("VRPSNAPSHOT payload CRC mismatch");
+        default:
+          return reject("FAULTS payload CRC mismatch");
       }
     }
     ByteReader r(payload);
@@ -419,7 +470,7 @@ std::optional<CheckpointState> decode_checkpoint(
         ok = decode_meta(r, state, error);
         break;
       case kSectionCursor:
-        ok = decode_cursor(r, state, error);
+        ok = decode_cursor(r, state, version, error);
         break;
       case kSectionDiscovery:
         ok = decode_discovery(r, state, error);
@@ -429,6 +480,9 @@ std::optional<CheckpointState> decode_checkpoint(
         break;
       case kSectionVrpSnapshot:
         ok = decode_vrps(r, state, error);
+        break;
+      case kSectionFaults:
+        ok = decode_faults(r, state, error);
         break;
     }
     if (!ok) return std::nullopt;
@@ -460,7 +514,8 @@ std::optional<CheckpointInspection> inspect_checkpoint(
   header.u32(out.format_version);
   header.u32(out.section_count);
   header.u32(table_crc);
-  out.version_supported = out.format_version == kFormatVersion;
+  out.version_supported = out.format_version == kFormatVersion ||
+                          out.format_version == kFormatVersionFaults;
 
   // Walk whatever table fits in the file, even if counts look wrong —
   // inspect is a diagnosis tool, not a loader.

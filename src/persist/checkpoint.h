@@ -9,8 +9,12 @@
 // reconverged to the same control-plane state.
 //
 // On disk this is the versioned, length-prefixed, CRC-checked binary
-// container specified byte-by-byte in docs/FORMATS.md ("RVCP" format,
-// version 1). Encoding is canonical — the same state always produces the
+// container specified byte-by-byte in docs/FORMATS.md ("RVCP" format).
+// The writer emits the lowest version able to represent the state:
+// version 1 for fault-free series (bit-identical to pre-fault builds),
+// version 2 — CURSOR rounds extended with per-round distribution-chain
+// health, plus a FAULTS section — only when the series runs under fault
+// injection. Encoding is canonical — the same state always produces the
 // same bytes — so decode→re-encode round-trips bit-exactly, which the
 // tier-1 property tests pin.
 //
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/longitudinal.h"
 #include "core/scoring.h"
 #include "rpki/roa.h"
 #include "scan/tnode_discovery.h"
@@ -38,15 +43,19 @@ namespace rovista::persist {
 
 inline constexpr std::array<std::uint8_t, 4> kMagic = {'R', 'V', 'C', 'P'};
 inline constexpr std::uint32_t kFormatVersion = 1;
+/// Version written when the series carries fault-injection state (the
+/// FAULTS section plus per-round health in CURSOR).
+inline constexpr std::uint32_t kFormatVersionFaults = 2;
 
 /// Section identifiers (table order is fixed: ascending ids, each
-/// exactly once).
+/// exactly once; FAULTS appears only in version-2 containers).
 enum SectionId : std::uint32_t {
   kSectionMeta = 1,
   kSectionCursor = 2,
   kSectionDiscovery = 3,
   kSectionScoreCache = 4,
   kSectionVrpSnapshot = 5,
+  kSectionFaults = 6,
 };
 
 /// Human-readable name for `checkpoint inspect` ("?" for unknown ids).
@@ -58,6 +67,9 @@ const char* section_name(std::uint32_t id) noexcept;
 struct RoundRecord {
   util::Date date;
   std::vector<std::pair<core::Asn, double>> scores;
+  /// Distribution-chain health of the round; all zeros in fault-free
+  /// series (serialized only by version-2 containers).
+  core::RoundHealth health;
 
   bool operator==(const RoundRecord&) const = default;
 };
@@ -91,6 +103,13 @@ struct CheckpointState {
   // VRPSNAPSHOT — sorted unique VRPs of the tracking world at the last
   // completed round (the replay oracle).
   std::vector<rpki::Vrp> vrps;
+
+  // FAULTS (version 2 only) — fault-injection guard. `faulted` selects
+  // the container version on write; `fault_digest` is the
+  // FaultSchedule::digest() of the writing world, checked on resume so
+  // a checkpoint cannot silently resume under a different fault world.
+  bool faulted = false;
+  std::uint64_t fault_digest = 0;
 };
 
 /// Serialize to the canonical on-disk byte sequence.

@@ -178,11 +178,16 @@ Pdu make_ipv4_prefix(bool announce, const Vrp& vrp) {
   return p;
 }
 
-Pdu make_end_of_data(std::uint16_t session, std::uint32_t serial) {
+Pdu make_end_of_data(std::uint16_t session, std::uint32_t serial,
+                     std::uint32_t refresh, std::uint32_t retry,
+                     std::uint32_t expire) {
   Pdu p;
   p.type = PduType::kEndOfData;
   p.session_id = session;
   p.serial = serial;
+  p.refresh_interval = refresh;
+  p.retry_interval = retry;
+  p.expire_interval = expire;
   return p;
 }
 
@@ -232,7 +237,8 @@ void Cache::respond_full(std::vector<Pdu>& out) const {
   for (const Vrp& vrp : snapshot_) {
     out.push_back(make_ipv4_prefix(true, vrp));
   }
-  out.push_back(make_end_of_data(session_id_, serial_));
+  out.push_back(make_end_of_data(session_id_, serial_, refresh_interval_,
+                                 retry_interval_, expire_interval_));
 }
 
 void Cache::handle(const Pdu& query, std::vector<Pdu>& out) const {
@@ -249,7 +255,9 @@ void Cache::handle(const Pdu& query, std::vector<Pdu>& out) const {
       if (query.serial == serial_) {
         // Nothing new: empty delta.
         out.push_back(make_cache_response(session_id_));
-        out.push_back(make_end_of_data(session_id_, serial_));
+        out.push_back(make_end_of_data(session_id_, serial_,
+                                       refresh_interval_, retry_interval_,
+                                       expire_interval_));
         return;
       }
       // Collect diffs (query.serial, serial_]; if the history no longer
@@ -273,7 +281,9 @@ void Cache::handle(const Pdu& query, std::vector<Pdu>& out) const {
           out.push_back(make_ipv4_prefix(true, vrp));
         }
       }
-      out.push_back(make_end_of_data(session_id_, serial_));
+      out.push_back(make_end_of_data(session_id_, serial_,
+                                     refresh_interval_, retry_interval_,
+                                     expire_interval_));
       return;
     }
     default:
@@ -291,15 +301,47 @@ Pdu RouterSession::next_query() const {
   return make_serial_query(session_id_, serial_);
 }
 
-bool RouterSession::consume(const Pdu& pdu) {
+void RouterSession::tear_down(TimeSec now) {
+  in_response_ = false;
+  pending_reset_ = true;  // the next handshake restarts from scratch
+  state_ = State::kDown;
+  const std::uint32_t shift = std::min(consecutive_failures_, 6u);
+  retry_at_ = now + static_cast<TimeSec>(retry_interval_) *
+                        (TimeSec{1} << shift);
+  ++consecutive_failures_;
+}
+
+bool RouterSession::fail(ErrorCode code, std::string text, TimeSec now) {
+  last_error_ = text;
+  error_report_ = make_error(code, std::move(text));
+  tear_down(now);
+  return false;
+}
+
+void RouterSession::connection_lost(TimeSec now) { tear_down(now); }
+
+bool RouterSession::retry_due(TimeSec now) const {
+  return state_ == State::kDown && now >= retry_at_;
+}
+
+bool RouterSession::data_expired(TimeSec now) const {
+  return synchronized_ &&
+         now - synced_at_ > static_cast<TimeSec>(expire_interval_);
+}
+
+std::optional<VrpSet> RouterSession::effective_vrps(TimeSec now) const {
+  if (!synchronized_ || data_expired(now)) return std::nullopt;
+  return vrps();
+}
+
+bool RouterSession::consume(const Pdu& pdu, TimeSec now) {
   switch (pdu.type) {
     case PduType::kSerialNotify:
       // Just a poke; the router will query on its next cycle.
       return true;
     case PduType::kCacheResponse:
       if (in_response_) {
-        last_error_ = "nested cache response";
-        return false;
+        return fail(ErrorCode::kCorruptData, "nested cache response", now);
       }
       in_response_ = true;
       if (pending_reset_ || !synchronized_) {
@@ -311,8 +353,8 @@ bool RouterSession::consume(const Pdu& pdu) {
       return true;
     case PduType::kIpv4Prefix: {
       if (!in_response_) {
-        last_error_ = "prefix PDU outside a response";
-        return false;
+        return fail(ErrorCode::kCorruptData, "prefix PDU outside a response",
+                    now);
       }
       Vrp vrp{net::Ipv4Prefix(pdu.prefix, pdu.prefix_length), pdu.max_length,
               pdu.asn};
@@ -326,12 +368,18 @@ bool RouterSession::consume(const Pdu& pdu) {
     }
     case PduType::kEndOfData:
       if (!in_response_) {
-        last_error_ = "end of data outside a response";
-        return false;
+        return fail(ErrorCode::kCorruptData, "end of data outside a response",
+                    now);
       }
       in_response_ = false;
       synchronized_ = true;
       serial_ = pdu.serial;
+      state_ = State::kSynchronized;
+      synced_at_ = now;
+      consecutive_failures_ = 0;
+      refresh_interval_ = pdu.refresh_interval;
+      retry_interval_ = pdu.retry_interval;
+      expire_interval_ = pdu.expire_interval;
       return true;
     case PduType::kCacheReset:
       // The cache cannot serve our serial: restart with a Reset Query.
@@ -339,24 +387,52 @@ bool RouterSession::consume(const Pdu& pdu) {
       in_response_ = false;
       return true;
     case PduType::kErrorReport:
+      // Never answer an Error Report with an Error Report (§5.10); just
+      // record it and drop the transport.
       last_error_ = pdu.error_text;
-      in_response_ = false;
+      tear_down(now);
       return false;
     default:
-      last_error_ = "unsupported PDU";
-      return false;
+      return fail(ErrorCode::kUnsupportedPduType, "unsupported PDU", now);
   }
 }
 
-bool RouterSession::consume_stream(std::span<const std::uint8_t> bytes) {
+bool RouterSession::consume_stream(std::span<const std::uint8_t> bytes,
+                                   TimeSec now) {
   std::size_t offset = 0;
   while (offset < bytes.size()) {
-    const auto parsed = Pdu::parse(bytes.subspan(offset));
+    const auto rest = bytes.subspan(offset);
+    const auto parsed = Pdu::parse(rest);
     if (!parsed.has_value()) {
-      last_error_ = "malformed PDU stream";
-      return false;
+      // Classify per §5.10 so the cache learns why its stream died:
+      // foreign protocol version, unknown type under a valid header, or
+      // plain garbage.
+      if (rest.size() >= 8 && rest[0] != kProtocolVersion) {
+        return fail(ErrorCode::kUnsupportedVersion,
+                    "unsupported protocol version", now);
+      }
+      bool known_type = false;
+      if (rest.size() >= 8) {
+        switch (static_cast<PduType>(rest[1])) {
+          case PduType::kSerialNotify:
+          case PduType::kSerialQuery:
+          case PduType::kResetQuery:
+          case PduType::kCacheResponse:
+          case PduType::kIpv4Prefix:
+          case PduType::kEndOfData:
+          case PduType::kCacheReset:
+          case PduType::kErrorReport:
+            known_type = true;
+            break;
+        }
+        if (!known_type) {
+          return fail(ErrorCode::kUnsupportedPduType, "unsupported PDU type",
+                      now);
+        }
+      }
+      return fail(ErrorCode::kCorruptData, "malformed PDU stream", now);
     }
-    if (!consume(parsed->first)) return false;
+    if (!consume(parsed->first, now)) return false;
     offset += parsed->second;
   }
   return true;

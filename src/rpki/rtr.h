@@ -8,6 +8,13 @@
 // Reset when the cache cannot serve a diff, and Error Report PDUs.
 // A Cache holds versioned VRP snapshots and serves incremental diffs; a
 // RouterSession consumes PDU streams and maintains the router's VRP set.
+//
+// The session also has a lifecycle (§6, §8): protocol errors are
+// answered with an Error Report PDU and tear the transport down,
+// reconnects back off per the retry interval, and once the expire
+// interval passes without a successful sync the data may no longer be
+// used — effective_vrps() goes empty and the router falls back to no
+// validation.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,9 @@ enum class PduType : std::uint8_t {
 };
 
 constexpr std::uint8_t kProtocolVersion = 1;  // RFC 8210
+
+/// Seconds on the simulation clock (scenarios map days to 86 400 s).
+using TimeSec = std::int64_t;
 
 /// Error codes (RFC 8210 §5.10).
 enum class ErrorCode : std::uint16_t {
@@ -79,7 +89,9 @@ Pdu make_serial_query(std::uint16_t session, std::uint32_t serial);
 Pdu make_reset_query();
 Pdu make_cache_response(std::uint16_t session);
 Pdu make_ipv4_prefix(bool announce, const Vrp& vrp);
-Pdu make_end_of_data(std::uint16_t session, std::uint32_t serial);
+Pdu make_end_of_data(std::uint16_t session, std::uint32_t serial,
+                     std::uint32_t refresh = 3600, std::uint32_t retry = 600,
+                     std::uint32_t expire = 7200);
 Pdu make_cache_reset();
 Pdu make_error(ErrorCode code, std::string text);
 
@@ -97,6 +109,14 @@ class Cache {
   /// Install a new VRP snapshot (relying-party output); returns the new
   /// serial. Computes the diff against the previous snapshot.
   std::uint32_t publish(const VrpSet& vrps);
+
+  /// Timers advertised in every End Of Data PDU (RFC 8210 §5.8).
+  void set_timers(std::uint32_t refresh, std::uint32_t retry,
+                  std::uint32_t expire) {
+    refresh_interval_ = refresh;
+    retry_interval_ = retry;
+    expire_interval_ = expire;
+  }
 
   /// Handle one query PDU, appending response PDUs to `out`.
   void handle(const Pdu& query, std::vector<Pdu>& out) const;
@@ -120,26 +140,74 @@ class Cache {
   std::vector<Vrp> snapshot_;  // sorted
   std::deque<Diff> history_;
   std::size_t history_limit_;
+  std::uint32_t refresh_interval_ = 3600;
+  std::uint32_t retry_interval_ = 600;
+  std::uint32_t expire_interval_ = 7200;
 };
 
 /// The router side. Feed it the cache's response PDUs (as wire bytes or
 /// parsed) and it maintains the validated set routers filter against.
 class RouterSession {
  public:
+  enum class State : std::uint8_t {
+    kConnecting,    // never synchronized yet
+    kSynchronized,  // transport up, last handshake succeeded
+    kDown,          // torn down after an error or connection loss
+  };
+
   /// Build the query the router should send next: Reset Query before the
-  /// first sync, Serial Query afterwards.
+  /// first sync (or after a Cache Reset / teardown), Serial Query
+  /// afterwards.
   Pdu next_query() const;
 
-  /// Consume one response PDU. Returns false on protocol error (the
-  /// session then needs a reset).
-  bool consume(const Pdu& pdu);
+  /// Consume one response PDU at simulation time `now`. Returns false on
+  /// protocol error; the session is then torn down (state() == kDown), an
+  /// Error Report answering the cache is available via
+  /// take_error_report(), and the data it already holds stays usable
+  /// until the expire interval passes (RFC 8210 §10).
+  bool consume(const Pdu& pdu, TimeSec now = 0);
 
-  /// Consume a whole wire-format byte stream.
-  bool consume_stream(std::span<const std::uint8_t> bytes);
+  /// Consume a whole wire-format byte stream. Malformed bytes tear the
+  /// session down with Corrupt Data (0); a valid header carrying an
+  /// unknown type yields Unsupported PDU Type (5); a foreign protocol
+  /// version yields Unsupported Protocol Version (4).
+  bool consume_stream(std::span<const std::uint8_t> bytes, TimeSec now = 0);
 
   bool synchronized() const noexcept { return synchronized_; }
   std::uint32_t serial() const noexcept { return serial_; }
   std::uint16_t session_id() const noexcept { return session_id_; }
+  State state() const noexcept { return state_; }
+
+  /// The Error Report generated by the last protocol failure, to be
+  /// delivered to the cache before closing the transport (§8). Empty if
+  /// the last failure was transport-level or already consumed.
+  std::optional<Pdu> take_error_report() {
+    std::optional<Pdu> report = std::move(error_report_);
+    error_report_.reset();
+    return report;
+  }
+
+  /// Transport-level failure (connection dropped without a protocol
+  /// error). Schedules a reconnect per the retry interval with
+  /// exponential backoff — doubling per consecutive failure, capped.
+  void connection_lost(TimeSec now);
+
+  /// True once the backoff window has passed and the router should
+  /// attempt a new handshake.
+  bool retry_due(TimeSec now) const;
+
+  /// True once the expire interval has elapsed since the last successful
+  /// sync: the router MUST stop acting on the data (§6).
+  bool data_expired(TimeSec now) const;
+
+  /// The VRP set the router may act on at `now`: nullopt before the
+  /// first sync and after expiry — the caller falls back to running *no
+  /// validation* rather than acting on arbitrarily stale data.
+  std::optional<VrpSet> effective_vrps(TimeSec now) const;
+
+  TimeSec synchronized_at() const noexcept { return synced_at_; }
+  std::uint32_t retry_interval() const noexcept { return retry_interval_; }
+  std::uint32_t expire_interval() const noexcept { return expire_interval_; }
 
   /// The router's current VRP set (rebuilt on demand).
   VrpSet vrps() const;
@@ -148,13 +216,28 @@ class RouterSession {
   const std::string& last_error() const noexcept { return last_error_; }
 
  private:
+  /// Protocol failure: record the error, arm the Error Report answering
+  /// the cache, and tear the transport down.
+  bool fail(ErrorCode code, std::string text, TimeSec now);
+  /// Drop the transport and schedule the backed-off reconnect.
+  void tear_down(TimeSec now);
+
   bool synchronized_ = false;
   bool in_response_ = false;
   bool pending_reset_ = false;
+  State state_ = State::kConnecting;
   std::uint16_t session_id_ = 0;
   std::uint32_t serial_ = 0;
   std::vector<Vrp> vrps_;  // sorted unique
   std::string last_error_;
+  std::optional<Pdu> error_report_;
+  TimeSec synced_at_ = 0;
+  TimeSec retry_at_ = 0;
+  std::uint32_t consecutive_failures_ = 0;
+  // Timers adopted from the last End Of Data (§5.8 defaults until then).
+  std::uint32_t refresh_interval_ = 3600;
+  std::uint32_t retry_interval_ = 600;
+  std::uint32_t expire_interval_ = 7200;
 };
 
 }  // namespace rovista::rpki::rtr

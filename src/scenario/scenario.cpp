@@ -61,6 +61,22 @@ Scenario::Scenario(ScenarioParams params)
     build_slurm_exceptions(slurm_rng);
   }
 
+  // Same gating for fault injection: knob-0 worlds never split the fault
+  // stream. Only ROV deployers hold RTR sessions, so the schedule covers
+  // exactly them.
+  if (params_.faults.enabled()) {
+    util::Rng fault_rng = rng.split(0xfa17);
+    std::vector<Asn> rov_ases;
+    rov_ases.reserve(deployments_.size());
+    for (const RovDeployment& d : deployments_) rov_ases.push_back(d.asn);
+    std::sort(rov_ases.begin(), rov_ases.end());
+    rov_ases.erase(std::unique(rov_ases.begin(), rov_ases.end()),
+                   rov_ases.end());
+    fault_chain_ = std::make_unique<faults::FaultChain>(
+        faults::FaultSchedule::build(params_.faults, std::move(rov_ases),
+                                     params_.start, params_.end, fault_rng));
+  }
+
   std::stable_sort(policy_events_.begin(), policy_events_.end(),
                    [](const PolicyEvent& a, const PolicyEvent& b) {
                      return a.date < b.date;
@@ -113,6 +129,17 @@ AdvanceStats Scenario::advance_to(Date date, const VrpInstaller& installer) {
   rpki::VrpSet next = rpki::run_relying_party(*repos_, date).vrps;
   installer(*routing_, vrps_, next);
   vrps_ = std::move(next);
+  if (fault_chain_ != nullptr) {
+    // After the install: set_effective_views probes old-view vs new-view
+    // against the *new* base, relying on the installer having already
+    // erased every base-validity flip from the route cache.
+    faults::EffectiveViews views =
+        fault_chain_->compute(*repos_, date, vrps_);
+    degradation_ = views.stats;
+    effective_views_digest_ = faults::views_digest(views);
+    routing_->set_effective_views(std::move(views.views),
+                                  std::move(views.bindings));
+  }
   return stats;
 }
 

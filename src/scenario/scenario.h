@@ -20,6 +20,7 @@
 #include "bgp/routing_system.h"
 #include "core/parallel_round.h"
 #include "dataplane/dataplane.h"
+#include "faults/fault_chain.h"
 #include "rpki/relying_party.h"
 #include "rpki/repository.h"
 #include "topology/as_graph.h"
@@ -110,6 +111,13 @@ struct ScenarioParams {
   // stream is split and no policies change.
   double slurm_fraction = 0.0;
 
+  // RPKI supply-chain fault injection (faults/fault_schedule.h): RP
+  // instance crashes serving frozen VRPs, RTR session drops and corrupt
+  // PDUs, divergent RP implementations. All rates default to 0, which
+  // skips the fault RNG split entirely — default worlds stay
+  // byte-identical to pre-fault builds.
+  faults::FaultParams faults;
+
   // Exclusively-invalid announcements that persist (tNode prefixes).
   int tnode_prefix_count = 10;
   int tnode_hosts_per_prefix = 2;
@@ -182,6 +190,26 @@ class Scenario {
 
   /// The relying-party output at the current date.
   const rpki::VrpSet& current_vrps() const noexcept { return vrps_; }
+
+  /// Fault-injection chain, or nullptr when every fault knob is 0.
+  const faults::FaultChain* fault_chain() const noexcept {
+    return fault_chain_.get();
+  }
+
+  /// Distribution-chain health after the latest advance_to() (all zeros
+  /// in fault-free worlds).
+  const faults::DegradationStats& degradation() const noexcept {
+    return degradation_;
+  }
+
+  /// Digest of the per-AS effective views installed by the latest
+  /// advance_to() — always 0 in fault-free worlds. Per-AS views can
+  /// change with zero delta in the fresh VRP base (a failure window
+  /// opening, stale data expiring), so any discovery reuse across
+  /// rounds must also demand this digest be unchanged.
+  std::uint64_t effective_views_digest() const noexcept {
+    return effective_views_digest_;
+  }
 
   // Measurement support.
   Asn client_as_a() const noexcept { return client_as_a_; }
@@ -312,6 +340,10 @@ class Scenario {
 
   Date current_;
   rpki::VrpSet vrps_;
+
+  std::unique_ptr<faults::FaultChain> fault_chain_;  // null when knobs are 0
+  faults::DegradationStats degradation_;
+  std::uint64_t effective_views_digest_ = 0;
 };
 
 /// Installs the paper's case-study fixtures into a freshly built

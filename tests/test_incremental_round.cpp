@@ -6,16 +6,20 @@
 // a repeated date reuses everything.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/incremental_runner.h"
 #include "core/publish.h"
+#include "persist/checkpoint.h"
+#include "persist/wire.h"
 #include "incremental/dirty_prefix.h"
 #include "incremental/vrp_delta.h"
 #include "round_fixture.h"
@@ -379,6 +383,74 @@ TEST_F(SlurmIncrementalRound, CheckpointResumeMatchesUninterrupted) {
   EXPECT_EQ(read_dir(full_dir), read_dir(res_dir));
   std::filesystem::remove_all(full_dir);
   std::filesystem::remove_all(res_dir);
+}
+
+// ---------- Fault-knob zero golden regression ----------
+//
+// The fault-injection knobs (ScenarioParams::faults) must be RNG-stream
+// gated exactly like --slurm-fraction: with every knob at its default 0,
+// the published CSVs, the RVCP checkpoint container bytes, and the
+// engine config digest are pinned byte-for-byte to the pre-fault build,
+// at every thread count. The constants below were captured from the
+// build immediately before the fault layer landed; any drift means the
+// gating leaked into a default world.
+
+std::uint64_t digest_string(std::uint64_t h, const std::string& bytes) {
+  return persist::fnv1a64(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()),
+      h);
+}
+
+std::uint64_t digest_published_dir(const std::filesystem::path& dir) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& [name, contents] : read_dir(dir)) {  // sorted by name
+    h = digest_string(h, name);
+    h = digest_string(h, contents);
+  }
+  return h;
+}
+
+constexpr std::uint64_t kGoldenPublishDigest = 0xc298de19204978e2ull;
+constexpr std::uint64_t kGoldenCheckpointDigest = 0xc5709d22511d4b71ull;
+constexpr std::uint64_t kGoldenConfigDigest = 0xb84dfbbc72591e94ull;
+
+TEST(FaultKnobZeroIncrementalRound, GoldenBytesPinnedAtAllThreadCounts) {
+  for (const int threads : {1, 2, 4, 8}) {
+    const core::IncrementalConfig config =
+        engine_config(/*incremental=*/true, threads);
+    core::IncrementalLongitudinalRunner runner(config);
+    for (const util::Date date : round_dates(config.params)) {
+      runner.run_round(date);
+    }
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("rovista_knob0_" + std::to_string(threads));
+    std::filesystem::remove_all(dir);
+    ASSERT_TRUE(core::publish_scores(runner.store(), dir.string()).has_value());
+    const std::uint64_t publish_digest = digest_published_dir(dir);
+    std::filesystem::remove_all(dir);
+
+    const std::vector<std::uint8_t> checkpoint =
+        persist::encode_checkpoint(runner.checkpoint_state());
+    const std::uint64_t checkpoint_digest =
+        persist::fnv1a64(std::span<const std::uint8_t>(checkpoint));
+    const std::uint64_t config_digest =
+        core::IncrementalLongitudinalRunner::config_digest(config);
+
+    char actual[128];
+    std::snprintf(actual, sizeof actual,
+                  "publish=0x%016llx checkpoint=0x%016llx config=0x%016llx",
+                  static_cast<unsigned long long>(publish_digest),
+                  static_cast<unsigned long long>(checkpoint_digest),
+                  static_cast<unsigned long long>(config_digest));
+    EXPECT_EQ(publish_digest, kGoldenPublishDigest)
+        << threads << " threads: " << actual;
+    EXPECT_EQ(checkpoint_digest, kGoldenCheckpointDigest)
+        << threads << " threads: " << actual;
+    EXPECT_EQ(config_digest, kGoldenConfigDigest)
+        << threads << " threads: " << actual;
+  }
 }
 
 TEST_F(IncrementalRound, RepeatedDateReusesEverything) {

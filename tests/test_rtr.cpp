@@ -299,4 +299,239 @@ TEST_P(RtrConvergence, RouterTracksCacheThroughChurn) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RtrConvergence, ::testing::Values(1, 9, 77));
 
+// ---------- error reports on the wire (RFC 8210 §5.10, §8) ----------
+//
+// A protocol failure must answer the cache with an Error Report PDU
+// carrying the right error code, and that report must itself be a valid
+// wire PDU — these tests poison real streams and check the bytes.
+
+TEST(RtrWireErrors, CorruptStreamYieldsCorruptDataReport) {
+  Cache cache(3);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  auto stream = to_stream(response);
+  // Poison the prefix PDU mid-stream: the Cache Response header is
+  // 8 bytes, so byte 9 of the prefix PDU (its prefix-length field) sits
+  // at offset 17. Length 40 is unparseable for IPv4.
+  ASSERT_GT(stream.size(), 17u);
+  stream[17] = 40;
+  EXPECT_FALSE(router.consume_stream(stream));
+  EXPECT_EQ(router.state(), RouterSession::State::kDown);
+  const auto report = router.take_error_report();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->type, PduType::kErrorReport);
+  EXPECT_EQ(report->error_code, ErrorCode::kCorruptData);
+  // The report must round-trip through the wire format intact.
+  const auto parsed = Pdu::parse(report->serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first.type, PduType::kErrorReport);
+  EXPECT_EQ(parsed->first.error_code, ErrorCode::kCorruptData);
+  EXPECT_EQ(parsed->first.error_text, "malformed PDU stream");
+  // One report per failure: a second take yields nothing.
+  EXPECT_FALSE(router.take_error_report().has_value());
+}
+
+TEST(RtrWireErrors, ForeignVersionYieldsUnsupportedVersionReport) {
+  auto bytes = make_reset_query().serialize();
+  bytes[0] = 0;  // RFC 6810 version under an RFC 8210 session
+  RouterSession router;
+  EXPECT_FALSE(router.consume_stream(bytes));
+  EXPECT_EQ(router.state(), RouterSession::State::kDown);
+  const auto report = router.take_error_report();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->error_code, ErrorCode::kUnsupportedVersion);
+  const auto parsed = Pdu::parse(report->serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first.error_code, ErrorCode::kUnsupportedVersion);
+}
+
+TEST(RtrWireErrors, UnknownTypeYieldsUnsupportedPduTypeReport) {
+  auto bytes = make_reset_query().serialize();
+  bytes[1] = 9;  // valid header, type 9 is unassigned in RFC 8210
+  RouterSession router;
+  EXPECT_FALSE(router.consume_stream(bytes));
+  const auto report = router.take_error_report();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->error_code, ErrorCode::kUnsupportedPduType);
+  EXPECT_EQ(report->error_text, "unsupported PDU type");
+}
+
+TEST(RtrWireErrors, ErrorReportNeverAnsweredWithErrorReport) {
+  RouterSession router;
+  EXPECT_FALSE(
+      router.consume(make_error(ErrorCode::kInternalError, "cache died")));
+  EXPECT_EQ(router.state(), RouterSession::State::kDown);
+  EXPECT_EQ(router.last_error(), "cache died");
+  // §5.10: an Error Report MUST NOT be answered with an Error Report.
+  EXPECT_FALSE(router.take_error_report().has_value());
+}
+
+// ---------- session lifecycle (RFC 8210 §6, §10) ----------
+
+TEST(RtrLifecycle, StateTransitions) {
+  Cache cache(1);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  EXPECT_EQ(router.state(), RouterSession::State::kConnecting);
+  // Never synchronized: no data the router may act on.
+  EXPECT_FALSE(router.effective_vrps(0).has_value());
+
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response), /*now=*/50));
+  EXPECT_EQ(router.state(), RouterSession::State::kSynchronized);
+  EXPECT_EQ(router.synchronized_at(), 50);
+  ASSERT_TRUE(router.effective_vrps(50).has_value());
+
+  // A dropped transport goes kDown, but the already-synced data stays
+  // usable until the expire interval passes (§10).
+  router.connection_lost(/*now=*/60);
+  EXPECT_EQ(router.state(), RouterSession::State::kDown);
+  EXPECT_TRUE(router.effective_vrps(60).has_value());
+}
+
+TEST(RtrLifecycle, RetryBackoffDoublesPerConsecutiveFailure) {
+  RouterSession router;
+  const Pdu stray = make_ipv4_prefix(true, vrp("10.0.0.0/8", 8, 1));
+  const TimeSec base = router.retry_interval();  // §5.8 default until EOD
+
+  // First failure at t=0: retry after one retry interval.
+  EXPECT_FALSE(router.consume(stray, /*now=*/0));
+  EXPECT_FALSE(router.retry_due(base - 1));
+  EXPECT_TRUE(router.retry_due(base));
+
+  // Second consecutive failure at t=base: window doubles.
+  EXPECT_FALSE(router.consume(stray, /*now=*/base));
+  EXPECT_FALSE(router.retry_due(base + 2 * base - 1));
+  EXPECT_TRUE(router.retry_due(base + 2 * base));
+
+  // Third: quadruples.
+  EXPECT_FALSE(router.consume(stray, /*now=*/3 * base));
+  EXPECT_FALSE(router.retry_due(3 * base + 4 * base - 1));
+  EXPECT_TRUE(router.retry_due(3 * base + 4 * base));
+}
+
+TEST(RtrLifecycle, RetryBackoffIsCapped) {
+  RouterSession router;
+  const Pdu stray = make_ipv4_prefix(true, vrp("10.0.0.0/8", 8, 1));
+  const TimeSec base = router.retry_interval();
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_FALSE(router.consume(stray, /*now=*/0));
+    (void)router.take_error_report();
+  }
+  // The doubling stops at 64× the retry interval.
+  EXPECT_FALSE(router.retry_due(64 * base - 1));
+  EXPECT_TRUE(router.retry_due(64 * base));
+}
+
+TEST(RtrLifecycle, SuccessfulSyncResetsBackoff) {
+  Cache cache(1);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  const Pdu stray = make_ipv4_prefix(true, vrp("10.0.0.0/8", 8, 1));
+  const TimeSec base = router.retry_interval();
+
+  // Two failures push the window to 2× the retry interval.
+  EXPECT_FALSE(router.consume(stray, /*now=*/0));
+  EXPECT_FALSE(router.consume(stray, /*now=*/0));
+  EXPECT_FALSE(router.retry_due(2 * base - 1));
+
+  // A successful handshake clears the failure streak...
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response), /*now=*/2 * base));
+  EXPECT_EQ(router.state(), RouterSession::State::kSynchronized);
+
+  // ...so the next failure backs off from the base interval again.
+  EXPECT_FALSE(router.consume(stray, /*now=*/3 * base));
+  EXPECT_TRUE(router.retry_due(3 * base + base));
+  EXPECT_FALSE(router.retry_due(3 * base + base - 1));
+}
+
+TEST(RtrLifecycle, ExpiredDataFallsBackToNoValidation) {
+  Cache cache(1);
+  cache.set_timers(/*refresh=*/3600, /*retry=*/600, /*expire=*/7200);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response), /*now=*/1000));
+
+  // Usable right up to the expire boundary...
+  EXPECT_FALSE(router.data_expired(1000 + 7200));
+  ASSERT_TRUE(router.effective_vrps(1000 + 7200).has_value());
+  EXPECT_EQ(router.effective_vrps(1000)->validate(pfx("10.1.0.0/16"), 65001),
+            RouteValidity::kValid);
+
+  // ...and gone one second past it: the router runs no validation
+  // rather than acting on arbitrarily stale data (§6).
+  EXPECT_TRUE(router.data_expired(1000 + 7201));
+  EXPECT_FALSE(router.effective_vrps(1000 + 7201).has_value());
+}
+
+TEST(RtrLifecycle, EndOfDataTimersAdopted) {
+  Cache cache(1);
+  cache.set_timers(/*refresh=*/100, /*retry=*/250, /*expire=*/900);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response), /*now=*/0));
+  EXPECT_EQ(router.retry_interval(), 250u);
+  EXPECT_EQ(router.expire_interval(), 900u);
+
+  // Expiry follows the adopted timer, not the §5.8 default.
+  EXPECT_TRUE(router.effective_vrps(900).has_value());
+  EXPECT_FALSE(router.effective_vrps(901).has_value());
+
+  // So does the reconnect backoff.
+  router.connection_lost(/*now=*/400);
+  EXPECT_FALSE(router.retry_due(400 + 249));
+  EXPECT_TRUE(router.retry_due(400 + 250));
+}
+
+TEST(RtrLifecycle, RecoveryAfterTeardownRestoresExactView) {
+  Cache cache(5);
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001)}));
+  RouterSession router;
+  std::vector<Pdu> response;
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response), /*now=*/0));
+  const std::size_t before = router.vrp_count();
+
+  // A corrupt stream tears the session down mid-series.
+  auto poisoned =
+      make_ipv4_prefix(true, vrp("10.9.0.0/16", 16, 65009)).serialize();
+  poisoned[9] = 40;
+  EXPECT_FALSE(router.consume_stream(poisoned, /*now=*/10));
+  EXPECT_EQ(router.state(), RouterSession::State::kDown);
+  const auto report = router.take_error_report();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->error_code, ErrorCode::kCorruptData);
+  // The poisoned announce never landed; the synced data stays as-is.
+  EXPECT_EQ(router.vrp_count(), before);
+  ASSERT_TRUE(router.effective_vrps(10).has_value());
+
+  // The cache moves on while the router is down.
+  cache.publish(set_of({vrp("10.1.0.0/16", 16, 65001),
+                        vrp("10.2.0.0/16", 16, 65002)}));
+
+  // After the backoff window the handshake restarts from scratch and
+  // reconverges on the cache's current snapshot exactly.
+  const TimeSec retry_at = 10 + router.retry_interval();
+  EXPECT_FALSE(router.retry_due(retry_at - 1));
+  ASSERT_TRUE(router.retry_due(retry_at));
+  EXPECT_EQ(router.next_query().type, PduType::kResetQuery);
+  response.clear();
+  cache.handle(router.next_query(), response);
+  ASSERT_TRUE(router.consume_stream(to_stream(response), retry_at));
+  EXPECT_EQ(router.state(), RouterSession::State::kSynchronized);
+  EXPECT_EQ(router.serial(), cache.serial());
+  EXPECT_EQ(router.vrp_count(), cache.current().size());
+  EXPECT_EQ(router.vrps().validate(pfx("10.2.0.0/16"), 65002),
+            RouteValidity::kValid);
+}
+
 }  // namespace

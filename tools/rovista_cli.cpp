@@ -87,6 +87,8 @@ int usage() {
       "          [--threads N] [--incremental on|off] [--out FILE]\n"
       "          [--publish DIR] [--scale small|paper]\n"
       "          [--slurm-fraction F]\n"
+      "          [--rp-failure-rate F] [--rp-divergence-fraction F]\n"
+      "          [--rtr-drop-rate F]\n"
       "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
       "          run a dated round sequence; VRP deltas drive dirty-\n"
       "          prefix recomputation and a reachability-aware score\n"
@@ -95,7 +97,11 @@ int usage() {
       "          series goes to --out as CSV. With --checkpoint-dir the\n"
       "          series writes crash-safe RVCP checkpoints (see\n"
       "          docs/FORMATS.md) and --resume continues an interrupted\n"
-      "          series bit-identically\n"
+      "          series bit-identically. The fault knobs inject RPKI\n"
+      "          supply-chain failures (RP crashes serving stale VRPs,\n"
+      "          RTR session drops/corrupt PDUs, divergent RP\n"
+      "          implementations); all default to 0, which leaves every\n"
+      "          output byte-identical to a fault-free run\n"
       "  checkpoint inspect (--dir DIR | --file FILE)\n"
       "          print the header, section table and integrity verdict\n"
       "          of a checkpoint without restoring it\n");
@@ -345,6 +351,28 @@ int cmd_longitudinal(const Args& args) {
     }
     config.params.slurm_fraction = slurm_fraction;
   }
+  // Fault-injection knobs (faults/fault_schedule.h). All default to 0;
+  // a knob-0 run splits no fault RNG stream and produces bytes identical
+  // to a fault-free build.
+  const auto parse_fault_rate = [&](const char* flag, double& out) -> bool {
+    const char* v = args.get(flag);
+    if (v == nullptr) return true;
+    double rate = 0.0;
+    if (!util::parse_double(v, rate) || rate < 0.0 || rate > 1.0) {
+      std::fprintf(stderr, "error: --%s must be in [0,1]\n", flag);
+      return false;
+    }
+    out = rate;
+    return true;
+  };
+  if (!parse_fault_rate("rp-failure-rate",
+                        config.params.faults.rp_failure_rate) ||
+      !parse_fault_rate("rp-divergence-fraction",
+                        config.params.faults.rp_divergence_fraction) ||
+      !parse_fault_rate("rtr-drop-rate", config.params.faults.rtr_drop_rate)) {
+    return usage();
+  }
+  const bool faulted = config.params.faults.enabled();
 
   util::Date start_date = config.params.start;
   if (const char* d = args.get("start")) util::Date::parse(d, start_date);
@@ -402,10 +430,18 @@ int cmd_longitudinal(const Args& args) {
     }
   }
 
+  // The degradation columns appear only in faulted runs, so a knob-0
+  // series CSV stays byte-identical to a pre-fault build's.
   std::string csv =
       "date,events,vrp_announced,vrp_withdrawn,dirty_prefixes,"
       "discovery_reused,dirty_rows,total_rows,executed_pairs,reused_pairs,"
-      "ases_scored\n";
+      "ases_scored";
+  if (faulted) {
+    csv +=
+        ",stale_ases,expired_ases,diverged_ases,max_staleness_days,"
+        "error_reports";
+  }
+  csv += '\n';
   for (std::uint64_t i = first_round; i < rounds; ++i) {
     const core::RoundReport report = runner.run_round(round_date(i));
     std::printf(
@@ -415,6 +451,16 @@ int cmd_longitudinal(const Args& args) {
         report.vrp_withdrawn, report.dirty_prefix_count, report.dirty_rows,
         report.total_rows, report.executed_pairs, report.reused_pairs,
         report.round.scores.size());
+    if (faulted) {
+      std::printf(
+          "            chain health: stale=%llu expired=%llu diverged=%llu "
+          "max_staleness=%lldd error_reports=%llu\n",
+          static_cast<unsigned long long>(report.health.stale_ases),
+          static_cast<unsigned long long>(report.health.expired_ases),
+          static_cast<unsigned long long>(report.health.diverged_ases),
+          static_cast<long long>(report.health.max_staleness_days),
+          static_cast<unsigned long long>(report.health.error_reports));
+    }
     csv += report.date.to_string() + ',' + std::to_string(report.events) +
            ',' + std::to_string(report.vrp_announced) + ',' +
            std::to_string(report.vrp_withdrawn) + ',' +
@@ -424,7 +470,15 @@ int cmd_longitudinal(const Args& args) {
            std::to_string(report.total_rows) + ',' +
            std::to_string(report.executed_pairs) + ',' +
            std::to_string(report.reused_pairs) + ',' +
-           std::to_string(report.round.scores.size()) + '\n';
+           std::to_string(report.round.scores.size());
+    if (faulted) {
+      csv += ',' + std::to_string(report.health.stale_ases) + ',' +
+             std::to_string(report.health.expired_ases) + ',' +
+             std::to_string(report.health.diverged_ases) + ',' +
+             std::to_string(report.health.max_staleness_days) + ',' +
+             std::to_string(report.health.error_reports);
+    }
+    csv += '\n';
     if (die_after > 0 && runner.completed_rounds() >= die_after) {
       // Death, not exit: skip destructors so nothing gets flushed or
       // checkpointed beyond what run_round already persisted.
