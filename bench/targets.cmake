@@ -4,7 +4,7 @@ function(rovista_bench name)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
   target_link_libraries(${name} PRIVATE
     rovista_validation rovista_bgpstream rovista_incremental
-    rovista_scenario rovista_faults rovista_core
+    rovista_snapshot rovista_scenario rovista_faults rovista_core
     rovista_scan rovista_dataplane rovista_bgp rovista_rpki
     rovista_topology rovista_stats rovista_net rovista_util)
 endfunction()
@@ -37,6 +37,7 @@ target_link_libraries(bench_perf_kernels PRIVATE
   benchmark::benchmark)
 
 rovista_bench(bench_parallel_round)
+rovista_bench(bench_snapshot)
 rovista_bench(bench_incremental_round)
 rovista_bench(bench_checkpoint)
 rovista_bench(bench_faults)

@@ -25,7 +25,16 @@
 #   7. the same contract under fault injection (--rp-failure-rate /
 #      --rp-divergence-fraction / --rtr-drop-rate): kill mid-series,
 #      resume at a different thread count, and byte-diff against both an
-#      uninterrupted incremental run and a full recompute.
+#      uninterrupted incremental run and a full recompute,
+#   8. TSan epoch-snapshot stress: multi-seed readers-vs-installer
+#      harness (reader threads pinned to an epoch across >= 3
+#      concurrent publishes, including a zero-VRP-delta fault-window
+#      flip) plus the lifecycle/immutability property suites, all under
+#      -DSANITIZE=thread (runs as stage 2b, before the ASan stages),
+#   9. engine equivalence: the epoch-snapshot and replica engines must
+#      publish byte-identical CSVs, and a faulted series killed under
+#      one engine must resume under the other and byte-match an
+#      uninterrupted run, degradation.csv included.
 #
 # Every stage runs under its own timeout and the script fails fast: the
 # first stage to fail (or hang past its budget) stops the run with a
@@ -57,6 +66,20 @@ t 1800 cmake --build build-tsan -j "$JOBS" \
   --target test_parallel_round test_util test_ipid_properties
 t 1800 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ParallelRound|ThreadPool|Logging|IpIdArithmetic|Spike|BackgroundCutoff'
+
+stage "TSan epoch-snapshot stress (readers vs concurrent installer)"
+# Multi-seed readers-vs-installer harness: reader threads score against
+# pinned epochs while the publisher concurrently applies deltas and
+# fault-window flips (including a zero-VRP-delta flip) and publishes
+# >= 3 epochs per seed. Any state shared mutably across the publish
+# boundary is a TSan report here. The lifecycle/immutability property
+# suites run under TSan too.
+t 1800 cmake --build build-tsan -j "$JOBS" \
+  --target test_snapshot test_snapshot_stress
+t 1800 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -L tsan-stress
+t 1800 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'SnapshotFreeze|SnapshotLifecycle|SnapshotImmutability|SnapshotReader|SnapshotFactory'
 
 stage "ASan/UBSan incremental + checkpoint surface"
 t 900 cmake -B build-asan -S . -DSANITIZE=address+undefined
@@ -166,7 +189,51 @@ diff -r "$CK_TMP/fault-incr" "$CK_TMP/fault-full" >/dev/null || {
   exit 1
 }
 
+# Epoch-snapshot vs replica engine: the execution strategy may not
+# change a published byte, and RVCP checkpoints must cross engines — a
+# faulted series killed under the replica engine resumes under the
+# snapshot engine and still byte-matches an uninterrupted
+# snapshot-engine run, degradation.csv included.
+stage "engine equivalence byte-diff (snapshot vs replica)"
+t 900 "$CLI" longitudinal --seed 11 --rounds 3 --interval-days 20 \
+  --scale small --engine snapshot --threads 4 \
+  --publish "$CK_TMP/eng-snap" >/dev/null
+t 900 "$CLI" longitudinal --seed 11 --rounds 3 --interval-days 20 \
+  --scale small --engine replica --threads 4 \
+  --publish "$CK_TMP/eng-repl" >/dev/null
+diff -r "$CK_TMP/eng-snap" "$CK_TMP/eng-repl" >/dev/null || {
+  echo "snapshot and replica engines published different CSV bytes" >&2
+  exit 1
+}
+status=0
+# shellcheck disable=SC2086
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small $FAULT_KNOBS --engine replica \
+  --checkpoint-dir "$CK_TMP/eng-ck" --die-after 3 >/dev/null || status=$?
+if [ "$status" -ne 137 ]; then
+  echo "expected the replica-engine --die-after run to die with 137, got $status" >&2
+  exit 1
+fi
+# shellcheck disable=SC2086
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small $FAULT_KNOBS --engine snapshot \
+  --checkpoint-dir "$CK_TMP/eng-ck" --resume --threads 4 \
+  --publish "$CK_TMP/eng-resumed" >/dev/null
+# shellcheck disable=SC2086
+t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
+  --scale small $FAULT_KNOBS --engine snapshot \
+  --publish "$CK_TMP/eng-uninterrupted" >/dev/null
+if [ ! -s "$CK_TMP/eng-uninterrupted/degradation.csv" ]; then
+  echo "snapshot-engine faulted series published no degradation.csv" >&2
+  exit 1
+fi
+diff -r "$CK_TMP/eng-resumed" "$CK_TMP/eng-uninterrupted" >/dev/null || {
+  echo "cross-engine resumed series published different CSV bytes" >&2
+  exit 1
+}
+
 STAGE=""
-echo "tier-1 OK (tests + TSan parallel round + ASan/UBSan incremental" \
-     "+ checkpoint corruption battery + ASan fault soak" \
-     "+ crash/resume byte-diff + SLURM byte-diff + fault byte-diff)"
+echo "tier-1 OK (tests + TSan parallel round + TSan snapshot stress" \
+     "+ ASan/UBSan incremental + checkpoint corruption battery" \
+     "+ ASan fault soak + crash/resume byte-diff + SLURM byte-diff" \
+     "+ fault byte-diff + engine-equivalence byte-diff)"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <stdexcept>
+#include <string>
 
 namespace rovista::bgp {
 
@@ -23,7 +25,42 @@ topology::NeighborKind invert(topology::NeighborKind kind) noexcept {
 
 RoutingSystem::RoutingSystem(const topology::AsGraph& graph) : graph_(graph) {}
 
+RoutingSystem::RoutingSystem(const RoutingSystem& other,
+                             const topology::AsGraph& graph)
+    : graph_(graph),
+      policies_(other.policies_),
+      policy_epochs_(other.policy_epochs_),
+      default_policy_(other.default_policy_),
+      base_vrps_(other.base_vrps_),
+      slurm_policy_count_(other.slurm_policy_count_),
+      slurm_views_(other.slurm_views_),
+      effective_views_(other.effective_views_),
+      effective_bindings_(other.effective_bindings_),
+      announcements_(other.announcements_),
+      cache_(other.cache_) {}
+
+void RoutingSystem::require_mutable(const char* op) const {
+  if (frozen_) {
+    throw std::logic_error(std::string("RoutingSystem::") + op +
+                           " on a frozen (published-epoch) instance");
+  }
+}
+
+void RoutingSystem::freeze() {
+  if (frozen_) return;
+  // Warm set: converged routes for every announced prefix — forwarding
+  // only ever looks up candidate_prefixes(), which is a subset — and the
+  // SLURM view of every configured SLURM policy, which validity_for()
+  // would otherwise materialize lazily on first query.
+  for (const net::Ipv4Prefix& prefix : all_prefixes()) routes_for(prefix);
+  for (const auto& [asn, pol] : policies_) {
+    if (pol.has_slurm()) slurm_view(asn);
+  }
+  frozen_ = true;
+}
+
 void RoutingSystem::set_policy(Asn asn, AsPolicy policy) {
+  require_mutable("set_policy");
   const bool had_slurm = this->policy(asn).has_slurm();
   if (had_slurm) --slurm_policy_count_;
   if (policy.has_slurm()) ++slurm_policy_count_;
@@ -58,6 +95,7 @@ std::uint64_t RoutingSystem::policy_epoch(Asn asn) const noexcept {
 }
 
 void RoutingSystem::set_vrps(rpki::VrpSet vrps) {
+  require_mutable("set_vrps");
   base_vrps_ = std::move(vrps);
   slurm_views_.clear();
   effective_views_.clear();
@@ -69,6 +107,7 @@ void RoutingSystem::apply_vrp_delta(rpki::VrpSet vrps,
                                     std::span<const net::Ipv4Prefix> dirty,
                                     std::span<const rpki::Vrp> announced,
                                     std::span<const rpki::Vrp> withdrawn) {
+  require_mutable("apply_vrp_delta");
   std::vector<Asn> slurm_ases;
   for (const auto& [asn, pol] : policies_) {
     if (pol.has_slurm()) slurm_ases.push_back(asn);
@@ -152,6 +191,13 @@ rpki::RouteValidity RoutingSystem::validity_for(Asn asn,
 rpki::VrpSet& RoutingSystem::slurm_view(Asn asn) const {
   auto it = slurm_views_.find(asn);
   if (it == slurm_views_.end()) {
+    if (frozen_) {
+      // Materializing would mutate shared state under concurrent
+      // readers; freeze() pre-builds every configured SLURM view, so a
+      // miss here is an incomplete-warm bug, not a recoverable state.
+      throw std::logic_error(
+          "RoutingSystem::slurm_view miss on a frozen instance");
+    }
     it = slurm_views_.emplace(asn, policy(asn).slurm.apply(effective_base(asn)))
              .first;
   }
@@ -172,6 +218,40 @@ bool RoutingSystem::bound_to_view(Asn asn) const {
   return it != effective_bindings_.end() && it->second != 0;
 }
 
+std::uint64_t RoutingSystem::effective_views_fingerprint() const {
+  if (effective_views_.empty() && effective_bindings_.empty()) return 0;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(effective_views_.size());
+  for (const rpki::VrpSet& view : effective_views_) {
+    std::vector<rpki::Vrp> vrps;
+    vrps.reserve(view.size());
+    view.for_each([&](const rpki::Vrp& v) { vrps.push_back(v); });
+    std::sort(vrps.begin(), vrps.end());
+    mix(vrps.size());
+    for (const rpki::Vrp& v : vrps) {
+      mix((std::uint64_t{v.prefix.address().value()} << 8) |
+          v.prefix.length());
+      mix(v.max_length);
+      mix(v.asn);
+    }
+  }
+  std::vector<std::pair<Asn, std::uint32_t>> bindings(
+      effective_bindings_.begin(), effective_bindings_.end());
+  std::sort(bindings.begin(), bindings.end());
+  mix(bindings.size());
+  for (const auto& [asn, id] : bindings) {
+    mix(asn);
+    mix(id);
+  }
+  return h;
+}
+
 void RoutingSystem::set_effective_views(
     std::vector<rpki::VrpSet> views,
     std::vector<std::pair<Asn, std::uint32_t>> bindings) {
@@ -179,6 +259,7 @@ void RoutingSystem::set_effective_views(
       effective_bindings_.empty()) {
     return;  // fault-free worlds never touch the machinery below
   }
+  require_mutable("set_effective_views");
 
   // Every AS bound before or after is affected: even an unchanged view
   // id points at content rebuilt for the new date.
@@ -259,6 +340,7 @@ void RoutingSystem::set_effective_views(
 }
 
 void RoutingSystem::announce(const OriginAnnouncement& a) {
+  require_mutable("announce");
   std::vector<Asn>* origins = announcements_.find(a.prefix);
   if (origins == nullptr) {
     announcements_.insert(a.prefix, {a.origin});
@@ -270,6 +352,7 @@ void RoutingSystem::announce(const OriginAnnouncement& a) {
 }
 
 bool RoutingSystem::withdraw(const OriginAnnouncement& a) {
+  require_mutable("withdraw");
   std::vector<Asn>* origins = announcements_.find(a.prefix);
   if (origins == nullptr) return false;
   const auto it = std::find(origins->begin(), origins->end(), a.origin);
@@ -339,6 +422,12 @@ bool RoutingSystem::rov_sensitive(const net::Ipv4Prefix& prefix) const {
 const RouteMap& RoutingSystem::routes_for(const net::Ipv4Prefix& prefix) {
   const auto it = cache_.find(prefix);
   if (it != cache_.end()) return it->second;
+  if (frozen_) {
+    // freeze() warmed every announced prefix; computing here would
+    // insert into cache_ under concurrent readers. See freeze().
+    throw std::logic_error(
+        "RoutingSystem::routes_for miss on a frozen instance");
+  }
   return cache_.emplace(prefix, compute_routes(prefix)).first->second;
 }
 
@@ -365,10 +454,14 @@ std::vector<Asn> RoutingSystem::as_path(Asn asn,
 }
 
 void RoutingSystem::invalidate_prefix(const net::Ipv4Prefix& prefix) {
+  require_mutable("invalidate_prefix");
   cache_.erase(prefix);
 }
 
-void RoutingSystem::invalidate_all() { cache_.clear(); }
+void RoutingSystem::invalidate_all() {
+  require_mutable("invalidate_all");
+  cache_.clear();
+}
 
 RouteMap RoutingSystem::compute_routes(const net::Ipv4Prefix& prefix) const {
   // Full Adj-RIB-In fixed point. State is per-AS: the routes each

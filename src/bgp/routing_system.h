@@ -41,7 +41,35 @@ class RoutingSystem {
  public:
   explicit RoutingSystem(const topology::AsGraph& graph);
 
+  /// Cloning constructor: a deep copy of `other`'s complete routing
+  /// state — policies, epochs, VRPs, SLURM/effective views,
+  /// announcements and the converged-route cache — rebound to `graph`
+  /// (normally the epoch's own copy of the AS graph, so the clone shares
+  /// no state with the source world). The clone starts un-frozen; the
+  /// epoch-snapshot publisher warms and freezes it before sharing
+  /// (snapshot/epoch_world.h).
+  RoutingSystem(const RoutingSystem& other, const topology::AsGraph& graph);
+
   const topology::AsGraph& graph() const noexcept { return graph_; }
+
+  // -- Freezing (epoch-snapshot publication) ---------------------------
+  //
+  // A frozen RoutingSystem is an immutable published artifact: freeze()
+  // first *warms* every lazily-computed structure — converged routes for
+  // every announced prefix, the SLURM-adjusted view of every configured
+  // SLURM policy — and then locks the instance. After freeze(), every
+  // query (routes_for, validity_for, route_at, as_path, ...) is a pure
+  // read of fully-materialized state and is safe to issue from any
+  // number of threads concurrently; every mutator (set_policy, set_vrps,
+  // apply_vrp_delta, set_effective_views, announce, withdraw,
+  // invalidate_*) throws std::logic_error instead of racing. A cache
+  // miss after freeze() also throws: it would mean the warm set was
+  // incomplete, which is a bug, and computing lazily would be a data
+  // race — failing loudly is the only sound option.
+
+  /// Warm all caches and lock the instance. Idempotent.
+  void freeze();
+  bool frozen() const noexcept { return frozen_; }
 
   // -- Policy ---------------------------------------------------------
 
@@ -110,6 +138,13 @@ class RoutingSystem {
     return effective_bindings_.size();
   }
 
+  /// Deterministic fingerprint of the installed effective views and the
+  /// AS → view bindings (0 when none are installed). Content-sensitive:
+  /// a fault window flipping one AS's view moves it even when the base
+  /// VRPs are byte-identical — the property the epoch-snapshot digest
+  /// (snapshot/epoch_world.h) relies on to witness zero-delta flips.
+  std::uint64_t effective_views_fingerprint() const;
+
   /// Validity of (prefix, origin) from `asn`'s point of view: the AS's
   /// bound effective view (if fault degradation installed one) else the
   /// base VRPs, with that AS's SLURM file applied on top if it has one.
@@ -176,6 +211,10 @@ class RoutingSystem {
  private:
   RouteMap compute_routes(const net::Ipv4Prefix& prefix) const;
 
+  /// Throws std::logic_error if this instance is frozen. Every mutator
+  /// calls it first, so a published epoch can never be changed in place.
+  void require_mutable(const char* op) const;
+
   /// The SLURM-adjusted view of `asn` (materializing it from the AS's
   /// effective base if needed). Pre: policy(asn).has_slurm().
   rpki::VrpSet& slurm_view(Asn asn) const;
@@ -203,6 +242,7 @@ class RoutingSystem {
 
   net::PrefixTrie<std::vector<Asn>> announcements_;
   std::unordered_map<net::Ipv4Prefix, RouteMap> cache_;
+  bool frozen_ = false;
 };
 
 }  // namespace rovista::bgp

@@ -42,6 +42,32 @@ RoundInputs acquire_inputs(const scenario::ScenarioParams& params, Date date,
   return inputs;
 }
 
+// Snapshot-engine acquisition: probe on an EpochReader of the round's
+// published epoch instead of building a throwaway Scenario. The reader's
+// plane is a pristine clone of the epoch template — exactly the host
+// state a fresh world at this date would carry — and the non-probing
+// inputs (collector feed list, vVP candidates, reference ASes) are
+// date-deterministic scenario metadata read off the tracking world, so
+// the acquired lists are bit-identical to the throwaway path; the
+// equivalence suites hold both paths to that.
+RoundInputs acquire_inputs_on_epoch(scenario::Scenario& world,
+                                    snapshot::EpochRef epoch,
+                                    const core::RovistaConfig& config) {
+  const std::unique_ptr<snapshot::EpochReader> reader =
+      snapshot::make_reader(std::move(epoch));
+  core::Rovista rovista(reader->plane(), reader->client_a(),
+                        reader->client_b(), config);
+  const auto snapshot =
+      world.collector().snapshot(reader->epoch().shared_routing());
+  RoundInputs inputs;
+  inputs.tnodes = rovista.acquire_tnodes(
+      snapshot, world.current_vrps(),
+      world.rov_reference_ases(world.current(), 10),
+      world.non_rov_reference_ases(world.current(), 10));
+  inputs.vvps = rovista.acquire_vvps(world.vvp_candidates());
+  return inputs;
+}
+
 std::size_t count_inconclusive(
     const std::vector<core::PairObservation>& observations) {
   std::size_t n = 0;
@@ -171,7 +197,7 @@ void digest_rovista(persist::ByteWriter& w, const core::RovistaConfig& c) {
 IncrementalLongitudinalRunner::IncrementalLongitudinalRunner(
     IncrementalConfig config)
     : config_(std::move(config)),
-      world_(std::make_unique<scenario::Scenario>(config_.params)) {}
+      publisher_(std::make_unique<snapshot::EpochPublisher>(config_.params)) {}
 
 IncrementalLongitudinalRunner::~IncrementalLongitudinalRunner() {
   // Exit checkpoint: anything recorded since the last periodic write is
@@ -217,10 +243,11 @@ persist::CheckpointState IncrementalLongitudinalRunner::checkpoint_state()
       state.cache_entries.emplace_back(std::nullopt);
     }
   }
-  state.vrps = VrpDeltaComputer::flatten(world_->current_vrps());
-  if (world_->fault_chain() != nullptr) {
+  const scenario::Scenario& world = publisher_->world();
+  state.vrps = VrpDeltaComputer::flatten(world.current_vrps());
+  if (world.fault_chain() != nullptr) {
     state.faulted = true;
-    state.fault_digest = world_->fault_chain()->schedule().digest();
+    state.fault_digest = world.fault_chain()->schedule().digest();
   }
   return state;
 }
@@ -294,10 +321,12 @@ bool IncrementalLongitudinalRunner::restore(
     }
   }
 
-  // All checks passed — install. Nothing below can fail in a way that
-  // breaks soundness: a cache shape mismatch just clears the cache,
-  // which only costs recomputation.
-  world_ = std::move(world);
+  // All checks passed — install: the publisher adopts the replayed
+  // world as its build world (nothing published yet; the next round
+  // publishes as usual). Nothing below can fail in a way that breaks
+  // soundness: a cache shape mismatch just clears the cache, which only
+  // costs recomputation.
+  publisher_ = std::make_unique<snapshot::EpochPublisher>(std::move(world));
   store_ = core::LongitudinalStore();
   for (const persist::RoundRecord& r : state.rounds) {
     std::vector<core::AsScore> scores;
@@ -319,7 +348,7 @@ bool IncrementalLongitudinalRunner::restore(
   // (reuse is only ever granted while it is unchanged), so the replayed
   // world's digest is exactly the one the restored lists were last
   // validated against. Zero — hence a no-op — in fault-free worlds.
-  views_digest_ = world_->effective_views_digest();
+  views_digest_ = publisher_->world().effective_views_digest();
 
   std::vector<std::optional<CacheEntry>> entries;
   entries.reserve(state.cache_entries.size());
@@ -378,14 +407,22 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
 
   // 1. Advance the tracking world, installing the new VRPs by delta
   // (the shared installer also fills the delta fields of the report).
-  const scenario::AdvanceStats stats = world_->advance_to(
+  const scenario::AdvanceStats stats = publisher_->advance_to(
       date, make_vrp_installer(config_.incremental, &report));
   report.events = stats.events();
 
+  // The round's epoch: one immutable deep copy of the fully-advanced
+  // tracking world (VRPs installed, fault views bound), shared by the
+  // discovery pass and every measurement worker below. The previous
+  // round's epoch is released here; it dies once its last reader does.
+  const bool use_snapshots = config_.engine == snapshot::EngineMode::kSnapshot;
+  snapshot::EpochRef epoch;
+  if (use_snapshots) epoch = publisher_->publish();
+
   // Round health: only fault-injection worlds record it, keeping the
   // store (and everything published from it) byte-identical otherwise.
-  if (world_->fault_chain() != nullptr) {
-    const faults::DegradationStats& d = world_->degradation();
+  if (world().fault_chain() != nullptr) {
+    const faults::DegradationStats& d = world().degradation();
     report.health.stale_ases = d.stale_ases;
     report.health.expired_ases = d.expired_ases;
     report.health.diverged_ases = d.diverged_ases;
@@ -402,13 +439,16 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
   // expire threshold flips reference-AS ROV behaviour with a VRP delta
   // of exactly zero.
   const bool incremental = config_.incremental;
-  const std::uint64_t views_digest = world_->effective_views_digest();
+  const std::uint64_t views_digest = world().effective_views_digest();
   const bool can_reuse_discovery = incremental && have_round_ &&
                                    report.events == 0 &&
                                    report.touched_announced == 0 &&
                                    views_digest == views_digest_;
   if (!can_reuse_discovery) {
-    RoundInputs inputs = acquire_inputs(config_.params, date, config_.rovista);
+    RoundInputs inputs =
+        use_snapshots
+            ? acquire_inputs_on_epoch(world(), epoch, config_.rovista)
+            : acquire_inputs(config_.params, date, config_.rovista);
     vvps_ = std::move(inputs.vvps);
     tnodes_ = std::move(inputs.tnodes);
   }
@@ -421,7 +461,8 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
   report.total_pairs = v_count * t_count;
 
   const core::ParallelRoundRunner runner(
-      scenario::make_replica_factory(config_.params, date),
+      use_snapshots ? snapshot::make_reader_factory(epoch)
+                    : scenario::make_replica_factory(config_.params, date),
       {config_.rovista.experiment, config_.rovista.scoring,
        config_.rovista.num_threads});
 
@@ -445,9 +486,10 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
   }
 
   // 3. Fingerprint every pair on the tracking world and find dirty rows.
-  const topology::Asn client_as = world_->client_as_a();
-  const net::Ipv4Address client_addr = world_->client_addr_a();
-  dataplane::DataPlane& plane = world_->plane();
+  scenario::Scenario& tracking = world();
+  const topology::Asn client_as = tracking.client_as_a();
+  const net::Ipv4Address client_addr = tracking.client_addr_a();
+  dataplane::DataPlane& plane = tracking.plane();
 
   std::vector<std::uint64_t> fingerprints(v_count * t_count, 0);
   for (std::size_t v = 0; v < v_count; ++v) {

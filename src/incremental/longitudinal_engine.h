@@ -38,6 +38,8 @@
 #include "incremental/vrp_delta.h"
 #include "persist/checkpoint.h"
 #include "scenario/scenario.h"
+#include "snapshot/epoch_publisher.h"
+#include "snapshot/world_source.h"
 
 namespace rovista::incremental {
 
@@ -49,6 +51,16 @@ struct IncrementalConfig {
   /// false → every round is a plain full recompute (baseline mode; the
   /// bench and the CLI's --incremental flag toggle this).
   bool incremental = true;
+
+  /// How workers get their private measurement worlds
+  /// (snapshot/world_source.h). kSnapshot (default) publishes one
+  /// immutable epoch per round from the tracking world and hands every
+  /// worker — and the discovery pass — a reader borrowing it; kReplica
+  /// is the legacy build-a-full-Scenario-per-worker path, kept as the
+  /// equivalence baseline. Output is engine-invariant (bit-identical
+  /// CSVs and checkpoint digests), so like num_threads this knob is
+  /// excluded from config_digest and a series may resume under either.
+  snapshot::EngineMode engine = snapshot::EngineMode::kSnapshot;
 
   /// Non-empty → run_round writes a crash-safe checkpoint (RVCP format,
   /// docs/FORMATS.md) under this directory every `checkpoint_every`
@@ -110,8 +122,9 @@ class IncrementalLongitudinalRunner {
   // refuses to resume on any mismatch.
 
   /// Digest over every config field that determines measurement output
-  /// (num_threads and the checkpoint knobs excluded — resuming at a
-  /// different thread count is explicitly supported).
+  /// (num_threads, the engine mode and the checkpoint knobs excluded —
+  /// resuming at a different thread count or under the other world
+  /// engine is explicitly supported; both are output-invariant).
   static std::uint64_t config_digest(const IncrementalConfig& config);
 
   /// Snapshot the runner's complete resumable state.
@@ -143,13 +156,25 @@ class IncrementalLongitudinalRunner {
   /// rounds. Mutate only the repositories: touching routing or host
   /// state directly would invalidate the cache-soundness argument,
   /// which assumes all control-plane change flows through advance_to.
-  scenario::Scenario& world() noexcept { return *world_; }
+  /// (The tracking world doubles as the epoch publisher's private build
+  /// world; published epochs are deep copies, so between-round
+  /// repository edits never reach an already-published epoch.)
+  scenario::Scenario& world() noexcept { return publisher_->world(); }
+
+  /// Epoch lifecycle gauges (kSnapshot engine; see EpochPublisher).
+  const snapshot::EpochPublisher& publisher() const noexcept {
+    return *publisher_;
+  }
 
  private:
   void maybe_checkpoint();
 
   IncrementalConfig config_;
-  std::unique_ptr<scenario::Scenario> world_;  // long-lived tracking world
+  // Owns the long-lived tracking world (its private build world) and
+  // publishes one immutable epoch per round under the kSnapshot engine;
+  // under kReplica it still tracks, but nothing is ever published.
+  // unique_ptr because restore() swaps in a replayed world wholesale.
+  std::unique_ptr<snapshot::EpochPublisher> publisher_;
   ScoreCache cache_;
   core::LongitudinalStore store_;
   std::vector<scan::Vvp> vvps_;

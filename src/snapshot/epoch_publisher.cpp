@@ -1,0 +1,29 @@
+#include "snapshot/epoch_publisher.h"
+
+namespace rovista::snapshot {
+
+EpochPublisher::EpochPublisher(scenario::ScenarioParams params)
+    : world_(std::make_unique<scenario::Scenario>(std::move(params))),
+      live_(std::make_shared<std::atomic<long>>(0)) {}
+
+EpochPublisher::EpochPublisher(std::unique_ptr<scenario::Scenario> world)
+    : world_(std::move(world)),
+      live_(std::make_shared<std::atomic<long>>(0)) {}
+
+EpochRef EpochPublisher::publish() {
+  const std::uint64_t seq =
+      sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Materialize outside the lock: the deep copy + freeze is the slow
+  // part and touches only the (publisher-private) build world.
+  auto epoch = std::make_shared<const EpochWorld>(*world_, seq, live_);
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  current_ = epoch;  // previous epoch: kept alive only by reader pins
+  return EpochRef(std::move(epoch));
+}
+
+EpochRef EpochPublisher::current() const {
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  return current_ ? EpochRef(current_) : EpochRef();
+}
+
+}  // namespace rovista::snapshot

@@ -1,0 +1,92 @@
+// EpochPublisher: the single-writer side of the epoch-snapshot engine.
+//
+// The publisher owns a private *build* Scenario — the only mutable world
+// in the system. Rounds advance it (policy events, announcement churn,
+// relying-party reruns, VRP deltas, fault-view flips) exactly as the
+// legacy engine advanced its tracking world; publish() then materializes
+// the current state into an immutable EpochWorld and swaps it in as the
+// current epoch under a mutex. Readers pin whatever epoch is current at
+// acquire time and keep it until they release — a publish never blocks
+// on readers and never invalidates a pinned epoch.
+//
+// Publish ordering contract: everything the new epoch must reflect
+// happens-before the swap (the EpochWorld constructor deep-copies and
+// freezes under the publisher thread), and the mutex acquire/release
+// pair orders the swap against concurrent current() calls, so a reader
+// either sees the complete old epoch or the complete new one — never a
+// half-installed world.
+//
+// Memory reclamation: current_ holds one strong reference; each
+// EpochRef holds another through its shared_ptr. Publishing drops the
+// publisher's reference to the previous epoch, so it is destroyed the
+// moment the last reader releases (or immediately, if unpinned) — the
+// grace period is exactly the lifetime of the outstanding pins, and the
+// chain of live epochs is bounded by (1 + number of distinct epochs
+// still pinned). live_epochs() exposes that gauge for the lifecycle
+// tests.
+//
+// Contract: no MeasurementClient may ever be registered on the build
+// world's plane. Client capture hosts belong to readers; registering
+// one here would leak it into every template plane published afterward
+// and collide with the readers' own registration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "scenario/scenario.h"
+#include "snapshot/epoch_world.h"
+
+namespace rovista::snapshot {
+
+class EpochPublisher {
+ public:
+  /// Build a fresh world from `params` (not yet advanced, nothing
+  /// published — call advance_to + publish for the first epoch).
+  explicit EpochPublisher(scenario::ScenarioParams params);
+
+  /// Adopt an existing build world (checkpoint restore hands over the
+  /// replayed Scenario instead of rebuilding from scratch).
+  explicit EpochPublisher(std::unique_ptr<scenario::Scenario> world);
+
+  /// The mutable build world. Publisher-thread only.
+  scenario::Scenario& world() noexcept { return *world_; }
+  const scenario::Scenario& world() const noexcept { return *world_; }
+
+  /// Advance the build world (see Scenario::advance_to). Publisher-
+  /// thread only; does not publish.
+  void advance_to(Date date) { world_->advance_to(date); }
+  scenario::AdvanceStats advance_to(Date date,
+                                    const scenario::VrpInstaller& installer) {
+    return world_->advance_to(date, installer);
+  }
+
+  /// Materialize the build world's current state as a new immutable
+  /// epoch and make it current. Returns a pin on the new epoch.
+  EpochRef publish();
+
+  /// Pin the current epoch (any thread). Empty ref if nothing has been
+  /// published yet.
+  EpochRef current() const;
+
+  /// Epochs published so far.
+  std::uint64_t published_epochs() const noexcept {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Epochs currently alive (current + any still pinned by readers).
+  /// The lifecycle tests assert this never grows without bound.
+  long live_epochs() const noexcept {
+    return live_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<scenario::Scenario> world_;
+  std::shared_ptr<std::atomic<long>> live_;
+  std::atomic<std::uint64_t> sequence_{0};
+  mutable std::mutex current_mutex_;
+  std::shared_ptr<const EpochWorld> current_;
+};
+
+}  // namespace rovista::snapshot

@@ -1,0 +1,33 @@
+#include "snapshot/world_source.h"
+
+#include <utility>
+
+#include "snapshot/epoch_publisher.h"
+
+namespace rovista::snapshot {
+
+std::unique_ptr<EpochReader> make_reader(EpochRef epoch) {
+  return std::make_unique<EpochReader>(std::move(epoch));
+}
+
+core::ReplicaFactory make_reader_factory(EpochRef epoch) {
+  return [epoch = std::move(epoch)] {
+    return std::unique_ptr<core::MeasurementReplica>(
+        std::make_unique<EpochReader>(epoch));
+  };
+}
+
+core::ReplicaFactory make_measurement_factory(scenario::ScenarioParams params,
+                                              util::Date date,
+                                              EngineMode mode) {
+  if (mode == EngineMode::kReplica) {
+    return scenario::make_replica_factory(std::move(params), date);
+  }
+  if (date < params.start) date = params.start;
+  if (date > params.end) date = params.end;
+  EpochPublisher publisher(std::move(params));
+  publisher.advance_to(date);
+  return make_reader_factory(publisher.publish());
+}
+
+}  // namespace rovista::snapshot

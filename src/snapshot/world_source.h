@@ -1,0 +1,47 @@
+// The one factory for measurement worlds.
+//
+// Every consumer that needs private measurement state for a worker —
+// the parallel round runner, the incremental engine, the CLI, benches —
+// acquires it here instead of constructing Scenarios or cloning planes
+// ad hoc. Two engines sit behind the same core::ReplicaFactory type:
+//
+//   kSnapshot (default) — one EpochPublisher builds the world once,
+//       publishes an immutable epoch, and every worker gets an
+//       EpochReader borrowing it (private hosts/clock/clients, shared
+//       frozen routing). Memory and clone cost are paid once, not per
+//       thread.
+//   kReplica — the legacy path: each call builds a full private
+//       Scenario (scenario::make_replica_factory). Kept as the
+//       equivalence baseline; the test suites drive both engines and
+//       demand bit-identical output.
+#pragma once
+
+#include "core/parallel_round.h"
+#include "scenario/scenario.h"
+#include "snapshot/epoch_world.h"
+
+namespace rovista::snapshot {
+
+enum class EngineMode { kSnapshot, kReplica };
+
+constexpr const char* engine_mode_name(EngineMode m) noexcept {
+  return m == EngineMode::kSnapshot ? "snapshot" : "replica";
+}
+
+/// A reader borrowing `epoch` (pins it for the reader's lifetime).
+std::unique_ptr<EpochReader> make_reader(EpochRef epoch);
+
+/// Factory stamping out readers of one already-published epoch. Safe to
+/// call from several threads at once; every reader pins `epoch`.
+core::ReplicaFactory make_reader_factory(EpochRef epoch);
+
+/// One-stop world acquisition: build the world for (`params`, `date`)
+/// and return a factory of private measurement replicas for it.
+/// kSnapshot publishes a single epoch internally (the factory owns the
+/// pin); kReplica defers to scenario::make_replica_factory. `date` is
+/// clamped to the scenario window either way.
+core::ReplicaFactory make_measurement_factory(scenario::ScenarioParams params,
+                                              util::Date date,
+                                              EngineMode mode);
+
+}  // namespace rovista::snapshot

@@ -16,6 +16,7 @@
 
 #include "core/parallel_round.h"
 #include "round_fixture.h"
+#include "snapshot/world_source.h"
 
 #ifndef ROVISTA_TEST_DATA_DIR
 #error "ROVISTA_TEST_DATA_DIR must be defined by the build"
@@ -77,6 +78,40 @@ TEST(GoldenRound, ScoresMatchCheckedInGolden) {
   EXPECT_EQ(want.str(), got)
       << "measurement verdicts changed; if intentional, regenerate with "
          "ROVISTA_REGEN_GOLDEN=1 and explain the change in the commit";
+}
+
+// Equivalence axis: the epoch-snapshot engine must reproduce the very
+// same golden CSV bytes the replica engine does — one assertion per
+// engine against one checked-in file, so neither can drift alone.
+TEST(GoldenRound, SnapshotEngineMatchesSameGolden) {
+  const scenario::ScenarioParams params = testfx::round_params();
+  const util::Date date = testfx::round_date(params);
+  const core::RovistaConfig config = testfx::round_config();
+  const testfx::RoundInputs inputs =
+      testfx::acquire_round_inputs(params, date, config);
+
+  core::ParallelRoundConfig round_config;
+  round_config.experiment = config.experiment;
+  round_config.scoring = config.scoring;
+  round_config.num_threads = 4;
+  const core::ParallelRoundRunner runner(
+      snapshot::make_measurement_factory(params, date,
+                                         snapshot::EngineMode::kSnapshot),
+      round_config);
+  const core::MeasurementRound round =
+      runner.run(inputs.vvps, inputs.tnodes);
+  ASSERT_FALSE(round.scores.empty());
+  const std::string got = render_scores(round.scores);
+
+  const std::string path =
+      std::string(ROVISTA_TEST_DATA_DIR) + "/golden_round_scores.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "snapshot engine diverged from the golden scores the replica "
+         "engine produces";
 }
 
 }  // namespace

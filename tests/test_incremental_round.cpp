@@ -23,6 +23,7 @@
 #include "incremental/dirty_prefix.h"
 #include "incremental/vrp_delta.h"
 #include "round_fixture.h"
+#include "snapshot/world_source.h"
 
 namespace {
 
@@ -451,6 +452,99 @@ TEST(FaultKnobZeroIncrementalRound, GoldenBytesPinnedAtAllThreadCounts) {
     EXPECT_EQ(config_digest, kGoldenConfigDigest)
         << threads << " threads: " << actual;
   }
+}
+
+// ---------- Engine equivalence (epoch-snapshot vs replica) ----------
+//
+// The epoch-snapshot engine (snapshot/world_source.h) is a pure
+// execution-strategy swap: one frozen published world shared by all
+// readers instead of a private replica per worker. Equivalence is
+// byte-level — identical rounds, identical published CSV bytes,
+// identical RVCP checkpoint container bytes — and checkpoints must
+// cross engines, which is why the engine mode stays out of the config
+// digest (like num_threads).
+
+core::IncrementalConfig engine_mode_config(snapshot::EngineMode mode,
+                                           int num_threads) {
+  core::IncrementalConfig config =
+      engine_config(/*incremental=*/true, num_threads);
+  config.engine = mode;
+  return config;
+}
+
+TEST(EngineEquivalence, SeriesCsvAndCheckpointBytesMatch) {
+  core::IncrementalLongitudinalRunner snapshot_runner(
+      engine_mode_config(snapshot::EngineMode::kSnapshot, /*num_threads=*/4));
+  core::IncrementalLongitudinalRunner replica_runner(
+      engine_mode_config(snapshot::EngineMode::kReplica, /*num_threads=*/4));
+  const auto dates = round_dates(snapshot_runner.config().params);
+  for (const util::Date date : dates) {
+    const core::RoundReport snap = snapshot_runner.run_round(date);
+    const core::RoundReport repl = replica_runner.run_round(date);
+    const std::string label = "engines @ " + date.to_string();
+    expect_bit_identical(snap.round, repl.round, label.c_str());
+  }
+
+  const auto tmp = std::filesystem::temp_directory_path();
+  const auto snap_dir = tmp / "rovista_engine_snap";
+  const auto repl_dir = tmp / "rovista_engine_repl";
+  std::filesystem::remove_all(snap_dir);
+  std::filesystem::remove_all(repl_dir);
+  ASSERT_TRUE(core::publish_scores(snapshot_runner.store(), snap_dir.string())
+                  .has_value());
+  ASSERT_TRUE(core::publish_scores(replica_runner.store(), repl_dir.string())
+                  .has_value());
+  EXPECT_EQ(read_dir(snap_dir), read_dir(repl_dir));
+  std::filesystem::remove_all(snap_dir);
+  std::filesystem::remove_all(repl_dir);
+
+  // RVCP payloads are engine-invariant down to the container bytes...
+  EXPECT_EQ(persist::encode_checkpoint(snapshot_runner.checkpoint_state()),
+            persist::encode_checkpoint(replica_runner.checkpoint_state()));
+  // ...which requires the engine mode to be excluded from the digest.
+  EXPECT_EQ(core::IncrementalLongitudinalRunner::config_digest(
+                engine_mode_config(snapshot::EngineMode::kSnapshot, 4)),
+            core::IncrementalLongitudinalRunner::config_digest(
+                engine_mode_config(snapshot::EngineMode::kReplica, 4)));
+}
+
+TEST(EngineEquivalence, CheckpointCrossesEngines) {
+  // Two rounds under the replica engine, checkpoint, resume under the
+  // snapshot engine at a different thread count: the final round and
+  // the whole published series must be byte-identical to an
+  // uninterrupted snapshot-engine run.
+  core::IncrementalLongitudinalRunner uninterrupted(
+      engine_mode_config(snapshot::EngineMode::kSnapshot, /*num_threads=*/4));
+  const auto dates = round_dates(uninterrupted.config().params);
+  std::vector<core::RoundReport> reference;
+  for (const util::Date date : dates) {
+    reference.push_back(uninterrupted.run_round(date));
+  }
+
+  core::IncrementalLongitudinalRunner partial(
+      engine_mode_config(snapshot::EngineMode::kReplica, /*num_threads=*/2));
+  partial.run_round(dates[0]);
+  partial.run_round(dates[1]);
+
+  core::IncrementalLongitudinalRunner resumed(
+      engine_mode_config(snapshot::EngineMode::kSnapshot, /*num_threads=*/8));
+  ASSERT_TRUE(resumed.restore(partial.checkpoint_state()));
+  EXPECT_EQ(resumed.completed_rounds(), 2u);
+  const core::RoundReport last = resumed.run_round(dates[2]);
+  expect_bit_identical(reference[2].round, last.round, "cross-engine resume");
+
+  const auto tmp = std::filesystem::temp_directory_path();
+  const auto ref_dir = tmp / "rovista_xengine_ref";
+  const auto res_dir = tmp / "rovista_xengine_res";
+  std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(res_dir);
+  ASSERT_TRUE(core::publish_scores(uninterrupted.store(), ref_dir.string())
+                  .has_value());
+  ASSERT_TRUE(
+      core::publish_scores(resumed.store(), res_dir.string()).has_value());
+  EXPECT_EQ(read_dir(ref_dir), read_dir(res_dir));
+  std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(res_dir);
 }
 
 TEST_F(IncrementalRound, RepeatedDateReusesEverything) {

@@ -12,6 +12,7 @@
 
 #include "core/parallel_round.h"
 #include "round_fixture.h"
+#include "snapshot/world_source.h"
 
 namespace {
 
@@ -27,6 +28,11 @@ class ParallelRound : public ::testing::Test {
         testfx::acquire_round_inputs(*params_, date_, *config_));
     factory_ = new core::ReplicaFactory(
         scenario::make_replica_factory(*params_, date_));
+    // Same fixture through the epoch-snapshot engine: one immutable
+    // epoch, every worker an EpochReader borrowing it. The equivalence
+    // axis below holds both engines to the same serial reference.
+    snapshot_factory_ = new core::ReplicaFactory(snapshot::make_measurement_factory(
+        *params_, date_, snapshot::EngineMode::kSnapshot));
 
     // Serial reference: the plain nested-loop engine on a fresh replica
     // world built exactly like the factory builds worker replicas.
@@ -43,19 +49,25 @@ class ParallelRound : public ::testing::Test {
 
   static void TearDownTestSuite() {
     delete serial_;
+    delete snapshot_factory_;
     delete factory_;
     delete inputs_;
     delete config_;
     delete params_;
   }
 
-  static core::MeasurementRound run_with_threads(int num_threads) {
+  static core::MeasurementRound run_with_threads(
+      int num_threads, const core::ReplicaFactory* factory = factory_) {
     core::ParallelRoundConfig config;
     config.experiment = config_->experiment;
     config.scoring = config_->scoring;
     config.num_threads = num_threads;
-    const core::ParallelRoundRunner runner(*factory_, config);
+    const core::ParallelRoundRunner runner(*factory, config);
     return runner.run(inputs_->vvps, inputs_->tnodes);
+  }
+
+  static core::MeasurementRound run_snapshot(int num_threads) {
+    return run_with_threads(num_threads, snapshot_factory_);
   }
 
   static void expect_bit_identical(const core::MeasurementRound& a,
@@ -91,6 +103,7 @@ class ParallelRound : public ::testing::Test {
   static core::RovistaConfig* config_;
   static testfx::RoundInputs* inputs_;
   static core::ReplicaFactory* factory_;
+  static core::ReplicaFactory* snapshot_factory_;
   static core::MeasurementRound* serial_;
 };
 
@@ -99,6 +112,7 @@ util::Date ParallelRound::date_;
 core::RovistaConfig* ParallelRound::config_ = nullptr;
 testfx::RoundInputs* ParallelRound::inputs_ = nullptr;
 core::ReplicaFactory* ParallelRound::factory_ = nullptr;
+core::ReplicaFactory* ParallelRound::snapshot_factory_ = nullptr;
 core::MeasurementRound* ParallelRound::serial_ = nullptr;
 
 TEST_F(ParallelRound, FixtureIsNonTrivial) {
@@ -131,6 +145,38 @@ TEST_F(ParallelRound, EightThreadsMatchSerial) {
 TEST_F(ParallelRound, RepeatedInvocationsBitIdentical) {
   // Same seed, same config, two fresh runs: scheduling must not leak in.
   expect_bit_identical(run_with_threads(4), run_with_threads(4));
+}
+
+// --- snapshot-vs-replica equivalence axis ---------------------------
+//
+// The epoch-snapshot engine must be observationally indistinguishable
+// from the replica engine: same serial reference, every thread count.
+// This is the license to delete the replica path (see ISSUE/DESIGN).
+
+TEST_F(ParallelRound, SnapshotEngineOneThreadMatchesSerial) {
+  expect_bit_identical(*serial_, run_snapshot(1));
+}
+
+TEST_F(ParallelRound, SnapshotEngineTwoThreadsMatchSerial) {
+  expect_bit_identical(*serial_, run_snapshot(2));
+}
+
+TEST_F(ParallelRound, SnapshotEngineFourThreadsMatchSerial) {
+  expect_bit_identical(*serial_, run_snapshot(4));
+}
+
+TEST_F(ParallelRound, SnapshotEngineEightThreadsMatchSerial) {
+  expect_bit_identical(*serial_, run_snapshot(8));
+}
+
+TEST_F(ParallelRound, SnapshotEngineRepeatedInvocationsBitIdentical) {
+  expect_bit_identical(run_snapshot(4), run_snapshot(4));
+}
+
+TEST_F(ParallelRound, EngineEquivalenceAtEveryThreadCount) {
+  for (const int threads : {1, 2, 4, 8}) {
+    expect_bit_identical(run_with_threads(threads), run_snapshot(threads));
+  }
 }
 
 TEST_F(ParallelRound, RovistaParallelEntryPointMatches) {

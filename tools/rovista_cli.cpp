@@ -37,6 +37,7 @@
 #include "persist/checkpoint_io.h"
 #include "persist/wire.h"
 #include "scenario/scenario.h"
+#include "snapshot/world_source.h"
 #include "util/csv.h"
 #include "util/strings.h"
 
@@ -70,21 +71,40 @@ Args parse_args(int argc, char** argv, int from) {
   return args;
 }
 
+/// --engine snapshot|replica (default snapshot): which world engine
+/// backs parallel measurement (snapshot/world_source.h). Output is
+/// engine-invariant; the flag exists so the tier-1 equivalence stages
+/// can byte-diff the two. Returns nullopt on a bad value.
+std::optional<snapshot::EngineMode> parse_engine(const Args& args) {
+  const char* engine = args.get("engine", "snapshot");
+  if (std::strcmp(engine, "snapshot") == 0) {
+    return snapshot::EngineMode::kSnapshot;
+  }
+  if (std::strcmp(engine, "replica") == 0) {
+    return snapshot::EngineMode::kReplica;
+  }
+  std::fprintf(stderr, "error: --engine must be snapshot or replica\n");
+  return std::nullopt;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: rovista <command> [options]\n"
       "  measure --seed N --date YYYY-MM-DD --out DIR [--mrt FILE]\n"
-      "          [--threads N]\n"
+      "          [--threads N] [--engine snapshot|replica]\n"
       "          run one round, publish scores, optionally archive the\n"
       "          collector table as an MRT TABLE_DUMP_V2 file;\n"
       "          --threads shards the round by vVP across worker\n"
-      "          replicas (output bit-identical for any count >= 1,\n"
-      "          see DESIGN.md)\n"
+      "          replicas (output bit-identical for any count >= 1 and\n"
+      "          either engine, see DESIGN.md); --engine picks the world\n"
+      "          engine: snapshot (default, one immutable epoch shared\n"
+      "          by all workers) or replica (full private world each)\n"
       "  query   --dir DIR [--asn N]                    read a dataset\n"
       "  audit   --seed N --asn N [--date YYYY-MM-DD]   audit one AS\n"
       "  longitudinal --seed N --rounds N [--interval-days N]\n"
-      "          [--threads N] [--incremental on|off] [--out FILE]\n"
+      "          [--threads N] [--incremental on|off]\n"
+      "          [--engine snapshot|replica] [--out FILE]\n"
       "          [--publish DIR] [--scale small|paper]\n"
       "          [--slurm-fraction F]\n"
       "          [--rp-failure-rate F] [--rp-divergence-fraction F]\n"
@@ -157,6 +177,8 @@ int cmd_measure(const Args& args) {
   if (const char* d = args.get("date")) util::Date::parse(d, date);
   std::uint64_t threads = 0;
   if (const char* t = args.get("threads")) util::parse_u64(t, threads);
+  const std::optional<snapshot::EngineMode> engine = parse_engine(args);
+  if (!engine.has_value()) return usage();
 
   std::printf("building world (seed %llu) ...\n",
               static_cast<unsigned long long>(seed));
@@ -167,14 +189,16 @@ int cmd_measure(const Args& args) {
   std::printf("vVPs: %zu\n", vvps.size());
   core::MeasurementRound round;
   if (threads >= 1) {
-    // Replica engine for any explicit --threads (including 1, so thread
-    // counts stay comparable): vVP-sharded workers on private replica
-    // worlds, bit-identical output regardless of the count. Without
+    // Parallel for any explicit --threads (including 1, so thread
+    // counts stay comparable): vVP-sharded workers on private worlds
+    // from the one measurement factory (snapshot/world_source.h),
+    // bit-identical output regardless of count or engine. Without
     // --threads the round runs serially on the shared discovery world.
-    std::printf("measuring with %llu worker threads\n",
-                static_cast<unsigned long long>(threads));
-    const auto factory = scenario::make_replica_factory(
-        world.params, world.scenario->current());
+    std::printf("measuring with %llu worker threads (%s engine)\n",
+                static_cast<unsigned long long>(threads),
+                snapshot::engine_mode_name(*engine));
+    const auto factory = snapshot::make_measurement_factory(
+        world.params, world.scenario->current(), *engine);
     round = world.rovista->run_round_parallel(factory, vvps, world.tnodes);
   } else {
     round = world.rovista->run_round(vvps, world.tnodes);
@@ -321,12 +345,16 @@ int cmd_longitudinal(const Args& args) {
     return usage();
   }
 
+  const std::optional<snapshot::EngineMode> engine = parse_engine(args);
+  if (!engine.has_value()) return usage();
+
   core::IncrementalConfig config;
   config.params.seed = seed;
   config.rovista.scoring.min_vvps_per_as = 2;
   config.rovista.scoring.min_tnodes = 3;
   config.rovista.num_threads = static_cast<int>(threads);
   config.incremental = std::strcmp(mode, "on") == 0;
+  config.engine = *engine;
   if (std::strcmp(scale, "small") == 0) {
     // The tests' standard small world (tests/round_fixture.h) — fast
     // enough for CI series like the tier-1 kill/resume stage.
