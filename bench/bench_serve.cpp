@@ -1,0 +1,180 @@
+// bench_serve — RQP query-server throughput and latency.
+//
+// Runs the bundled closed-loop load generator against an in-process
+// `serve::Server` at 1, 4 and 8 worker threads, each with and without a
+// concurrent publisher flipping the score feed underneath the workers
+// (a new round every ~2 ms — far harsher than the daemon's real
+// cadence). Records QPS and p50/p99 latency per cell in
+// BENCH_serve.json.
+//
+// The interesting comparison is each worker count against itself: the
+// epoch-snapshot feed promises that publishing costs readers nothing
+// (one shared_ptr swap per batch), so the "publishing" column should
+// track the "steady" column within noise. Every response is counted —
+// a lost or errored request fails the bench.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/scoring.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "util/date.h"
+
+namespace {
+
+using namespace rovista;
+
+constexpr std::uint64_t kRequests = 40000;
+constexpr int kAses = 64;
+
+std::vector<core::AsScore> synthetic_scores(int round) {
+  std::vector<core::AsScore> scores;
+  scores.reserve(kAses);
+  for (int i = 0; i < kAses; ++i) {
+    core::AsScore s;
+    s.asn = 64500 + static_cast<topology::Asn>(i);
+    s.score = static_cast<double>((i * 13 + round * 7) % 101);
+    s.vvp_count = 2 + i % 5;
+    scores.push_back(s);
+  }
+  return scores;
+}
+
+struct Cell {
+  int workers = 0;
+  bool publishing = false;
+  std::uint64_t rounds_published = 0;
+  serve::LoadgenResult result;
+  bool ok = false;
+};
+
+Cell run_cell(int workers, bool publishing) {
+  Cell cell;
+  cell.workers = workers;
+  cell.publishing = publishing;
+
+  auto feed = std::make_shared<serve::ScoreFeed>();
+  const util::Date base = util::Date::from_ymd(2022, 1, 1);
+  feed->publish(base, synthetic_scores(0), snapshot::EpochRef());
+
+  serve::ServerOptions options;
+  options.port = 0;
+  options.workers = workers;
+  serve::Server server(options, feed);
+  if (!server.start()) {
+    std::fprintf(stderr, "FAIL: server start (workers=%d)\n", workers);
+    return cell;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rounds{0};
+  std::thread publisher;
+  if (publishing) {
+    publisher = std::thread([&] {
+      int round = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        feed->publish(base + round, synthetic_scores(round),
+                      snapshot::EpochRef());
+        rounds.fetch_add(1, std::memory_order_relaxed);
+        ++round;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  serve::LoadgenOptions lg;
+  lg.port = server.port();
+  lg.connections = 8;
+  lg.threads = 4;
+  lg.requests = kRequests;
+  lg.pipeline = 16;
+  lg.trajectory_fraction = 0.1;
+  cell.result = serve::run_loadgen(lg);
+
+  stop.store(true, std::memory_order_relaxed);
+  if (publisher.joinable()) publisher.join();
+  cell.rounds_published = rounds.load(std::memory_order_relaxed);
+  server.stop();
+
+  cell.ok = cell.result.transport_errors == 0 &&
+            cell.result.sent == kRequests &&
+            cell.result.received == cell.result.sent;
+  const bool spanned =
+      !publishing ||
+      cell.result.max_epoch_sequence > cell.result.min_epoch_sequence;
+  std::printf("workers=%d publishing=%-3s  qps %9.0f  p50 %7.3f ms  "
+              "p99 %7.3f ms  seq [%llu..%llu]  rounds %llu  %s%s\n",
+              workers, publishing ? "yes" : "no", cell.result.qps,
+              cell.result.p50_ms, cell.result.p99_ms,
+              static_cast<unsigned long long>(cell.result.min_epoch_sequence),
+              static_cast<unsigned long long>(cell.result.max_epoch_sequence),
+              static_cast<unsigned long long>(cell.rounds_published),
+              cell.ok ? "ok" : "FAIL",
+              spanned ? "" : " (burst never spanned a swap)");
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  rovista::bench::print_header(
+      "bench_serve — RQP server QPS and latency under concurrent publishes",
+      "closed-loop loadgen, 8 conns x 16 pipeline; \"publishing\" flips the "
+      "feed every ~2 ms and should cost readers nothing");
+
+  std::vector<Cell> cells;
+  for (const int workers : {1, 4, 8}) {
+    for (const bool publishing : {false, true}) {
+      cells.push_back(run_cell(workers, publishing));
+    }
+  }
+
+  bool all_ok = true;
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"requests\": %llu, \"connections\": 8, "
+               "\"threads\": 4, \"pipeline\": 16, \"ases\": %d},\n",
+               static_cast<unsigned long long>(kRequests), kAses);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    all_ok = all_ok && c.ok;
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"publishing\": %s, \"qps\": %.0f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f, "
+                 "\"wall_s\": %.3f, \"received\": %llu, \"ok\": %llu, "
+                 "\"rounds_published\": %llu, \"min_seq\": %llu, "
+                 "\"max_seq\": %llu, \"clean\": %s}%s\n",
+                 c.workers, c.publishing ? "true" : "false", c.result.qps,
+                 c.result.p50_ms, c.result.p99_ms, c.result.max_ms,
+                 c.result.wall_s,
+                 static_cast<unsigned long long>(c.result.received),
+                 static_cast<unsigned long long>(c.result.ok),
+                 static_cast<unsigned long long>(c.rounds_published),
+                 static_cast<unsigned long long>(c.result.min_epoch_sequence),
+                 static_cast<unsigned long long>(c.result.max_epoch_sequence),
+                 c.ok ? "true" : "false",
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"all_clean\": %s\n", all_ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json\n");
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: a cell lost or errored requests\n");
+    return 1;
+  }
+  return 0;
+}

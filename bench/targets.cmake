@@ -45,3 +45,5 @@ rovista_bench(bench_ablation_detection)
 rovista_bench(bench_ablation_tnode_depletion)
 rovista_bench(bench_ablation_rov_modes)
 rovista_bench(bench_ablation_rovpp)
+rovista_bench(bench_serve)
+target_link_libraries(bench_serve PRIVATE rovista_serve)

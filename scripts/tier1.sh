@@ -75,7 +75,7 @@ stage "TSan epoch-snapshot stress (readers vs concurrent installer)"
 # boundary is a TSan report here. The lifecycle/immutability property
 # suites run under TSan too.
 t 1800 cmake --build build-tsan -j "$JOBS" \
-  --target test_snapshot test_snapshot_stress
+  --target test_snapshot test_snapshot_stress test_serve_stress
 t 1800 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -L tsan-stress
 t 1800 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
@@ -96,6 +96,65 @@ t 1800 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
 CK_TMP="$(mktemp -d)"
 trap 'rm -rf "$CK_TMP"' EXIT
 CLI=build/tools/rovista
+
+# The query server under ASan/UBSan: start the daemon on an ephemeral
+# port, hammer it with the bundled loadgen *while* the engine is still
+# publishing rounds (the loadgen bootstrap waits for round 1), then
+# again at steady state, and byte-compare every recorded SCORE response
+# against the CSVs the same daemon published. A torn read across an
+# epoch swap, a leak, or an unflushed response on SIGTERM all fail here.
+stage "ASan serve daemon: concurrent-publish burst + byte-compare + SIGTERM"
+t 1800 cmake --build build-asan -j "$JOBS" --target rovista
+ACLI=build-asan/tools/rovista
+SERVE_DIR="$CK_TMP/serve"
+mkdir -p "$SERVE_DIR"
+"$ACLI" serve --seed 11 --rounds 3 --interval-days 20 --scale small \
+  --port 0 --workers 2 --publish "$SERVE_DIR/pub" \
+  > "$SERVE_DIR/serve.log" 2> "$SERVE_DIR/serve.err" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 300); do
+  PORT="$(awk '/^LISTENING/ {print $2; exit}' "$SERVE_DIR/serve.log")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "serve daemon never printed LISTENING" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  cat "$SERVE_DIR/serve.err" >&2 || true
+  exit 1
+fi
+t 600 "$ACLI" loadgen --port "$PORT" --requests 4000 --connections 6 \
+  --threads 3 --record "$SERVE_DIR/burst1.csv" >/dev/null
+for _ in $(seq 1 600); do
+  grep -q '^PUBLISHED ' "$SERVE_DIR/serve.log" && break
+  sleep 0.5
+done
+grep -q '^PUBLISHED ' "$SERVE_DIR/serve.log" || {
+  echo "serve daemon never published its CSV dataset" >&2
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  cat "$SERVE_DIR/serve.err" >&2 || true
+  exit 1
+}
+t 600 "$ACLI" loadgen --port "$PORT" --requests 4000 --connections 6 \
+  --threads 3 --traj-fraction 0.2 --record "$SERVE_DIR/burst2.csv" \
+  >/dev/null
+kill -TERM "$SERVE_PID"
+status=0
+wait "$SERVE_PID" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "serve daemon exited $status on SIGTERM (sanitizer report?)" >&2
+  cat "$SERVE_DIR/serve.err" >&2 || true
+  exit 1
+fi
+grep -q '^SERVED ' "$SERVE_DIR/serve.log" || {
+  echo "serve daemon exited without its SERVED summary line" >&2
+  exit 1
+}
+t 300 "$ACLI" feedcheck --record "$SERVE_DIR/burst1.csv" \
+  --published "$SERVE_DIR/pub" >/dev/null
+t 300 "$ACLI" feedcheck --record "$SERVE_DIR/burst2.csv" \
+  --published "$SERVE_DIR/pub" >/dev/null
 
 stage "crash/resume byte-diff"
 # `|| status=$?` (not `set +e`) — the ERR trap fires even with -e off,

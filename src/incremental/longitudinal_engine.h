@@ -165,6 +165,9 @@ class IncrementalLongitudinalRunner {
   const snapshot::EpochPublisher& publisher() const noexcept {
     return *publisher_;
   }
+  /// Mutable access, for publisher-side knobs (the `rovista serve`
+  /// pin-leak diagnostic sets the live-epoch warn depth).
+  snapshot::EpochPublisher& publisher() noexcept { return *publisher_; }
 
  private:
   void maybe_checkpoint();

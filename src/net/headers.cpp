@@ -1,5 +1,7 @@
 #include "net/headers.h"
 
+#include <algorithm>
+
 namespace rovista::net {
 
 namespace {
@@ -68,7 +70,15 @@ std::optional<Ipv4Header> Ipv4Header::parse(
     std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kSize) return std::nullopt;
   if ((bytes[0] >> 4) != 4) return std::nullopt;
-  if (internet_checksum(bytes.first(kSize)) != 0) return std::nullopt;
+  // Require the exact canonical checksum (recomputed with the field
+  // zeroed) rather than "sum validates": the ones'-complement sum has
+  // two encodings of zero, and accepting the non-canonical one would
+  // break parse→serialize bit-identity.
+  std::array<std::uint8_t, kSize> zeroed{};
+  std::copy(bytes.begin(), bytes.begin() + kSize, zeroed.begin());
+  zeroed[10] = 0;
+  zeroed[11] = 0;
+  if (get_u16(&bytes[10]) != internet_checksum(zeroed)) return std::nullopt;
   Ipv4Header h;
   h.version = bytes[0] >> 4;
   h.ihl = bytes[0] & 0x0f;
@@ -122,15 +132,24 @@ std::array<std::uint8_t, TcpHeader::kSize> TcpHeader::serialize(
 std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> bytes,
                                           Ipv4Address src, Ipv4Address dst) {
   if (bytes.size() < kSize) return std::nullopt;
+  // Same canonical-checksum rule as Ipv4Header::parse.
+  std::array<std::uint8_t, kSize> zeroed{};
+  std::copy(bytes.begin(), bytes.begin() + kSize, zeroed.begin());
+  zeroed[16] = 0;
+  zeroed[17] = 0;
   const std::uint32_t acc = checksum_accumulate(
-      bytes.first(kSize),
-      pseudo_header_sum(src, dst, static_cast<std::uint16_t>(kSize)));
-  if (checksum_finish(acc) != 0) return std::nullopt;
+      zeroed, pseudo_header_sum(src, dst, static_cast<std::uint16_t>(kSize)));
+  if (get_u16(&bytes[16]) != checksum_finish(acc)) return std::nullopt;
   TcpHeader h;
   h.source_port = get_u16(&bytes[0]);
   h.destination_port = get_u16(&bytes[2]);
   h.sequence = get_u32(&bytes[4]);
   h.acknowledgment = get_u32(&bytes[8]);
+  // The low nibble of byte 12 is reserved and always serialized as
+  // zero; rejecting nonzero keeps the codec canonical (parse accepts
+  // exactly the byte strings serialize can produce — the property the
+  // wire-fuzz battery checks).
+  if ((bytes[12] & 0x0f) != 0) return std::nullopt;
   h.data_offset = bytes[12] >> 4;
   h.flags = bytes[13];
   h.window = get_u16(&bytes[14]);

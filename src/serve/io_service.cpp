@@ -1,0 +1,307 @@
+#include "serve/io_service.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/rqp.h"
+#include "util/logging.h"
+
+namespace rovista::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct IoService::Worker {
+  struct Conn {
+    explicit Conn(std::size_t max_frame) : decoder(max_frame) {}
+
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> wbuf;
+    std::size_t wpos = 0;  // flushed prefix of wbuf
+    bool eof = false;      // peer finished sending
+    bool drop = false;     // protocol violation: close once flushed
+    bool fatal = false;    // transport error: close immediately
+  };
+
+  int wake_read = -1;
+  int wake_write = -1;
+  std::mutex mutex;
+  std::vector<int> incoming;  // acceptor -> worker handoff
+  std::unordered_map<int, Conn> conns;
+  std::thread thread;
+
+  static void read_some(int fd, Conn& conn) {
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        conn.decoder.append({buf, static_cast<std::size_t>(n)});
+        if (n < static_cast<ssize_t>(sizeof buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        conn.eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.fatal = true;
+      break;
+    }
+  }
+
+  static void flush_writes(int fd, Conn& conn) {
+    while (conn.wpos < conn.wbuf.size()) {
+      const ssize_t n = ::send(fd, conn.wbuf.data() + conn.wpos,
+                               conn.wbuf.size() - conn.wpos, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.wpos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.fatal = true;
+      break;
+    }
+    if (conn.wpos == conn.wbuf.size()) {
+      conn.wbuf.clear();
+      conn.wpos = 0;
+    } else if (conn.wpos > 65536) {
+      conn.wbuf.erase(
+          conn.wbuf.begin(),
+          conn.wbuf.begin() + static_cast<std::ptrdiff_t>(conn.wpos));
+      conn.wpos = 0;
+    }
+  }
+};
+
+IoService::IoService() = default;
+
+IoService::~IoService() { stop(); }
+
+bool IoService::start(const IoServiceOptions& options,
+                      RequestHandler& handler) {
+  if (running_.load(std::memory_order_acquire)) return false;
+  options_ = options;
+  if (options_.workers < 1) options_.workers = 1;
+  handler_ = &handler;
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    util::log(util::LogLevel::kError, "serve: socket() failed");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 512) < 0) {
+    util::log(util::LogLevel::kError,
+              "serve: cannot listen on 127.0.0.1:" +
+                  std::to_string(options_.port) + " (" +
+                  std::string(std::strerror(errno)) + ")");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  set_nonblocking(listen_fd_);
+
+  workers_.clear();
+  for (int i = 0; i < options_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    int pipefd[2];
+    if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) {
+      util::log(util::LogLevel::kError, "serve: pipe2() failed");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      for (auto& w : workers_) {
+        ::close(w->wake_read);
+        ::close(w->wake_write);
+      }
+      workers_.clear();
+      return false;
+    }
+    worker->wake_read = pipefd[0];
+    worker->wake_write = pipefd[1];
+    workers_.push_back(std::move(worker));
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (int i = 0; i < options_.workers; ++i) {
+    Worker* w = workers_[static_cast<std::size_t>(i)].get();
+    w->thread = std::thread([this, w, i] { worker_loop(*w, i); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  return true;
+}
+
+void IoService::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(w->wake_write, &byte, 1);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+    ::close(w->wake_read);
+    ::close(w->wake_write);
+    // Connections handed off but never picked up (stop raced accept).
+    for (const int fd : w->incoming) ::close(fd);
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void IoService::acceptor_loop() {
+  std::size_t next = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);  // tick so stop() is noticed
+    if (rc <= 0) continue;
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      Worker& worker = *workers_[next++ % workers_.size()];
+      {
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        worker.incoming.push_back(fd);
+      }
+      const char byte = 1;
+      [[maybe_unused]] ssize_t n = ::write(worker.wake_write, &byte, 1);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void IoService::worker_loop(Worker& worker, int index) {
+  std::vector<pollfd> pfds;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  for (;;) {
+    if (!draining && stopping_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+    }
+
+    pfds.clear();
+    pfds.push_back(pollfd{worker.wake_read, POLLIN, 0});
+    for (const auto& [fd, conn] : worker.conns) {
+      short events = 0;
+      // During drain no new requests are read: in-flight means
+      // already-received. POLLERR/POLLHUP are reported regardless.
+      if (!draining && !conn.eof && !conn.drop) events |= POLLIN;
+      if (conn.wpos < conn.wbuf.size()) events |= POLLOUT;
+      pfds.push_back(pollfd{fd, events, 0});
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), draining ? 20 : -1);
+
+    if (pfds[0].revents & POLLIN) {
+      char sink[64];
+      while (::read(worker.wake_read, sink, sizeof sink) > 0) {
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(worker.mutex);
+      for (const int fd : worker.incoming) {
+        worker.conns.emplace(fd, Worker::Conn(options_.max_frame));
+      }
+      worker.incoming.clear();
+    }
+
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      const auto it = worker.conns.find(pfds[i].fd);
+      if (it == worker.conns.end()) continue;
+      if (!draining && !it->second.eof && !it->second.drop) {
+        Worker::read_some(pfds[i].fd, it->second);
+      } else if (pfds[i].revents & POLLERR) {
+        it->second.fatal = true;
+      }
+    }
+
+    // The batch: every complete frame read this wake-up, across all of
+    // this worker's connections, answered under one begin/end bracket
+    // (one snapshot pin per batch, see RequestHandler).
+    bool batch_open = false;
+    for (auto& [fd, conn] : worker.conns) {
+      if (conn.drop || conn.fatal) continue;
+      for (;;) {
+        auto frame = conn.decoder.next();
+        if (!frame.has_value()) break;
+        if (!batch_open) {
+          handler_->begin_batch(index);
+          batch_open = true;
+        }
+        handler_->on_frame(index, *frame, conn.wbuf);
+        frames_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (conn.decoder.corrupt()) conn.drop = true;
+    }
+    if (batch_open) {
+      handler_->end_batch(index);
+      batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    for (auto it = worker.conns.begin(); it != worker.conns.end();) {
+      Worker::Conn& conn = it->second;
+      if (!conn.fatal) Worker::flush_writes(it->first, conn);
+      const bool flushed = conn.wpos >= conn.wbuf.size();
+      const bool close_now =
+          conn.fatal || (flushed && (conn.drop || conn.eof || draining));
+      if (close_now) {
+        ::close(it->first);
+        it = worker.conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (draining &&
+        (worker.conns.empty() || Clock::now() >= drain_deadline)) {
+      for (const auto& [fd, conn] : worker.conns) ::close(fd);
+      worker.conns.clear();
+      break;
+    }
+  }
+}
+
+}  // namespace rovista::serve

@@ -1,0 +1,116 @@
+// Poll-based io-service: acceptor thread + N worker threads.
+//
+// The shape is the classic production query-server split (ROADMAP's
+// "epoll-style io-service, accept/worker thread separation, request
+// batching"):
+//
+//   * one acceptor thread blocks in poll() on the listening socket,
+//     accepts connections and deals them round-robin to workers through
+//     a mutex-guarded handoff queue plus a self-pipe wakeup,
+//   * each worker owns its connections outright — per-connection read
+//     buffer (an RQP FrameDecoder) and write buffer, nonblocking
+//     sockets, one poll() set per worker, no cross-worker sharing — so
+//     the only synchronization on the hot path is the handoff queue,
+//   * request batching: every poll wake-up drains all readable
+//     connections first, then answers every complete frame between one
+//     begin_batch/end_batch bracket. The handler pins its world
+//     snapshot in begin_batch and drops it in end_batch, so a batch of
+//     K frames costs one pin, and a concurrent epoch publish lands
+//     between batches, never inside one.
+//
+// Graceful stop: stop() closes the listener, lets every worker answer
+// the complete frames it has already read, flushes every write buffer
+// (bounded by drain_timeout_ms), then closes and joins. In-flight
+// requests are answered; half-received frames are dropped with their
+// connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rovista::serve {
+
+/// Per-batch request callback surface. `worker` is a dense index in
+/// [0, workers); begin/end bracket every batch on that worker's thread,
+/// so per-worker handler state needs no locking.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  virtual void begin_batch(int worker) { (void)worker; }
+  /// Answer one request payload; append length-prefixed response
+  /// frame(s) to `out` (the connection's write buffer).
+  virtual void on_frame(int worker, std::span<const std::uint8_t> payload,
+                        std::vector<std::uint8_t>& out) = 0;
+  virtual void end_batch(int worker) { (void)worker; }
+};
+
+struct IoServiceOptions {
+  /// TCP port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral
+  /// port (read it back from port() — the `LISTENING <port>` contract).
+  std::uint16_t port = 0;
+  int workers = 2;
+  /// Per-frame payload ceiling for incoming requests; a peer exceeding
+  /// it is disconnected.
+  std::size_t max_frame = 64;
+  /// Graceful-stop budget for flushing outstanding write buffers.
+  int drain_timeout_ms = 5000;
+};
+
+class IoService {
+ public:
+  IoService();
+  ~IoService();  // stops if still running
+
+  IoService(const IoService&) = delete;
+  IoService& operator=(const IoService&) = delete;
+
+  /// Bind, listen and spawn the acceptor + worker threads. False (with
+  /// a logged reason) if the socket setup fails.
+  bool start(const IoServiceOptions& options, RequestHandler& handler);
+
+  /// Graceful shutdown (see file comment). Idempotent.
+  void stop();
+
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (valid after start(); with options.port == 0 this
+  /// is the kernel-assigned ephemeral port).
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Serving gauges (relaxed; for tests, stats lines and the bench).
+  std::uint64_t connections_accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_served() const noexcept {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t batches_served() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker;
+
+  void acceptor_loop();
+  void worker_loop(Worker& worker, int index);
+
+  IoServiceOptions options_;
+  RequestHandler* handler_ = nullptr;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> batches_{0};
+};
+
+}  // namespace rovista::serve

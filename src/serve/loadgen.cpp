@@ -1,0 +1,561 @@
+#include "serve/loadgen.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "util/csv.h"
+#include "util/date.h"
+
+namespace rovista::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Per-thread stats, merged by run_loadgen once the thread joins.
+struct ThreadStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t no_data = 0;
+  std::uint64_t unknown_as = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t min_seq = ~0ULL;
+  std::uint64_t max_seq = 0;
+  std::vector<double> latencies_ms;
+  std::vector<ScoreRecord> records;
+};
+
+struct LgConn {
+  explicit LgConn(int f) : fd(f), decoder(kMaxResponseFrame) {}
+
+  int fd;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> wbuf;
+  std::size_t wpos = 0;
+  // request_id -> latency basis (seconds since t0). Open loop: the
+  // scheduled arrival; closed loop: the send instant.
+  std::unordered_map<std::uint32_t, double> inflight;
+  bool dead = false;
+
+  void kill(ThreadStats& stats) {
+    if (dead) return;
+    stats.transport_errors += inflight.size();
+    inflight.clear();
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    dead = true;
+  }
+};
+
+void account(const Response& response, double latency_ms, bool record,
+             ThreadStats& stats) {
+  ++stats.received;
+  stats.latencies_ms.push_back(latency_ms);
+  switch (response.status) {
+    case Status::kOk:
+      ++stats.ok;
+      break;
+    case Status::kNoData:
+      ++stats.no_data;
+      break;
+    case Status::kUnknownAs:
+      ++stats.unknown_as;
+      break;
+    case Status::kBadRequest:
+      ++stats.bad_request;
+      break;
+  }
+  if (response.status == Status::kOk && response.epoch_sequence != 0) {
+    stats.min_seq = std::min(stats.min_seq, response.epoch_sequence);
+    stats.max_seq = std::max(stats.max_seq, response.epoch_sequence);
+  }
+  if (record && response.opcode == Opcode::kScore &&
+      response.status == Status::kOk) {
+    stats.records.push_back(
+        ScoreRecord{response.round_date_days, response.asn,
+                    response.score_str});
+  }
+}
+
+void sender_thread(const LoadgenOptions& options, int t, int thread_count,
+                   Clock::time_point t0, ThreadStats& stats) {
+  const bool open_loop = options.rate > 0.0;
+  std::uint64_t rng = options.seed * 0x9e3779b97f4a7c15ULL +
+                      static_cast<std::uint64_t>(t) + 1;
+
+  // Connections [t, t+threads, ...) belong to this thread.
+  std::vector<LgConn> conns;
+  for (int c = t; c < options.connections; c += thread_count) {
+    const int fd = connect_tcp(options.host, options.port);
+    if (fd < 0) {
+      ++stats.transport_errors;
+      continue;
+    }
+    conns.emplace_back(fd);
+  }
+  if (conns.empty()) return;
+
+  // Request ids [t, t+threads, ...) — disjoint across threads, so the
+  // echoed request_id identifies both the thread and the basis entry.
+  std::uint64_t next_id = static_cast<std::uint64_t>(t);
+  std::size_t rr = 0;
+  std::uint64_t outstanding = 0;
+  double last_progress = secs_since(t0);
+  const double idle_limit = options.timeout_ms / 1000.0;
+  std::vector<pollfd> pfds;
+
+  const auto alive = [&]() {
+    std::size_t n = 0;
+    for (const LgConn& c : conns) n += c.dead ? 0 : 1;
+    return n;
+  };
+
+  for (;;) {
+    double now = secs_since(t0);
+
+    // Send phase.
+    while (next_id < options.requests) {
+      const double due =
+          open_loop ? static_cast<double>(next_id) / options.rate : now;
+      if (open_loop && due > now) break;
+      LgConn* conn = nullptr;
+      for (std::size_t k = 0; k < conns.size(); ++k) {
+        LgConn& cand = conns[rr++ % conns.size()];
+        if (cand.dead) continue;
+        if (!open_loop &&
+            cand.inflight.size() >=
+                static_cast<std::size_t>(options.pipeline)) {
+          continue;
+        }
+        conn = &cand;
+        break;
+      }
+      if (conn == nullptr) break;  // closed loop saturated, or all dead
+
+      Request request;
+      const double mix =
+          static_cast<double>(splitmix64(rng) >> 11) * 0x1.0p-53;
+      if (mix < options.reach_fraction) {
+        request.opcode = Opcode::kReach;
+        request.dst = options.reach_dst;
+        request.port = options.reach_port;
+      } else if (mix < options.reach_fraction + options.trajectory_fraction) {
+        request.opcode = Opcode::kTrajectory;
+      } else {
+        request.opcode = Opcode::kScore;
+      }
+      request.request_id = static_cast<std::uint32_t>(next_id);
+      request.asn = options.asns[splitmix64(rng) % options.asns.size()];
+
+      const std::vector<std::uint8_t> payload = encode_request(request);
+      append_frame(conn->wbuf, payload);
+      conn->inflight.emplace(request.request_id, due);
+      ++stats.sent;
+      ++outstanding;
+      next_id += static_cast<std::uint64_t>(thread_count);
+    }
+
+    // Flush pending writes (nonblocking once the socket back-pressures;
+    // leftover bytes go out when poll reports writability).
+    for (LgConn& conn : conns) {
+      if (conn.dead || conn.wpos >= conn.wbuf.size()) continue;
+      while (conn.wpos < conn.wbuf.size()) {
+        const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.wpos,
+                                 conn.wbuf.size() - conn.wpos,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+          conn.wpos += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        const std::uint64_t lost = conn.inflight.size();
+        conn.kill(stats);
+        outstanding -= lost;
+        break;
+      }
+      if (!conn.dead && conn.wpos >= conn.wbuf.size()) {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+      }
+    }
+
+    const bool work_left = next_id < options.requests;
+    if (!work_left && outstanding == 0) break;
+    if (alive() == 0) {
+      // Every connection died; requests never sent count as transport
+      // errors so totals still add up.
+      for (std::uint64_t i = next_id; i < options.requests;
+           i += static_cast<std::uint64_t>(thread_count)) {
+        ++stats.transport_errors;
+      }
+      break;
+    }
+
+    // Poll phase.
+    int timeout_ms = 50;
+    if (open_loop && work_left) {
+      const double due = static_cast<double>(next_id) / options.rate;
+      const double wait = due - secs_since(t0);
+      timeout_ms = std::clamp(static_cast<int>(wait * 1000.0), 0, 50);
+    }
+    pfds.clear();
+    for (const LgConn& conn : conns) {
+      if (conn.dead) continue;
+      short events = POLLIN;
+      if (conn.wpos < conn.wbuf.size()) events |= POLLOUT;
+      pfds.push_back(pollfd{conn.fd, events, 0});
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+
+    // Read phase.
+    for (LgConn& conn : conns) {
+      if (conn.dead) continue;
+      std::uint8_t buf[16384];
+      for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (n > 0) {
+          conn.decoder.append({buf, static_cast<std::size_t>(n)});
+          if (n < static_cast<ssize_t>(sizeof buf)) break;
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        const std::uint64_t lost = conn.inflight.size();
+        conn.kill(stats);
+        outstanding -= lost;
+        break;
+      }
+      if (conn.dead) continue;
+
+      for (;;) {
+        const auto frame = conn.decoder.next();
+        if (!frame.has_value()) break;
+        const std::optional<Response> response = parse_response(*frame);
+        if (!response.has_value()) {
+          const std::uint64_t lost = conn.inflight.size();
+          conn.kill(stats);
+          outstanding -= lost;
+          break;
+        }
+        const auto it = conn.inflight.find(response->request_id);
+        if (it == conn.inflight.end()) {
+          const std::uint64_t lost = conn.inflight.size();
+          conn.kill(stats);
+          outstanding -= lost;
+          break;
+        }
+        now = secs_since(t0);
+        const double latency_ms = std::max(0.0, (now - it->second) * 1000.0);
+        conn.inflight.erase(it);
+        --outstanding;
+        account(*response, latency_ms, options.record, stats);
+        last_progress = now;
+      }
+      if (conn.decoder.corrupt()) {
+        const std::uint64_t lost = conn.inflight.size();
+        conn.kill(stats);
+        outstanding -= lost;
+      }
+    }
+
+    if (outstanding > 0 && secs_since(t0) - last_progress > idle_limit) {
+      stats.transport_errors += outstanding;
+      break;
+    }
+  }
+
+  for (LgConn& conn : conns) {
+    if (!conn.dead && conn.fd >= 0) ::close(conn.fd);
+  }
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+BlockingClient::~BlockingClient() { close(); }
+
+bool BlockingClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = connect_tcp(host, port);
+  return fd_ >= 0;
+}
+
+void BlockingClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  decoder_ = FrameDecoder(kMaxResponseFrame);
+}
+
+bool BlockingClient::call(const Request& request, Response& response) {
+  if (fd_ < 0) return false;
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, encode_request(request));
+  if (!send_all(fd_, frame.data(), frame.size())) {
+    close();
+    return false;
+  }
+  for (;;) {
+    const auto payload = decoder_.next();
+    if (payload.has_value()) {
+      const std::optional<Response> parsed = parse_response(*payload);
+      if (!parsed.has_value() || parsed->request_id != request.request_id) {
+        close();
+        return false;
+      }
+      response = *parsed;
+      return true;
+    }
+    if (decoder_.corrupt()) {
+      close();
+      return false;
+    }
+    std::uint8_t buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder_.append({buf, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();
+    return false;
+  }
+}
+
+LoadgenResult run_loadgen(const LoadgenOptions& options_in) {
+  LoadgenOptions options = options_in;
+  options.connections = std::max(1, options.connections);
+  options.threads = std::clamp(options.threads, 1, options.connections);
+  options.pipeline = std::max(1, options.pipeline);
+
+  LoadgenResult result;
+  if (options.requests == 0) return result;
+
+  if (options.asns.empty()) {
+    // Bootstrap: ask the server for its scored set, waiting (bounded by
+    // timeout_ms) for the first round to land if the feed is warming up.
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(options.timeout_ms);
+    BlockingClient boot;
+    for (;;) {
+      if (boot.connected() || boot.connect(options.host, options.port)) {
+        Request request;
+        request.opcode = Opcode::kAsns;
+        Response response;
+        if (boot.call(request, response) && response.status == Status::kOk &&
+            !response.asns.empty()) {
+          options.asns = response.asns;
+          break;
+        }
+      }
+      if (Clock::now() >= deadline) {
+        result.transport_errors = 1;
+        return result;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<ThreadStats> stats(static_cast<std::size_t>(options.threads));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < options.threads; ++t) {
+    threads.emplace_back(sender_thread, std::cref(options), t, options.threads,
+                         t0, std::ref(stats[static_cast<std::size_t>(t)]));
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.wall_s = secs_since(t0);
+
+  std::vector<double> latencies;
+  std::uint64_t min_seq = ~0ULL;
+  for (ThreadStats& s : stats) {
+    result.sent += s.sent;
+    result.received += s.received;
+    result.ok += s.ok;
+    result.no_data += s.no_data;
+    result.unknown_as += s.unknown_as;
+    result.bad_request += s.bad_request;
+    result.transport_errors += s.transport_errors;
+    min_seq = std::min(min_seq, s.min_seq);
+    result.max_epoch_sequence = std::max(result.max_epoch_sequence, s.max_seq);
+    latencies.insert(latencies.end(), s.latencies_ms.begin(),
+                     s.latencies_ms.end());
+    result.records.insert(result.records.end(),
+                          std::make_move_iterator(s.records.begin()),
+                          std::make_move_iterator(s.records.end()));
+  }
+  result.min_epoch_sequence = min_seq == ~0ULL ? 0 : min_seq;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_ms = percentile(latencies, 0.50);
+  result.p99_ms = percentile(latencies, 0.99);
+  result.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  result.qps =
+      result.wall_s > 0.0 ? static_cast<double>(result.received) / result.wall_s
+                          : 0.0;
+  return result;
+}
+
+bool write_record_csv(const std::vector<ScoreRecord>& records,
+                      const std::string& path) {
+  util::Table table({"date", "asn", "score"});
+  for (const ScoreRecord& record : records) {
+    table.add_row({util::Date(record.date_days).to_string(),
+                   std::to_string(record.asn), record.score_str});
+  }
+  return table.write_csv(path);
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+bool verify_record_against_published(const std::string& record_path,
+                                     const std::string& published_dir,
+                                     std::size_t* checked,
+                                     std::string* diag) {
+  if (checked != nullptr) *checked = 0;
+  const auto fail = [&](const std::string& why) {
+    if (diag != nullptr) *diag = why;
+    return false;
+  };
+
+  std::ifstream in(record_path);
+  if (!in) return fail("cannot open record file " + record_path);
+
+  // Published score tables, loaded lazily per round date: the mapping is
+  // asn -> the *raw* score field, compared byte-for-byte.
+  std::map<std::string, std::unordered_map<std::string, std::string>> rounds;
+  std::string line;
+  bool header = true;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (header) {
+      header = false;
+      if (line != "date,asn,score") {
+        return fail("unexpected record header: " + line);
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    if (fields.size() != 3) return fail("malformed record row: " + line);
+    const std::string& date = fields[0];
+    const std::string& asn = fields[1];
+    const std::string& score = fields[2];
+
+    auto round = rounds.find(date);
+    if (round == rounds.end()) {
+      const std::string path = published_dir + "/scores-" + date + ".csv";
+      std::ifstream scores(path);
+      if (!scores) {
+        return fail("no published round for recorded date " + date + " (" +
+                    path + ")");
+      }
+      std::unordered_map<std::string, std::string> table;
+      std::string srow;
+      bool sheader = true;
+      while (std::getline(scores, srow)) {
+        if (!srow.empty() && srow.back() == '\r') srow.pop_back();
+        if (sheader) {
+          sheader = false;
+          continue;
+        }
+        if (srow.empty()) continue;
+        const std::vector<std::string> sfields = split_csv_line(srow);
+        if (sfields.size() < 2) return fail("malformed published row: " + srow);
+        table.emplace(sfields[0], sfields[1]);
+      }
+      round = rounds.emplace(date, std::move(table)).first;
+    }
+
+    const auto it = round->second.find(asn);
+    if (it == round->second.end()) {
+      return fail("AS" + asn + " recorded on " + date +
+                  " but absent from the published round");
+    }
+    if (it->second != score) {
+      return fail("AS" + asn + " on " + date + ": served score \"" + score +
+                  "\" != published \"" + it->second + "\"");
+    }
+    ++n;
+  }
+  if (checked != nullptr) *checked = n;
+  if (n == 0) return fail("record file has no score rows — nothing verified");
+  return true;
+}
+
+}  // namespace rovista::serve

@@ -1,0 +1,283 @@
+#include "serve/rqp.h"
+
+#include <cstring>
+
+#include "persist/wire.h"
+
+namespace rovista::serve {
+
+using persist::ByteReader;
+using persist::ByteWriter;
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNone: return "NONE";
+    case Opcode::kPing: return "PING";
+    case Opcode::kScore: return "SCORE";
+    case Opcode::kTrajectory: return "TRAJECTORY";
+    case Opcode::kReach: return "REACH";
+    case Opcode::kAsns: return "ASNS";
+  }
+  return "?";
+}
+
+const char* status_name(Status st) noexcept {
+  switch (st) {
+    case Status::kOk: return "OK";
+    case Status::kNoData: return "NO_DATA";
+    case Status::kUnknownAs: return "UNKNOWN_AS";
+    case Status::kBadRequest: return "BAD_REQUEST";
+  }
+  return "?";
+}
+
+namespace {
+
+bool valid_request_opcode(std::uint8_t op) noexcept {
+  return op >= static_cast<std::uint8_t>(Opcode::kPing) &&
+         op <= static_cast<std::uint8_t>(Opcode::kAsns);
+}
+
+bool valid_response_opcode(std::uint8_t op) noexcept {
+  return op <= static_cast<std::uint8_t>(Opcode::kAsns);
+}
+
+bool valid_status(std::uint8_t st) noexcept {
+  return st <= static_cast<std::uint8_t>(Status::kBadRequest);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  ByteWriter w;
+  w.u8(kRqpVersion);
+  w.u8(static_cast<std::uint8_t>(request.opcode));
+  w.u32(request.request_id);
+  switch (request.opcode) {
+    case Opcode::kNone:
+    case Opcode::kPing:
+    case Opcode::kAsns:
+      break;
+    case Opcode::kScore:
+    case Opcode::kTrajectory:
+      w.u32(request.asn);
+      break;
+    case Opcode::kReach:
+      w.u32(request.asn);
+      w.u32(request.dst);
+      w.u16(request.port);
+      break;
+  }
+  return w.take();
+}
+
+std::optional<Request> parse_request(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  std::uint8_t version = 0, opcode = 0;
+  Request request;
+  if (!r.u8(version) || version != kRqpVersion) return std::nullopt;
+  if (!r.u8(opcode) || !valid_request_opcode(opcode)) return std::nullopt;
+  if (!r.u32(request.request_id)) return std::nullopt;
+  request.opcode = static_cast<Opcode>(opcode);
+  switch (request.opcode) {
+    case Opcode::kNone:
+    case Opcode::kPing:
+    case Opcode::kAsns:
+      break;
+    case Opcode::kScore:
+    case Opcode::kTrajectory:
+      if (!r.u32(request.asn)) return std::nullopt;
+      break;
+    case Opcode::kReach:
+      if (!r.u32(request.asn) || !r.u32(request.dst) || !r.u16(request.port)) {
+        return std::nullopt;
+      }
+      break;
+  }
+  if (!r.exhausted_ok()) return std::nullopt;  // canonical: nothing trails
+  return request;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  ByteWriter w;
+  w.u8(kRqpVersion);
+  w.u8(static_cast<std::uint8_t>(response.opcode));
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.u32(response.request_id);
+  w.u64(response.epoch_sequence);
+  w.i64(response.round_date_days);
+  if (response.status != Status::kOk) return w.take();  // no body on errors
+  switch (response.opcode) {
+    case Opcode::kNone:
+      break;
+    case Opcode::kPing:
+      w.u32(response.as_count);
+      w.u64(response.rounds_completed);
+      w.u64(response.world_digest);
+      break;
+    case Opcode::kScore: {
+      w.u32(response.asn);
+      w.f64(response.score);
+      w.u16(response.vvp_count);
+      w.u16(response.tnodes_consistent);
+      w.u16(response.tnodes_outbound);
+      const std::size_t len =
+          response.score_str.size() < 255 ? response.score_str.size() : 255;
+      w.u8(static_cast<std::uint8_t>(len));
+      w.bytes({reinterpret_cast<const std::uint8_t*>(response.score_str.data()),
+               len});
+      break;
+    }
+    case Opcode::kTrajectory:
+      w.u32(response.asn);
+      w.u32(static_cast<std::uint32_t>(response.trajectory.size()));
+      for (const TrajectoryPoint& p : response.trajectory) {
+        w.i64(p.date_days);
+        w.f64(p.score);
+      }
+      break;
+    case Opcode::kReach:
+      w.u8(response.reached ? 1 : 0);
+      w.u16(static_cast<std::uint16_t>(response.hops.size()));
+      for (const std::uint32_t hop : response.hops) w.u32(hop);
+      break;
+    case Opcode::kAsns:
+      w.u32(static_cast<std::uint32_t>(response.asns.size()));
+      for (const std::uint32_t asn : response.asns) w.u32(asn);
+      break;
+  }
+  return w.take();
+}
+
+std::optional<Response> parse_response(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  std::uint8_t version = 0, opcode = 0, status = 0;
+  Response response;
+  if (!r.u8(version) || version != kRqpVersion) return std::nullopt;
+  if (!r.u8(opcode) || !valid_response_opcode(opcode)) return std::nullopt;
+  if (!r.u8(status) || !valid_status(status)) return std::nullopt;
+  response.opcode = static_cast<Opcode>(opcode);
+  response.status = static_cast<Status>(status);
+  // Opcode NONE exists only so an unparseable request can still be
+  // answered; a NONE response claiming success is non-canonical.
+  if (response.opcode == Opcode::kNone && response.status == Status::kOk) {
+    return std::nullopt;
+  }
+  if (!r.u32(response.request_id) || !r.u64(response.epoch_sequence) ||
+      !r.i64(response.round_date_days)) {
+    return std::nullopt;
+  }
+  if (response.status != Status::kOk) {
+    if (!r.exhausted_ok()) return std::nullopt;  // errors carry no body
+    return response;
+  }
+  switch (response.opcode) {
+    case Opcode::kNone:
+      return std::nullopt;  // unreachable (checked above)
+    case Opcode::kPing:
+      if (!r.u32(response.as_count) || !r.u64(response.rounds_completed) ||
+          !r.u64(response.world_digest)) {
+        return std::nullopt;
+      }
+      break;
+    case Opcode::kScore: {
+      std::uint8_t len = 0;
+      if (!r.u32(response.asn) || !r.f64(response.score) ||
+          !r.u16(response.vvp_count) || !r.u16(response.tnodes_consistent) ||
+          !r.u16(response.tnodes_outbound) || !r.u8(len)) {
+        return std::nullopt;
+      }
+      if (r.remaining() != len) return std::nullopt;
+      response.score_str.resize(len);
+      for (std::uint8_t i = 0; i < len; ++i) {
+        std::uint8_t byte = 0;
+        if (!r.u8(byte)) return std::nullopt;
+        response.score_str[i] = static_cast<char>(byte);
+      }
+      break;
+    }
+    case Opcode::kTrajectory: {
+      std::uint32_t count = 0;
+      if (!r.u32(response.asn) || !r.u32(count)) return std::nullopt;
+      if (r.remaining() != static_cast<std::size_t>(count) * 16) {
+        return std::nullopt;  // count must match the bytes actually present
+      }
+      response.trajectory.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (!r.i64(response.trajectory[i].date_days) ||
+            !r.f64(response.trajectory[i].score)) {
+          return std::nullopt;
+        }
+      }
+      break;
+    }
+    case Opcode::kReach: {
+      std::uint16_t count = 0;
+      if (!r.u8(response.reached) || response.reached > 1 || !r.u16(count)) {
+        return std::nullopt;
+      }
+      if (r.remaining() != static_cast<std::size_t>(count) * 4) {
+        return std::nullopt;
+      }
+      response.hops.resize(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        if (!r.u32(response.hops[i])) return std::nullopt;
+      }
+      break;
+    }
+    case Opcode::kAsns: {
+      std::uint32_t count = 0;
+      if (!r.u32(count)) return std::nullopt;
+      if (r.remaining() != static_cast<std::size_t>(count) * 4) {
+        return std::nullopt;
+      }
+      response.asns.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (!r.u32(response.asns[i])) return std::nullopt;
+      }
+      break;
+    }
+  }
+  if (!r.exhausted_ok()) return std::nullopt;
+  return response;
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void FrameDecoder::append(std::span<const std::uint8_t> bytes) {
+  if (corrupt_) return;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameDecoder::next() {
+  if (corrupt_ || buf_.size() - pos_ < 4) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t len = std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+                            (std::uint32_t{p[2]} << 16) |
+                            (std::uint32_t{p[3]} << 24);
+  if (len == 0 || len > max_frame_) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ - 4 < len) return std::nullopt;
+  std::vector<std::uint8_t> payload(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                                    buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return payload;
+}
+
+}  // namespace rovista::serve

@@ -1,0 +1,148 @@
+// RQP v1 — the RoVista Query Protocol (docs/FORMATS.md §3).
+//
+// The `rovista serve` daemon answers ROV-score, per-AS trajectory and
+// reachability queries over a length-prefixed binary protocol: every
+// frame is a u32 little-endian payload length followed by the payload,
+// and every payload is encoded with the same canonical little-endian
+// primitives as the RVCP checkpoint container (persist/wire.h). Like
+// RVCP, the encoding is canonical — exactly one byte sequence per
+// logical message, no trailing bytes — so parse → serialize is
+// bit-identical whenever parse succeeds. The tier-1 fuzz battery
+// (tests/test_rqp.cpp) holds both directions to that contract.
+//
+// The SCORE response carries, besides the IEEE-754 score, the exact
+// ASCII score field the published CSV dataset would contain for that
+// round (`util::fmt_double(score, 2)`), so a client can byte-compare a
+// live answer against `scores-YYYY-MM-DD.csv` — the torn-read oracle
+// the tier-1 concurrent-publish stage is built on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rovista::serve {
+
+/// Protocol version carried in every payload.
+inline constexpr std::uint8_t kRqpVersion = 1;
+
+/// Frame size ceilings (payload bytes, excluding the length prefix).
+/// Requests are tiny by construction; responses are bounded by the
+/// trajectory of the longest-lived AS. A peer sending a larger frame is
+/// violating the protocol and gets its connection closed.
+inline constexpr std::size_t kMaxRequestFrame = 64;
+inline constexpr std::size_t kMaxResponseFrame = 1 << 20;
+
+enum class Opcode : std::uint8_t {
+  kNone = 0,  // responses only: the request could not even be parsed
+  kPing = 1,
+  kScore = 2,
+  kTrajectory = 3,
+  kReach = 4,
+  kAsns = 5,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNoData = 1,      // no round published yet (or no epoch for REACH)
+  kUnknownAs = 2,   // AS not scored (SCORE/TRAJECTORY) / not in the graph
+  kBadRequest = 3,  // malformed payload, bad version or unknown opcode
+};
+
+const char* opcode_name(Opcode op) noexcept;
+const char* status_name(Status st) noexcept;
+
+struct Request {
+  Opcode opcode = Opcode::kPing;
+  std::uint32_t request_id = 0;
+  std::uint32_t asn = 0;   // SCORE / TRAJECTORY / REACH
+  std::uint32_t dst = 0;   // REACH: destination IPv4 (host order)
+  std::uint16_t port = 0;  // REACH: destination TCP port
+
+  bool operator==(const Request&) const = default;
+};
+
+struct TrajectoryPoint {
+  std::int64_t date_days = 0;  // days since 1970-01-01 (util::Date)
+  double score = 0.0;
+
+  bool operator==(const TrajectoryPoint&) const = default;
+};
+
+struct Response {
+  Opcode opcode = Opcode::kNone;
+  Status status = Status::kOk;
+  std::uint32_t request_id = 0;
+  // Which snapshot answered: the feed's publish sequence and the round
+  // date (days since epoch). Zero when nothing has been published.
+  std::uint64_t epoch_sequence = 0;
+  std::int64_t round_date_days = 0;
+
+  // PING body.
+  std::uint32_t as_count = 0;
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t world_digest = 0;
+
+  // SCORE body.
+  std::uint32_t asn = 0;
+  double score = 0.0;
+  std::uint16_t vvp_count = 0;
+  std::uint16_t tnodes_consistent = 0;
+  std::uint16_t tnodes_outbound = 0;
+  std::string score_str;  // exact published-CSV score field
+
+  // TRAJECTORY body.
+  std::vector<TrajectoryPoint> trajectory;
+
+  // REACH body.
+  std::uint8_t reached = 0;  // strictly 0 or 1 on the wire
+  std::vector<std::uint32_t> hops;
+
+  // ASNS body.
+  std::vector<std::uint32_t> asns;
+
+  bool operator==(const Response&) const = default;
+};
+
+/// Encode a payload (no length prefix). The result is canonical.
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+/// Parse a payload. Returns nullopt on any deviation from the canonical
+/// encoding: short/trailing bytes, bad version, unknown opcode/status,
+/// a body present where the status forbids one, or non-minimal fields.
+std::optional<Request> parse_request(std::span<const std::uint8_t> payload);
+std::optional<Response> parse_response(std::span<const std::uint8_t> payload);
+
+/// Append `payload` to `out` as a length-prefixed frame.
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> payload);
+
+/// Incremental frame splitter for one byte stream (per connection).
+/// Feed it raw socket bytes; it yields complete payloads in order. A
+/// zero-length or over-limit frame latches `corrupt()` — the peer is
+/// not speaking RQP and the connection must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame) : max_frame_(max_frame) {}
+
+  void append(std::span<const std::uint8_t> bytes);
+
+  /// Next complete payload, or nullopt if more bytes are needed (or the
+  /// stream is corrupt).
+  std::optional<std::vector<std::uint8_t>> next();
+
+  bool corrupt() const noexcept { return corrupt_; }
+  /// Bytes buffered but not yet consumed as complete frames.
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool corrupt_ = false;
+};
+
+}  // namespace rovista::serve

@@ -1,0 +1,111 @@
+#include "serve/score_feed.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/csv.h"
+
+namespace rovista::serve {
+
+namespace {
+
+bool score_asn_less(const core::AsScore& a, Asn asn) noexcept {
+  return a.asn < asn;
+}
+
+}  // namespace
+
+const core::AsScore* RoundSnapshot::find(Asn asn) const noexcept {
+  const auto it =
+      std::lower_bound(scores.begin(), scores.end(), asn, score_asn_less);
+  if (it == scores.end() || it->asn != asn) return nullptr;
+  return &*it;
+}
+
+const std::string* RoundSnapshot::score_str(Asn asn) const noexcept {
+  const auto it =
+      std::lower_bound(scores.begin(), scores.end(), asn, score_asn_less);
+  if (it == scores.end() || it->asn != asn) return nullptr;
+  return &score_strs[static_cast<std::size_t>(it - scores.begin())];
+}
+
+std::shared_ptr<const RoundSnapshot> ScoreFeed::publish(
+    Date date, std::span<const core::AsScore> scores,
+    snapshot::EpochRef epoch) {
+  auto snapshot = std::make_shared<RoundSnapshot>();
+  snapshot->date = date;
+  if (epoch) snapshot->world_digest = epoch->digest();
+  snapshot->epoch = std::move(epoch);
+  snapshot->scores.assign(scores.begin(), scores.end());
+  std::sort(snapshot->scores.begin(), snapshot->scores.end(),
+            [](const core::AsScore& a, const core::AsScore& b) {
+              return a.asn < b.asn;
+            });
+  snapshot->score_strs.reserve(snapshot->scores.size());
+  for (const core::AsScore& s : snapshot->scores) {
+    snapshot->score_strs.push_back(util::fmt_double(s.score, 2));
+  }
+
+  // Extend the previous snapshot's trajectory. The map is copied whole
+  // (rounds × ASes is small next to a measurement round); old snapshots
+  // keep theirs untouched, so in-flight readers never see the append.
+  std::shared_ptr<const RoundSnapshot> previous = current();
+  auto trajectory =
+      previous && previous->trajectory
+          ? std::make_shared<RoundSnapshot::Trajectory>(*previous->trajectory)
+          : std::make_shared<RoundSnapshot::Trajectory>();
+  for (const core::AsScore& s : snapshot->scores) {
+    (*trajectory)[s.asn].push_back(
+        TrajectoryPoint{date.days_since_epoch(), s.score});
+  }
+  snapshot->trajectory = std::move(trajectory);
+  snapshot->rounds_completed = (previous ? previous->rounds_completed : 0) + 1;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot->sequence = ++sequence_;
+  current_ = snapshot;
+  return snapshot;
+}
+
+void ScoreFeed::seed_from_store(const core::LongitudinalStore& store) {
+  const std::vector<Date> dates = store.dates();
+  if (dates.empty()) return;
+
+  auto snapshot = std::make_shared<RoundSnapshot>();
+  auto trajectory = std::make_shared<RoundSnapshot::Trajectory>();
+  for (const Asn asn : store.ases()) {
+    for (const auto& [date, score] : store.series(asn)) {
+      (*trajectory)[asn].push_back(
+          TrajectoryPoint{date.days_since_epoch(), score});
+    }
+  }
+  const Date last = dates.back();
+  for (const Asn asn : store.ases()) {
+    const auto score = store.score_on(asn, last);
+    if (!score.has_value()) continue;
+    core::AsScore s;
+    s.asn = asn;
+    s.score = *score;
+    snapshot->scores.push_back(s);  // store.ases() is ascending: sorted
+    snapshot->score_strs.push_back(util::fmt_double(*score, 2));
+  }
+  snapshot->date = last;
+  snapshot->trajectory = std::move(trajectory);
+  snapshot->rounds_completed = dates.size();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot->sequence = ++sequence_;
+  current_ = std::move(snapshot);
+}
+
+std::shared_ptr<const RoundSnapshot> ScoreFeed::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ScoreFeed::published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sequence_;
+}
+
+}  // namespace rovista::serve

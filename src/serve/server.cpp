@@ -1,0 +1,171 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "dataplane/traceroute.h"
+
+namespace rovista::serve {
+
+Server::Server(ServerOptions options, std::shared_ptr<ScoreFeed> feed)
+    : options_(options), feed_(std::move(feed)) {
+  if (options_.workers < 1) options_.workers = 1;
+  slots_.resize(static_cast<std::size_t>(options_.workers));
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  IoServiceOptions io;
+  io.port = options_.port;
+  io.workers = options_.workers;
+  io.max_frame = kMaxRequestFrame;
+  io.drain_timeout_ms = options_.drain_timeout_ms;
+  return io_.start(io, *this);
+}
+
+void Server::stop() {
+  io_.stop();
+  for (WorkerSlot& slot : slots_) {
+    slot.snapshot.reset();
+    slot.reader.reset();
+    slot.reader_sequence = 0;
+  }
+}
+
+void Server::begin_batch(int worker) {
+  // The batch pin: one feed acquisition (and through the snapshot, one
+  // epoch pin) covers every frame answered until end_batch.
+  slots_[static_cast<std::size_t>(worker)].snapshot = feed_->current();
+}
+
+void Server::end_batch(int worker) {
+  // Release the pin; the cached EpochReader may outlive it legitimately
+  // (it holds its own EpochRef) and is replaced when the feed moves on.
+  slots_[static_cast<std::size_t>(worker)].snapshot.reset();
+}
+
+void Server::on_frame(int worker, std::span<const std::uint8_t> payload,
+                      std::vector<std::uint8_t>& out) {
+  Response response;
+  const std::optional<Request> request = parse_request(payload);
+  if (!request.has_value()) {
+    response.opcode = Opcode::kNone;
+    response.status = Status::kBadRequest;
+  } else {
+    response = answer(worker, *request);
+  }
+  const std::vector<std::uint8_t> encoded = encode_response(response);
+  append_frame(out, encoded);
+}
+
+Response Server::answer(int worker, const Request& request) {
+  WorkerSlot& slot = slots_[static_cast<std::size_t>(worker)];
+  const RoundSnapshot* snap = slot.snapshot.get();
+
+  Response response;
+  response.opcode = request.opcode;
+  response.request_id = request.request_id;
+  response.status = Status::kOk;
+  if (snap != nullptr) {
+    response.epoch_sequence = snap->sequence;
+    response.round_date_days = snap->date.days_since_epoch();
+  }
+
+  switch (request.opcode) {
+    case Opcode::kNone:
+      response.status = Status::kBadRequest;
+      break;
+
+    case Opcode::kPing:
+      // PING succeeds even before the first round: sequence 0 tells the
+      // client the feed is still warming up.
+      if (snap != nullptr) {
+        response.as_count = static_cast<std::uint32_t>(snap->scores.size());
+        response.rounds_completed = snap->rounds_completed;
+        response.world_digest = snap->world_digest;
+      }
+      break;
+
+    case Opcode::kScore: {
+      if (snap == nullptr) {
+        response.status = Status::kNoData;
+        break;
+      }
+      const core::AsScore* score = snap->find(request.asn);
+      if (score == nullptr) {
+        response.status = Status::kUnknownAs;
+        break;
+      }
+      response.asn = request.asn;
+      response.score = score->score;
+      response.vvp_count = static_cast<std::uint16_t>(score->vvp_count);
+      response.tnodes_consistent =
+          static_cast<std::uint16_t>(score->tnodes_consistent);
+      response.tnodes_outbound =
+          static_cast<std::uint16_t>(score->tnodes_outbound);
+      response.score_str = *snap->score_str(request.asn);
+      break;
+    }
+
+    case Opcode::kTrajectory: {
+      if (snap == nullptr || !snap->trajectory) {
+        response.status = Status::kNoData;
+        break;
+      }
+      const auto it = snap->trajectory->find(request.asn);
+      if (it == snap->trajectory->end()) {
+        response.status = Status::kUnknownAs;
+        break;
+      }
+      response.asn = request.asn;
+      response.trajectory = it->second;
+      break;
+    }
+
+    case Opcode::kReach: {
+      if (snap == nullptr || !snap->epoch) {
+        // Warm-started rounds have scores but no epoch; reachability
+        // needs a live frozen world.
+        response.status = Status::kNoData;
+        break;
+      }
+      if (slot.reader == nullptr || slot.reader_sequence != snap->sequence) {
+        // New epoch since the last REACH on this worker: stamp a fresh
+        // private plane off the frozen world. The reader owns its own
+        // EpochRef, so the old epoch is released here (grace period =
+        // pin lifetime) and the new one stays alive across batches.
+        slot.reader = snapshot::make_reader(snap->epoch);
+        slot.reader_sequence = snap->sequence;
+      }
+      const snapshot::EpochWorld& world = slot.reader->epoch();
+      if (!world.graph().contains(request.asn)) {
+        response.status = Status::kUnknownAs;
+        break;
+      }
+      const dataplane::TracerouteResult result = dataplane::tcp_traceroute(
+          slot.reader->plane(), request.asn, net::Ipv4Address(request.dst),
+          request.port);
+      response.reached = result.reached ? 1 : 0;
+      response.hops.reserve(result.hops.size());
+      for (const topology::Asn hop : result.hops) {
+        response.hops.push_back(hop);
+      }
+      break;
+    }
+
+    case Opcode::kAsns: {
+      if (snap == nullptr) {
+        response.status = Status::kNoData;
+        break;
+      }
+      response.asns.reserve(snap->scores.size());
+      for (const core::AsScore& s : snap->scores) {
+        response.asns.push_back(s.asn);
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+}  // namespace rovista::serve

@@ -1,0 +1,72 @@
+// `rovista serve` — the ROV-score query server.
+//
+// Server glues the three pieces together: the io-service (accept +
+// worker threads, request batching), the ScoreFeed (immutable per-round
+// snapshots) and the epoch-snapshot engine (frozen worlds for
+// reachability). Per batch, a worker pins the feed's current snapshot
+// in begin_batch and answers every frame of the batch from it — the
+// snapshot holds an EpochRef, so the pin lifetime is the batch and a
+// concurrent EpochPublisher::publish never stalls a reader nor tears a
+// response (the acceptance contract of the tier-1 concurrent-publish
+// stage). For REACH queries each worker lazily stamps one EpochReader
+// per epoch (private data plane, shared frozen routing) and reuses it
+// until the feed moves to a newer epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/io_service.h"
+#include "serve/rqp.h"
+#include "serve/score_feed.h"
+#include "snapshot/world_source.h"
+
+namespace rovista::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral (read back via port())
+  int workers = 2;
+  int drain_timeout_ms = 5000;
+};
+
+class Server final : public RequestHandler {
+ public:
+  Server(ServerOptions options, std::shared_ptr<ScoreFeed> feed);
+  ~Server() override;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  bool start();
+  void stop();  // graceful: flush in-flight responses, then close
+  bool running() const noexcept { return io_.running(); }
+  std::uint16_t port() const noexcept { return io_.port(); }
+
+  const IoService& io() const noexcept { return io_; }
+  ScoreFeed& feed() noexcept { return *feed_; }
+
+  // RequestHandler (called from worker threads only).
+  void begin_batch(int worker) override;
+  void on_frame(int worker, std::span<const std::uint8_t> payload,
+                std::vector<std::uint8_t>& out) override;
+  void end_batch(int worker) override;
+
+ private:
+  Response answer(int worker, const Request& request);
+
+  // One slot per worker, touched only by that worker's thread; padded
+  // so neighbouring workers do not false-share.
+  struct alignas(64) WorkerSlot {
+    std::shared_ptr<const RoundSnapshot> snapshot;  // the batch pin
+    std::uint64_t reader_sequence = 0;
+    std::unique_ptr<snapshot::EpochReader> reader;  // REACH world, cached
+  };
+
+  ServerOptions options_;
+  std::shared_ptr<ScoreFeed> feed_;
+  std::vector<WorkerSlot> slots_;
+  IoService io_;
+};
+
+}  // namespace rovista::serve

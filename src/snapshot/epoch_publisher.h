@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "scenario/scenario.h"
 #include "snapshot/epoch_world.h"
@@ -81,12 +82,28 @@ class EpochPublisher {
     return live_->load(std::memory_order_relaxed);
   }
 
+  /// Pin-leak diagnostic: when a publish() leaves more than `depth`
+  /// epochs alive, log one kWarn line per stuck epoch (sequence, digest
+  /// and current pin count) so a reader that forgot to release its
+  /// EpochRef is attributable. 0 disables the check (the default —
+  /// deep chains are legitimate while many readers straddle rounds).
+  void set_live_epoch_warn_depth(long depth) noexcept {
+    warn_depth_.store(depth, std::memory_order_relaxed);
+  }
+  long live_epoch_warn_depth() const noexcept {
+    return warn_depth_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::unique_ptr<scenario::Scenario> world_;
   std::shared_ptr<std::atomic<long>> live_;
   std::atomic<std::uint64_t> sequence_{0};
+  std::atomic<long> warn_depth_{0};
   mutable std::mutex current_mutex_;
   std::shared_ptr<const EpochWorld> current_;
+  /// Every published epoch, weakly held; pruned on publish. Guarded by
+  /// current_mutex_.
+  std::vector<std::weak_ptr<const EpochWorld>> published_;
 };
 
 }  // namespace rovista::snapshot

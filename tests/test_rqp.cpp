@@ -1,0 +1,407 @@
+// RQP v1 codec: golden wire vectors, rejection rules, frame decoding,
+// and the shared parse→serialize bit-identity fuzz battery — run over
+// both the RQP messages and the raw net::headers encoders (the two
+// byte-level codecs that claim canonical encodings; see
+// tests/wire_fuzz.h for the property).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/ipv4.h"
+#include "serve/rqp.h"
+#include "wire_fuzz.h"
+
+using namespace rovista;
+using namespace rovista::serve;
+using rovista::net::Ipv4Address;
+using rovista::net::Ipv4Header;
+using rovista::net::TcpHeader;
+using rovista::test::run_wire_fuzz;
+
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> list) {
+  std::vector<std::uint8_t> v;
+  for (const int b : list) v.push_back(static_cast<std::uint8_t>(b));
+  return v;
+}
+
+// ---------- golden wire vectors (docs/FORMATS.md section 3) ----------
+
+TEST(RqpGolden, PingRequest) {
+  Request request;
+  request.opcode = Opcode::kPing;
+  request.request_id = 7;
+  EXPECT_EQ(encode_request(request), bytes_of({0x01, 0x01, 7, 0, 0, 0}));
+}
+
+TEST(RqpGolden, ScoreRequest) {
+  Request request;
+  request.opcode = Opcode::kScore;
+  request.request_id = 0x01020304;
+  request.asn = 0x0a0b0c0d;
+  EXPECT_EQ(encode_request(request),
+            bytes_of({0x01, 0x02, 0x04, 0x03, 0x02, 0x01, 0x0d, 0x0c, 0x0b,
+                      0x0a}));
+}
+
+TEST(RqpGolden, ReachRequest) {
+  Request request;
+  request.opcode = Opcode::kReach;
+  request.request_id = 1;
+  request.asn = 2;
+  request.dst = 0x7f000001;  // 127.0.0.1
+  request.port = 179;
+  EXPECT_EQ(encode_request(request),
+            bytes_of({0x01, 0x04, 1, 0, 0, 0, 2, 0, 0, 0, 0x01, 0x00, 0x00,
+                      0x7f, 0xb3, 0x00}));
+}
+
+TEST(RqpGolden, ErrorResponseCarriesNoBody) {
+  Response response;
+  response.opcode = Opcode::kScore;
+  response.status = Status::kUnknownAs;
+  response.request_id = 9;
+  response.epoch_sequence = 3;
+  response.round_date_days = 18985;  // 2021-12-24
+  EXPECT_EQ(encode_response(response),
+            bytes_of({0x01, 0x02, 0x02, 9, 0, 0, 0,          // hdr + id
+                      3, 0, 0, 0, 0, 0, 0, 0,                // epoch seq
+                      0x29, 0x4a, 0, 0, 0, 0, 0, 0}));       // date days
+}
+
+TEST(RqpGolden, ScoreResponse) {
+  Response response;
+  response.opcode = Opcode::kScore;
+  response.status = Status::kOk;
+  response.request_id = 1;
+  response.epoch_sequence = 1;
+  response.round_date_days = 1;
+  response.asn = 64512;
+  response.score = 0.5;
+  response.vvp_count = 2;
+  response.tnodes_consistent = 3;
+  response.tnodes_outbound = 4;
+  response.score_str = "0.50";
+  EXPECT_EQ(encode_response(response),
+            bytes_of({0x01, 0x02, 0x00, 1, 0, 0, 0,           // hdr + id
+                      1, 0, 0, 0, 0, 0, 0, 0,                 // epoch seq
+                      1, 0, 0, 0, 0, 0, 0, 0,                 // date days
+                      0x00, 0xfc, 0x00, 0x00,                 // asn 64512
+                      0, 0, 0, 0, 0, 0, 0xe0, 0x3f,           // 0.5 LE IEEE
+                      2, 0, 3, 0, 4, 0,                       // counters
+                      4, '0', '.', '5', '0'}));               // score string
+}
+
+// ---------- structural round trips ----------
+
+TEST(RqpRoundTrip, EveryRequestOpcode) {
+  for (const Opcode op : {Opcode::kPing, Opcode::kScore, Opcode::kTrajectory,
+                          Opcode::kReach, Opcode::kAsns}) {
+    Request request;
+    request.opcode = op;
+    request.request_id = 0xdeadbeef;
+    request.asn = 65001;
+    request.dst = 0x0a000001;
+    request.port = 443;
+    const auto parsed = parse_request(encode_request(request));
+    ASSERT_TRUE(parsed.has_value()) << opcode_name(op);
+    EXPECT_EQ(parsed->opcode, op);
+    EXPECT_EQ(parsed->request_id, 0xdeadbeefu);
+    EXPECT_EQ(encode_request(*parsed), encode_request(request))
+        << opcode_name(op);
+  }
+}
+
+TEST(RqpRoundTrip, TrajectoryResponse) {
+  Response response;
+  response.opcode = Opcode::kTrajectory;
+  response.status = Status::kOk;
+  response.request_id = 12;
+  response.epoch_sequence = 4;
+  response.round_date_days = 19000;
+  response.asn = 65001;
+  response.trajectory = {{18985, 0.25}, {19000, 0.75}};
+  const auto parsed = parse_response(encode_response(response));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->trajectory.size(), 2u);
+  EXPECT_EQ(parsed->trajectory[0].date_days, 18985);
+  EXPECT_EQ(parsed->trajectory[0].score, 0.25);
+  EXPECT_EQ(parsed->trajectory[1].score, 0.75);
+}
+
+TEST(RqpRoundTrip, ReachAndAsnsResponses) {
+  Response reach;
+  reach.opcode = Opcode::kReach;
+  reach.status = Status::kOk;
+  reach.request_id = 2;
+  reach.reached = 1;
+  reach.hops = {64500, 64501, 64502};
+  const auto parsed_reach = parse_response(encode_response(reach));
+  ASSERT_TRUE(parsed_reach.has_value());
+  EXPECT_EQ(parsed_reach->reached, 1);
+  EXPECT_EQ(parsed_reach->hops, reach.hops);
+
+  Response asns;
+  asns.opcode = Opcode::kAsns;
+  asns.status = Status::kOk;
+  asns.request_id = 3;
+  asns.asns = {1, 2, 3, 4};
+  const auto parsed_asns = parse_response(encode_response(asns));
+  ASSERT_TRUE(parsed_asns.has_value());
+  EXPECT_EQ(parsed_asns->asns, asns.asns);
+}
+
+// ---------- rejection rules ----------
+
+TEST(RqpReject, BadVersionOpcodeAndTrailing) {
+  Request request;
+  request.opcode = Opcode::kPing;
+  auto bytes = encode_request(request);
+  auto wrong_version = bytes;
+  wrong_version[0] = 2;
+  EXPECT_FALSE(parse_request(wrong_version).has_value());
+  auto wrong_opcode = bytes;
+  wrong_opcode[1] = 0x99;
+  EXPECT_FALSE(parse_request(wrong_opcode).has_value());
+  auto none_opcode = bytes;
+  none_opcode[1] = 0;  // NONE is never a valid request
+  EXPECT_FALSE(parse_request(none_opcode).has_value());
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(parse_request(trailing).has_value());
+  bytes.pop_back();
+  EXPECT_FALSE(parse_request(bytes).has_value());
+}
+
+TEST(RqpReject, NoneResponseClaimingOk) {
+  Response response;
+  response.opcode = Opcode::kNone;
+  response.status = Status::kBadRequest;
+  const auto bytes = encode_response(response);
+  EXPECT_TRUE(parse_response(bytes).has_value());
+  auto ok = bytes;
+  ok[2] = 0;  // status OK with opcode NONE: non-canonical
+  EXPECT_FALSE(parse_response(ok).has_value());
+}
+
+TEST(RqpReject, ErrorResponseWithBody) {
+  Response response;
+  response.opcode = Opcode::kScore;
+  response.status = Status::kNoData;
+  auto bytes = encode_response(response);
+  bytes.push_back(0x41);
+  EXPECT_FALSE(parse_response(bytes).has_value());
+}
+
+TEST(RqpReject, CountMismatchAndBadReached) {
+  Response asns;
+  asns.opcode = Opcode::kAsns;
+  asns.status = Status::kOk;
+  asns.asns = {1, 2};
+  auto bytes = encode_response(asns);
+  // Bump the element count without providing the elements.
+  bytes[23] = 3;
+  EXPECT_FALSE(parse_response(bytes).has_value());
+
+  Response reach;
+  reach.opcode = Opcode::kReach;
+  reach.status = Status::kOk;
+  reach.reached = 1;
+  auto rbytes = encode_response(reach);
+  rbytes[23] = 2;  // `reached` must be 0 or 1
+  EXPECT_FALSE(parse_response(rbytes).has_value());
+}
+
+// ---------- frame decoding ----------
+
+TEST(FrameDecoder, ReassemblesSplitAndBatchedFrames) {
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, bytes_of({1, 2, 3}));
+  append_frame(wire, bytes_of({4}));
+  append_frame(wire, bytes_of({5, 6}));
+
+  FrameDecoder decoder(64);
+  // Drip-feed one byte at a time: frames must reassemble exactly.
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const std::uint8_t b : wire) {
+    decoder.append({&b, 1});
+    for (;;) {
+      auto frame = decoder.next();
+      if (!frame.has_value()) break;
+      frames.push_back(*frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], bytes_of({1, 2, 3}));
+  EXPECT_EQ(frames[1], bytes_of({4}));
+  EXPECT_EQ(frames[2], bytes_of({5, 6}));
+  EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(FrameDecoder, ZeroLengthAndOversizeFramesAreCorrupt) {
+  FrameDecoder zero(64);
+  zero.append(bytes_of({0, 0, 0, 0}));
+  EXPECT_FALSE(zero.next().has_value());
+  EXPECT_TRUE(zero.corrupt());
+
+  FrameDecoder oversize(64);
+  oversize.append(bytes_of({65, 0, 0, 0}));
+  EXPECT_FALSE(oversize.next().has_value());
+  EXPECT_TRUE(oversize.corrupt());
+
+  // Exactly at the cap is fine.
+  FrameDecoder at_cap(64);
+  std::vector<std::uint8_t> wire;
+  append_frame(wire, std::vector<std::uint8_t>(64, 0xaa));
+  at_cap.append(wire);
+  const auto frame = at_cap.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size(), 64u);
+  EXPECT_FALSE(at_cap.corrupt());
+}
+
+// ---------- the shared fuzz battery ----------
+
+TEST(WireFuzz, RqpRequestsAreCanonical) {
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const Opcode op : {Opcode::kPing, Opcode::kScore, Opcode::kTrajectory,
+                          Opcode::kReach, Opcode::kAsns}) {
+    Request request;
+    request.opcode = op;
+    request.request_id = 41;
+    request.asn = 64512;
+    request.dst = 0x7f000001;
+    request.port = 80;
+    seeds.push_back(encode_request(request));
+  }
+  const auto stats = run_wire_fuzz(
+      "rqp-request", seeds,
+      [](std::span<const std::uint8_t> in)
+          -> std::optional<std::vector<std::uint8_t>> {
+        const auto parsed = parse_request(in);
+        if (!parsed.has_value()) return std::nullopt;
+        return encode_request(*parsed);
+      },
+      /*rng_seed=*/0x5152u);
+  // No checksum in RQP: plenty of mutants stay valid encodings, so the
+  // battery really is exercising the accept-and-round-trip arm.
+  EXPECT_GT(stats.accepted, 0u);
+}
+
+TEST(WireFuzz, RqpResponsesAreCanonical) {
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (const Status st : {Status::kOk, Status::kNoData, Status::kUnknownAs}) {
+    for (const Opcode op : {Opcode::kPing, Opcode::kScore,
+                            Opcode::kTrajectory, Opcode::kReach,
+                            Opcode::kAsns}) {
+      Response response;
+      response.opcode = op;
+      response.status = st;
+      response.request_id = 11;
+      response.epoch_sequence = 2;
+      response.round_date_days = 18985;
+      response.asn = 64512;
+      response.score = 0.75;
+      response.vvp_count = 2;
+      response.tnodes_consistent = 5;
+      response.tnodes_outbound = 1;
+      response.score_str = "0.75";
+      response.as_count = 20;
+      response.rounds_completed = 3;
+      response.world_digest = 0x12345678u;
+      response.trajectory = {{18985, 0.5}, {19005, 0.75}};
+      response.reached = 1;
+      response.hops = {64500, 64501};
+      response.asns = {1, 2, 3};
+      seeds.push_back(encode_response(response));
+    }
+  }
+  Response none;
+  none.opcode = Opcode::kNone;
+  none.status = Status::kBadRequest;
+  seeds.push_back(encode_response(none));
+
+  const auto stats = run_wire_fuzz(
+      "rqp-response", seeds,
+      [](std::span<const std::uint8_t> in)
+          -> std::optional<std::vector<std::uint8_t>> {
+        const auto parsed = parse_response(in);
+        if (!parsed.has_value()) return std::nullopt;
+        return encode_response(*parsed);
+      },
+      /*rng_seed=*/0x6263u);
+  EXPECT_GT(stats.accepted, 0u);
+}
+
+TEST(WireFuzz, Ipv4HeaderIsCanonical) {
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (int i = 0; i < 4; ++i) {
+    Ipv4Header h;
+    h.source =
+        Ipv4Address::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+    h.destination = Ipv4Address::from_octets(192, 0, 2, 7);
+    h.identification = static_cast<std::uint16_t>(0x1000 + i);
+    h.total_length = static_cast<std::uint16_t>(40 + i);
+    h.ttl = static_cast<std::uint8_t>(64 - i);
+    const auto bytes = h.serialize();
+    seeds.emplace_back(bytes.begin(), bytes.end());
+  }
+  run_wire_fuzz(
+      "ipv4-header", seeds,
+      [](std::span<const std::uint8_t> in)
+          -> std::optional<std::vector<std::uint8_t>> {
+        const auto parsed = Ipv4Header::parse(in);
+        if (!parsed.has_value()) return std::nullopt;
+        // parse ignores bytes beyond kSize, so only exact-length inputs
+        // can claim bit-identity; longer accepted inputs are prefixes.
+        if (in.size() != Ipv4Header::kSize) return std::nullopt;
+        const auto out = parsed->serialize();
+        return std::vector<std::uint8_t>(out.begin(), out.end());
+      },
+      /*rng_seed=*/0x7374u);
+}
+
+TEST(WireFuzz, TcpHeaderIsCanonical) {
+  const Ipv4Address src = Ipv4Address::from_octets(10, 0, 0, 1);
+  const Ipv4Address dst = Ipv4Address::from_octets(10, 0, 0, 2);
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (int i = 0; i < 4; ++i) {
+    TcpHeader t;
+    t.source_port = static_cast<std::uint16_t>(1024 + i);
+    t.destination_port = 80;
+    t.sequence = 0xdead0000u + static_cast<std::uint32_t>(i);
+    t.flags = net::TcpFlags::kSyn;
+    const auto bytes = t.serialize(src, dst);
+    seeds.emplace_back(bytes.begin(), bytes.end());
+  }
+  run_wire_fuzz(
+      "tcp-header", seeds,
+      [src, dst](std::span<const std::uint8_t> in)
+          -> std::optional<std::vector<std::uint8_t>> {
+        const auto parsed = TcpHeader::parse(in, src, dst);
+        if (!parsed.has_value()) return std::nullopt;
+        if (in.size() != TcpHeader::kSize) return std::nullopt;
+        const auto out = parsed->serialize(src, dst);
+        return std::vector<std::uint8_t>(out.begin(), out.end());
+      },
+      /*rng_seed=*/0x8586u);
+}
+
+TEST(WireFuzz, TcpHeaderRejectsNonzeroReservedBits) {
+  const Ipv4Address src = Ipv4Address::from_octets(10, 0, 0, 1);
+  const Ipv4Address dst = Ipv4Address::from_octets(10, 0, 0, 2);
+  TcpHeader t;
+  t.source_port = 1;
+  auto bytes = t.serialize(src, dst);
+  ASSERT_TRUE(TcpHeader::parse(bytes, src, dst).has_value());
+  // The reserved low nibble of byte 12 is always serialized as zero;
+  // setting any of its bits must fail the parse — serialize() could
+  // never have produced such bytes.
+  bytes[12] |= 0x01;
+  EXPECT_FALSE(TcpHeader::parse(bytes, src, dst).has_value());
+}
+
+}  // namespace

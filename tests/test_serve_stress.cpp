@@ -1,0 +1,162 @@
+// Readers-vs-installer stress, extended through the server worker loop
+// (the tier-1 TSan axis): real server worker threads answer RQP queries
+// over loopback while the publisher side keeps publishing new epochs
+// and feed rounds underneath them. Run under -DSANITIZE=thread by
+// scripts/tier1.sh (label tsan-stress).
+//
+// Beyond "TSan stays quiet", every response is checked for snapshot
+// consistency: a SCORE response carries the feed sequence it was
+// answered from, and its score string and round date must equal what
+// that exact round published — proving a worker never observes a
+// half-installed round (torn read) even while publish() runs
+// concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scoring.h"
+#include "round_fixture.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "snapshot/epoch_publisher.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace rovista;
+using namespace rovista::serve;
+
+struct ExpectedRound {
+  std::int64_t date_days = 0;
+  std::uint64_t world_digest = 0;
+  std::map<std::uint32_t, std::string> score_strs;
+};
+
+TEST(ServeStress, WorkersVsConcurrentPublishes) {
+  constexpr int kRounds = 4;
+  constexpr int kClients = 4;
+
+  snapshot::EpochPublisher publisher(testfx::round_params());
+  publisher.advance_to(publisher.world().start() + 30);
+
+  auto feed = std::make_shared<ScoreFeed>();
+  ServerOptions options;
+  options.port = 0;
+  options.workers = 2;
+  Server server(options, feed);
+  ASSERT_TRUE(server.start());
+
+  // Registry of what each feed sequence published. An entry is inserted
+  // *before* the feed swap, so no client can ever see a sequence that
+  // is not yet registered.
+  std::mutex expected_mutex;
+  std::map<std::uint64_t, ExpectedRound> expected;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> checked{0};
+  std::atomic<int> failures{0};
+  const topology::Asn reach_as = publisher.world().client_as_a();
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      BlockingClient client;
+      if (!client.connect("127.0.0.1", server.port())) {
+        ++failures;
+        return;
+      }
+      std::uint64_t rng = 0x1234u + static_cast<std::uint64_t>(c);
+      std::uint32_t id = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        Request request;
+        request.request_id = ++id;
+        const std::uint64_t pick = (rng >> 33) % 10;
+        if (pick == 0) {
+          request.opcode = Opcode::kPing;
+        } else if (pick == 1) {
+          request.opcode = Opcode::kReach;
+          request.asn = reach_as;
+          request.port = 80;
+        } else {
+          request.opcode = Opcode::kScore;
+          request.asn = 64500 + static_cast<std::uint32_t>((rng >> 20) % 8);
+        }
+        Response response;
+        if (!client.call(request, response)) {
+          ++failures;
+          return;
+        }
+        if (response.epoch_sequence == 0) continue;  // pre-first-round
+        ExpectedRound round;
+        {
+          std::lock_guard<std::mutex> lock(expected_mutex);
+          const auto it = expected.find(response.epoch_sequence);
+          if (it == expected.end()) {
+            ADD_FAILURE() << "response from unregistered sequence "
+                          << response.epoch_sequence;
+            ++failures;
+            return;
+          }
+          round = it->second;
+        }
+        EXPECT_EQ(response.round_date_days, round.date_days);
+        if (response.opcode == Opcode::kScore &&
+            response.status == Status::kOk) {
+          const auto it = round.score_strs.find(response.asn);
+          ASSERT_NE(it, round.score_strs.end());
+          // The torn-read oracle: score string byte-identical to what
+          // this exact round published.
+          EXPECT_EQ(response.score_str, it->second);
+          ++checked;
+        }
+        if (response.opcode == Opcode::kPing) {
+          EXPECT_EQ(response.world_digest, round.world_digest);
+        }
+      }
+    });
+  }
+
+  // The installer side: advance + publish kRounds epochs under the
+  // running clients.
+  for (int r = 1; r <= kRounds; ++r) {
+    publisher.advance_to(publisher.world().start() + 30 + r * 15);
+    snapshot::EpochRef epoch = publisher.publish();
+
+    std::vector<core::AsScore> scores;
+    ExpectedRound round;
+    round.date_days = (epoch.world().date()).days_since_epoch();
+    round.world_digest = epoch.world().digest();
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      core::AsScore s;
+      s.asn = 64500 + i;
+      s.score = static_cast<double>((i * 7 + r) % 101) / 100.0;
+      scores.push_back(s);
+      round.score_strs[s.asn] = util::fmt_double(s.score, 2);
+    }
+    {
+      std::lock_guard<std::mutex> lock(expected_mutex);
+      expected[static_cast<std::uint64_t>(r)] = round;
+    }
+    feed->publish(epoch.world().date(), scores, epoch);
+  }
+
+  // Let the clients chew on the final round briefly, then stop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  server.stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(checked.load(), 0u) << "stress never verified a score";
+  // Reclamation: with the clients gone and the feed holding the last
+  // round's pin, the epoch chain must have collapsed to that one epoch.
+  EXPECT_EQ(publisher.live_epochs(), 1);
+}
+
+}  // namespace

@@ -11,13 +11,16 @@
 //     epoch alive (grace period / reclamation).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "round_fixture.h"
 #include "snapshot/epoch_publisher.h"
 #include "snapshot/world_source.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -138,6 +141,78 @@ TEST(SnapshotLifecycle, NoEpochFreedWhilePinnedAndChainBounded) {
     pub.publish();
     EXPECT_EQ(pub.live_epochs(), 1);
   }
+}
+
+namespace {
+std::string drain_log(std::FILE* sink) {
+  std::rewind(sink);
+  std::string text;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, sink) != nullptr) text += buf;
+  return text;
+}
+}  // namespace
+
+TEST(SnapshotLifecycle, PinLeakDiagnosticNamesStuckEpochs) {
+  snapshot::EpochPublisher pub(small_params());
+  const util::Date start = pub.world().start();
+  EXPECT_EQ(pub.live_epoch_warn_depth(), 0);  // disabled by default
+  pub.set_live_epoch_warn_depth(2);
+
+  pub.advance_to(start + 30);
+  snapshot::EpochRef leak1 = pub.publish();
+  pub.advance_to(start + 50);
+  snapshot::EpochRef leak2 = pub.publish();
+
+  // Two leaked pins + the new current epoch: the third publish crosses
+  // the depth-2 threshold and must name the two stuck epochs — with
+  // digest and pin count — but never the epoch it just installed.
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  util::set_log_sink(sink);
+  pub.advance_to(start + 70);
+  snapshot::EpochRef cur = pub.publish();
+  util::set_log_sink(nullptr);
+
+  const std::string log = drain_log(sink);
+  EXPECT_NE(log.find("epoch chain depth 3 exceeds 2"), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("stuck epoch seq=1 digest=" +
+                     std::to_string(leak1->digest()) + " pins=1"),
+            std::string::npos)
+      << log;
+  EXPECT_NE(log.find("stuck epoch seq=2 digest=" +
+                     std::to_string(leak2->digest()) + " pins=1"),
+            std::string::npos)
+      << log;
+  EXPECT_EQ(log.find("stuck epoch seq=3"), std::string::npos) << log;
+
+  // Releasing the leaked pins brings the chain back under the
+  // threshold: the next publish is silent.
+  leak1.reset();
+  leak2.reset();
+  std::FILE* quiet_sink = std::tmpfile();
+  ASSERT_NE(quiet_sink, nullptr);
+  util::set_log_sink(quiet_sink);
+  pub.advance_to(start + 90);
+  cur = pub.publish();
+  util::set_log_sink(nullptr);
+  EXPECT_EQ(drain_log(quiet_sink), "");
+  std::fclose(quiet_sink);
+
+  // Depth 0 disables the check even with a deep chain.
+  pub.set_live_epoch_warn_depth(0);
+  snapshot::EpochRef held = cur;
+  std::FILE* off_sink = std::tmpfile();
+  ASSERT_NE(off_sink, nullptr);
+  util::set_log_sink(off_sink);
+  pub.advance_to(start + 110);
+  pub.publish();
+  util::set_log_sink(nullptr);
+  EXPECT_EQ(pub.live_epochs(), 2);  // held + current — over any depth
+  EXPECT_EQ(drain_log(off_sink), "");
+  std::fclose(off_sink);
+  std::fclose(sink);
 }
 
 TEST(SnapshotImmutability, DigestAtPinEqualsDigestAtRelease) {

@@ -1,0 +1,139 @@
+// Shared parse→serialize bit-identity fuzz battery.
+//
+// A wire codec is *canonical* when every logical message has exactly
+// one encoding: parse accepts precisely the byte strings its serializer
+// can produce, and re-serializing a parsed message reproduces the input
+// bit for bit. Both RQP v1 (src/serve/rqp.h) and the raw packet headers
+// (net::headers) claim this property; this battery checks it the same
+// way for both:
+//
+//   1. every *seed* (a known-valid encoding) must parse and round-trip
+//      to identical bytes,
+//   2. mutants — seeds with random byte flips, truncations, insertions
+//      and extensions — must either be rejected, or round-trip to the
+//      exact mutated bytes (an accepted mutant is just another valid
+//      encoding; what it must never do is parse into a message that
+//      re-encodes differently),
+//   3. fully random buffers, same dichotomy.
+//
+// The codec under test is passed as a single `parse_reserialize`
+// closure: input bytes → nullopt (rejected) or the re-serialized bytes
+// of the parsed message.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rovista::test {
+
+/// Deterministic splitmix64 — the battery must reproduce exactly.
+class FuzzRng {
+ public:
+  explicit FuzzRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  std::uint8_t byte() { return static_cast<std::uint8_t>(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+using ParseReserialize = std::function<std::optional<std::vector<std::uint8_t>>(
+    std::span<const std::uint8_t>)>;
+
+struct WireFuzzStats {
+  std::size_t cases = 0;
+  std::size_t accepted = 0;  // inputs that parsed (all bit-identical)
+};
+
+namespace detail {
+
+inline void check_case(const char* what, const ParseReserialize& codec,
+                       const std::vector<std::uint8_t>& input,
+                       WireFuzzStats& stats) {
+  ++stats.cases;
+  const auto out = codec(input);
+  if (!out.has_value()) return;
+  ++stats.accepted;
+  ASSERT_EQ(*out, input) << what
+                         << ": accepted input re-serialized differently "
+                            "(non-canonical encoding, "
+                         << input.size() << " bytes)";
+}
+
+inline std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed,
+                                        FuzzRng& rng) {
+  std::vector<std::uint8_t> m = seed;
+  const int edits = 1 + static_cast<int>(rng.below(3));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.below(4)) {
+      case 0:  // flip bits in one byte
+        if (!m.empty()) m[rng.below(m.size())] ^= rng.byte();
+        break;
+      case 1:  // truncate
+        if (!m.empty()) m.resize(rng.below(m.size()));
+        break;
+      case 2:  // append
+        m.push_back(rng.byte());
+        break;
+      default:  // insert
+        m.insert(m.begin() + static_cast<std::ptrdiff_t>(
+                                 rng.below(m.size() + 1)),
+                 rng.byte());
+        break;
+    }
+  }
+  return m;
+}
+
+}  // namespace detail
+
+/// Run the battery. Every seed must parse (and round-trip); mutants and
+/// random buffers must round-trip *if* accepted. Returns the stats so
+/// callers can assert corpus-specific expectations (e.g. "some mutants
+/// were accepted" for codecs without checksums).
+inline WireFuzzStats run_wire_fuzz(
+    const char* what, const std::vector<std::vector<std::uint8_t>>& seeds,
+    const ParseReserialize& codec, std::uint64_t rng_seed,
+    int mutants_per_seed = 400, int random_cases = 4000,
+    std::size_t max_random_len = 96) {
+  WireFuzzStats stats;
+
+  for (const std::vector<std::uint8_t>& seed : seeds) {
+    const auto out = codec(seed);
+    EXPECT_TRUE(out.has_value())
+        << what << ": seed of " << seed.size() << " bytes rejected";
+    if (out.has_value()) {
+      EXPECT_EQ(*out, seed) << what << ": seed did not round-trip";
+    }
+  }
+
+  FuzzRng rng(rng_seed);
+  for (const std::vector<std::uint8_t>& seed : seeds) {
+    for (int i = 0; i < mutants_per_seed; ++i) {
+      detail::check_case(what, codec, detail::mutate(seed, rng), stats);
+      if (::testing::Test::HasFatalFailure()) return stats;
+    }
+  }
+  for (int i = 0; i < random_cases; ++i) {
+    std::vector<std::uint8_t> buf(rng.below(max_random_len + 1));
+    for (std::uint8_t& b : buf) b = rng.byte();
+    detail::check_case(what, codec, buf, stats);
+    if (::testing::Test::HasFatalFailure()) return stats;
+  }
+  return stats;
+}
+
+}  // namespace rovista::test

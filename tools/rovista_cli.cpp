@@ -15,14 +15,27 @@
 //            run a dated sequence of rounds through the incremental
 //            engine (or full recompute per round with --incremental
 //            off) and emit a per-round CSV series
+//   serve    --seed N --rounds N [--port P] [--workers N] ...
+//            long-lived RQP query daemon: answers score / trajectory /
+//            reachability queries over live epoch snapshots while the
+//            incremental engine publishes rounds behind it
+//   loadgen  --port P [--requests N] [--connections N] ...
+//            open- or closed-loop load generator for a serve daemon
+//   feedcheck --record FILE --published DIR
+//            byte-compare a loadgen score record against a published
+//            CSV dataset (the torn-read oracle of the tier-1 stage)
 //
 // Everything is deterministic in --seed; see README.md for the library
 // behind it.
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include <fstream>
 
@@ -37,6 +50,8 @@
 #include "persist/checkpoint_io.h"
 #include "persist/wire.h"
 #include "scenario/scenario.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "snapshot/world_source.h"
 #include "util/csv.h"
 #include "util/strings.h"
@@ -124,7 +139,31 @@ int usage() {
       "          output byte-identical to a fault-free run\n"
       "  checkpoint inspect (--dir DIR | --file FILE)\n"
       "          print the header, section table and integrity verdict\n"
-      "          of a checkpoint without restoring it\n");
+      "          of a checkpoint without restoring it\n"
+      "  serve   --seed N --rounds N [--interval-days N]\n"
+      "          [--scale small|paper] [--port P] [--workers N]\n"
+      "          [--threads N] [--publish DIR] [--warn-depth N]\n"
+      "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
+      "          start the RQP v1 query daemon (docs/FORMATS.md section 3)\n"
+      "          on 127.0.0.1 (--port 0 = kernel-assigned; the bound port\n"
+      "          is announced as 'LISTENING <port>' on stdout), run the\n"
+      "          round series behind it, then keep serving until SIGTERM\n"
+      "          (graceful: in-flight responses are flushed). --resume\n"
+      "          warm-starts scores/trajectories from an RVCP checkpoint;\n"
+      "          --publish writes the CSV dataset once the series ends\n"
+      "          and announces 'PUBLISHED <dir>'; --warn-depth enables\n"
+      "          the pin-leak diagnostic on the epoch chain\n"
+      "  loadgen --port P [--host H] [--requests N] [--connections N]\n"
+      "          [--threads N] [--rate R] [--pipeline N]\n"
+      "          [--traj-fraction F] [--reach-fraction F] [--seed N]\n"
+      "          [--timeout-ms N] [--record FILE] [--json FILE]\n"
+      "          drive a serve daemon: open-loop at --rate req/s, or\n"
+      "          closed-loop at --pipeline outstanding per connection;\n"
+      "          --record captures every OK score response for feedcheck\n"
+      "  feedcheck --record FILE --published DIR\n"
+      "          verify a loadgen record byte-for-byte against a\n"
+      "          published dataset: every served score must equal the\n"
+      "          published score of its own round's date\n");
   return 2;
 }
 
@@ -615,6 +654,296 @@ int cmd_checkpoint_inspect(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  std::uint64_t seed = 42;
+  if (const char* s = args.get("seed")) util::parse_u64(s, seed);
+  std::uint64_t rounds = 0;
+  if (const char* r = args.get("rounds")) util::parse_u64(r, rounds);
+  if (rounds == 0) return usage();
+  std::uint64_t interval_days = 30;
+  if (const char* i = args.get("interval-days")) {
+    util::parse_u64(i, interval_days);
+  }
+  if (interval_days == 0) interval_days = 1;
+  std::uint64_t threads = 0;
+  if (const char* t = args.get("threads")) util::parse_u64(t, threads);
+  const char* scale = args.get("scale", "paper");
+  if (std::strcmp(scale, "paper") != 0 && std::strcmp(scale, "small") != 0) {
+    return usage();
+  }
+  std::uint64_t port = 0;
+  if (const char* p = args.get("port")) {
+    if (!util::parse_u64(p, port) || port > 65535) return usage();
+  }
+  std::uint64_t workers = 2;
+  if (const char* w = args.get("workers")) util::parse_u64(w, workers);
+  if (workers == 0) workers = 1;
+
+  core::IncrementalConfig config;
+  config.params.seed = seed;
+  config.rovista.scoring.min_vvps_per_as = 2;
+  config.rovista.scoring.min_tnodes = 3;
+  config.rovista.num_threads = static_cast<int>(threads);
+  config.incremental = true;
+  // Reachability serves traceroutes off published epochs, so the
+  // query daemon always runs the snapshot engine.
+  config.engine = snapshot::EngineMode::kSnapshot;
+  if (std::strcmp(scale, "small") == 0) {
+    config.params.topology.tier1_count = 4;
+    config.params.topology.tier2_count = 14;
+    config.params.topology.tier3_count = 36;
+    config.params.topology.stub_count = 120;
+    config.params.tnode_prefix_count = 4;
+    config.params.measured_as_count = 12;
+    config.params.hosts_per_measured_as = 3;
+    config.params.collector_peer_count = 30;
+    config.rovista.scoring.min_tnodes = 2;
+  }
+
+  util::Date start_date = config.params.start;
+  if (const char* d = args.get("start")) util::Date::parse(d, start_date);
+  const util::Date series_end = config.params.end;
+  const auto round_date = [&](std::uint64_t i) {
+    util::Date d = start_date + static_cast<int>(i * interval_days);
+    if (d > series_end) d = series_end;
+    return d;
+  };
+
+  if (args.has("checkpoint-dir")) {
+    config.checkpoint_dir = args.get("checkpoint-dir", "");
+    if (config.checkpoint_dir.empty()) return usage();
+    std::uint64_t every = 1;
+    if (const char* e = args.get("checkpoint-every")) {
+      util::parse_u64(e, every);
+    }
+    config.checkpoint_every = static_cast<int>(every);
+    // Same series-shape tag as cmd_longitudinal: a serve daemon resumes
+    // checkpoints written by an equally-paced longitudinal series.
+    persist::ByteWriter tag;
+    tag.i64(start_date.days_since_epoch());
+    tag.u64(interval_days);
+    tag.u8(std::strcmp(scale, "small") == 0 ? 1 : 0);
+    config.checkpoint_user_tag = persist::fnv1a64(tag.data());
+  } else if (args.has("resume") || args.has("checkpoint-every")) {
+    std::fprintf(stderr,
+                 "error: --resume/--checkpoint-every need --checkpoint-dir\n");
+    return usage();
+  }
+
+  // Block the shutdown signals before any thread exists, so workers and
+  // the round thread inherit the mask and only sigwait below sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  core::IncrementalLongitudinalRunner runner(config);
+  std::uint64_t warn_depth = 0;
+  if (const char* w = args.get("warn-depth")) util::parse_u64(w, warn_depth);
+  if (warn_depth > 0) {
+    runner.publisher().set_live_epoch_warn_depth(
+        static_cast<long>(warn_depth));
+  }
+
+  auto feed = std::make_shared<serve::ScoreFeed>();
+  std::uint64_t first_round = 0;
+  if (args.has("resume")) {
+    if (runner.resume_from_checkpoint()) {
+      first_round = runner.completed_rounds();
+      // Warm start: serve restored scores and trajectories immediately;
+      // reachability waits for the first live epoch.
+      feed->seed_from_store(runner.store());
+      std::printf("resumed from checkpoint: %llu round(s) already done\n",
+                  static_cast<unsigned long long>(first_round));
+    } else {
+      std::printf("no usable checkpoint — starting from scratch\n");
+    }
+  }
+
+  serve::ServerOptions server_options;
+  server_options.port = static_cast<std::uint16_t>(port);
+  server_options.workers = static_cast<int>(workers);
+  serve::Server server(server_options, feed);
+  if (!server.start()) {
+    std::fprintf(stderr, "error: could not start server\n");
+    return 1;
+  }
+  // The machine-readable contract: with --port 0 this is the only way
+  // to learn the kernel-assigned port. Flushed, so a pipe reader sees
+  // it before the first (slow) round completes.
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> rc{0};
+  std::thread round_thread([&] {
+    for (std::uint64_t i = first_round;
+         i < rounds && !stop.load(std::memory_order_relaxed); ++i) {
+      const core::RoundReport report = runner.run_round(round_date(i));
+      feed->publish(report.date, report.round.scores,
+                    runner.publisher().current());
+      std::printf("ROUND %s ases=%zu live_epochs=%ld\n",
+                  report.date.to_string().c_str(),
+                  report.round.scores.size(),
+                  runner.publisher().live_epochs());
+      std::fflush(stdout);
+    }
+    if (const char* publish = args.get("publish")) {
+      const auto written = core::publish_scores(runner.store(), publish);
+      if (!written.has_value()) {
+        std::fprintf(stderr, "error: could not write %s\n", publish);
+        rc.store(1, std::memory_order_relaxed);
+        return;
+      }
+      std::printf("PUBLISHED %s rounds=%zu\n", publish, *written);
+      std::fflush(stdout);
+    }
+  });
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  stop.store(true, std::memory_order_relaxed);
+  round_thread.join();
+  server.stop();
+  std::printf("SERVED connections=%llu frames=%llu batches=%llu\n",
+              static_cast<unsigned long long>(
+                  server.io().connections_accepted()),
+              static_cast<unsigned long long>(server.io().frames_served()),
+              static_cast<unsigned long long>(server.io().batches_served()));
+  return rc.load(std::memory_order_relaxed);
+}
+
+int cmd_loadgen(const Args& args) {
+  serve::LoadgenOptions options;
+  std::uint64_t port = 0;
+  if (const char* p = args.get("port")) util::parse_u64(p, port);
+  if (port == 0 || port > 65535) return usage();
+  options.port = static_cast<std::uint16_t>(port);
+  options.host = args.get("host", "127.0.0.1");
+
+  std::uint64_t u = 0;
+  if (const char* v = args.get("requests")) {
+    if (!util::parse_u64(v, options.requests)) return usage();
+  }
+  if (const char* v = args.get("connections")) {
+    if (!util::parse_u64(v, u)) return usage();
+    options.connections = static_cast<int>(u);
+  }
+  if (const char* v = args.get("threads")) {
+    if (!util::parse_u64(v, u)) return usage();
+    options.threads = static_cast<int>(u);
+  }
+  if (const char* v = args.get("pipeline")) {
+    if (!util::parse_u64(v, u)) return usage();
+    options.pipeline = static_cast<int>(u);
+  }
+  if (const char* v = args.get("rate")) {
+    if (!util::parse_double(v, options.rate) || options.rate < 0.0) {
+      return usage();
+    }
+  }
+  const auto parse_fraction = [&](const char* flag, double& out) -> bool {
+    const char* v = args.get(flag);
+    if (v == nullptr) return true;
+    return util::parse_double(v, out) && out >= 0.0 && out <= 1.0;
+  };
+  if (!parse_fraction("traj-fraction", options.trajectory_fraction) ||
+      !parse_fraction("reach-fraction", options.reach_fraction)) {
+    return usage();
+  }
+  if (const char* v = args.get("reach-dst")) {
+    if (!util::parse_u64(v, u)) return usage();
+    options.reach_dst = static_cast<std::uint32_t>(u);
+  }
+  if (const char* v = args.get("reach-port")) {
+    if (!util::parse_u64(v, u)) return usage();
+    options.reach_port = static_cast<std::uint16_t>(u);
+  }
+  if (const char* v = args.get("seed")) util::parse_u64(v, options.seed);
+  if (const char* v = args.get("timeout-ms")) {
+    if (!util::parse_u64(v, u)) return usage();
+    options.timeout_ms = static_cast<int>(u);
+  }
+  const char* record = args.get("record");
+  options.record = record != nullptr;
+
+  const serve::LoadgenResult result = serve::run_loadgen(options);
+
+  std::printf(
+      "sent=%llu received=%llu ok=%llu no_data=%llu unknown_as=%llu "
+      "bad_request=%llu transport_errors=%llu\n",
+      static_cast<unsigned long long>(result.sent),
+      static_cast<unsigned long long>(result.received),
+      static_cast<unsigned long long>(result.ok),
+      static_cast<unsigned long long>(result.no_data),
+      static_cast<unsigned long long>(result.unknown_as),
+      static_cast<unsigned long long>(result.bad_request),
+      static_cast<unsigned long long>(result.transport_errors));
+  std::printf("qps=%.0f p50_ms=%.3f p99_ms=%.3f max_ms=%.3f wall_s=%.3f\n",
+              result.qps, result.p50_ms, result.p99_ms, result.max_ms,
+              result.wall_s);
+  std::printf("feed sequences observed: %llu..%llu\n",
+              static_cast<unsigned long long>(result.min_epoch_sequence),
+              static_cast<unsigned long long>(result.max_epoch_sequence));
+
+  if (record != nullptr) {
+    if (!serve::write_record_csv(result.records, record)) {
+      std::fprintf(stderr, "error: could not write %s\n", record);
+      return 1;
+    }
+    std::printf("recorded %zu score response(s) to %s\n",
+                result.records.size(), record);
+  }
+  if (const char* json = args.get("json")) {
+    std::FILE* f = std::fopen(json, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: could not write %s\n", json);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"sent\": %llu,\n"
+                 "  \"received\": %llu,\n"
+                 "  \"ok\": %llu,\n"
+                 "  \"transport_errors\": %llu,\n"
+                 "  \"qps\": %.1f,\n"
+                 "  \"p50_ms\": %.4f,\n"
+                 "  \"p99_ms\": %.4f,\n"
+                 "  \"max_ms\": %.4f,\n"
+                 "  \"wall_s\": %.4f\n"
+                 "}\n",
+                 static_cast<unsigned long long>(result.sent),
+                 static_cast<unsigned long long>(result.received),
+                 static_cast<unsigned long long>(result.ok),
+                 static_cast<unsigned long long>(result.transport_errors),
+                 result.qps, result.p50_ms, result.p99_ms, result.max_ms,
+                 result.wall_s);
+    std::fclose(f);
+  }
+  const bool clean = result.transport_errors == 0 &&
+                     result.sent == options.requests &&
+                     result.received == result.sent;
+  return clean ? 0 : 1;
+}
+
+int cmd_feedcheck(const Args& args) {
+  const char* record = args.get("record");
+  const char* published = args.get("published");
+  if (record == nullptr || published == nullptr) return usage();
+  std::size_t checked = 0;
+  std::string diag;
+  if (!serve::verify_record_against_published(record, published, &checked,
+                                              &diag)) {
+    std::fprintf(stderr, "feedcheck FAILED: %s\n", diag.c_str());
+    return 1;
+  }
+  std::printf("feedcheck ok: %zu recorded score(s) byte-identical to the "
+              "published dataset\n",
+              checked);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -630,5 +959,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "longitudinal") == 0) {
     return cmd_longitudinal(args);
   }
+  if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(args);
+  if (std::strcmp(argv[1], "loadgen") == 0) return cmd_loadgen(args);
+  if (std::strcmp(argv[1], "feedcheck") == 0) return cmd_feedcheck(args);
   return usage();
 }
