@@ -34,7 +34,16 @@
 #   9. engine equivalence: the epoch-snapshot and replica engines must
 #      publish byte-identical CSVs, and a faulted series killed under
 #      one engine must resume under the other and byte-match an
-#      uninterrupted run, degradation.csv included.
+#      uninterrupted run, degradation.csv included,
+#  10. docs consistency: every `--flag` the built CLI prints in its
+#      --help output must appear in README.md, and every
+#      `docs/FORMATS.md §N` / `FORMATS.md section N` reference made
+#      from code or data files must resolve to a `## N.` heading in
+#      docs/FORMATS.md (runs as stage 1b, right after the build),
+#  11. bench_scale smoke: the scaling bench's --smoke shape (~5k ASes)
+#      must complete under a wall-clock ceiling with every internal
+#      check green ("ok": true) — digests thread-invariant, zero flat
+#      fallbacks, LPM spot-checks passing (stage 1c).
 #
 # Every stage runs under its own timeout and the script fails fast: the
 # first stage to fail (or hang past its budget) stops the run with a
@@ -59,6 +68,52 @@ stage "build + full test suite"
 t 900 cmake -B build -S .
 t 1800 cmake --build build -j "$JOBS"
 t 1800 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+stage "docs consistency (--help flags vs README, FORMATS.md references)"
+DOCS_TMP="$(mktemp -d)"
+trap 'rm -rf "$DOCS_TMP"' EXIT
+# --help exits non-zero by design (it is the usage path); the output is
+# what we are after. Fail if it produced no flags at all.
+build/tools/rovista --help > "$DOCS_TMP/help.txt" 2>&1 || true
+grep -oE -- '--[a-z][a-z0-9-]*' "$DOCS_TMP/help.txt" | sort -u \
+  > "$DOCS_TMP/flags.txt"
+if [ ! -s "$DOCS_TMP/flags.txt" ]; then
+  echo "rovista --help printed no flags" >&2
+  exit 1
+fi
+missing=0
+while IFS= read -r flag; do
+  grep -q -- "$flag" README.md || {
+    echo "flag $flag from --help is undocumented in README.md" >&2
+    missing=1
+  }
+done < "$DOCS_TMP/flags.txt"
+# Every FORMATS.md section referenced from code/tests/bench/tools/data
+# must exist as a "## N." heading — references may not outlive the spec.
+grep -rhoE 'FORMATS\.md (§|section )[0-9]+' src tests bench tools \
+  | grep -oE '[0-9]+$' | sort -u > "$DOCS_TMP/refs.txt"
+while IFS= read -r sec; do
+  grep -qE "^## ${sec}\." docs/FORMATS.md || {
+    echo "code references FORMATS.md §$sec but no '## $sec.' heading exists" >&2
+    missing=1
+  }
+done < "$DOCS_TMP/refs.txt"
+if [ "$missing" -ne 0 ]; then
+  echo "docs drifted from the built CLI / format specs" >&2
+  exit 1
+fi
+
+stage "bench_scale smoke (scaling contract under a wall-clock ceiling)"
+# The full shape takes ~30 s; the smoke shape (~5k ASes) must stay well
+# under a minute even on a loaded runner. bench_scale exits non-zero on
+# any internal check failure; we also assert the emitted verdict.
+t 120 build/bench/bench_scale --smoke --out "$DOCS_TMP/bench_scale_smoke.json" \
+  > "$DOCS_TMP/bench_scale_smoke.log"
+grep -q '"ok": true' "$DOCS_TMP/bench_scale_smoke.json" || {
+  echo "bench_scale --smoke emitted ok=false" >&2
+  cat "$DOCS_TMP/bench_scale_smoke.log" >&2 || true
+  exit 1
+}
 
 stage "TSan parallel-round surface"
 t 900 cmake -B build-tsan -S . -DSANITIZE=thread
@@ -94,7 +149,7 @@ t 1800 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
   -R 'RtrLifecycle|FaultSchedule|FaultChainScenario|FaultSoak|FaultedIncremental'
 
 CK_TMP="$(mktemp -d)"
-trap 'rm -rf "$CK_TMP"' EXIT
+trap 'rm -rf "$CK_TMP" "$DOCS_TMP"' EXIT
 CLI=build/tools/rovista
 
 # The query server under ASan/UBSan: start the daemon on an ephemeral
@@ -292,7 +347,8 @@ diff -r "$CK_TMP/eng-resumed" "$CK_TMP/eng-uninterrupted" >/dev/null || {
 }
 
 STAGE=""
-echo "tier-1 OK (tests + TSan parallel round + TSan snapshot stress" \
+echo "tier-1 OK (tests + docs consistency + bench_scale smoke" \
+     "+ TSan parallel round + TSan snapshot stress" \
      "+ ASan/UBSan incremental + checkpoint corruption battery" \
      "+ ASan fault soak + crash/resume byte-diff + SLURM byte-diff" \
      "+ fault byte-diff + engine-equivalence byte-diff)"

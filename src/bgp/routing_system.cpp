@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "bgp/flat_propagation.h"
+
 namespace rovista::bgp {
 
 namespace {
@@ -37,7 +39,16 @@ RoutingSystem::RoutingSystem(const RoutingSystem& other,
       effective_views_(other.effective_views_),
       effective_bindings_(other.effective_bindings_),
       announcements_(other.announcements_),
-      cache_(other.cache_) {}
+      cache_(other.cache_),
+      engine_(other.engine_) {}
+
+RoutingSystem::~RoutingSystem() = default;
+
+void RoutingSystem::set_propagation_engine(PropagationEngine engine) {
+  require_mutable("set_propagation_engine");
+  engine_ = engine;
+  flat_.reset();  // kAuto vs kFlat share nothing worth keeping warm
+}
 
 void RoutingSystem::require_mutable(const char* op) const {
   if (frozen_) {
@@ -67,6 +78,7 @@ void RoutingSystem::set_policy(Asn asn, AsPolicy policy) {
   policies_[asn] = std::move(policy);
   ++policy_epochs_[asn];
   slurm_views_.erase(asn);
+  flat_.reset();  // compiled policy mirrors / validity groups are stale
   if (had_slurm) {
     // The replaced policy's SLURM view may have shaped any cached route
     // (including Unknown-only prefixes an assertion turned Valid), and
@@ -337,6 +349,7 @@ void RoutingSystem::set_effective_views(
 
   effective_views_ = std::move(views);
   effective_bindings_ = std::move(new_bindings);
+  flat_.reset();  // view bindings shape the flat validity groups
 }
 
 void RoutingSystem::announce(const OriginAnnouncement& a) {
@@ -461,9 +474,20 @@ void RoutingSystem::invalidate_prefix(const net::Ipv4Prefix& prefix) {
 void RoutingSystem::invalidate_all() {
   require_mutable("invalidate_all");
   cache_.clear();
+  // invalidate_all is the documented fence after direct AsGraph edits
+  // (scenario relationship events), so the compiled CSR goes with it.
+  flat_.reset();
 }
 
 RouteMap RoutingSystem::compute_routes(const net::Ipv4Prefix& prefix) const {
+  if (engine_ == PropagationEngine::kFlat ||
+      (engine_ == PropagationEngine::kAuto &&
+       graph_.size() >= kFlatAutoThreshold)) {
+    std::optional<RouteMap> flat_routes = compute_routes_flat(prefix);
+    if (flat_routes.has_value()) return *std::move(flat_routes);
+    // Declined (customer cycle / sweep cap): fall through to the exact
+    // Adj-RIB-In engine below.
+  }
   // Full Adj-RIB-In fixed point. State is per-AS: the routes each
   // neighbor currently offers, plus the selected best.
   struct AsState {
@@ -580,6 +604,109 @@ RouteMap RoutingSystem::compute_routes(const net::Ipv4Prefix& prefix) const {
     e.validity = s.best->validity;
     e.path_len = static_cast<std::uint16_t>(s.best->as_path.size());
     out.emplace(asn, e);
+  }
+  return out;
+}
+
+flat::FlatState& RoutingSystem::flat_state() const {
+  if (flat_ != nullptr) return *flat_;
+  auto state = std::make_unique<flat::FlatState>();
+  state->graph = flat::FlatGraph::build(graph_);
+  const std::uint32_t n = state->graph.size();
+
+  flat::FlatPolicy& fp = state->policy;
+  fp.rov_mode.resize(n);
+  fp.coverage.resize(n);
+  fp.validity_group.assign(n, 0);
+  fp.group_rep.assign(1, 0);  // group 0: the shared base view
+  // ASes bound to the same effective view share a validity group;
+  // every SLURM-bearing AS sees a view nobody else does.
+  std::unordered_map<std::uint32_t, std::uint32_t> view_group;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Asn asn = state->graph.asn_of[i];
+    const AsPolicy& pol = policy(asn);
+    fp.rov_mode[i] = static_cast<std::uint8_t>(pol.rov);
+    fp.coverage[i] = pol.session_coverage;
+    if (pol.has_slurm()) {
+      fp.validity_group[i] = static_cast<std::uint32_t>(fp.group_rep.size());
+      fp.group_rep.push_back(asn);
+      continue;
+    }
+    const auto it = effective_bindings_.find(asn);
+    if (it == effective_bindings_.end() || it->second == 0 ||
+        it->second > effective_views_.size()) {
+      continue;  // group 0
+    }
+    const auto [vg, inserted] = view_group.emplace(
+        it->second, static_cast<std::uint32_t>(fp.group_rep.size()));
+    if (inserted) fp.group_rep.push_back(asn);
+    fp.validity_group[i] = vg->second;
+  }
+  flat_ = std::move(state);
+  return *flat_;
+}
+
+std::optional<RouteMap> RoutingSystem::compute_routes_flat(
+    const net::Ipv4Prefix& prefix) const {
+  flat::FlatState& state = flat_state();
+  if (state.graph.customer_cycle) {
+    ++flat_fallbacks_;
+    return std::nullopt;
+  }
+
+  flat::PrefixInput in;
+  in.graph = &state.graph;
+  in.policy = &state.policy;
+  in.prefix = prefix;
+  std::vector<Asn> origin_asns;
+  for (const Asn origin : origins_of(prefix)) {
+    const auto it = state.graph.idx_of.find(origin);
+    if (it == state.graph.idx_of.end()) continue;
+    in.origin_idx.push_back(it->second);
+    origin_asns.push_back(origin);
+  }
+  const std::size_t norigins = origin_asns.size();
+  in.validity.resize(state.policy.group_rep.size() * norigins);
+  for (std::size_t g = 0; g < state.policy.group_rep.size(); ++g) {
+    for (std::size_t oi = 0; oi < norigins; ++oi) {
+      in.validity[g * norigins + oi] =
+          g == 0 ? base_validity(prefix, origin_asns[oi])
+                 : validity_for(state.policy.group_rep[g], prefix,
+                                origin_asns[oi]);
+    }
+  }
+
+  if (!flat::propagate(in, state.table)) {
+    ++flat_fallbacks_;
+    return std::nullopt;
+  }
+  ++flat_certified_;
+
+  const flat::FlatRouteTable& t = state.table;
+  RouteMap out;
+  out.reserve(state.graph.size());
+  for (std::uint32_t i = 0; i < state.graph.size(); ++i) {
+    if (!t.has(i, flat::FlatRouteTable::kBest)) continue;
+    RouteEntry e;
+    const std::uint32_t nh = t.next_hop[flat::FlatRouteTable::kBest][i];
+    e.next_hop = nh == flat::kNoIdx ? 0 : state.graph.asn_of[nh];
+    e.origin = origin_asns[t.origin_oi[flat::FlatRouteTable::kBest][i]];
+    switch (t.best_cls[i]) {
+      case flat::FlatRouteTable::kPeer:
+        e.learned_from = topology::NeighborKind::kPeer;
+        break;
+      case flat::FlatRouteTable::kProv:
+        e.learned_from = topology::NeighborKind::kProvider;
+        break;
+      default:
+        e.learned_from = topology::NeighborKind::kCustomer;
+        break;
+    }
+    e.validity = static_cast<rpki::RouteValidity>(
+        t.validity[flat::FlatRouteTable::kBest][i]);
+    e.path_len = static_cast<std::uint16_t>(
+        t.path_len[flat::FlatRouteTable::kBest][i]);
+    out.emplace(state.graph.asn_of[i], e);
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -25,6 +26,20 @@
 #include "topology/as_graph.h"
 
 namespace rovista::bgp {
+
+namespace flat {
+struct FlatState;
+}
+
+/// Which propagation engine compute_routes() uses. Both produce
+/// bit-identical RouteMaps (the equivalence suite in
+/// tests/test_flat_propagation.cpp gates this); they differ only in
+/// constant factors. kAuto picks per world size: the Adj-RIB-In fixed
+/// point below kFlatAutoThreshold ASes, the rank-flattened arena engine
+/// (bgp/flat_propagation.h) at or above it. The flat engine falls back
+/// to the fixed point per prefix whenever it cannot certify exactness
+/// (customer-provider cycle, sweep cap).
+enum class PropagationEngine { kAuto, kFixedPoint, kFlat };
 
 /// Compact converged-route entry for one AS (see routes_for()).
 struct RouteEntry {
@@ -50,7 +65,31 @@ class RoutingSystem {
   /// (snapshot/epoch_world.h).
   RoutingSystem(const RoutingSystem& other, const topology::AsGraph& graph);
 
+  ~RoutingSystem();
+
   const topology::AsGraph& graph() const noexcept { return graph_; }
+
+  /// Select the propagation engine (default kAuto). Purely a
+  /// performance choice — cached routes stay valid across a switch.
+  void set_propagation_engine(PropagationEngine engine);
+  PropagationEngine propagation_engine() const noexcept { return engine_; }
+
+  /// World size at which kAuto switches to the flat engine. Above it
+  /// the Adj-RIB-In allocator traffic dominates; below it the flat
+  /// arrays' O(n)-per-prefix sweeps would touch far more ASes than
+  /// routes exist.
+  static constexpr std::size_t kFlatAutoThreshold = 8192;
+
+  /// Diagnostics: prefixes the flat engine computed (certified) vs
+  /// handed back to the fixed point (cycle / sweep cap). Lets tests
+  /// prove the flat path genuinely ran rather than silently falling
+  /// back on every prefix.
+  std::uint64_t flat_certified_count() const noexcept {
+    return flat_certified_;
+  }
+  std::uint64_t flat_fallback_count() const noexcept {
+    return flat_fallbacks_;
+  }
 
   // -- Freezing (epoch-snapshot publication) ---------------------------
   //
@@ -211,6 +250,16 @@ class RoutingSystem {
  private:
   RouteMap compute_routes(const net::Ipv4Prefix& prefix) const;
 
+  /// Rank-flattened computation of one prefix; nullopt when the flat
+  /// engine declines (cycle, sweep cap) and the caller must run the
+  /// Adj-RIB-In fixed point instead.
+  std::optional<RouteMap> compute_routes_flat(
+      const net::Ipv4Prefix& prefix) const;
+
+  /// Compile graph + policy mirrors for the flat engine (lazily; any
+  /// topology/policy/view change drops the compiled state).
+  flat::FlatState& flat_state() const;
+
   /// Throws std::logic_error if this instance is frozen. Every mutator
   /// calls it first, so a published epoch can never be changed in place.
   void require_mutable(const char* op) const;
@@ -242,6 +291,14 @@ class RoutingSystem {
 
   net::PrefixTrie<std::vector<Asn>> announcements_;
   std::unordered_map<net::Ipv4Prefix, RouteMap> cache_;
+  PropagationEngine engine_ = PropagationEngine::kAuto;
+  // Compiled flat-engine state (graph CSR + rank order + policy
+  // mirrors + scratch arena). Rebuilt lazily after set_policy /
+  // set_effective_views / invalidate_all; VRP installs keep it — the
+  // per-prefix validity matrix is always read fresh.
+  mutable std::unique_ptr<flat::FlatState> flat_;
+  mutable std::uint64_t flat_certified_ = 0;
+  mutable std::uint64_t flat_fallbacks_ = 0;
   bool frozen_ = false;
 };
 

@@ -114,6 +114,7 @@ scenario::VrpInstaller make_vrp_installer(bool incremental,
 // pre-fault builds.
 constexpr std::uint8_t kDigestSchema = 2;        // 2: + slurm_fraction
 constexpr std::uint8_t kDigestSchemaFaults = 3;  // 3: + fault knobs
+constexpr std::uint8_t kDigestSchemaCaida = 4;   // 4: + caida topology path
 
 void digest_fault_params(persist::ByteWriter& w, const faults::FaultParams& f) {
   w.f64(f.rp_failure_rate);
@@ -212,7 +213,19 @@ std::uint64_t IncrementalLongitudinalRunner::config_digest(
     const IncrementalConfig& config) {
   persist::ByteWriter w;
   const bool faulted = config.params.faults.enabled();
-  w.u8(faulted ? kDigestSchemaFaults : kDigestSchema);
+  const std::string& caida = config.params.topology.caida_path;
+  // Like the fault knobs, the caida path joins the digest only when set,
+  // so synthetic configs keep their schema-2/3 bytes. The digest covers
+  // the *path*, not the file contents — swapping the file behind an
+  // unchanged path invalidates nothing; use a fresh path per snapshot.
+  w.u8(!caida.empty() ? kDigestSchemaCaida
+                      : (faulted ? kDigestSchemaFaults : kDigestSchema));
+  if (!caida.empty()) {
+    w.u8(faulted ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(caida.size()));
+    w.bytes({reinterpret_cast<const std::uint8_t*>(caida.data()),
+             caida.size()});
+  }
   digest_params(w, config.params);
   if (faulted) digest_fault_params(w, config.params.faults);
   digest_rovista(w, config.rovista);

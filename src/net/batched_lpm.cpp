@@ -1,0 +1,97 @@
+#include "net/batched_lpm.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rovista::net {
+
+BatchedLpm::BatchedLpm(std::vector<Ipv4Prefix> prefixes)
+    : prefixes_(std::move(prefixes)) {
+  std::sort(prefixes_.begin(), prefixes_.end());  // (address, length)
+  prefixes_.erase(std::unique(prefixes_.begin(), prefixes_.end()),
+                  prefixes_.end());
+  parent_.assign(prefixes_.size(), kNoMatch);
+
+  // In (address, length) order every ancestor of a prefix precedes it,
+  // and the currently-open ancestors of the scan point form one nested
+  // chain — exactly an interval-nesting stack.
+  std::vector<std::int32_t> stack;
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(prefixes_.size());
+       ++i) {
+    while (!stack.empty() &&
+           !prefixes_[stack.back()].covers(prefixes_[i])) {
+      stack.pop_back();
+    }
+    parent_[i] = stack.empty() ? kNoMatch : stack.back();
+    stack.push_back(i);
+  }
+}
+
+std::size_t BatchedLpm::bytes() const noexcept {
+  return prefixes_.size() * (sizeof(Ipv4Prefix) + sizeof(std::int32_t));
+}
+
+std::int32_t BatchedLpm::predecessor(Ipv4Address addr) const noexcept {
+  // First entry strictly greater than every prefix starting at addr.
+  const auto it = std::upper_bound(
+      prefixes_.begin(), prefixes_.end(), addr,
+      [](Ipv4Address a, const Ipv4Prefix& p) { return a < p.address(); });
+  if (it == prefixes_.begin()) return kNoMatch;
+  return static_cast<std::int32_t>(it - prefixes_.begin()) - 1;
+}
+
+std::int32_t BatchedLpm::resolve(std::int32_t from,
+                                 Ipv4Address addr) const noexcept {
+  // The longest match is on the predecessor's ancestor-or-self chain:
+  // any covering prefix starts at or before addr, so it sorts at or
+  // before the predecessor, and a prefix containing the predecessor's
+  // start either nests around it or is the predecessor itself. Walking
+  // up, the first entry containing addr is the deepest — the LPM.
+  for (std::int32_t i = from; i != kNoMatch; i = parent_[i]) {
+    if (prefixes_[i].contains(addr)) return i;
+  }
+  return kNoMatch;
+}
+
+std::optional<Ipv4Prefix> BatchedLpm::lookup(Ipv4Address addr) const {
+  const std::int32_t i = resolve(predecessor(addr), addr);
+  if (i == kNoMatch) return std::nullopt;
+  return prefixes_[i];
+}
+
+std::vector<Ipv4Prefix> BatchedLpm::matches(Ipv4Address addr) const {
+  std::vector<Ipv4Prefix> out;
+  // Every ancestor of the LPM covers its whole range, addr included, so
+  // the covering set is precisely the chain from the LPM up.
+  for (std::int32_t i = resolve(predecessor(addr), addr); i != kNoMatch;
+       i = parent_[i]) {
+    out.push_back(prefixes_[i]);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> BatchedLpm::lookup_batch(
+    std::span<const Ipv4Address> addrs) const {
+  std::vector<std::uint32_t> order(addrs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return addrs[a] < addrs[b];
+            });
+
+  std::vector<std::int32_t> out(addrs.size(), kNoMatch);
+  // Ascending addresses have non-decreasing predecessors: one monotone
+  // cursor replaces a binary search per query.
+  std::int32_t cursor = kNoMatch;
+  const std::int32_t n = static_cast<std::int32_t>(prefixes_.size());
+  for (const std::uint32_t q : order) {
+    const Ipv4Address addr = addrs[q];
+    while (cursor + 1 < n && prefixes_[cursor + 1].address() <= addr) {
+      ++cursor;
+    }
+    out[q] = resolve(cursor, addr);
+  }
+  return out;
+}
+
+}  // namespace rovista::net

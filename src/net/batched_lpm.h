@@ -1,0 +1,68 @@
+// Batched longest-prefix match over an immutable prefix table.
+//
+// The pointer-chasing PrefixTrie is the right shape for a mutable FIB,
+// but resolving hundreds of thousands of addresses against a 100k+
+// announced-prefix table (bench_scale, collector-style sweeps) wants a
+// flat layout: prefixes sorted by (address, length) with a precomputed
+// parent link to each entry's longest proper ancestor. A lookup is one
+// predecessor binary search plus a walk up the ancestor chain — the
+// longest match is always on that chain (nesting argument in the
+// implementation) — and a batch sorts its queries once so the
+// predecessor scan is a single monotone pass over the table.
+//
+// Equivalence to the trie (lookup == longest_match, matches ==
+// all-covering most-specific-first) is oracle-tested in
+// tests/test_flat_propagation.cpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace rovista::net {
+
+class BatchedLpm {
+ public:
+  static constexpr std::int32_t kNoMatch = -1;
+
+  BatchedLpm() = default;
+
+  /// Build from any prefix list; duplicates are dropped.
+  explicit BatchedLpm(std::vector<Ipv4Prefix> prefixes);
+
+  /// Longest-prefix match, or nullopt if nothing covers `addr`.
+  std::optional<Ipv4Prefix> lookup(Ipv4Address addr) const;
+
+  /// Every stored prefix covering `addr`, most specific first (the
+  /// candidate_prefixes() ordering).
+  std::vector<Ipv4Prefix> matches(Ipv4Address addr) const;
+
+  /// Longest match for every address as an index into prefixes()
+  /// (kNoMatch where none). Queries are sorted internally, so the
+  /// table is scanned monotonically regardless of input order.
+  std::vector<std::int32_t> lookup_batch(
+      std::span<const Ipv4Address> addrs) const;
+
+  /// The deduplicated table, sorted by (address, length).
+  const std::vector<Ipv4Prefix>& prefixes() const noexcept {
+    return prefixes_;
+  }
+
+  std::size_t size() const noexcept { return prefixes_.size(); }
+  std::size_t bytes() const noexcept;
+
+ private:
+  /// Index of the last prefix with address() <= addr, or kNoMatch.
+  std::int32_t predecessor(Ipv4Address addr) const noexcept;
+
+  /// Deepest entry on `from`'s ancestor-or-self chain covering `addr`.
+  std::int32_t resolve(std::int32_t from, Ipv4Address addr) const noexcept;
+
+  std::vector<Ipv4Prefix> prefixes_;
+  std::vector<std::int32_t> parent_;  // longest proper ancestor
+};
+
+}  // namespace rovista::net

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "scan/measurement_client.h"
+#include "topology/caida.h"
 #include "util/strings.h"
 
 namespace rovista::scenario {
@@ -19,14 +21,28 @@ constexpr std::uint32_t kBlockBase = 256;
 }  // namespace
 
 net::Ipv4Prefix Scenario::as_prefix(Asn asn) const {
-  const std::uint32_t index = asn - params_.topology.first_asn;
+  const std::uint32_t index = as_index_.at(asn);
   return net::Ipv4Prefix(net::Ipv4Address((index + kBlockBase) << 16), 16);
 }
 
 net::Ipv4Prefix Scenario::as_dark_prefix(Asn asn) const {
-  const std::uint32_t index = asn - params_.topology.first_asn;
+  const std::uint32_t index = as_index_.at(asn);
   return net::Ipv4Prefix(
       net::Ipv4Address(0x80000000u | ((index + kBlockBase) << 16)), 16);
+}
+
+void Scenario::index_new_as(Asn asn) {
+  const std::uint32_t index = static_cast<std::uint32_t>(as_index_.size());
+  // The plain /16 lives below 128.0.0.0 and the dark twin above it, so
+  // index + kBlockBase must fit in 15 bits.
+  if (index + kBlockBase > 0x7fffu) {
+    throw std::runtime_error(util::format(
+        "scenario: AS %u overflows the /16 address plan (%u ASes max; "
+        "larger worlds go through bench_scale / the flat substrate, "
+        "which skip host allocation)",
+        asn, 0x8000u - kBlockBase));
+  }
+  as_index_.emplace(asn, index);
 }
 
 Scenario::Scenario(ScenarioParams params)
@@ -195,7 +211,31 @@ std::vector<Asn> Scenario::non_rov_reference_ases(Date date,
 
 void Scenario::build_topology(util::Rng& rng) {
   util::Rng topo_rng = rng.split(0x7090);
-  graph_ = topology::generate_topology(params_.topology, topo_rng);
+  if (params_.topology.caida_path.empty()) {
+    graph_ = topology::generate_topology(params_.topology, topo_rng);
+  } else {
+    topology::CaidaResult loaded =
+        topology::load_caida_file(params_.topology.caida_path);
+    if (!loaded.ok) {
+      throw std::runtime_error("caida topology '" + params_.topology.caida_path +
+                               "': " + loaded.error);
+    }
+    graph_ = std::move(loaded.graph);
+  }
+
+  // Address plan + fixture-ASN watermark. Generated worlds have
+  // contiguous ASNs from first_asn, so both reduce to the historical
+  // arithmetic (index = asn - first_asn, next = first_asn + |ASes|) and
+  // stay byte-identical; loaded worlds get insertion-order slots and
+  // allocate fixtures above the highest real ASN.
+  Asn max_asn = 0;
+  for (const Asn asn : graph_.all_asns()) {
+    index_new_as(asn);
+    max_asn = std::max(max_asn, asn);
+  }
+  next_fixture_asn_ = std::max<Asn>(
+      max_asn + 1, params_.topology.first_asn +
+                       static_cast<Asn>(graph_.all_asns().size()));
 
   // Two measurement-client ASes, multihomed to tier-2 transits that the
   // ROV timeline will be told to leave alone (the clients must keep
@@ -204,22 +244,15 @@ void Scenario::build_topology(util::Rng& rng) {
   for (const Asn asn : graph_.all_asns()) {
     if (graph_.info(asn)->tier == 2) tier2.push_back(asn);
   }
-  assert(tier2.size() >= 3);
+  if (tier2.size() < 4) {
+    throw std::runtime_error(util::format(
+        "topology: %zu tier-2 transit ASes, need >= 4 for the "
+        "gray-transit measurement anchors",
+        tier2.size()));
+  }
 
-  Asn next_asn = params_.topology.first_asn +
-                 static_cast<Asn>(graph_.all_asns().size());
-  const auto add_client_as = [&](const char* name) {
-    topology::AsInfo info;
-    info.asn = next_asn++;
-    info.name = name;
-    info.rir = topology::Rir::kArin;
-    info.country = "US";
-    info.tier = 4;
-    graph_.add_as(info);
-    return info.asn;
-  };
-  client_as_a_ = add_client_as("measurement-client-a");
-  client_as_b_ = add_client_as("measurement-client-b");
+  client_as_a_ = allocate_as("measurement-client-a", 4, topology::Rir::kArin);
+  client_as_b_ = allocate_as("measurement-client-b", 4, topology::Rir::kArin);
 
   // The "gray" transits: never-ROV tier-2s that also aggregate the
   // invalid-announcing ASes, keeping the side channel measurable.
@@ -241,8 +274,7 @@ void Scenario::build_topology(util::Rng& rng) {
 
 Asn Scenario::allocate_as(const std::string& name, int tier,
                           topology::Rir rir) {
-  const Asn asn = params_.topology.first_asn +
-                  static_cast<Asn>(graph_.all_asns().size());
+  const Asn asn = next_fixture_asn_++;
   topology::AsInfo info;
   info.asn = asn;
   info.name = name;
@@ -250,6 +282,7 @@ Asn Scenario::allocate_as(const std::string& name, int tier,
   info.country = "US";
   info.tier = tier;
   graph_.add_as(info);
+  index_new_as(asn);
   return asn;
 }
 

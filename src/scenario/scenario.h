@@ -289,6 +289,12 @@ class Scenario {
   /// Create a fixture AS (sequential ASN) with graph metadata.
   Asn allocate_as(const std::string& name, int tier, topology::Rir rir);
 
+  /// Register `asn` in the address plan: its insertion-order index picks
+  /// the /16 grid slot used by as_prefix/as_dark_prefix. Throws once the
+  /// grid is full (the dark bit caps the plan at ~32.5k ASes — see
+  /// DESIGN.md, "Rank-flattened propagation").
+  void index_new_as(Asn asn);
+
   /// Announce the AS's /16, issue its CA certificate, and (optionally)
   /// publish a ROA effective from `roa_date`.
   void register_as_resources(Asn asn, std::optional<Date> roa_date);
@@ -305,6 +311,11 @@ class Scenario {
 
   ScenarioParams params_;
   topology::AsGraph graph_;
+  // Address plan: insertion-order index per AS (== asn - first_asn for
+  // generated worlds, whose ASNs are contiguous) and the next free ASN
+  // for fixture allocation (== first_asn + |ASes| for generated worlds).
+  std::unordered_map<Asn, std::uint32_t> as_index_;
+  Asn next_fixture_asn_ = 0;
   std::unique_ptr<topology::CustomerCones> cones_;
   std::unique_ptr<rpki::RepositorySystem> repos_;
   std::unique_ptr<bgp::RoutingSystem> routing_;

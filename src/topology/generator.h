@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "topology/as_graph.h"
 #include "util/rng.h"
@@ -24,6 +25,12 @@ struct TopologyParams {
   double tier3_peer_prob = 0.03;  // p2p density within tier 3
   double stub_multihome_prob = 0.35;  // chance a stub has 2+ providers
   std::uint32_t first_asn = 1;
+
+  // When non-empty, the scenario loads this CAIDA serial-2
+  // as-relationship file (topology/caida.h, docs/FORMATS.md §4) instead
+  // of generating a topology; every knob above is then ignored. Empty
+  // keeps builds byte-identical to pre-CAIDA scenarios.
+  std::string caida_path;
 };
 
 /// Generate a topology; deterministic in (params, rng state).

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <map>
 #include <optional>
 #include <string>
@@ -102,29 +103,98 @@ std::optional<snapshot::EngineMode> parse_engine(const Args& args) {
   return std::nullopt;
 }
 
+/// --topology caida:FILE | synthetic:FACTOR (default synthetic:1).
+/// caida: loads a CAIDA serial-2 as-rel file (docs/FORMATS.md section 4)
+/// instead of generating a world. synthetic:FACTOR scales the generated
+/// world: transit and stub counts multiply by FACTOR while the peer-edge
+/// densities divide by it, holding per-AS peer degree (and so total edge
+/// count) roughly linear in FACTOR. synthetic:1 is the standard paper
+/// world, byte-identical to omitting the flag.
+bool parse_topology(const Args& args, scenario::ScenarioParams& params) {
+  const char* t = args.get("topology");
+  if (t == nullptr) return true;
+  const std::string value = t;
+  if (value.rfind("caida:", 0) == 0) {
+    const std::string path = value.substr(6);
+    if (path.empty()) {
+      std::fprintf(stderr, "error: --topology caida: needs a file path\n");
+      return false;
+    }
+    params.topology.caida_path = path;
+    return true;
+  }
+  if (value.rfind("synthetic:", 0) == 0) {
+    std::uint64_t factor = 0;
+    if (!util::parse_u64(value.c_str() + 10, factor) || factor < 1 ||
+        factor > 64) {
+      std::fprintf(stderr,
+                   "error: --topology synthetic: factor must be 1..64\n");
+      return false;
+    }
+    const int f = static_cast<int>(factor);
+    params.topology.tier2_count *= f;
+    params.topology.tier3_count *= f;
+    params.topology.stub_count *= f;
+    params.topology.tier2_peer_prob /= f;
+    params.topology.tier3_peer_prob /= f;
+    return true;
+  }
+  std::fprintf(stderr,
+               "error: --topology must be caida:FILE or synthetic:FACTOR\n");
+  return false;
+}
+
+/// --propagation auto|fixed-point|flat (default auto): which route
+/// propagation engine the discovery world uses (bgp/routing_system.h).
+/// Outputs are engine-invariant — the flat engine is certified
+/// bit-identical per prefix or falls back — so this is a performance
+/// and diagnostics knob, like --engine.
+std::optional<bgp::PropagationEngine> parse_propagation(const Args& args) {
+  const char* v = args.get("propagation", "auto");
+  if (std::strcmp(v, "auto") == 0) return bgp::PropagationEngine::kAuto;
+  if (std::strcmp(v, "fixed-point") == 0) {
+    return bgp::PropagationEngine::kFixedPoint;
+  }
+  if (std::strcmp(v, "flat") == 0) return bgp::PropagationEngine::kFlat;
+  std::fprintf(stderr,
+               "error: --propagation must be auto, fixed-point or flat\n");
+  return std::nullopt;
+}
+
 int usage() {
   std::fprintf(
       stderr,
       "usage: rovista <command> [options]\n"
       "  measure --seed N --date YYYY-MM-DD --out DIR [--mrt FILE]\n"
       "          [--threads N] [--engine snapshot|replica]\n"
+      "          [--topology caida:FILE|synthetic:FACTOR]\n"
+      "          [--propagation auto|fixed-point|flat]\n"
       "          run one round, publish scores, optionally archive the\n"
       "          collector table as an MRT TABLE_DUMP_V2 file;\n"
       "          --threads shards the round by vVP across worker\n"
       "          replicas (output bit-identical for any count >= 1 and\n"
       "          either engine, see DESIGN.md); --engine picks the world\n"
       "          engine: snapshot (default, one immutable epoch shared\n"
-      "          by all workers) or replica (full private world each)\n"
+      "          by all workers) or replica (full private world each);\n"
+      "          --topology swaps the simulated Internet: a CAIDA\n"
+      "          serial-2 as-rel file (docs/FORMATS.md section 4) or a\n"
+      "          scaled synthetic world (FACTOR 1..64 multiplies transit\n"
+      "          and stub counts; measure worlds cap at ~32.5k ASes —\n"
+      "          factor <= 6 on default tiers); --propagation picks the\n"
+      "          route engine\n"
+      "          (auto switches to the rank-flattened engine at 8192+\n"
+      "          ASes; scores are engine-invariant, see DESIGN.md)\n"
       "  query   --dir DIR [--asn N]                    read a dataset\n"
       "  audit   --seed N --asn N [--date YYYY-MM-DD]   audit one AS\n"
       "  longitudinal --seed N --rounds N [--interval-days N]\n"
-      "          [--threads N] [--incremental on|off]\n"
+      "          [--start YYYY-MM-DD] [--threads N] [--incremental on|off]\n"
       "          [--engine snapshot|replica] [--out FILE]\n"
       "          [--publish DIR] [--scale small|paper]\n"
       "          [--slurm-fraction F]\n"
       "          [--rp-failure-rate F] [--rp-divergence-fraction F]\n"
       "          [--rtr-drop-rate F]\n"
       "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
+      "          [--die-after N]\n"
       "          run a dated round sequence; VRP deltas drive dirty-\n"
       "          prefix recomputation and a reachability-aware score\n"
       "          cache unless --incremental off forces full recompute\n"
@@ -136,11 +206,14 @@ int usage() {
       "          supply-chain failures (RP crashes serving stale VRPs,\n"
       "          RTR session drops/corrupt PDUs, divergent RP\n"
       "          implementations); all default to 0, which leaves every\n"
-      "          output byte-identical to a fault-free run\n"
+      "          output byte-identical to a fault-free run. --die-after\n"
+      "          is the crash-safety test hook: _Exit(137) after N\n"
+      "          completed rounds, skipping destructors\n"
       "  checkpoint inspect (--dir DIR | --file FILE)\n"
       "          print the header, section table and integrity verdict\n"
       "          of a checkpoint without restoring it\n"
       "  serve   --seed N --rounds N [--interval-days N]\n"
+      "          [--start YYYY-MM-DD]\n"
       "          [--scale small|paper] [--port P] [--workers N]\n"
       "          [--threads N] [--publish DIR] [--warn-depth N]\n"
       "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
@@ -156,10 +229,13 @@ int usage() {
       "  loadgen --port P [--host H] [--requests N] [--connections N]\n"
       "          [--threads N] [--rate R] [--pipeline N]\n"
       "          [--traj-fraction F] [--reach-fraction F] [--seed N]\n"
+      "          [--reach-dst ADDR32] [--reach-port P]\n"
       "          [--timeout-ms N] [--record FILE] [--json FILE]\n"
       "          drive a serve daemon: open-loop at --rate req/s, or\n"
       "          closed-loop at --pipeline outstanding per connection;\n"
-      "          --record captures every OK score response for feedcheck\n"
+      "          --record captures every OK score response for feedcheck;\n"
+      "          --reach-dst/--reach-port pin reachability queries to one\n"
+      "          numeric IPv4 destination instead of sampled tNodes\n"
       "  feedcheck --record FILE --published DIR\n"
       "          verify a loadgen record byte-for-byte against a\n"
       "          published dataset: every served score must equal the\n"
@@ -176,13 +252,14 @@ struct MeasuredWorld {
   std::vector<scan::Tnode> tnodes;
 };
 
-MeasuredWorld build_world(std::uint64_t seed, util::Date date,
-                          int num_threads = 0) {
+MeasuredWorld build_world(scenario::ScenarioParams params, util::Date date,
+                          int num_threads = 0,
+                          bgp::PropagationEngine propagation =
+                              bgp::PropagationEngine::kAuto) {
   MeasuredWorld world;
-  scenario::ScenarioParams params;
-  params.seed = seed;
   world.params = params;
   world.scenario = std::make_unique<scenario::Scenario>(std::move(params));
+  world.scenario->routing().set_propagation_engine(propagation);
   if (date < world.scenario->start()) date = world.scenario->start();
   if (date > world.scenario->end()) date = world.scenario->end();
   world.scenario->advance_to(date);
@@ -218,11 +295,19 @@ int cmd_measure(const Args& args) {
   if (const char* t = args.get("threads")) util::parse_u64(t, threads);
   const std::optional<snapshot::EngineMode> engine = parse_engine(args);
   if (!engine.has_value()) return usage();
+  const std::optional<bgp::PropagationEngine> propagation =
+      parse_propagation(args);
+  if (!propagation.has_value()) return usage();
+  scenario::ScenarioParams params;
+  params.seed = seed;
+  if (!parse_topology(args, params)) return usage();
 
   std::printf("building world (seed %llu) ...\n",
               static_cast<unsigned long long>(seed));
-  MeasuredWorld world = build_world(seed, date, static_cast<int>(threads));
-  std::printf("tNodes: %zu\n", world.tnodes.size());
+  MeasuredWorld world = build_world(std::move(params), date,
+                                    static_cast<int>(threads), *propagation);
+  std::printf("ASes: %zu, tNodes: %zu\n", world.scenario->graph().size(),
+              world.tnodes.size());
   const auto vvps =
       world.rovista->acquire_vvps(world.scenario->vvp_candidates());
   std::printf("vVPs: %zu\n", vvps.size());
@@ -320,7 +405,9 @@ int cmd_audit(const Args& args) {
   util::Date date = util::Date::from_ymd(2023, 9, 12);
   if (const char* d = args.get("date")) util::Date::parse(d, date);
 
-  MeasuredWorld world = build_world(seed, date);
+  scenario::ScenarioParams params;
+  params.seed = seed;
+  MeasuredWorld world = build_world(std::move(params), date);
   auto& s = *world.scenario;
   if (!s.graph().contains(asn)) {
     std::fprintf(stderr, "error: AS%u does not exist in this world\n", asn);
@@ -946,7 +1033,7 @@ int cmd_feedcheck(const Args& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   if (std::strcmp(argv[1], "checkpoint") == 0) {
     if (argc < 3 || std::strcmp(argv[2], "inspect") != 0) return usage();
@@ -963,4 +1050,16 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "loadgen") == 0) return cmd_loadgen(args);
   if (std::strcmp(argv[1], "feedcheck") == 0) return cmd_feedcheck(args);
   return usage();
+}
+
+int main(int argc, char** argv) {
+  // Bad input — an unreadable CAIDA file, a synthetic factor that
+  // overflows the scenario address plan — surfaces as std::runtime_error
+  // from the library; report it as a CLI error, not an abort.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
