@@ -47,5 +47,7 @@ rovista_bench(bench_ablation_rov_modes)
 rovista_bench(bench_ablation_rovpp)
 rovista_bench(bench_serve)
 target_link_libraries(bench_serve PRIVATE rovista_serve)
+rovista_bench(bench_analytics)
+target_link_libraries(bench_analytics PRIVATE rovista_analytics)
 
 rovista_bench(bench_scale)

@@ -43,7 +43,12 @@
 #  11. bench_scale smoke: the scaling bench's --smoke shape (~5k ASes)
 #      must complete under a wall-clock ceiling with every internal
 #      check green ("ok": true) — digests thread-invariant, zero flat
-#      fallbacks, LPM spot-checks passing (stage 1c).
+#      fallbacks, LPM spot-checks passing (stage 1c),
+#  12. RVLA archive end-to-end: a longitudinal run with --archive, then
+#      `rovista analyze --publish` straight off the archive, byte-diffed
+#      against the CSVs the in-memory store published during the run;
+#      plus bench_analytics --smoke under a wall-clock ceiling with its
+#      streaming-vs-store identity gates green ("ok": true).
 #
 # Every stage runs under its own timeout and the script fails fast: the
 # first stage to fail (or hang past its budget) stops the run with a
@@ -140,9 +145,9 @@ stage "ASan/UBSan incremental + checkpoint surface"
 t 900 cmake -B build-asan -S . -DSANITIZE=address+undefined
 t 1800 cmake --build build-asan -j "$JOBS" \
   --target test_vrp_delta test_longitudinal_index test_incremental_round \
-           test_checkpoint test_rtr test_faults
+           test_checkpoint test_rvla test_rtr test_faults
 t 1800 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-  -R 'VrpDelta|LongitudinalIndex|IncrementalRound|Wire|Checkpoint|ScoreCacheRestore'
+  -R 'VrpDelta|LongitudinalIndex|IncrementalRound|Wire|Checkpoint|ScoreCacheRestore|Rvla'
 
 stage "ASan/UBSan fault soak (RTR lifecycle + fault injection)"
 t 1800 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
@@ -230,6 +235,30 @@ t 900 "$CLI" longitudinal --seed 11 --rounds 6 --interval-days 20 \
   --scale small --publish "$CK_TMP/uninterrupted" >/dev/null
 diff -r "$CK_TMP/resumed" "$CK_TMP/uninterrupted" >/dev/null || {
   echo "resumed series published different CSV bytes" >&2
+  exit 1
+}
+
+# RVLA archive end-to-end: the round loop appends one frame per round;
+# `analyze` must reproduce the published dataset byte-for-byte straight
+# off the archive, and the streaming-query bench's identity gates must
+# hold at smoke scale under a wall-clock ceiling.
+stage "RVLA archive: analyze byte-diff + bench_analytics smoke"
+t 900 "$CLI" longitudinal --seed 11 --rounds 5 --interval-days 20 \
+  --scale small --archive "$CK_TMP/rvla" --publish "$CK_TMP/rvla-store" \
+  >/dev/null
+t 300 "$CLI" analyze --archive "$CK_TMP/rvla" >/dev/null
+t 300 "$CLI" analyze --archive "$CK_TMP/rvla" \
+  --publish "$CK_TMP/rvla-analyze" >/dev/null
+diff -r "$CK_TMP/rvla-store" "$CK_TMP/rvla-analyze" >/dev/null || {
+  echo "analyze published different CSV bytes than the in-memory store" >&2
+  exit 1
+}
+t 120 build/bench/bench_analytics --smoke \
+  --out "$CK_TMP/bench_analytics_smoke.json" \
+  > "$CK_TMP/bench_analytics_smoke.log"
+grep -q '"ok": true' "$CK_TMP/bench_analytics_smoke.json" || {
+  echo "bench_analytics --smoke emitted ok=false" >&2
+  cat "$CK_TMP/bench_analytics_smoke.log" >&2 || true
   exit 1
 }
 
@@ -351,4 +380,5 @@ echo "tier-1 OK (tests + docs consistency + bench_scale smoke" \
      "+ TSan parallel round + TSan snapshot stress" \
      "+ ASan/UBSan incremental + checkpoint corruption battery" \
      "+ ASan fault soak + crash/resume byte-diff + SLURM byte-diff" \
-     "+ fault byte-diff + engine-equivalence byte-diff)"
+     "+ fault byte-diff + engine-equivalence byte-diff" \
+     "+ RVLA analyze byte-diff + bench_analytics smoke)"

@@ -1,0 +1,313 @@
+#include "analytics/rvla.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "persist/wire.h"
+
+namespace rovista::analytics {
+
+namespace {
+
+using persist::ByteReader;
+using persist::ByteWriter;
+using persist::crc32;
+
+constexpr std::uint8_t kDataMagic[4] = {'R', 'V', 'L', 'A'};
+constexpr std::uint8_t kHeadMagic[4] = {'R', 'V', 'L', 'H'};
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+std::size_t frame_size(std::uint64_t row_count, bool has_health) noexcept {
+  return kRvlaFrameFixedSize + static_cast<std::size_t>(row_count) * 12 +
+         (has_health ? 40 : 0);
+}
+
+RvlaFrame make_frame(util::Date date,
+                     std::span<const std::pair<core::Asn, double>> scores,
+                     bool has_health, const core::RoundHealth& health) {
+  // Stable sort keeps same-ASN duplicates in record order, so keeping
+  // the last of each run reproduces LongitudinalStore::record's
+  // last-write-wins end state.
+  std::vector<std::pair<core::Asn, double>> rows(scores.begin(),
+                                                 scores.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  RvlaFrame frame;
+  frame.date = date;
+  frame.asns.reserve(rows.size());
+  frame.scores.reserve(rows.size());
+  for (const auto& [asn, score] : rows) {
+    if (!frame.asns.empty() && frame.asns.back() == asn) {
+      frame.scores.back() = score;
+      continue;
+    }
+    frame.asns.push_back(asn);
+    frame.scores.push_back(score);
+  }
+  frame.has_health = has_health;
+  if (has_health) frame.health = health;
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_data_preamble() {
+  ByteWriter w;
+  w.bytes(kDataMagic);
+  w.u32(kRvlaVersion);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_head(const RvlaHead& head) {
+  ByteWriter w;
+  w.bytes(kHeadMagic);
+  w.u32(kRvlaVersion);
+  w.u64(head.frame_count);
+  w.u64(head.data_size);
+  w.u64(head.last_frame_offset);
+  w.u32(crc32(w.data()));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_frame(const RvlaFrame& frame,
+                                       std::uint64_t prev_offset) {
+  // Everything after the CRC field first, so the CRC can cover it.
+  ByteWriter body;
+  body.u64(prev_offset);
+  body.i64(frame.date.days_since_epoch());
+  body.u64(frame.asns.size());
+  body.u8(frame.has_health ? 1 : 0);
+  for (const core::Asn asn : frame.asns) body.u32(asn);
+  for (const double score : frame.scores) body.f64(score);
+  if (frame.has_health) {
+    body.u64(frame.health.stale_ases);
+    body.u64(frame.health.expired_ases);
+    body.u64(frame.health.diverged_ases);
+    body.i64(frame.health.max_staleness_days);
+    body.u64(frame.health.error_reports);
+  }
+  ByteWriter w;
+  w.u32(crc32(body.data()));
+  w.bytes(body.data());
+  return w.take();
+}
+
+RvlaImage encode_archive(std::span<const RvlaFrame> frames) {
+  RvlaImage image;
+  image.data = encode_data_preamble();
+  RvlaHead head;
+  std::uint64_t prev = 0;
+  for (const RvlaFrame& frame : frames) {
+    const std::uint64_t offset = image.data.size();
+    const std::vector<std::uint8_t> bytes = encode_frame(frame, prev);
+    image.data.insert(image.data.end(), bytes.begin(), bytes.end());
+    prev = offset;
+    head.last_frame_offset = offset;
+    ++head.frame_count;
+  }
+  head.data_size = image.data.size();
+  image.head = encode_head(head);
+  return image;
+}
+
+std::optional<RvlaHead> decode_head(std::span<const std::uint8_t> bytes,
+                                    std::string* error) {
+  if (bytes.size() != kRvlaHeadSize) {
+    fail(error, "head: wrong size " + std::to_string(bytes.size()));
+    return std::nullopt;
+  }
+  if (!std::equal(kHeadMagic, kHeadMagic + 4, bytes.begin())) {
+    fail(error, "head: bad magic");
+    return std::nullopt;
+  }
+  const std::uint32_t stored_crc =
+      crc32(bytes.subspan(0, kRvlaHeadSize - 4));
+  ByteReader r(bytes.subspan(4));
+  std::uint32_t version = 0;
+  RvlaHead head;
+  std::uint32_t crc = 0;
+  if (!r.u32(version) || !r.u64(head.frame_count) || !r.u64(head.data_size) ||
+      !r.u64(head.last_frame_offset) || !r.u32(crc) || !r.exhausted_ok()) {
+    fail(error, "head: short read");
+    return std::nullopt;
+  }
+  if (crc != stored_crc) {
+    fail(error, "head: CRC mismatch");
+    return std::nullopt;
+  }
+  if (version != kRvlaVersion) {
+    fail(error, "head: unsupported version " + std::to_string(version));
+    return std::nullopt;
+  }
+  if (head.data_size < kRvlaPreambleSize) {
+    fail(error, "head: data_size below preamble");
+    return std::nullopt;
+  }
+  const bool empty = head.frame_count == 0;
+  if (empty != (head.data_size == kRvlaPreambleSize) ||
+      empty != (head.last_frame_offset == 0)) {
+    fail(error, "head: inconsistent empty-archive fields");
+    return std::nullopt;
+  }
+  if (!empty && (head.last_frame_offset < kRvlaPreambleSize ||
+                 head.last_frame_offset >= head.data_size)) {
+    fail(error, "head: last frame offset out of range");
+    return std::nullopt;
+  }
+  return head;
+}
+
+bool decode_data_preamble(std::span<const std::uint8_t> bytes,
+                          std::string* error) {
+  if (bytes.size() < kRvlaPreambleSize) {
+    return fail(error, "data: shorter than preamble");
+  }
+  if (!std::equal(kDataMagic, kDataMagic + 4, bytes.begin())) {
+    return fail(error, "data: bad magic");
+  }
+  ByteReader r(bytes.subspan(4, 4));
+  std::uint32_t version = 0;
+  if (!r.u32(version) || version != kRvlaVersion) {
+    return fail(error, "data: unsupported version");
+  }
+  return true;
+}
+
+std::optional<RvlaFrameFixed> decode_frame_fixed(
+    std::span<const std::uint8_t> bytes, std::string* error) {
+  if (bytes.size() < kRvlaFrameFixedSize) {
+    fail(error, "frame: truncated fixed header");
+    return std::nullopt;
+  }
+  ByteReader r(bytes.subspan(0, kRvlaFrameFixedSize));
+  RvlaFrameFixed fixed;
+  std::uint8_t health_flag = 0;
+  if (!r.u32(fixed.crc) || !r.u64(fixed.prev_offset) ||
+      !r.i64(fixed.date_days) || !r.u64(fixed.row_count) ||
+      !r.u8(health_flag)) {
+    fail(error, "frame: short fixed header");
+    return std::nullopt;
+  }
+  if (health_flag > 1) {
+    fail(error, "frame: bad health flag");
+    return std::nullopt;
+  }
+  fixed.has_health = health_flag == 1;
+  return fixed;
+}
+
+std::optional<RvlaFrame> decode_frame(std::span<const std::uint8_t> bytes,
+                                      std::uint64_t expected_prev,
+                                      std::int64_t min_date_days,
+                                      std::string* error) {
+  const auto fixed = decode_frame_fixed(bytes, error);
+  if (!fixed.has_value()) return std::nullopt;
+  if (bytes.size() != frame_size(fixed->row_count, fixed->has_health)) {
+    fail(error, "frame: length does not match row count");
+    return std::nullopt;
+  }
+  if (fixed->crc != crc32(bytes.subspan(4))) {
+    fail(error, "frame: CRC mismatch");
+    return std::nullopt;
+  }
+  if (fixed->prev_offset != expected_prev) {
+    fail(error, "frame: broken back-pointer chain");
+    return std::nullopt;
+  }
+  if (fixed->date_days < min_date_days) {
+    fail(error, "frame: dates go backwards");
+    return std::nullopt;
+  }
+  RvlaFrame frame;
+  frame.date = util::Date(fixed->date_days);
+  frame.has_health = fixed->has_health;
+  const std::size_t rows = static_cast<std::size_t>(fixed->row_count);
+  frame.asns.resize(rows);
+  frame.scores.resize(rows);
+  ByteReader r(bytes.subspan(kRvlaFrameFixedSize));
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (!r.u32(frame.asns[i])) {
+      fail(error, "frame: short ASN column");
+      return std::nullopt;
+    }
+    if (i > 0 && frame.asns[i] <= frame.asns[i - 1]) {
+      fail(error, "frame: ASNs not strictly ascending");
+      return std::nullopt;
+    }
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (!r.f64(frame.scores[i])) {
+      fail(error, "frame: short score column");
+      return std::nullopt;
+    }
+  }
+  if (frame.has_health) {
+    if (!r.u64(frame.health.stale_ases) ||
+        !r.u64(frame.health.expired_ases) ||
+        !r.u64(frame.health.diverged_ases) ||
+        !r.i64(frame.health.max_staleness_days) ||
+        !r.u64(frame.health.error_reports)) {
+      fail(error, "frame: short health block");
+      return std::nullopt;
+    }
+  }
+  if (!r.exhausted_ok()) {
+    fail(error, "frame: trailing bytes");
+    return std::nullopt;
+  }
+  return frame;
+}
+
+std::optional<std::vector<RvlaFrame>> decode_archive(
+    std::span<const std::uint8_t> head_bytes,
+    std::span<const std::uint8_t> data_bytes, std::string* error) {
+  const auto head = decode_head(head_bytes, error);
+  if (!head.has_value()) return std::nullopt;
+  if (data_bytes.size() != head->data_size) {
+    fail(error, "data: size " + std::to_string(data_bytes.size()) +
+                    " does not match committed length " +
+                    std::to_string(head->data_size));
+    return std::nullopt;
+  }
+  if (!decode_data_preamble(data_bytes, error)) return std::nullopt;
+
+  std::vector<RvlaFrame> frames;
+  frames.reserve(static_cast<std::size_t>(head->frame_count));
+  std::uint64_t pos = kRvlaPreambleSize;
+  std::uint64_t prev = 0;
+  std::int64_t min_date = std::numeric_limits<std::int64_t>::min();
+  while (pos < data_bytes.size()) {
+    const auto fixed =
+        decode_frame_fixed(data_bytes.subspan(pos), error);
+    if (!fixed.has_value()) return std::nullopt;
+    const std::size_t size = frame_size(fixed->row_count, fixed->has_health);
+    if (size > data_bytes.size() - pos) {
+      fail(error, "frame: runs past committed length");
+      return std::nullopt;
+    }
+    auto frame =
+        decode_frame(data_bytes.subspan(pos, size), prev, min_date, error);
+    if (!frame.has_value()) return std::nullopt;
+    min_date = frame->date.days_since_epoch();
+    prev = pos;
+    pos += size;
+    frames.push_back(std::move(*frame));
+  }
+  if (frames.size() != head->frame_count) {
+    fail(error, "data: frame count does not match head");
+    return std::nullopt;
+  }
+  if (head->frame_count != 0 && prev != head->last_frame_offset) {
+    fail(error, "data: last frame offset does not match head");
+    return std::nullopt;
+  }
+  return frames;
+}
+
+}  // namespace rovista::analytics

@@ -1,0 +1,133 @@
+// RVLA v1 — the RoVista Longitudinal Archive (docs/FORMATS.md §5).
+//
+// An on-disk columnar layout for multi-year score series: one frame per
+// measurement round, holding the round's sorted ASN / score / health
+// columns, chained by back-pointers so readers can walk the series
+// without an index. The archive is a directory of two files in the RVCP
+// style of src/persist/wire.h:
+//
+//   archive.rvla — 8-byte preamble + CRC-protected frames back-to-back
+//   archive.head — 36-byte commit record (frame count, committed data
+//                  length, last frame offset), atomically replaced per
+//                  append; bytes of archive.rvla beyond the committed
+//                  length are crash debris, never data
+//
+// The encoding is canonical: decoding and re-encoding any accepted
+// archive reproduces its bytes exactly, and the loaders reject every
+// truncation and every single-byte corruption (pinned by
+// tests/test_rvla.cpp, which reuses the shared mutate harness).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/longitudinal.h"
+#include "core/scoring.h"
+#include "util/date.h"
+
+namespace rovista::analytics {
+
+inline constexpr std::uint32_t kRvlaVersion = 1;
+/// archive.rvla starts with magic "RVLA" + u32 version.
+inline constexpr std::size_t kRvlaPreambleSize = 8;
+/// archive.head: magic "RVLH" + version + frame_count + data_size +
+/// last_frame_offset + CRC-32 over everything before the CRC.
+inline constexpr std::size_t kRvlaHeadSize = 36;
+/// Fixed leading part of a frame: crc + prev_offset + date + row_count
+/// + has_health; the column and health lengths follow from it.
+inline constexpr std::size_t kRvlaFrameFixedSize = 29;
+
+/// One measurement round in column form. ASNs are strictly ascending
+/// and `scores` is parallel to `asns`; `health` is meaningful only when
+/// `has_health` is set (fault-injection rounds).
+struct RvlaFrame {
+  util::Date date;
+  std::vector<core::Asn> asns;
+  std::vector<double> scores;
+  bool has_health = false;
+  core::RoundHealth health;
+
+  bool operator==(const RvlaFrame&) const = default;
+};
+
+/// The commit record: everything a reader needs to know how much of
+/// archive.rvla is real.
+struct RvlaHead {
+  std::uint64_t frame_count = 0;
+  std::uint64_t data_size = kRvlaPreambleSize;
+  std::uint64_t last_frame_offset = 0;  // 0 iff frame_count == 0
+
+  bool operator==(const RvlaHead&) const = default;
+};
+
+/// Fixed leading fields of one frame (decoded before the columns so a
+/// streaming reader knows how many bytes to fetch).
+struct RvlaFrameFixed {
+  std::uint32_t crc = 0;
+  std::uint64_t prev_offset = 0;
+  std::int64_t date_days = 0;
+  std::uint64_t row_count = 0;
+  bool has_health = false;
+};
+
+/// Total encoded size of a frame with `row_count` rows.
+std::size_t frame_size(std::uint64_t row_count, bool has_health) noexcept;
+
+/// Canonicalize one round's (ASN, score) pairs into frame columns:
+/// sorted by ASN with last-wins dedup — the same end state
+/// LongitudinalStore::record reaches for the round.
+RvlaFrame make_frame(util::Date date,
+                     std::span<const std::pair<core::Asn, double>> scores,
+                     bool has_health, const core::RoundHealth& health);
+
+// --- encoders ---
+
+std::vector<std::uint8_t> encode_data_preamble();
+std::vector<std::uint8_t> encode_head(const RvlaHead& head);
+/// Frame bytes given the offset of the preceding frame (0 for the
+/// archive's first frame).
+std::vector<std::uint8_t> encode_frame(const RvlaFrame& frame,
+                                       std::uint64_t prev_offset);
+
+/// Whole-archive images for both files.
+struct RvlaImage {
+  std::vector<std::uint8_t> head;
+  std::vector<std::uint8_t> data;
+};
+RvlaImage encode_archive(std::span<const RvlaFrame> frames);
+
+// --- decoders (reject everything malformed; *error names why) ---
+
+std::optional<RvlaHead> decode_head(std::span<const std::uint8_t> bytes,
+                                    std::string* error);
+
+/// Validate archive.rvla's 8-byte preamble.
+bool decode_data_preamble(std::span<const std::uint8_t> bytes,
+                          std::string* error);
+
+/// Decode the fixed leading fields of the frame at the start of `bytes`
+/// (which may extend past the frame).
+std::optional<RvlaFrameFixed> decode_frame_fixed(
+    std::span<const std::uint8_t> bytes, std::string* error);
+
+/// Decode exactly one frame from `bytes` (which must be exactly the
+/// frame), checking its CRC and that its back-pointer equals
+/// `expected_prev` and its date is not before `min_date_days`.
+std::optional<RvlaFrame> decode_frame(std::span<const std::uint8_t> bytes,
+                                      std::uint64_t expected_prev,
+                                      std::int64_t min_date_days,
+                                      std::string* error);
+
+/// Full decode of a (head, data) byte pair. `data` must be exactly the
+/// committed length — this is the strict codec the fuzz battery drives;
+/// the file-backed cursor additionally tolerates crash debris past the
+/// committed length.
+std::optional<std::vector<RvlaFrame>> decode_archive(
+    std::span<const std::uint8_t> head_bytes,
+    std::span<const std::uint8_t> data_bytes, std::string* error);
+
+}  // namespace rovista::analytics

@@ -1,0 +1,95 @@
+// File-backed RVLA access: the durable appender and the streaming
+// cursor (docs/FORMATS.md §5).
+//
+// Appends follow the persist crash-safety recipe: frame bytes are
+// written and fsync'd into archive.rvla first, then the 36-byte commit
+// record is atomically swapped in (tmp + fsync + rename + directory
+// sync). A crash between the two steps leaves debris past the committed
+// length, which the next append truncates away — readers never see it
+// because they stop at the committed length.
+//
+// The cursor streams one frame at a time off disk, so walking an
+// N-round archive needs O(max frame) memory, not O(N): that is what
+// lets src/analytics/queries.h answer the paper's longitudinal queries
+// without materializing the LongitudinalStore matrix.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analytics/rvla.h"
+
+namespace rovista::analytics {
+
+struct RvlaPaths {
+  std::string data;      // archive.rvla
+  std::string head;      // archive.head
+  std::string head_tmp;  // archive.head.tmp (atomic head swap)
+  std::string data_tmp;  // archive.rvla.tmp (atomic full rewrite)
+
+  static RvlaPaths in(const std::string& directory);
+};
+
+/// Append-side handle. `create` installs a fresh archive holding
+/// `frames` (usually none); each `append` durably commits one frame in
+/// O(frame) work, independent of archive length.
+class RvlaWriter {
+ public:
+  /// Create (or atomically replace) the archive in `directory`.
+  static std::optional<RvlaWriter> create(const std::string& directory,
+                                          std::span<const RvlaFrame> frames,
+                                          std::string* error);
+
+  bool append(const RvlaFrame& frame, std::string* error);
+
+  const RvlaHead& head() const noexcept { return head_; }
+  const std::string& directory() const noexcept { return directory_; }
+
+ private:
+  RvlaWriter(std::string directory, RvlaHead head);
+
+  std::string directory_;
+  RvlaPaths paths_;
+  RvlaHead head_;
+};
+
+/// Streaming reader: validates the commit record up front, then yields
+/// frames one at a time with per-frame CRC / chain / date checks.
+/// Tolerates crash debris past the committed length (unlike the strict
+/// decode_archive codec), rejects everything else.
+class RvlaCursor {
+ public:
+  static std::optional<RvlaCursor> open(const std::string& directory,
+                                        std::string* error);
+
+  /// Next frame, or nullopt when the archive is exhausted or damaged —
+  /// distinguish with done()/failed().
+  std::optional<RvlaFrame> next();
+
+  const RvlaHead& head() const noexcept { return head_; }
+  bool done() const noexcept { return done_; }
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  RvlaCursor(RvlaHead head, std::ifstream file);
+
+  std::optional<RvlaFrame> fail(const std::string& why);
+
+  RvlaHead head_;
+  std::ifstream file_;
+  std::uint64_t pos_ = kRvlaPreambleSize;
+  std::uint64_t prev_ = 0;
+  std::int64_t min_date_days_;
+  std::uint64_t seen_ = 0;
+  bool done_ = false;
+  bool failed_ = false;
+  std::string error_;
+  std::vector<std::uint8_t> buf_;  // reused per-frame scratch
+};
+
+}  // namespace rovista::analytics

@@ -13,7 +13,14 @@ void LongitudinalStore::record(Date date, std::span<const AsScore> scores) {
     const auto it = overwrite
                         ? (existing->second = s.score, existing)
                         : series.emplace(date, s.score).first;
-    by_date_[date].push_back(s.asn);
+    if (!overwrite) {
+      // First measurement of this (AS, date): insert at the sorted
+      // position. Re-records must not grow the roster — the AS is
+      // already listed for the date.
+      std::vector<Asn>& roster = by_date_[date];
+      roster.insert(std::lower_bound(roster.begin(), roster.end(), s.asn),
+                    s.asn);
+    }
 
     const auto latest = latest_.find(s.asn);
     if (latest == latest_.end() || date >= latest->second.first) {
@@ -42,7 +49,47 @@ void LongitudinalStore::record(Date date, std::span<const AsScore> scores) {
     };
     refresh_edge(it);
     refresh_edge(std::next(it));
+    // Never keep an empty per-AS edge map: a rebuild from by_as_ would
+    // not produce one, and index_divergence() compares them exactly.
+    if (edges.empty()) rising_.erase(s.asn);
   }
+}
+
+std::vector<Asn> LongitudinalStore::ases_on(Date date) const {
+  const auto it = by_date_.find(date);
+  if (it == by_date_.end()) return {};
+  return it->second;
+}
+
+std::string LongitudinalStore::index_divergence() const {
+  std::map<Date, std::vector<Asn>> by_date;
+  std::map<Asn, std::pair<Date, double>> latest;
+  std::map<Date, std::vector<double>> by_date_sorted;
+  std::map<Asn, std::map<Date, std::pair<double, double>>> rising;
+  for (const auto& [asn, series] : by_as_) {
+    bool have_prev = false;
+    double prev = 0.0;
+    for (const auto& [date, score] : series) {
+      by_date[date].push_back(asn);  // ascending: outer loop is by ASN
+      by_date_sorted[date].push_back(score);
+      if (have_prev && score > prev) rising[asn][date] = {prev, score};
+      prev = score;
+      have_prev = true;
+    }
+    if (!series.empty()) {
+      latest[asn] = {series.rbegin()->first, series.rbegin()->second};
+    }
+  }
+  for (auto& [date, scores] : by_date_sorted) {
+    std::sort(scores.begin(), scores.end());
+  }
+  if (by_date != by_date_) return "by_date_ diverges from rebuild";
+  if (latest != latest_) return "latest_ diverges from rebuild";
+  if (by_date_sorted != by_date_sorted_) {
+    return "by_date_sorted_ diverges from rebuild";
+  }
+  if (rising != rising_) return "rising_ diverges from rebuild";
+  return {};
 }
 
 std::vector<Date> LongitudinalStore::dates() const {

@@ -11,6 +11,7 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/scoring.h"
@@ -62,6 +63,18 @@ class LongitudinalStore {
   /// All ASes ever scored, ascending.
   std::vector<Asn> ases() const;
 
+  /// ASes measured on `date`, ascending and unique — re-recording an
+  /// (AS, date) does not grow the roster.
+  std::vector<Asn> ases_on(Date date) const;
+
+  /// Diagnostic: rebuild every query index (`latest_`,
+  /// `by_date_sorted_`, `rising_`, `by_date_`) from `by_as_` by brute
+  /// force and compare with the incrementally-maintained state. Returns
+  /// an empty string when they agree, else a description of the first
+  /// diverging index. Used by the re-record battery in
+  /// tests/test_longitudinal_index.cpp.
+  std::string index_divergence() const;
+
   /// Latest score for an AS (most recent date with a measurement).
   std::optional<double> latest_score(Asn asn) const;
 
@@ -104,6 +117,9 @@ class LongitudinalStore {
 
  private:
   std::map<Asn, std::map<Date, double>> by_as_;
+  // Per date: the ASes measured that date, sorted ascending and unique.
+  // record() inserts only on the first measurement of an (AS, date);
+  // re-records replace the score without touching the roster.
   std::map<Date, std::vector<Asn>> by_date_;
   std::map<Date, RoundHealth> health_;  // fault-injection rounds only
 
@@ -122,6 +138,8 @@ class LongitudinalStore {
   // by the later date, value = (previous score, score). For low < high a
   // jump pair satisfies prev <= low < high <= score, i.e. it rises —
   // so score_jumps only scans these; low >= high falls back to the walk.
+  // ASes with no rising pair have no entry at all (never an empty map),
+  // so the structure equals a brute-force rebuild from by_as_.
   std::map<Asn, std::map<Date, std::pair<double, double>>> rising_;
 };
 

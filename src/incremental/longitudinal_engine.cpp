@@ -380,6 +380,10 @@ bool IncrementalLongitudinalRunner::restore(
               "next round recomputes in full");
   }
   rounds_since_checkpoint_ = 0;
+  // Any open archive may describe rounds the checkpoint does not know
+  // about (or vice versa); the next round's first maybe_archive()
+  // rewrites it from the restored history, re-synchronizing the two.
+  archive_writer_.reset();
   return true;
 }
 
@@ -401,6 +405,40 @@ bool IncrementalLongitudinalRunner::write_checkpoint() {
                                      checkpoint_state());
   if (ok) rounds_since_checkpoint_ = 0;
   return ok;
+}
+
+void IncrementalLongitudinalRunner::maybe_archive() {
+  if (config_.archive_dir.empty() || history_.empty()) return;
+  const bool faulted = world().fault_chain() != nullptr;
+  std::string error;
+  if (!archive_writer_.has_value()) {
+    // First append of this runner's life: rewrite the whole archive
+    // from the recorded history. A cold start begins fresh; a resumed
+    // run truncates rounds a crash left beyond the checkpoint; either
+    // way the archive ends up byte-identical to one grown round by
+    // round from the same history (encode is canonical).
+    std::vector<analytics::RvlaFrame> frames;
+    frames.reserve(history_.size());
+    for (const persist::RoundRecord& r : history_) {
+      frames.push_back(
+          analytics::make_frame(r.date, r.scores, faulted, r.health));
+    }
+    archive_writer_ =
+        analytics::RvlaWriter::create(config_.archive_dir, frames, &error);
+    if (!archive_writer_.has_value()) {
+      util::log(LogLevel::kWarn,
+                "archive: " + error);
+    }
+    return;
+  }
+  const persist::RoundRecord& last = history_.back();
+  if (!archive_writer_->append(
+          analytics::make_frame(last.date, last.scores, faulted,
+                                last.health),
+          &error)) {
+    util::log(LogLevel::kWarn, "archive: " + error);
+    archive_writer_.reset();
+  }
 }
 
 void IncrementalLongitudinalRunner::maybe_checkpoint() {
@@ -494,6 +532,7 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
     }
     history_.push_back(std::move(record));
     have_round_ = true;
+    maybe_archive();
     maybe_checkpoint();
     return report;
   }
@@ -575,6 +614,7 @@ RoundReport IncrementalLongitudinalRunner::run_round(Date date) {
   history_.push_back(std::move(record));
   report.round = std::move(round);
   have_round_ = true;
+  maybe_archive();
   maybe_checkpoint();
   return report;
 }

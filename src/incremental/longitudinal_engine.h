@@ -29,9 +29,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analytics/rvla_io.h"
 #include "core/longitudinal.h"
 #include "core/rovista.h"
 #include "incremental/score_cache.h"
@@ -74,6 +76,16 @@ struct IncrementalConfig {
   /// round count scale — into it, so a checkpoint cannot silently resume
   /// a differently-shaped series). Zero means "no extra guard".
   std::uint64_t checkpoint_user_tag = 0;
+
+  /// Non-empty → every completed round durably appends one frame to an
+  /// RVLA archive (docs/FORMATS.md §5) in this directory. The first
+  /// append of a runner's life rewrites the archive from its recorded
+  /// history — so cold starts begin a fresh archive and resumed runs
+  /// truncate whatever rounds a crash left uncommitted — and each
+  /// subsequent round is an O(frame) append through the persist
+  /// tmp+fsync+rename head swap. `rovista analyze` and
+  /// ScoreFeed::seed_from_archive consume the result.
+  std::string archive_dir;
 };
 
 /// What one round did and what it cost.
@@ -171,6 +183,10 @@ class IncrementalLongitudinalRunner {
 
  private:
   void maybe_checkpoint();
+  /// Mirror the round just pushed onto history_ into the RVLA archive
+  /// (no-op without config_.archive_dir; failures log and disable the
+  /// archive rather than fail the round).
+  void maybe_archive();
 
   IncrementalConfig config_;
   // Owns the long-lived tracking world (its private build world) and
@@ -193,6 +209,10 @@ class IncrementalLongitudinalRunner {
   // (store replay log) and tracking-world replay recipe in one.
   std::vector<persist::RoundRecord> history_;
   std::size_t rounds_since_checkpoint_ = 0;
+  // RVLA appender, opened lazily by the first maybe_archive() so the
+  // initial rewrite sees any restored history; restore() drops it to
+  // force a fresh rewrite. nullopt also after a logged archive failure.
+  std::optional<analytics::RvlaWriter> archive_writer_;
 };
 
 }  // namespace rovista::incremental

@@ -1,9 +1,12 @@
 #include "serve/score_feed.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "analytics/rvla_io.h"
 #include "util/csv.h"
+#include "util/logging.h"
 
 namespace rovista::serve {
 
@@ -96,6 +99,67 @@ void ScoreFeed::seed_from_store(const core::LongitudinalStore& store) {
   std::lock_guard<std::mutex> lock(mutex_);
   snapshot->sequence = ++sequence_;
   current_ = std::move(snapshot);
+}
+
+bool ScoreFeed::seed_from_archive(const std::string& directory) {
+  std::string error;
+  auto cursor = analytics::RvlaCursor::open(directory, &error);
+  if (!cursor.has_value()) {
+    util::log(util::LogLevel::kWarn,
+              "serve: cannot seed from archive: " + error);
+    return false;
+  }
+
+  auto trajectory = std::make_shared<RoundSnapshot::Trajectory>();
+  // Frames are date-ordered, so the running "current date group" ends
+  // up holding exactly the final date's merged scores — what
+  // seed_from_store reads back with score_on(asn, last).
+  std::map<Asn, double> last_rows;
+  std::optional<Date> group_date;
+  std::uint64_t date_count = 0;
+  while (auto frame = cursor->next()) {
+    if (frame->asns.empty()) continue;
+    if (!group_date.has_value() || frame->date != *group_date) {
+      ++date_count;
+      group_date = frame->date;
+      last_rows.clear();
+    }
+    const std::int64_t days = frame->date.days_since_epoch();
+    for (std::size_t i = 0; i < frame->asns.size(); ++i) {
+      const Asn asn = frame->asns[i];
+      const double score = frame->scores[i];
+      last_rows[asn] = score;
+      auto& points = (*trajectory)[asn];
+      if (!points.empty() && points.back().date_days == days) {
+        points.back().score = score;  // same-date re-record replaces
+      } else {
+        points.push_back(TrajectoryPoint{days, score});
+      }
+    }
+  }
+  if (cursor->failed()) {
+    util::log(util::LogLevel::kWarn,
+              "serve: cannot seed from archive: " + cursor->error());
+    return false;
+  }
+  if (date_count == 0) return false;  // empty archive: nothing to seed
+
+  auto snapshot = std::make_shared<RoundSnapshot>();
+  for (const auto& [asn, score] : last_rows) {
+    core::AsScore s;
+    s.asn = asn;
+    s.score = score;
+    snapshot->scores.push_back(s);  // map iteration: sorted by ASN
+    snapshot->score_strs.push_back(util::fmt_double(score, 2));
+  }
+  snapshot->date = *group_date;
+  snapshot->trajectory = std::move(trajectory);
+  snapshot->rounds_completed = date_count;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot->sequence = ++sequence_;
+  current_ = std::move(snapshot);
+  return true;
 }
 
 std::shared_ptr<const RoundSnapshot> ScoreFeed::current() const {

@@ -83,6 +83,13 @@ class ScoreFeed {
   /// round. No-op on an empty store.
   void seed_from_store(const core::LongitudinalStore& store);
 
+  /// seed_from_store's RVLA sibling: stream an archive directory
+  /// (docs/FORMATS.md §5) into the same warm-start snapshot — full
+  /// per-AS trajectory, the final date's scores, rounds_completed =
+  /// distinct measurement dates — without materializing a store. False
+  /// (logged) when the archive is missing, damaged or empty.
+  bool seed_from_archive(const std::string& directory);
+
   /// The current snapshot (nullptr before the first publish). The
   /// returned pointer — and through it the pinned epoch — stays valid
   /// for as long as the caller holds it.

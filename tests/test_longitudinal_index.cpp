@@ -4,6 +4,7 @@
 // including out-of-order dates and same-date overwrites.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -71,6 +72,14 @@ class Oracle {
     return out;
   }
 
+  std::vector<Asn> ases_on(Date date) const {
+    std::vector<Asn> out;
+    for (const auto& [asn, series] : by_as_) {
+      if (series.count(date) != 0) out.push_back(asn);
+    }
+    return out;
+  }
+
   const std::map<Asn, std::map<Date, double>>& data() const {
     return by_as_;
   }
@@ -88,7 +97,11 @@ AsScore score_of(Asn asn, double score) {
 
 void expect_equivalent(const LongitudinalStore& store, const Oracle& oracle,
                        const std::vector<Date>& dates) {
+  EXPECT_EQ(store.index_divergence(), "");
   EXPECT_EQ(store.latest_scores(), oracle.latest_scores());
+  for (const Date& date : dates) {
+    EXPECT_EQ(store.ases_on(date), oracle.ases_on(date)) << date.to_string();
+  }
   for (const auto& [asn, series] : oracle.data()) {
     EXPECT_EQ(store.latest_score(asn), oracle.latest_score(asn))
         << "AS" << asn;
@@ -160,6 +173,74 @@ TEST(LongitudinalIndex, OverwriteReplacesDateEverywhere) {
   expect_equivalent(store, oracle, {d1, d2});
   EXPECT_TRUE(store.score_jumps(0.0, 100.0).empty());
   EXPECT_DOUBLE_EQ(store.fraction_at_least(d2, 50.0), 0.0);
+}
+
+// Pinned regression: record() used to append the ASN to the per-date
+// roster unconditionally, so every re-record of an (AS, date) grew
+// by_date_ by one duplicate entry — contradicting the documented
+// one-entry-per-AS replace contract and silently growing memory over a
+// long-lived series.
+TEST(LongitudinalIndex, ReRecordKeepsByDateRosterUnique) {
+  LongitudinalStore store;
+  const Date d = Date::from_ymd(2023, 6, 1);
+
+  store.record(d, std::vector<AsScore>{score_of(65002, 50.0),
+                                       score_of(65001, 25.0)});
+  EXPECT_EQ(store.ases_on(d), (std::vector<Asn>{65001, 65002}));
+
+  // Re-record both ASes (twice, for good measure): the roster must not
+  // grow and must stay sorted-unique.
+  for (int pass = 0; pass < 2; ++pass) {
+    store.record(d, std::vector<AsScore>{score_of(65001, 75.0),
+                                         score_of(65002, 0.0)});
+    EXPECT_EQ(store.ases_on(d), (std::vector<Asn>{65001, 65002}))
+        << "pass " << pass;
+  }
+
+  // A duplicate ASN within one record() call is insert-then-overwrite:
+  // still exactly one roster entry.
+  store.record(d, std::vector<AsScore>{score_of(65003, 10.0),
+                                       score_of(65003, 90.0)});
+  EXPECT_EQ(store.ases_on(d), (std::vector<Asn>{65001, 65002, 65003}));
+  EXPECT_EQ(store.index_divergence(), "");
+}
+
+// Bugfix sweep: replay mixed insert/overwrite sequences — heavy on
+// exact-duplicate scores, same-date re-records, and out-of-order dates —
+// and demand that every incrementally-maintained index (latest_,
+// by_date_sorted_, rising_, by_date_) stays equal to a brute-force
+// rebuild from the raw data after every single record() call.
+TEST(LongitudinalIndex, RandomizedReRecordBatteryMatchesRebuild) {
+  for (const std::uint64_t seed : {1ull, 42ull, 2023ull, 65537ull, 9009ull}) {
+    util::Rng rng(seed);
+    LongitudinalStore store;
+    Oracle oracle;
+
+    const Date base = Date::from_ymd(2021, 6, 15);
+    std::vector<Date> dates;
+    for (int i = 0; i < 18; ++i) dates.push_back(base + 11 * i);
+
+    for (int round = 0; round < 160; ++round) {
+      const Date date = dates[static_cast<std::size_t>(
+          rng.uniform_u64(0, dates.size() - 1))];
+      std::vector<AsScore> scores;
+      const int ases = static_cast<int>(rng.uniform_u64(1, 8));
+      for (int a = 0; a < ases; ++a) {
+        // A small AS pool and quantized scores force frequent
+        // overwrites, exact-double collisions in by_date_sorted_, and
+        // rising edges that appear and vanish.
+        const Asn asn = static_cast<Asn>(rng.uniform_u64(65000, 65011));
+        const double score =
+            static_cast<double>(rng.uniform_u64(0, 4)) * 25.0;
+        scores.push_back(score_of(asn, score));
+      }
+      store.record(date, scores);
+      oracle.record(date, scores);
+      ASSERT_EQ(store.index_divergence(), "")
+          << "seed " << seed << " round " << round;
+    }
+    expect_equivalent(store, oracle, dates);
+  }
 }
 
 TEST(LongitudinalIndex, MiddleInsertRewiresJumps) {

@@ -42,6 +42,7 @@
 
 #include <cstdlib>
 
+#include "analytics/queries.h"
 #include "bgp/mrt.h"
 #include "core/incremental_runner.h"
 #include "core/publish.h"
@@ -194,7 +195,7 @@ int usage() {
       "          [--rp-failure-rate F] [--rp-divergence-fraction F]\n"
       "          [--rtr-drop-rate F]\n"
       "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
-      "          [--die-after N]\n"
+      "          [--archive DIR] [--die-after N]\n"
       "          run a dated round sequence; VRP deltas drive dirty-\n"
       "          prefix recomputation and a reachability-aware score\n"
       "          cache unless --incremental off forces full recompute\n"
@@ -206,9 +207,28 @@ int usage() {
       "          supply-chain failures (RP crashes serving stale VRPs,\n"
       "          RTR session drops/corrupt PDUs, divergent RP\n"
       "          implementations); all default to 0, which leaves every\n"
-      "          output byte-identical to a fault-free run. --die-after\n"
-      "          is the crash-safety test hook: _Exit(137) after N\n"
-      "          completed rounds, skipping destructors\n"
+      "          output byte-identical to a fault-free run. --archive\n"
+      "          appends every completed round as one durable RVLA frame\n"
+      "          (docs/FORMATS.md section 5) for `rovista analyze`.\n"
+      "          --die-after is the crash-safety test hook: _Exit(137)\n"
+      "          after N completed rounds, skipping destructors\n"
+      "  analyze --archive DIR\n"
+      "          [--query info|latest-cdf|fraction-trend|series|jumps|churn]\n"
+      "          [--threshold T] [--asn N] [--low L] [--high H]\n"
+      "          [--out FILE] [--publish DIR]\n"
+      "          stream the paper's longitudinal queries straight off an\n"
+      "          RVLA archive — no in-memory store, memory stays O(ASes)\n"
+      "          regardless of round count. latest-cdf = Fig. 5 CDF of\n"
+      "          each AS's latest score; fraction-trend = Fig. 6 fraction\n"
+      "          of ASes at or above --threshold (default 100) per date;\n"
+      "          series = one AS's full (date, score) trajectory (--asn);\n"
+      "          jumps = section-7.3 scans for scores moving from\n"
+      "          <= --low (default 0) to >= --high (default 100) between\n"
+      "          consecutive rounds; churn = per-transition change\n"
+      "          aggregates. Answers are bit-identical to the in-memory\n"
+      "          LongitudinalStore (tier-1 byte-compares them). CSV goes\n"
+      "          to stdout or --out; --publish re-emits the section-2\n"
+      "          dataset byte-identically to `longitudinal --publish`\n"
       "  checkpoint inspect (--dir DIR | --file FILE)\n"
       "          print the header, section table and integrity verdict\n"
       "          of a checkpoint without restoring it\n"
@@ -217,6 +237,7 @@ int usage() {
       "          [--scale small|paper] [--port P] [--workers N]\n"
       "          [--threads N] [--publish DIR] [--warn-depth N]\n"
       "          [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
+      "          [--archive DIR]\n"
       "          start the RQP v1 query daemon (docs/FORMATS.md section 3)\n"
       "          on 127.0.0.1 (--port 0 = kernel-assigned; the bound port\n"
       "          is announced as 'LISTENING <port>' on stdout), run the\n"
@@ -225,7 +246,10 @@ int usage() {
       "          warm-starts scores/trajectories from an RVCP checkpoint;\n"
       "          --publish writes the CSV dataset once the series ends\n"
       "          and announces 'PUBLISHED <dir>'; --warn-depth enables\n"
-      "          the pin-leak diagnostic on the epoch chain\n"
+      "          the pin-leak diagnostic on the epoch chain; --archive\n"
+      "          appends rounds to an RVLA archive and, without --resume,\n"
+      "          warm-starts scores/trajectories from it when it already\n"
+      "          holds rounds\n"
       "  loadgen --port P [--host H] [--requests N] [--connections N]\n"
       "          [--threads N] [--rate R] [--pipeline N]\n"
       "          [--traj-fraction F] [--reach-fraction F] [--seed N]\n"
@@ -562,6 +586,10 @@ int cmd_longitudinal(const Args& args) {
                  "error: --resume/--checkpoint-every need --checkpoint-dir\n");
     return usage();
   }
+  if (args.has("archive")) {
+    config.archive_dir = args.get("archive", "");
+    if (config.archive_dir.empty()) return usage();
+  }
 
   // Test hook for the tier-1 crash-safety stage: simulate a process
   // death (no destructors, no exit checkpoint) after N completed rounds.
@@ -655,6 +683,122 @@ int cmd_longitudinal(const Args& args) {
     const auto written = core::publish_scores(runner.store(), publish);
     if (!written.has_value()) {
       std::fprintf(stderr, "error: could not write %s\n", publish);
+      return 1;
+    }
+    std::printf("published %zu snapshot(s) under %s\n", *written, publish);
+  }
+  return 0;
+}
+
+// `rovista analyze`: the paper's longitudinal queries, streamed off an
+// RVLA archive (docs/FORMATS.md §5). Every answer is bit-identical to
+// the in-memory LongitudinalStore fed the same rounds — the tier-1
+// archive stage byte-diffs --publish output against `longitudinal
+// --publish`, and tests/test_rvla.cpp oracle-gates the query CSVs.
+int cmd_analyze(const Args& args) {
+  const char* dir = args.get("archive");
+  if (dir == nullptr) return usage();
+  const char* query = args.get("query", "info");
+
+  std::string error;
+  std::string csv;
+  if (std::strcmp(query, "info") == 0) {
+    const auto info = analytics::archive_info(dir, &error);
+    if (!info.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("archive %s\n", dir);
+    std::printf("  frames:     %llu\n",
+                static_cast<unsigned long long>(info->frames));
+    std::printf("  data bytes: %llu\n",
+                static_cast<unsigned long long>(info->data_bytes));
+    std::printf("  ases:       %llu\n",
+                static_cast<unsigned long long>(info->as_count));
+    std::printf("  dates:      %llu%s\n",
+                static_cast<unsigned long long>(info->date_count),
+                info->any_health ? "  (with round health)" : "");
+    if (info->first_date.has_value()) {
+      std::printf("  range:      %s .. %s\n",
+                  info->first_date->to_string().c_str(),
+                  info->last_date->to_string().c_str());
+    }
+  } else if (std::strcmp(query, "latest-cdf") == 0) {
+    const auto latest = analytics::latest_scores(dir, &error);
+    if (!latest.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    csv = analytics::latest_cdf_csv(*latest);
+  } else if (std::strcmp(query, "fraction-trend") == 0) {
+    double threshold = 100.0;
+    if (const char* t = args.get("threshold")) {
+      if (!util::parse_double(t, threshold)) return usage();
+    }
+    const auto trend = analytics::fraction_trend(dir, threshold, &error);
+    if (!trend.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    csv = analytics::fraction_trend_csv(*trend, threshold);
+  } else if (std::strcmp(query, "series") == 0) {
+    const char* asn_str = args.get("asn");
+    std::uint64_t asn = 0;
+    if (asn_str == nullptr || !util::parse_u64(asn_str, asn)) {
+      return usage();
+    }
+    const auto series = analytics::as_series(
+        dir, static_cast<core::Asn>(asn), &error);
+    if (!series.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    csv = analytics::series_csv(static_cast<core::Asn>(asn), *series);
+  } else if (std::strcmp(query, "jumps") == 0) {
+    double low = 0.0;
+    double high = 100.0;
+    if (const char* l = args.get("low")) {
+      if (!util::parse_double(l, low)) return usage();
+    }
+    if (const char* h = args.get("high")) {
+      if (!util::parse_double(h, high)) return usage();
+    }
+    const auto jumps = analytics::score_jumps(dir, low, high, &error);
+    if (!jumps.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    csv = analytics::jumps_csv(*jumps);
+  } else if (std::strcmp(query, "churn") == 0) {
+    const auto rows = analytics::churn(dir, &error);
+    if (!rows.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    csv = analytics::churn_csv(*rows);
+  } else {
+    std::fprintf(stderr, "error: unknown --query '%s'\n", query);
+    return usage();
+  }
+
+  if (!csv.empty()) {
+    if (const char* out = args.get("out")) {
+      std::ofstream f(out);
+      f << csv;
+      if (!f) {
+        std::fprintf(stderr, "error: could not write %s\n", out);
+        return 1;
+      }
+      std::printf("wrote %s\n", out);
+    } else {
+      std::printf("%s", csv.c_str());
+    }
+  }
+
+  if (const char* publish = args.get("publish")) {
+    const auto written = analytics::publish_archive(dir, publish, &error);
+    if (!written.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
     std::printf("published %zu snapshot(s) under %s\n", *written, publish);
@@ -816,6 +960,10 @@ int cmd_serve(const Args& args) {
                  "error: --resume/--checkpoint-every need --checkpoint-dir\n");
     return usage();
   }
+  if (args.has("archive")) {
+    config.archive_dir = args.get("archive", "");
+    if (config.archive_dir.empty()) return usage();
+  }
 
   // Block the shutdown signals before any thread exists, so workers and
   // the round thread inherit the mask and only sigwait below sees them.
@@ -845,6 +993,15 @@ int cmd_serve(const Args& args) {
                   static_cast<unsigned long long>(first_round));
     } else {
       std::printf("no usable checkpoint — starting from scratch\n");
+    }
+  } else if (!config.archive_dir.empty()) {
+    // Warm start off a previous run's RVLA archive: restored scores and
+    // trajectories serve immediately; note the first live round rewrites
+    // the archive from this process's own (empty) history, exactly as a
+    // cold start would.
+    if (feed->seed_from_archive(config.archive_dir)) {
+      std::printf("seeded feed from archive %s\n",
+                  config.archive_dir.c_str());
     }
   }
 
@@ -1046,6 +1203,7 @@ int run(int argc, char** argv) {
   if (std::strcmp(argv[1], "longitudinal") == 0) {
     return cmd_longitudinal(args);
   }
+  if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(args);
   if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(args);
   if (std::strcmp(argv[1], "loadgen") == 0) return cmd_loadgen(args);
   if (std::strcmp(argv[1], "feedcheck") == 0) return cmd_feedcheck(args);
